@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Ablations of the model's own components against the simulator: what
+ * accuracy does each modelling choice buy?
+ *
+ *  A. The M/M/1/N queueing term (Eq. 9-12): latency error with and
+ *     without it as load rises — the "hop-sum only" strawman is what a
+ *     queueing-blind model (e.g. plain LogP-style accounting) would say.
+ *  B. The extended-Roofline ceilings (S3.2): throughput error at large
+ *     access granularities with and without the data-feed ceilings —
+ *     a compute-only Roofline misses the Figure-5 cliff entirely.
+ *  C. The service-variability term: M/G/1 vs M/M/1 waiting for a
+ *     deterministic hardware pipeline.
+ */
+#include "bench_util.hpp"
+#include "lognic/apps/inline_accel.hpp"
+#include "lognic/core/model.hpp"
+#include "lognic/sim/nic_simulator.hpp"
+
+using namespace lognic;
+
+namespace {
+
+core::HardwareModel
+one_core_nic(double scv)
+{
+    core::HardwareModel hw("abl", Bandwidth::from_gbps(100.0),
+                           Bandwidth::from_gbps(80.0),
+                           Bandwidth::from_gbps(25.0));
+    core::IpSpec ip;
+    ip.name = "cores";
+    ip.roofline = core::ExtendedRoofline(
+        core::ServiceModel{Seconds::from_micros(1.0),
+                           Bandwidth::from_gigabytes_per_sec(4.0)},
+        {});
+    ip.max_engines = 1;
+    ip.default_queue_capacity = 256;
+    ip.service_scv = scv;
+    hw.add_ip(ip);
+    return hw;
+}
+
+core::ExecutionGraph
+chain(const core::HardwareModel& hw)
+{
+    core::ExecutionGraph g("chain");
+    const auto in = g.add_ingress();
+    const auto out = g.add_egress();
+    const auto v = g.add_ip_vertex("cores", *hw.find_ip("cores"));
+    g.add_edge(in, v);
+    g.add_edge(v, out);
+    return g;
+}
+
+/// Mean latency with every queueing term stripped (the strawman model).
+double
+hop_sum_only_us(const core::LatencyEstimate& est)
+{
+    double mean = 0.0;
+    double wsum = 0.0;
+    for (const auto& path : est.paths) {
+        double total = path.total.seconds();
+        for (const auto& hop : path.hops)
+            total -= hop.queueing.seconds();
+        mean += path.weight * total;
+        wsum += path.weight;
+    }
+    return wsum > 0.0 ? mean / wsum * 1e6 : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation A",
+                  "Latency (us) vs load: simulator, full model, and the "
+                  "queueing-blind hop-sum strawman");
+    {
+        const auto hw = one_core_nic(1.0);
+        const auto g = chain(hw);
+        bench::header({"load%", "sim", "model", "no-queueing",
+                       "model-err%", "strawman-err%"});
+        for (double frac : {0.2, 0.4, 0.6, 0.8, 0.9}) {
+            const auto traffic =
+                core::TrafficProfile::fixed(Bytes{1500.0},
+                                            Bandwidth::from_gbps(8.7 * frac));
+            const auto est =
+                core::estimate_latency(g, hw, traffic);
+            sim::SimOptions opts;
+            opts.duration = 0.2;
+            const auto res = sim::simulate(hw, g, traffic, opts);
+            const double sim_us = res.mean_latency.micros();
+            const double model_us = est.mean.micros();
+            const double straw_us = hop_sum_only_us(est);
+            bench::row(std::to_string(static_cast<int>(100.0 * frac)),
+                       {sim_us, model_us, straw_us,
+                        100.0 * std::abs(model_us - sim_us) / sim_us,
+                        100.0 * std::abs(straw_us - sim_us) / sim_us});
+        }
+        bench::footnote("Without Eq. 9-12 the error explodes past 60% "
+                        "load; with it the model stays within a few "
+                        "percent.");
+    }
+
+    bench::banner("Ablation B",
+                  "CRC MOPS at large granularity: with vs without the "
+                  "extended-Roofline data-feed ceilings");
+    {
+        const auto with_sc =
+            apps::make_inline_accel_unbounded(devices::LiquidIoKernel::kCrc);
+        // Strip every data-feed limit — the per-IP ceilings *and* the
+        // shared-medium accounting: a compute-only Roofline.
+        core::HardwareModel stripped(
+            "no-ceilings", Bandwidth::from_gbps(1e5),
+            Bandwidth::from_gbps(1e5), with_sc.hw.line_rate());
+        for (core::IpId i = 0; i < with_sc.hw.ip_count(); ++i) {
+            core::IpSpec spec = with_sc.hw.ip(i);
+            spec.roofline =
+                core::ExtendedRoofline(spec.roofline.engine(), {});
+            stripped.add_ip(std::move(spec));
+        }
+        bench::header({"granularity", "sim", "full-model", "no-ceilings"});
+        for (double gsize : {2048.0, 4096.0, 8192.0, 16384.0}) {
+            const auto traffic = core::TrafficProfile::fixed(
+                Bytes{gsize}, Bandwidth::from_gbps(200.0));
+            sim::SimOptions opts;
+            opts.duration = 0.004;
+            const auto res =
+                sim::simulate(with_sc.hw, with_sc.graph, traffic, opts);
+            const double full =
+                core::Model(with_sc.hw)
+                    .throughput(with_sc.graph, traffic)
+                    .capacity.bytes_per_sec()
+                / gsize / 1e6;
+            const double no_ceil =
+                core::Model(stripped)
+                    .throughput(with_sc.graph, traffic)
+                    .capacity.bytes_per_sec()
+                / gsize / 1e6;
+            bench::row(std::to_string(static_cast<int>(gsize)) + "B",
+                       {res.delivered.bytes_per_sec() / gsize / 1e6, full,
+                        no_ceil});
+        }
+        bench::footnote("A compute-only Roofline predicts a flat curve and "
+                        "misses the memory-feed cliff the hardware (and "
+                        "the full model) shows.");
+    }
+
+    bench::banner("Ablation C",
+                  "Deterministic hardware pipeline at 80% load: M/G/1 "
+                  "(scv-aware) vs plain M/M/1 waiting");
+    {
+        const auto hw_det = one_core_nic(0.0);
+        const auto hw_exp = one_core_nic(1.0);
+        const auto g_det = chain(hw_det);
+        const auto traffic = core::TrafficProfile::fixed(
+            Bytes{1500.0}, Bandwidth::from_gbps(0.8 * 8.7));
+        sim::SimOptions opts;
+        opts.duration = 0.2;
+        const auto res = sim::simulate(hw_det, g_det, traffic, opts);
+        const double scv_aware =
+            core::estimate_latency(g_det, hw_det, traffic).mean.micros();
+        const double mm1_only =
+            core::estimate_latency(chain(hw_exp), hw_exp, traffic)
+                .mean.micros();
+        bench::header({"", "sim", "M/G/1", "M/M/1"});
+        bench::row("latency(us)",
+                   {res.mean_latency.micros(), scv_aware, mm1_only});
+        bench::footnote(
+            "The exponential-service assumption doubles the predicted "
+            "wait for a deterministic engine; the SCV-aware term tracks "
+            "the simulator.");
+    }
+    return 0;
+}

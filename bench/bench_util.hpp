@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction harnesses: each bench binary
+ * regenerates one figure (or figure pair) of the paper's evaluation and
+ * prints its series as aligned rows, `Measured` meaning the packet-level
+ * simulator and `LogNIC` the analytical model.
+ */
+#ifndef LOGNIC_BENCH_BENCH_UTIL_HPP_
+#define LOGNIC_BENCH_BENCH_UTIL_HPP_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lognic::bench {
+
+/// Print the figure banner.
+inline void
+banner(const std::string& figure, const std::string& caption)
+{
+    std::printf("=== %s ===\n", figure.c_str());
+    std::printf("%s\n\n", caption.c_str());
+}
+
+/// Print a header row followed by a separator.
+inline void
+header(const std::vector<std::string>& columns)
+{
+    for (const auto& c : columns)
+        std::printf("%14s", c.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < columns.size(); ++i)
+        std::printf("%14s", "------------");
+    std::printf("\n");
+}
+
+/// Print one row of mixed string/number cells.
+inline void
+row(const std::string& label, const std::vector<double>& values,
+    const char* fmt = "%14.3f")
+{
+    std::printf("%14s", label.c_str());
+    for (double v : values)
+        std::printf(fmt, v);
+    std::printf("\n");
+}
+
+inline void
+footnote(const std::string& text)
+{
+    std::printf("\n%s\n\n", text.c_str());
+}
+
+} // namespace lognic::bench
+
+#endif // LOGNIC_BENCH_BENCH_UTIL_HPP_

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 10: achieved bandwidth vs. packet size under line rate for six
+ * LiquidIO-II engines (CRC, AES, MD5, SHA-1, SMS4, HFA).
+ *
+ * Paper result: achieved bandwidth ~ min(P_IP2 * packet_size, 25 Gbps) —
+ * op-rate-bound engines scale linearly with packet size until the port
+ * speed caps them.
+ */
+#include "bench_util.hpp"
+#include "lognic/apps/inline_accel.hpp"
+#include "lognic/core/model.hpp"
+#include "lognic/sim/nic_simulator.hpp"
+#include "lognic/traffic/profiles.hpp"
+
+using namespace lognic;
+
+int
+main()
+{
+    bench::banner("Figure 10",
+                  "Achieved bandwidth (Gbps) vs packet size under 25 GbE "
+                  "line rate");
+
+    const std::vector<devices::LiquidIoKernel> kernels{
+        devices::LiquidIoKernel::kCrc,  devices::LiquidIoKernel::kAes,
+        devices::LiquidIoKernel::kMd5,  devices::LiquidIoKernel::kSha1,
+        devices::LiquidIoKernel::kSms4, devices::LiquidIoKernel::kHfa};
+
+    const auto sizes = traffic::standard_packet_sizes();
+    std::vector<std::string> cols{"series"};
+    for (Bytes s : sizes)
+        cols.push_back(std::to_string(static_cast<int>(s.bytes())) + "B");
+    bench::header(cols);
+
+    for (const auto kernel : kernels) {
+        const auto sc = apps::make_inline_accel(kernel, 16);
+        const core::Model model(sc.hw);
+        std::vector<double> model_gbps;
+        std::vector<double> sim_gbps;
+        for (Bytes s : sizes) {
+            const auto t =
+                core::TrafficProfile::fixed(s, Bandwidth::from_gbps(25.0));
+            model_gbps.push_back(
+                model.throughput(sc.graph, t).achieved.gbps());
+            sim::SimOptions opts;
+            opts.duration = 0.008;
+            sim_gbps.push_back(
+                sim::simulate(sc.hw, sc.graph, t, opts).delivered.gbps());
+        }
+        bench::row(std::string(devices::to_string(kernel)) + "/sim",
+                   sim_gbps);
+        bench::row(std::string(devices::to_string(kernel)) + "/model",
+                   model_gbps);
+    }
+
+    bench::footnote(
+        "Paper: bandwidth ~ MIN(P_IP2 x pktsize, 25 Gbps); small packets "
+        "are op-rate-bound, MTU approaches line rate for the fast engines.");
+    return 0;
+}

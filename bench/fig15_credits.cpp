@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 15: PANIC bandwidth vs. provisioned credits for the four mixed
+ * traffic profiles (Model 1 "Pipelined Chain").
+ *
+ * Paper result: bandwidth rises with credits and saturates; LogNIC's
+ * node-partition analysis suggests the minimal provision 5/4/4/4 for
+ * profiles 1-4, and fewer credits also cut latency (21.8% for profile 1 at
+ * 5 vs 8 credits).
+ */
+#include "bench_util.hpp"
+#include "lognic/apps/panic_models.hpp"
+#include "lognic/sim/panic.hpp"
+#include "lognic/traffic/profiles.hpp"
+
+using namespace lognic;
+
+int
+main()
+{
+    bench::banner("Figure 15",
+                  "PANIC: measured bandwidth (Gbps) vs credits for four "
+                  "mixed traffic profiles (Model 1 chain)");
+
+    const Bandwidth offered = Bandwidth::from_gbps(90.0);
+    std::vector<std::string> cols{"series"};
+    for (int c = 1; c <= 8; ++c)
+        cols.push_back(std::to_string(c) + "cr");
+    cols.push_back("suggest");
+    bench::header(cols);
+
+    for (int profile = 1; profile <= 4; ++profile) {
+        const auto tp = traffic::panic_profile(profile, offered);
+        const std::uint32_t suggested = apps::lognic_optimal_credits(tp);
+
+        std::vector<double> sim_bw;
+        std::vector<double> model_bw;
+        for (std::uint32_t credits = 1; credits <= 8; ++credits) {
+            const auto cfg = apps::make_panic_pipelined_chain(credits);
+            sim::SimOptions opts;
+            opts.duration = 0.02;
+            opts.seed = 17;
+            // PANIC compute units are fixed-function hardware pipelines.
+            opts.exponential_service = false;
+            const auto res = sim::simulate_panic(cfg, tp, opts);
+            sim_bw.push_back(res.delivered.gbps());
+            model_bw.push_back(std::min(
+                apps::lognic_panic_chain_capacity(tp, credits).gbps(),
+                offered.gbps()));
+        }
+        // Latency comparison under the same saturating load: past the
+        // knee, extra credits only buy buffer occupancy.
+        auto latency_at = [&](std::uint32_t credits) {
+            const auto cfg = apps::make_panic_pipelined_chain(credits);
+            sim::SimOptions opts;
+            opts.duration = 0.05;
+            opts.seed = 29;
+            opts.exponential_service = false;
+            return sim::simulate_panic(cfg, tp, opts)
+                .mean_latency.micros();
+        };
+        const double lat_at_suggested = latency_at(suggested);
+        const double lat_at_8 = latency_at(8);
+        std::vector<double> sim_row = sim_bw;
+        sim_row.push_back(static_cast<double>(suggested));
+        std::vector<double> model_row = model_bw;
+        model_row.push_back(static_cast<double>(suggested));
+        bench::row("TP" + std::to_string(profile) + "/sim", sim_row);
+        bench::row("TP" + std::to_string(profile) + "/model", model_row);
+        std::printf("%14s  latency @suggested %.2fus vs @8cr %.2fus "
+                    "(drop %.1f%%)\n",
+                    ("TP" + std::to_string(profile)).c_str(),
+                    lat_at_suggested, lat_at_8,
+                    100.0 * (1.0 - lat_at_suggested / lat_at_8));
+    }
+
+    bench::footnote(
+        "Paper: suggested credits 5/4/4/4; profile 1 sees a 21.8% latency "
+        "drop at 5 credits vs the default 8. Service-time variability and "
+        "fabric-port contention make the measured knee softer than the "
+        "analytic credit window.");
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the model itself: how fast are
+ * throughput estimation, latency estimation, path enumeration, the
+ * discrete optimizer, and a simulator step. These quantify the paper's
+ * "without actually deploying the program" value proposition — a model
+ * evaluation must be orders of magnitude cheaper than an experiment.
+ */
+#include <benchmark/benchmark.h>
+
+#include "lognic/apps/inline_accel.hpp"
+#include "lognic/apps/microservices.hpp"
+#include "lognic/apps/panic_models.hpp"
+#include "lognic/core/model.hpp"
+#include "lognic/core/optimizer.hpp"
+#include "lognic/io/serialize.hpp"
+#include "lognic/sim/nic_simulator.hpp"
+#include "lognic/solver/special.hpp"
+
+using namespace lognic;
+
+namespace {
+
+const auto kScenario =
+    apps::make_inline_accel(devices::LiquidIoKernel::kMd5, 12);
+const auto kTraffic = core::TrafficProfile::fixed(
+    Bytes{1500.0}, Bandwidth::from_gbps(25.0));
+
+void
+BM_ThroughputEstimate(benchmark::State& state)
+{
+    const core::Model model(kScenario.hw);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.throughput(kScenario.graph, kTraffic));
+    }
+}
+BENCHMARK(BM_ThroughputEstimate);
+
+void
+BM_LatencyEstimate(benchmark::State& state)
+{
+    const core::Model model(kScenario.hw);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.latency(kScenario.graph, kTraffic));
+    }
+}
+BENCHMARK(BM_LatencyEstimate);
+
+void
+BM_FullEstimate(benchmark::State& state)
+{
+    const core::Model model(kScenario.hw);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.estimate(kScenario.graph, kTraffic));
+    }
+}
+BENCHMARK(BM_FullEstimate);
+
+void
+BM_PathEnumeration(benchmark::State& state)
+{
+    const auto sc = apps::make_panic_hybrid(0.5, 4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sc.graph.enumerate_paths());
+    }
+}
+BENCHMARK(BM_PathEnumeration);
+
+void
+BM_GraphValidation(benchmark::State& state)
+{
+    for (auto _ : state) {
+        kScenario.graph.validate(kScenario.hw);
+    }
+}
+BENCHMARK(BM_GraphValidation);
+
+void
+BM_MicroserviceOptimizer(benchmark::State& state)
+{
+    const auto traffic = core::TrafficProfile::fixed(
+        apps::e3_request_size(), Bandwidth::from_gbps(5.0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            apps::lognic_opt_alloc(apps::E3Workload::kRtaShm, traffic));
+    }
+}
+BENCHMARK(BM_MicroserviceOptimizer);
+
+void
+BM_ScenarioSerializeRoundTrip(benchmark::State& state)
+{
+    const io::Scenario scenario{kScenario.hw, kScenario.graph, kTraffic};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            io::load_scenario(io::save_scenario(scenario)));
+    }
+}
+BENCHMARK(BM_ScenarioSerializeRoundTrip);
+
+void
+BM_TailQuantile(benchmark::State& state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            solver::gamma_quantile(3.7, 1.3e-6, 0.99));
+    }
+}
+BENCHMARK(BM_TailQuantile);
+
+void
+BM_SimulatorMillisecond(benchmark::State& state)
+{
+    for (auto _ : state) {
+        sim::SimOptions opts;
+        opts.duration = 0.001;
+        benchmark::DoNotOptimize(
+            sim::simulate(kScenario.hw, kScenario.graph, kTraffic, opts));
+    }
+}
+BENCHMARK(BM_SimulatorMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The paper's fourth use case (S2.3 "Implementation portability"): predict
+ * how an offloaded program behaves when ported to a different SmartNIC
+ * *before* writing a line of device code.
+ *
+ * We take the inline crypto-acceleration program from case study #1 and
+ * ask: what happens when it moves from the 25 GbE LiquidIO-II (on-chip
+ * crypto fed by the CMI) to the 100 GbE BlueField-2 (crypto engines behind
+ * the SoC interconnect, fatter port, fewer-but-faster cores)?
+ */
+#include <cstdio>
+
+#include "lognic/apps/inline_accel.hpp"
+#include "lognic/core/model.hpp"
+#include "lognic/devices/bluefield2.hpp"
+#include "lognic/traffic/profiles.hpp"
+
+using namespace lognic;
+
+namespace {
+
+/// The same program expressed against the BlueField-2 catalog.
+struct PortedScenario {
+    core::HardwareModel hw;
+    core::ExecutionGraph graph;
+};
+
+PortedScenario
+port_to_bluefield()
+{
+    core::HardwareModel hw = devices::bluefield2();
+    // The orchestration loop on the ARM complex: packet RX/TX handling
+    // plus the crypto offload preparation.
+    const Seconds arm_cost = Seconds::from_micros(0.45)
+        + devices::bf2_offload_prep(devices::NetworkFunction::kEncryption);
+    const core::IpId arm = devices::add_arm_ip(hw, "arm-echo", arm_cost, 1.0);
+    const core::IpId crypto = *hw.find_ip("crypto");
+
+    core::ExecutionGraph g("inline-crypto-on-bf2");
+    const auto in = g.add_ingress();
+    const auto out = g.add_egress();
+    const auto v_arm = g.add_ip_vertex("arm", arm);
+    const auto v_crypto = g.add_ip_vertex("crypto", crypto);
+    g.add_edge(in, v_arm);
+    g.add_edge(v_arm, v_crypto, core::EdgeParams{1.0, 1.0, 0.0, {}});
+    g.add_edge(v_crypto, out, core::EdgeParams{1.0, 1.0, 0.0, {}});
+    return PortedScenario{std::move(hw), std::move(g)};
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto source =
+        apps::make_inline_accel(devices::LiquidIoKernel::kAes, 16);
+    const auto target = port_to_bluefield();
+    const core::Model src_model(source.hw);
+    const core::Model dst_model(target.hw);
+
+    std::printf("%10s %26s %26s\n", "", "LiquidIO-II (source)",
+                "BlueField-2 (ported)");
+    std::printf("%10s %14s %11s %14s %11s\n", "pktsize", "capacity",
+                "bottleneck", "capacity", "bottleneck");
+    for (Bytes size : traffic::standard_packet_sizes()) {
+        const auto t = core::TrafficProfile::fixed(
+            size, Bandwidth::from_gbps(100.0));
+        const auto a = src_model.throughput(source.graph, t);
+        const auto b = dst_model.throughput(target.graph, t);
+        std::printf("%9.0fB %13.2fG %11s %13.2fG %11s\n", size.bytes(),
+                    a.capacity.gbps(),
+                    a.per_class[0].bottleneck.name.c_str(),
+                    b.capacity.gbps(),
+                    b.per_class[0].bottleneck.name.c_str());
+    }
+
+    std::printf(
+        "\nPorting verdict: the BlueField-2 roughly doubles the attainable "
+        "MTU bandwidth, but the bottleneck *moves* — on the LiquidIO the "
+        "AES engine binds, on the BlueField the 8-core ARM orchestration "
+        "loop does. The port therefore pays off only if the ARM-side "
+        "per-packet cost also drops (e.g. hardware doorbells), which the "
+        "model shows without touching either device.\n");
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The model's system interface as data: save a complete scenario
+ * (hardware + execution graph + traffic) to JSON, load it back, estimate,
+ * render the human-readable report, and export the graph as Graphviz.
+ *
+ * Pipe the DOT section into `dot -Tpng` to visualize the offloaded
+ * program's structure.
+ */
+#include <cstdio>
+
+#include "lognic/apps/inline_accel.hpp"
+#include "lognic/core/model.hpp"
+#include "lognic/core/reporting.hpp"
+#include "lognic/io/serialize.hpp"
+
+using namespace lognic;
+
+int
+main()
+{
+    // Build a case-study scenario and bundle it.
+    const auto sc = apps::make_inline_accel(devices::LiquidIoKernel::kAes, 12);
+    const io::Scenario scenario{
+        sc.hw, sc.graph,
+        core::TrafficProfile::fixed(Bytes{1024.0},
+                                    Bandwidth::from_gbps(18.0))};
+
+    // Serialize and reload — the JSON is the interchange format a
+    // config-driven workflow would consume.
+    const std::string text = io::save_scenario(scenario);
+    std::printf("serialized scenario: %zu bytes of JSON\n\n", text.size());
+    const io::Scenario loaded = io::load_scenario(text);
+
+    // Estimate from the reloaded scenario and render the full report.
+    const core::Model model(loaded.hw);
+    const core::Report report =
+        model.estimate(loaded.graph, loaded.traffic);
+    std::fputs(core::render_report(report, loaded.traffic).c_str(),
+               stdout);
+
+    std::printf("\n--- graphviz ---\n%s",
+                core::to_dot(loaded.graph, loaded.hw).c_str());
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Case study #1 (S4.2): bump-in-the-wire inline acceleration on the
+ * LiquidIO-II CN2360.
+ *
+ * The offloaded program extends a UDP echo server: NIC cores pull packets
+ * from the RX port, do L3/L4 processing, trigger an accelerator, catch the
+ * completion, fabricate the response, and send it out. Following the
+ * paper's setup, accelerator submission and completion are handled by the
+ * same NIC cores, so the scenario models one run-to-completion core stage
+ * whose per-request cost covers the full orchestration.
+ */
+#ifndef LOGNIC_APPS_INLINE_ACCEL_HPP_
+#define LOGNIC_APPS_INLINE_ACCEL_HPP_
+
+#include "lognic/core/execution_graph.hpp"
+#include "lognic/core/hardware_model.hpp"
+#include "lognic/devices/liquidio.hpp"
+
+namespace lognic::apps {
+
+/// A fully-built inline-acceleration scenario.
+struct InlineAccelScenario {
+    core::HardwareModel hw;
+    core::ExecutionGraph graph;
+    core::IpId cores; ///< the NIC-core IP
+    core::IpId accel; ///< the accelerator IP
+    core::VertexId cores_vertex;
+    core::VertexId accel_vertex;
+};
+
+/**
+ * Build the scenario for @p kernel with @p cores NIC cores active.
+ *
+ * The cores->accelerator edge crosses the CMI (memory medium, beta = 1)
+ * for on-chip crypto units, or the I/O interconnect (interface medium,
+ * alpha = 1) for the off-chip HFA/ZIP engines. The return transfer is a
+ * digest/completion, not the payload, so it carries no medium usage.
+ */
+InlineAccelScenario make_inline_accel(devices::LiquidIoKernel kernel,
+                                      std::uint32_t cores = 16);
+
+/**
+ * Variant for the Figure 5 granularity characterization: identical graph,
+ * but the ingress/egress engines run at @p feed_rate instead of the 25 GbE
+ * wire — the microbenchmark feeds the accelerator from on-card memory, so
+ * the port speed must not cap the sweep.
+ */
+InlineAccelScenario make_inline_accel_unbounded(devices::LiquidIoKernel kernel,
+                                                std::uint32_t cores = 16,
+                                                Bandwidth feed_rate
+                                                = Bandwidth::from_gbps(400.0));
+
+} // namespace lognic::apps
+
+#endif // LOGNIC_APPS_INLINE_ACCEL_HPP_

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Case study #2 (S4.3): the NVMe-oF (NVMe-over-RDMA) target on the
+ * Broadcom Stingray PS1100R JBOF — the paper's Figure 2c execution graph:
+ *
+ *   Ethernet ingress -> IP1 (cores, submission path) -> IP2 (NVMe SSD)
+ *     -> IP3 (cores, completion path) -> Ethernet egress
+ *
+ * The SSD is an opaque IP: its LogNIC parameters come from the
+ * characterize-then-curve-fit pipeline in lognic/ssd.
+ */
+#ifndef LOGNIC_APPS_NVMEOF_HPP_
+#define LOGNIC_APPS_NVMEOF_HPP_
+
+#include "lognic/core/execution_graph.hpp"
+#include "lognic/core/hardware_model.hpp"
+#include "lognic/ssd/calibration.hpp"
+#include "lognic/ssd/ssd_model.hpp"
+#include "lognic/traffic/io_workload.hpp"
+
+namespace lognic::apps {
+
+struct NvmeOfScenario {
+    core::HardwareModel hw;
+    core::ExecutionGraph graph;
+    core::IpId ssd;
+};
+
+/**
+ * Build the NVMe-oF target scenario for @p workload using SSD parameters
+ * from @p calibrated.
+ *
+ * Edges 1/4 (wire <-> cores) stage payloads through DRAM (beta); edges 2/3
+ * (cores <-> SSD) ride the dedicated PCIe link and DRAM, matching the
+ * caption of the paper's Figure 2c.
+ */
+NvmeOfScenario make_nvmeof_target(const ssd::CalibratedSsd& calibrated,
+                                  const traffic::IoWorkload& workload);
+
+/**
+ * The "testbed" counterpart of make_nvmeof_target: the same execution
+ * graph, but the SSD IP carries the ground-truth device's occupancy,
+ * parallelism, and pipeline delay instead of the fitted curve. Simulating
+ * this scenario is the stand-in for measuring on the physical JBOF.
+ */
+NvmeOfScenario make_nvmeof_testbed(const ssd::SsdGroundTruth& drive,
+                                   const traffic::IoWorkload& workload);
+
+/**
+ * The LogNIC estimate for a *mixed* read/write workload from two pure
+ * calibrations (Figure 7's model line): the device time-shares between the
+ * calibrated read capacity and the calibrated write capacity, so the mixed
+ * capacity is the harmonic combination
+ *
+ *   1 / ( r / C_read + (1 - r) / C_write ).
+ */
+Bandwidth mixed_model_bandwidth(const ssd::CalibratedSsd& read_calib,
+                                const ssd::CalibratedSsd& write_calib,
+                                double read_fraction);
+
+} // namespace lognic::apps
+
+#endif // LOGNIC_APPS_NVMEOF_HPP_

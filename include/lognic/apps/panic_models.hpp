@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Case study #5 (S4.6): hardware design-space exploration on the PANIC
+ * prototype, covering the three scenarios:
+ *
+ *  #1 sizing an accelerator's request queue (credits) — Model 1
+ *     "Pipelined Chain", credit-scheduler simulator + analytic window model;
+ *  #2 steering traffic at the central scheduler — Model 2 "Parallelized
+ *     Chain" with three accelerators of 4:7:3 computing throughput;
+ *  #3 configuring IP hardware parallelism — modified Model 3 with the
+ *     three execution paths IP1->IP3, IP1->IP4, IP2->IP4.
+ */
+#ifndef LOGNIC_APPS_PANIC_MODELS_HPP_
+#define LOGNIC_APPS_PANIC_MODELS_HPP_
+
+#include "lognic/core/execution_graph.hpp"
+#include "lognic/core/hardware_model.hpp"
+#include "lognic/core/traffic_profile.hpp"
+#include "lognic/sim/panic.hpp"
+
+namespace lognic::apps {
+
+// --- Scenario #1: request-queue (credit) sizing ------------------------------
+
+/**
+ * Model 1 "Pipelined Chain": @p stages identical compute units in sequence,
+ * each provisioned with @p credits scheduler credits.
+ */
+sim::PanicConfig make_panic_pipelined_chain(std::uint32_t credits,
+                                            std::uint32_t stages = 3);
+
+/**
+ * Analytic chain capacity at @p credits for @p traffic: the credit-window
+ * capacity of the bottleneck stage at the profile's packet-count mean size.
+ */
+Bandwidth lognic_panic_chain_capacity(const core::TrafficProfile& traffic,
+                                      std::uint32_t credits,
+                                      std::uint32_t stages = 3);
+
+/**
+ * The minimal credit provision that already achieves the chain's saturated
+ * capacity (within @p tolerance) — the optimizer output behind the paper's
+ * 5/4/4/4 suggestion.
+ */
+std::uint32_t lognic_optimal_credits(const core::TrafficProfile& traffic,
+                                     std::uint32_t max_credits = 8,
+                                     double tolerance = 1e-3);
+
+/// Packet-count mean size of a profile (bytes moved per scheduled request).
+Bytes mean_request_size(const core::TrafficProfile& traffic);
+
+// --- Scenario #2: traffic steering -------------------------------------------
+
+struct PanicParallelScenario {
+    core::HardwareModel hw;
+    core::ExecutionGraph graph;
+};
+
+/**
+ * Model 2 "Parallelized Chain": ingress fans out to A1/A2/A3; A1 receives
+ * a fixed 20% of traffic, A2 receives @p a2_percent, A3 the remaining
+ * (80 - a2_percent). @throws std::invalid_argument outside (0, 80).
+ */
+PanicParallelScenario make_panic_parallel_chain(double a2_percent);
+
+/**
+ * LogNIC-suggested steering: the X minimizing modelled average latency
+ * under @p traffic (continuous optimizer over the split).
+ */
+double lognic_opt_split(const core::TrafficProfile& traffic);
+
+// --- Scenario #3: hardware parallelism ---------------------------------------
+
+struct PanicHybridScenario {
+    core::HardwareModel hw;
+    core::ExecutionGraph graph;
+};
+
+/**
+ * Modified Model 3: ingress splits 70/30 to IP1/IP2; IP1's traffic splits
+ * @p ip3_fraction to IP3 and the rest to IP4; IP2's traffic all goes to
+ * IP4. @p ip4_parallelism sets IP4's engine count (1..8).
+ */
+PanicHybridScenario make_panic_hybrid(double ip3_fraction,
+                                      std::uint32_t ip4_parallelism);
+
+/**
+ * The smallest IP4 parallel degree achieving the configuration's saturated
+ * throughput under @p traffic (the optimizer's suggestion: 6 for the
+ * 50%/50% split, 4 for 80%/20%).
+ */
+std::uint32_t lognic_opt_parallelism(double ip3_fraction,
+                                     const core::TrafficProfile& traffic,
+                                     std::uint32_t max_parallelism = 8);
+
+} // namespace lognic::apps
+
+#endif // LOGNIC_APPS_PANIC_MODELS_HPP_

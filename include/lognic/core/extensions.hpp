@@ -1,0 +1,113 @@
+/**
+ * @file
+ * LogNIC generalization extensions (paper S3.7).
+ *
+ * Extension #1: consolidate multiple tenants' execution graphs on one
+ * SmartNIC — shared mediums see the weighted sum of every tenant's demand,
+ * and each tenant's achievable performance follows from its traffic share.
+ *
+ * Extension #2 (mixed traffic) lives in Model (core/model.hpp).
+ *
+ * Extension #3: accommodate non-work-conserving IPs by inserting a
+ * rate-limiter pseudo-IP in front of them.
+ */
+#ifndef LOGNIC_CORE_EXTENSIONS_HPP_
+#define LOGNIC_CORE_EXTENSIONS_HPP_
+
+#include <vector>
+
+#include "lognic/core/model.hpp"
+
+namespace lognic::core {
+
+/// One tenant's offloaded program and its traffic share.
+struct TenantWorkload {
+    const ExecutionGraph* graph{nullptr};
+    TrafficProfile traffic;
+    /// w_Gi: this tenant's fraction of total ingress data. Normalized.
+    double weight{1.0};
+};
+
+/// Per-tenant slice of a consolidated estimate.
+struct TenantEstimate {
+    Bandwidth capacity{Bandwidth::from_gbps(0.0)}; ///< tenant's share
+    Seconds latency{0.0};
+};
+
+struct ConsolidatedEstimate {
+    /// Whole-SmartNIC attainable throughput across all tenants.
+    Bandwidth total_capacity{Bandwidth::from_gbps(0.0)};
+    /// Weighted-average latency across tenants.
+    Seconds mean_latency{0.0};
+    /// The entity that binds the whole NIC.
+    ThroughputTerm bottleneck;
+    std::vector<TenantEstimate> tenants;
+};
+
+/**
+ * Extension #1: estimate the consolidated performance of several programs
+ * sharing one SmartNIC.
+ *
+ * Tenant graphs must already encode their resource split via the node
+ * partition parameter gamma_vi (each tenant's vertices own a share of the
+ * physical IPs). Shared interface/memory demand is the w_Gi-weighted sum of
+ * each tenant's per-edge alpha/beta.
+ *
+ * All tenants must target single-class traffic profiles (combine with
+ * extension #2 by consolidating per class).
+ *
+ * @throws std::invalid_argument on empty input or null graphs.
+ */
+ConsolidatedEstimate consolidate(const HardwareModel& hw,
+                                 const std::vector<TenantWorkload>& tenants);
+
+/**
+ * Extension #3: insert a rate-limiter pseudo-IP in front of vertex
+ * @p target, re-routing all of its current in-edges through the limiter.
+ *
+ * @param limit The shaping rate of the limiter.
+ * @param queue_capacity The limiter's fixed queue, capturing the computation
+ *   resource idleness of the non-work-conserving IP.
+ * @return The id of the inserted vertex.
+ */
+VertexId insert_rate_limiter(ExecutionGraph& graph, VertexId target,
+                             Bandwidth limit, std::uint32_t queue_capacity);
+
+/**
+ * Model the recirculation path (S2.1): a packet re-enters vertex
+ * @p target for @p extra_passes additional execution rounds. Since the
+ * execution graph is a DAG, recirculation is unrolled: the vertex is
+ * cloned per pass, chained behind the original, and every pass's node
+ * partition gamma is divided by (extra_passes + 1) — all passes share the
+ * same physical IP, so each owns an equal time slice of it.
+ *
+ * The target's original out-edges move to the last pass; the internal
+ * recirculation hops carry the vertex's ingress delta and no shared-medium
+ * usage (the recirculate path is internal to the pipeline).
+ *
+ * @return the ids of the cloned pass vertices, in chain order.
+ * @throws std::invalid_argument for non-IP targets or zero passes.
+ */
+std::vector<VertexId> unroll_recirculation(ExecutionGraph& graph,
+                                           VertexId target,
+                                           std::uint32_t extra_passes);
+
+/**
+ * Merge several tenants' graphs into one simulatable graph: each tenant
+ * keeps its own ingress/egress pair (names prefixed with the tenant
+ * graph's name), and every edge's delta/alpha/beta is scaled by the
+ * tenant's normalized weight so that all Table-2 fractions are expressed
+ * relative to the *total* ingress data W. Estimating the merged graph
+ * reproduces consolidate()'s shared-medium accounting, and the simulator
+ * runs it directly — true multi-tenant simulation with shared links.
+ *
+ * Tenant graphs must target single-class traffic; the merged graph is
+ * driven with a single profile carrying the combined BW_in.
+ *
+ * @throws std::invalid_argument on empty/null input.
+ */
+ExecutionGraph merge_tenant_graphs(const std::vector<TenantWorkload>& tenants);
+
+} // namespace lognic::core
+
+#endif // LOGNIC_CORE_EXTENSIONS_HPP_

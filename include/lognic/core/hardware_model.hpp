@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The LogNIC hardware model of a SmartNIC (paper S3.2, Figure 2a).
+ *
+ * A SmartNIC is abstracted as: ingress/egress engines, N IP blocks (CPU
+ * cores, accelerators, DSPs, ...), a shared interface (the on-chip
+ * interconnect, with bandwidth BW_INTF), and a shared memory subsystem
+ * (BW_MEM). IP-to-IP links may additionally have characterized dedicated
+ * bandwidths (BW_mn) that override the shared mediums.
+ */
+#ifndef LOGNIC_CORE_HARDWARE_MODEL_HPP_
+#define LOGNIC_CORE_HARDWARE_MODEL_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "lognic/core/roofline.hpp"
+#include "lognic/core/units.hpp"
+
+namespace lognic::core {
+
+/// Index of an IP block within a HardwareModel.
+using IpId = std::uint32_t;
+
+/// What kind of hardware entity an IP block is.
+enum class IpKind {
+    kCpuCores,    ///< general-purpose wimpy cores (cnMIPS, ARM A72, ...)
+    kAccelerator, ///< fixed-function engine (crypto, HFA, RegEx, ZIP, ...)
+    kStorage,     ///< opaque storage device treated as an IP (e.g. an SSD)
+    kDsp,         ///< digital signal processor
+};
+
+const char* to_string(IpKind kind);
+
+/**
+ * Empirical sojourn-time curve of an opaque IP: mean time a request spends
+ * in the IP (queueing + service) as a function of the offered request rate
+ * (requests/sec). The paper's S4.7 escape hatch for IPs whose internals
+ * cannot be characterized (e.g. an SSD): obtain the latency-vs-throughput
+ * curve as a whole and curve-fit it. When set, the latency model uses this
+ * instead of the Eq. 9-12 M/M/1/N analysis for the vertex.
+ */
+using SojournCurve = std::function<Seconds(double lambda)>;
+
+/// Description of one IP block.
+struct IpSpec {
+    std::string name;
+    IpKind kind{IpKind::kCpuCores};
+    ExtendedRoofline roofline;
+    std::uint32_t max_engines{1};           ///< physical parallelism available
+    std::uint32_t default_queue_capacity{8}; ///< N_vi when the graph is silent
+    SojournCurve sojourn_curve;             ///< optional S4.7 override
+    /**
+     * Squared coefficient of variation of the engine's service time:
+     * 1.0 = exponential (the paper's Eq. 9-12 assumption, right for
+     * software kernels), 0.0 = deterministic (fixed-function hardware
+     * pipelines). Below 1.0 and under rho < 1, the latency model switches
+     * from M/M/1/N to the M/G/1 Pollaczek-Khinchine waiting time; the
+     * simulator draws service times from a matching gamma distribution.
+     */
+    double service_scv{1.0};
+};
+
+/// The full hardware model (Table 2 "Hardware" parameters).
+class HardwareModel {
+  public:
+    HardwareModel(std::string name, Bandwidth interface_bw,
+                  Bandwidth memory_bw, Bandwidth line_rate);
+
+    const std::string& name() const { return name_; }
+    Bandwidth interface_bandwidth() const { return interface_bw_; }
+    Bandwidth memory_bandwidth() const { return memory_bw_; }
+    /// Wire/PCIe rate of the ingress and egress engines.
+    Bandwidth line_rate() const { return line_rate_; }
+    /// Override the port speed (e.g. for memory-fed microbenchmarks).
+    void set_line_rate(Bandwidth rate) { line_rate_ = rate; }
+
+    /// Register an IP block; returns its id.
+    IpId add_ip(IpSpec spec);
+
+    const IpSpec& ip(IpId id) const;
+    std::size_t ip_count() const { return ips_.size(); }
+
+    /// Find an IP by name; std::nullopt when absent.
+    std::optional<IpId> find_ip(const std::string& name) const;
+
+    /**
+     * Record a characterized dedicated IP-to-IP bandwidth (BW_mn).
+     * Symmetric: the reverse direction is implied.
+     */
+    void set_ip_bandwidth(IpId a, IpId b, Bandwidth bw);
+
+    /// Dedicated bandwidth between two IPs, if characterized.
+    std::optional<Bandwidth> ip_bandwidth(IpId a, IpId b) const;
+
+  private:
+    std::string name_;
+    Bandwidth interface_bw_;
+    Bandwidth memory_bw_;
+    Bandwidth line_rate_;
+    std::vector<IpSpec> ips_;
+    std::vector<std::tuple<IpId, IpId, Bandwidth>> ip_links_;
+};
+
+} // namespace lognic::core
+
+#endif // LOGNIC_CORE_HARDWARE_MODEL_HPP_

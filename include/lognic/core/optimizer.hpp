@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The LogNIC optimizer (paper S3.8, Figure 4b).
+ *
+ * Exposes the configurable Table-2 parameters as decision variables: a user
+ * supplies an `apply` callback that writes a candidate parameter vector into
+ * a working copy of the execution graph, an objective (maximize throughput,
+ * minimize latency, or custom), and optional constraints. Continuous knobs
+ * (traffic splits, partition shares) are solved with the augmented-Lagrangian
+ * / Nelder-Mead stack; discrete knobs (parallelism degrees, queue credits)
+ * with exhaustive or coordinate-descent integer search.
+ */
+#ifndef LOGNIC_CORE_OPTIMIZER_HPP_
+#define LOGNIC_CORE_OPTIMIZER_HPP_
+
+#include <functional>
+
+#include "lognic/core/model.hpp"
+#include "lognic/solver/constrained.hpp"
+#include "lognic/solver/discrete.hpp"
+
+namespace lognic::core {
+
+/// Built-in optimization goals.
+enum class Objective {
+    kMaximizeThroughput, ///< maximize weighted attainable capacity
+    kMinimizeLatency,    ///< minimize weighted mean latency
+};
+
+/// A constraint over the model's report; feasible when value(report) <= 0.
+using ReportConstraint = std::function<double(const Report&)>;
+
+/// Result of an optimizer run.
+struct OptimizationResult {
+    solver::Vector x;          ///< continuous solution (continuous runs)
+    solver::IntVector xi;      ///< integer solution (discrete runs)
+    Report report;             ///< model report at the solution
+    double objective_value{0.0};
+    bool feasible{true};
+    std::size_t evaluations{0};
+};
+
+/// A continuous design-space exploration problem.
+struct ContinuousProblem {
+    ExecutionGraph graph;      ///< template; apply() edits a working copy
+    TrafficProfile traffic;
+    /// Write candidate x into the working graph (and/or the traffic copy).
+    std::function<void(ExecutionGraph&, TrafficProfile&,
+                       const solver::Vector&)>
+        apply;
+    Objective objective{Objective::kMaximizeThroughput};
+    /// Optional custom objective (minimized); overrides `objective`.
+    std::function<double(const Report&)> custom_objective;
+    std::vector<ReportConstraint> constraints;
+    solver::Bounds bounds;
+    solver::Vector x0;
+};
+
+/// A discrete (integer-knob) design-space exploration problem.
+struct DiscreteProblem {
+    ExecutionGraph graph;
+    TrafficProfile traffic;
+    std::function<void(ExecutionGraph&, TrafficProfile&,
+                       const solver::IntVector&)>
+        apply;
+    Objective objective{Objective::kMaximizeThroughput};
+    std::function<double(const Report&)> custom_objective;
+    /// Candidates where any constraint is > 0 are rejected.
+    std::vector<ReportConstraint> constraints;
+    std::vector<solver::IntRange> ranges;
+    /// When true (default), enumerate exhaustively; otherwise coordinate
+    /// descent from `x0`.
+    bool exhaustive{true};
+    solver::IntVector x0;
+};
+
+/**
+ * A stipulated performance bound for satisficing mode (Figure 4b). The
+ * goal is met when requirement(report) <= 0 (e.g. `latency_us - 10`).
+ * When no configuration meets every goal, the optimizer relaxes each goal
+ * by `relax_step` per round ("relax goals/constraints" in the workflow)
+ * before giving up.
+ */
+struct PerformanceGoal {
+    std::string name;
+    ReportConstraint requirement;
+    double relax_step{0.0};
+};
+
+/// Satisficing over an integer design space: find *a* configuration that
+/// meets the stipulated bounds (ties broken by the objective).
+struct SatisficeProblem {
+    ExecutionGraph graph;
+    TrafficProfile traffic;
+    std::function<void(ExecutionGraph&, TrafficProfile&,
+                       const solver::IntVector&)>
+        apply;
+    std::vector<solver::IntRange> ranges;
+    std::vector<PerformanceGoal> goals;
+    /// Tie-break among satisfying configurations.
+    Objective objective{Objective::kMaximizeThroughput};
+    std::size_t max_relax_rounds{3};
+};
+
+struct SatisficeResult {
+    solver::IntVector xi;
+    Report report;
+    bool satisfied{false};
+    /// 0 = met as stipulated; k = met after k relaxation rounds.
+    std::size_t relax_rounds_used{0};
+    /// Slack granted to each goal (relax_step * rounds).
+    std::vector<double> slack;
+    std::size_t evaluations{0};
+};
+
+class Optimizer {
+  public:
+    explicit Optimizer(HardwareModel hw) : model_(std::move(hw)) {}
+    explicit Optimizer(Model model) : model_(std::move(model)) {}
+
+    const Model& model() const { return model_; }
+
+    OptimizationResult optimize(const ContinuousProblem& problem) const;
+    OptimizationResult optimize(const DiscreteProblem& problem) const;
+
+    /// Figure-4b satisficing mode with goal relaxation.
+    SatisficeResult satisfice(const SatisficeProblem& problem) const;
+
+  private:
+    double objective_value(const Report& report, Objective obj) const;
+
+    Model model_;
+};
+
+} // namespace lognic::core
+
+#endif // LOGNIC_CORE_OPTIMIZER_HPP_

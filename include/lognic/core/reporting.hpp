@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Human-readable rendering of model results and Graphviz export of
+ * execution graphs — the "performance analysis" face of the model (S2.3):
+ * show the bottleneck, every min() term, and the per-hop latency story
+ * without the caller digging through structs.
+ */
+#ifndef LOGNIC_CORE_REPORTING_HPP_
+#define LOGNIC_CORE_REPORTING_HPP_
+
+#include <string>
+
+#include "lognic/core/model.hpp"
+
+namespace lognic::core {
+
+/**
+ * Render a full estimate as aligned text: per-class capacity with every
+ * throughput term (ascending — the first line is the bottleneck), then the
+ * weighted latency with per-path, per-hop breakdowns.
+ */
+std::string render_report(const Report& report,
+                          const TrafficProfile& traffic);
+
+/// Render only the throughput side.
+std::string render_throughput(const ThroughputReport& report,
+                              const TrafficProfile& traffic);
+
+/// Render only the latency side.
+std::string render_latency(const LatencyReport& report,
+                           const TrafficProfile& traffic);
+
+/**
+ * Export the execution graph as a Graphviz digraph. Vertices show name,
+ * kind, and the D/N/gamma parameters; edges show delta and their medium
+ * usage (alpha/beta/dedicated).
+ */
+std::string to_dot(const ExecutionGraph& graph, const HardwareModel& hw);
+
+} // namespace lognic::core
+
+#endif // LOGNIC_CORE_REPORTING_HPP_

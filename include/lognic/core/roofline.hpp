@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Extended Roofline model for SmartNIC IP blocks (paper S3.2).
+ *
+ * The paper repurposes the classic Roofline in two ways:
+ *  1. multiple bandwidth ceilings represent the different data feeds into an
+ *     IP (SoC interconnect, memory hierarchy, dedicated fabrics);
+ *  2. arithmetic intensity is replaced by *packet intensity* — IP-specific
+ *     operations per packet transmission, which is packet-size dependent.
+ *
+ * Here an IP engine's compute capability is a per-request service-time
+ * model (fixed cost + size-proportional cost); the roofline caps the
+ * resulting aggregate byte throughput with each data-feed ceiling.
+ */
+#ifndef LOGNIC_CORE_ROOFLINE_HPP_
+#define LOGNIC_CORE_ROOFLINE_HPP_
+
+#include <string>
+#include <vector>
+
+#include "lognic/core/units.hpp"
+
+namespace lognic::core {
+
+/**
+ * Per-engine request service model: t(size) = fixed_cost + size / byte_rate.
+ *
+ * The fixed cost captures per-operation work that does not scale with the
+ * payload (descriptor parsing, signature setup, completion signalling); the
+ * byte rate captures streaming work. Either part may be zero.
+ */
+struct ServiceModel {
+    Seconds fixed_cost{0.0};
+    Bandwidth byte_rate{Bandwidth::from_gbps(1e6)}; ///< "infinite" by default
+
+    /// Service time for one request of @p size on one engine.
+    Seconds service_time(Bytes size) const
+    {
+        return fixed_cost + size / byte_rate;
+    }
+
+    /// Single-engine request rate at @p size.
+    OpsRate op_rate(Bytes size) const
+    {
+        return OpsRate{1.0 / service_time(size).seconds()};
+    }
+
+    /// Single-engine byte throughput at @p size.
+    Bandwidth throughput(Bytes size) const
+    {
+        return to_bandwidth(op_rate(size), size);
+    }
+
+    /// Build from a pure operation rate (e.g. an accelerator's MOPS rating).
+    static ServiceModel from_op_rate(OpsRate rate)
+    {
+        return ServiceModel{lognic::service_time(rate),
+                            Bandwidth::from_gbps(1e6)};
+    }
+};
+
+/// One named bandwidth ceiling (a data feed into the IP).
+struct BandwidthCeiling {
+    std::string name;
+    Bandwidth bw;
+};
+
+/**
+ * The extended Roofline of one IP block: engine compute capability plus the
+ * bandwidth ceilings of every data feed it depends on.
+ */
+class ExtendedRoofline {
+  public:
+    ExtendedRoofline() = default;
+    ExtendedRoofline(ServiceModel engine, std::vector<BandwidthCeiling> ceilings)
+        : engine_(engine), ceilings_(std::move(ceilings))
+    {
+    }
+
+    const ServiceModel& engine() const { return engine_; }
+    const std::vector<BandwidthCeiling>& ceilings() const { return ceilings_; }
+
+    /**
+     * Attainable aggregate byte throughput for requests of @p size with
+     * @p engines concurrent engines, scaled by partition share @p share
+     * (gamma_vi in Table 2). Ceilings are scaled by the same share since a
+     * partitioned IP also owns only its share of the feeds.
+     */
+    Bandwidth attainable(Bytes size, std::uint32_t engines,
+                         double share = 1.0) const;
+
+    /// Attainable request rate (ops/s) under the same limits.
+    OpsRate attainable_ops(Bytes size, std::uint32_t engines,
+                           double share = 1.0) const
+    {
+        return packets_per_sec(attainable(size, engines, share), size);
+    }
+
+    /// Name of the ceiling that binds at this operating point, or "compute".
+    std::string binding_factor(Bytes size, std::uint32_t engines,
+                               double share = 1.0) const;
+
+  private:
+    ServiceModel engine_{};
+    std::vector<BandwidthCeiling> ceilings_{};
+};
+
+} // namespace lognic::core
+
+#endif // LOGNIC_CORE_ROOFLINE_HPP_

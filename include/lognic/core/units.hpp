@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Strong unit types used throughout LogNIC.
+ *
+ * The model juggles bandwidths (bits/s), data sizes (bytes), times (seconds),
+ * and operation rates (ops/s). Mixing these up silently is the classic failure
+ * mode of analytical-model code, so each quantity gets a distinct wrapper type
+ * with only the physically meaningful operators defined. All wrappers store
+ * double and are trivially copyable; there is no runtime cost.
+ */
+#ifndef LOGNIC_CORE_UNITS_HPP_
+#define LOGNIC_CORE_UNITS_HPP_
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace lognic {
+
+namespace detail {
+
+/// CRTP base providing the shared arithmetic for scalar unit wrappers.
+template <typename Derived>
+struct UnitBase {
+    double v{0.0};
+
+    constexpr UnitBase() = default;
+    constexpr explicit UnitBase(double value) : v(value) {}
+
+    constexpr double value() const { return v; }
+
+    friend constexpr Derived operator+(Derived a, Derived b)
+    {
+        return Derived{a.v + b.v};
+    }
+    friend constexpr Derived operator-(Derived a, Derived b)
+    {
+        return Derived{a.v - b.v};
+    }
+    friend constexpr Derived operator*(Derived a, double s)
+    {
+        return Derived{a.v * s};
+    }
+    friend constexpr Derived operator*(double s, Derived a)
+    {
+        return Derived{a.v * s};
+    }
+    friend constexpr Derived operator/(Derived a, double s)
+    {
+        return Derived{a.v / s};
+    }
+    /// Ratio of two like quantities is dimensionless.
+    friend constexpr double operator/(Derived a, Derived b)
+    {
+        return a.v / b.v;
+    }
+    friend constexpr auto operator<=>(Derived a, Derived b)
+    {
+        return a.v <=> b.v;
+    }
+    friend constexpr bool operator==(Derived a, Derived b)
+    {
+        return a.v == b.v;
+    }
+    Derived& operator+=(Derived o)
+    {
+        v += o.v;
+        return static_cast<Derived&>(*this);
+    }
+    Derived& operator-=(Derived o)
+    {
+        v -= o.v;
+        return static_cast<Derived&>(*this);
+    }
+};
+
+} // namespace detail
+
+/// A duration. Canonical unit: seconds.
+struct Seconds : detail::UnitBase<Seconds> {
+    using UnitBase::UnitBase;
+    constexpr double seconds() const { return v; }
+    constexpr double millis() const { return v * 1e3; }
+    constexpr double micros() const { return v * 1e6; }
+    constexpr double nanos() const { return v * 1e9; }
+    static constexpr Seconds from_micros(double us) { return Seconds{us * 1e-6}; }
+    static constexpr Seconds from_nanos(double ns) { return Seconds{ns * 1e-9}; }
+    static constexpr Seconds from_millis(double ms) { return Seconds{ms * 1e-3}; }
+};
+
+/// A data size. Canonical unit: bytes.
+struct Bytes : detail::UnitBase<Bytes> {
+    using UnitBase::UnitBase;
+    constexpr double bytes() const { return v; }
+    constexpr double bits() const { return v * 8.0; }
+    constexpr double kib() const { return v / 1024.0; }
+    static constexpr Bytes from_kib(double k) { return Bytes{k * 1024.0}; }
+    static constexpr Bytes from_bits(double b) { return Bytes{b / 8.0}; }
+};
+
+/// A data rate. Canonical unit: bits per second.
+struct Bandwidth : detail::UnitBase<Bandwidth> {
+    using UnitBase::UnitBase;
+    constexpr double bits_per_sec() const { return v; }
+    constexpr double gbps() const { return v / 1e9; }
+    constexpr double bytes_per_sec() const { return v / 8.0; }
+    constexpr double gigabytes_per_sec() const { return v / 8e9; }
+    static constexpr Bandwidth from_gbps(double g) { return Bandwidth{g * 1e9}; }
+    static constexpr Bandwidth from_mbps(double m) { return Bandwidth{m * 1e6}; }
+    static constexpr Bandwidth
+    from_bytes_per_sec(double bps)
+    {
+        return Bandwidth{bps * 8.0};
+    }
+    static constexpr Bandwidth
+    from_gigabytes_per_sec(double gBps)
+    {
+        return Bandwidth{gBps * 8e9};
+    }
+};
+
+/// An operation rate (requests/packets/ops per second).
+struct OpsRate : detail::UnitBase<OpsRate> {
+    using UnitBase::UnitBase;
+    constexpr double per_sec() const { return v; }
+    constexpr double mops() const { return v / 1e6; }
+    static constexpr OpsRate from_mops(double m) { return OpsRate{m * 1e6}; }
+    static constexpr OpsRate from_kops(double k) { return OpsRate{k * 1e3}; }
+};
+
+// --- Cross-type physics -----------------------------------------------------
+
+/// Transfer time of a payload over a link: bytes / bandwidth.
+constexpr Seconds
+operator/(Bytes size, Bandwidth bw)
+{
+    return Seconds{size.bits() / bw.bits_per_sec()};
+}
+
+/// Amount of data moved in a given time at a given rate.
+constexpr Bytes
+operator*(Bandwidth bw, Seconds t)
+{
+    return Bytes::from_bits(bw.bits_per_sec() * t.seconds());
+}
+
+constexpr Bytes
+operator*(Seconds t, Bandwidth bw)
+{
+    return bw * t;
+}
+
+/// Rate achieved moving a payload in a given time.
+constexpr Bandwidth
+operator/(Bytes size, Seconds t)
+{
+    return Bandwidth{size.bits() / t.seconds()};
+}
+
+/// Per-packet service rate for a byte-rate engine and a packet size.
+constexpr OpsRate
+packets_per_sec(Bandwidth bw, Bytes pkt)
+{
+    return OpsRate{bw.bits_per_sec() / pkt.bits()};
+}
+
+/// Byte rate of an op-rate engine handling fixed-size packets.
+constexpr Bandwidth
+to_bandwidth(OpsRate r, Bytes pkt)
+{
+    return Bandwidth{r.per_sec() * pkt.bits()};
+}
+
+/// Mean service time of one operation.
+constexpr Seconds
+service_time(OpsRate r)
+{
+    return Seconds{1.0 / r.per_sec()};
+}
+
+inline std::ostream&
+operator<<(std::ostream& os, Seconds s)
+{
+    return os << s.micros() << "us";
+}
+
+inline std::ostream&
+operator<<(std::ostream& os, Bytes b)
+{
+    return os << b.bytes() << "B";
+}
+
+inline std::ostream&
+operator<<(std::ostream& os, Bandwidth b)
+{
+    return os << b.gbps() << "Gbps";
+}
+
+inline std::ostream&
+operator<<(std::ostream& os, OpsRate r)
+{
+    return os << r.mops() << "Mops";
+}
+
+} // namespace lognic
+
+#endif // LOGNIC_CORE_UNITS_HPP_

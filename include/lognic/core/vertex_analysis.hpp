@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Per-vertex operating-point analysis shared by the throughput and latency
+ * models.
+ *
+ * For one (graph, hardware, single-class traffic) operating point this
+ * computes, per vertex: the request granularity (Eq. 7), the effective
+ * aggregate performance P_vi (roofline-capped, partition-scaled), the
+ * per-request service time C_i, and the M/M/1/N rates (Eq. 11).
+ */
+#ifndef LOGNIC_CORE_VERTEX_ANALYSIS_HPP_
+#define LOGNIC_CORE_VERTEX_ANALYSIS_HPP_
+
+#include "lognic/core/execution_graph.hpp"
+#include "lognic/core/hardware_model.hpp"
+#include "lognic/core/traffic_profile.hpp"
+
+namespace lognic::core {
+
+/// Operating point of one vertex under a given single-class traffic profile.
+struct VertexAnalysis {
+    /// Request granularity at the vertex: g_in * sum(delta_in) / indegree.
+    Bytes request_size{Bytes{0.0}};
+    /// Effective parallelism D_vi actually used.
+    std::uint32_t parallelism{1};
+    /// Effective queue capacity N_vi.
+    std::uint32_t queue_capacity{1};
+    /// Aggregate attainable performance P_vi (bytes rate; roofline-capped).
+    Bandwidth attainable{Bandwidth::from_gbps(0.0)};
+    /// Per-request compute time C_i = D * request_size / P_vi (Eq. 7).
+    Seconds compute_time{0.0};
+    /// Request arrival rate lambda (Eq. 11); depends on BW_in.
+    double lambda{0.0};
+    /// Request service rate mu = 1 / C_i (Eq. 11).
+    double mu{0.0};
+    /// Offered load rho = BW_in * sum(delta_in) / P_vi (Eq. 11).
+    double rho{0.0};
+    /// True for ingress/egress vertices, which neither queue nor compute.
+    bool passthrough{false};
+};
+
+/**
+ * Analyze vertex @p v of @p graph at the operating point given by
+ * class @p class_index of @p traffic.
+ *
+ * Precondition: the graph validates against @p hw.
+ */
+VertexAnalysis analyze_vertex(const ExecutionGraph& graph,
+                              const HardwareModel& hw, VertexId v,
+                              const TrafficProfile& traffic,
+                              std::size_t class_index = 0);
+
+} // namespace lognic::core
+
+#endif // LOGNIC_CORE_VERTEX_ANALYSIS_HPP_

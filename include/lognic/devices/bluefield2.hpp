@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Parameter catalog for the NVIDIA/Mellanox BlueField-2 DPU (case study #4,
+ * S4.5): 100 GbE, 8x 2.5 GHz ARM A72 cores, 16 GB DRAM, and inline
+ * accelerators for Crypto, RegEx, Hashing, and Connection Tracking.
+ *
+ * The network-function chain FW -> LB -> DPI -> NAT -> PE can place each NF
+ * on the ARM complex or (except DPI) on an accelerator. Calibration keeps
+ * the paper's qualitative structure: per-packet fixed costs dominate small
+ * packets (so ARM placement wins at 64 B, offload prep being dearer than
+ * the NF itself), streaming rates dominate MTU packets (so accelerators
+ * win), and one accelerator (the hashing unit used by the LB) has a low
+ * streaming ceiling so that blind "accelerator-first" placement loses at
+ * large packets — the effect the LogNIC optimizer exploits.
+ */
+#ifndef LOGNIC_DEVICES_BLUEFIELD2_HPP_
+#define LOGNIC_DEVICES_BLUEFIELD2_HPP_
+
+#include <vector>
+
+#include "lognic/core/hardware_model.hpp"
+
+namespace lognic::devices {
+
+/// The five network functions of the middlebox chain.
+enum class NetworkFunction {
+    kFirewall,   ///< FW: ACL / pattern match (accelerable via RegEx)
+    kLoadBalancer, ///< LB: L4 hashing (accelerable via Hashing unit)
+    kDpi,        ///< deep packet inspection (ARM only, per the paper)
+    kNat,        ///< address translation (accelerable via ConnTrack)
+    kEncryption, ///< PE: packet encryption (accelerable via Crypto)
+};
+
+const char* to_string(NetworkFunction nf);
+std::vector<NetworkFunction> nf_chain_order();
+
+/// True when the NF has a hardware-accelerated implementation.
+bool nf_accelerable(NetworkFunction nf);
+
+/// Name of the accelerator IP serving @p nf (throws for DPI).
+const char* nf_accelerator(NetworkFunction nf);
+
+/// Per-packet cost of running @p nf on one ARM core.
+Seconds bf2_arm_cost(NetworkFunction nf, Bytes packet);
+
+/// Per-packet ARM-side preparation overhead to offload @p nf (O_i).
+Seconds bf2_offload_prep(NetworkFunction nf);
+
+/**
+ * Base hardware model: 100 GbE, on-chip interconnect 200 Gbps (interface),
+ * DRAM 120 Gbps (memory), with the four accelerator IPs registered
+ * ("regex", "hash", "conntrack", "crypto"). ARM IPs are placement-specific;
+ * add them with add_arm_ip().
+ */
+core::HardwareModel bluefield2();
+
+/**
+ * Register an ARM-cores IP whose per-request cost is @p fixed plus payload
+ * streaming for @p streamed_passes traversals of the packet.
+ *
+ * @return the new IP's id; name must be unique within @p hw.
+ */
+core::IpId add_arm_ip(core::HardwareModel& hw, const std::string& name,
+                      Seconds fixed, double streamed_passes,
+                      std::uint32_t cores = 8);
+
+/// Per-core payload streaming rate of the A72 complex.
+Bandwidth bf2_arm_stream_rate();
+
+} // namespace lognic::devices
+
+#endif // LOGNIC_DEVICES_BLUEFIELD2_HPP_

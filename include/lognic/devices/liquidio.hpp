@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Parameter catalog for the Marvell LiquidIO-II CN2360 SmartNIC (paper
+ * Figure 8; case studies #1 and #3).
+ *
+ * Physical card: 25 GbE, 16x 1.5 GHz cnMIPS cores, 4 GB DRAM, on-chip
+ * crypto units (CRC, MD5, 3DES, AES, SMS4, KASUMI, SHA-1) fed by the
+ * coherent memory interconnect (CMI, 50 Gbps), and off-chip HFA and ZIP
+ * engines fed by the I/O interconnect (40 Gbps).
+ *
+ * Calibration (documented in DESIGN.md S5): accelerator op rates are
+ * derived from the paper's Figure 5 statement that at 16 KB access
+ * granularity CRC/3DES/MD5/HFA reach 13.6/17.3/21.2/25.8% of their peak —
+ * i.e. peak = ceiling_bw / 16KiB / fraction. NIC-core per-request costs for
+ * each offload kernel are chosen so that MD5/KASUMI/HFA saturate at the
+ * paper's 9/8/11 cores under MTU line rate (Figure 9).
+ */
+#ifndef LOGNIC_DEVICES_LIQUIDIO_HPP_
+#define LOGNIC_DEVICES_LIQUIDIO_HPP_
+
+#include <string>
+#include <vector>
+
+#include "lognic/core/hardware_model.hpp"
+
+namespace lognic::devices {
+
+/// Accelerator kernels available on the CN2360.
+enum class LiquidIoKernel {
+    kCrc,
+    kMd5,
+    k3Des,
+    kAes,
+    kSms4,
+    kKasumi,
+    kSha1,
+    kHfa, ///< hyper finite automata (off-chip)
+    kZip, ///< (de)compression (off-chip)
+};
+
+const char* to_string(LiquidIoKernel kernel);
+
+/// All kernels, in a stable order.
+std::vector<LiquidIoKernel> liquidio_kernels();
+
+/// True for the off-chip engines (HFA, ZIP) fed by the I/O interconnect.
+bool is_off_chip(LiquidIoKernel kernel);
+
+/// Peak operation rate of an accelerator (the calibrated P_IP2).
+OpsRate liquidio_accel_rate(LiquidIoKernel kernel);
+
+/**
+ * Base hardware model: 25 GbE line rate, I/O interconnect (interface,
+ * 40 Gbps), CMI (memory, 50 Gbps), with one IP registered per accelerator
+ * (named as to_string(kernel)).
+ *
+ * NIC-core IPs are scenario-specific (the per-request cost depends on the
+ * offloaded kernel's orchestration); add them with add_core_ip().
+ */
+core::HardwareModel liquidio_cn2360();
+
+/**
+ * Register a NIC-core IP running the orchestration loop for @p kernel
+ * (RX/TX processing plus accelerator prep/submission/completion handling).
+ *
+ * @param cores Engines exposed (up to the card's 16).
+ * @return The new IP's id; its name is "cores-" + to_string(kernel).
+ */
+core::IpId add_core_ip(core::HardwareModel& hw, LiquidIoKernel kernel,
+                       std::uint32_t cores = 16);
+
+/// Per-request NIC-core orchestration cost for @p kernel at @p packet size.
+Seconds liquidio_core_cost(LiquidIoKernel kernel, Bytes packet);
+
+/// The card's port speed (25 GbE).
+Bandwidth liquidio_line_rate();
+
+} // namespace lognic::devices
+
+#endif // LOGNIC_DEVICES_LIQUIDIO_HPP_

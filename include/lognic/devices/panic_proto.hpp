@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Parameter catalog for the PANIC academic prototype (case study #5, S4.6).
+ *
+ * Provides (a) defaults for the credit-scheduler simulator (sim/panic.hpp)
+ * matching the prototype's 100 Gbps switching fabric, and (b) a generic
+ * HardwareModel exposing four configurable compute units as IPs for the
+ * Model-2/Model-3 experiments (Figures 16-19).
+ */
+#ifndef LOGNIC_DEVICES_PANIC_PROTO_HPP_
+#define LOGNIC_DEVICES_PANIC_PROTO_HPP_
+
+#include "lognic/core/hardware_model.hpp"
+#include "lognic/sim/panic.hpp"
+
+namespace lognic::devices {
+
+/// Fabric/RMT defaults for the PANIC prototype.
+sim::PanicConfig panic_defaults();
+
+/**
+ * A compute unit as a PanicUnit: per-engine op cost @p fixed, streaming
+ * rate @p stream, with @p parallelism engines and @p credits buffer slots.
+ */
+sim::PanicUnit panic_unit(const std::string& name, Seconds fixed,
+                          Bandwidth stream, std::uint32_t parallelism = 1,
+                          std::uint32_t credits = 8);
+
+/**
+ * Hardware model for the Model-2 "Parallelized Chain" scenario: three
+ * accelerators A1/A2/A3 whose computing-throughput ratio is the paper's
+ * 4:7:3 (40/70/30 Gbps at MTU).
+ */
+core::HardwareModel panic_parallel_chain_hw();
+
+/**
+ * Hardware model for the modified Model-3 scenario of Figures 18/19: four
+ * units; IP4's parallelism is the swept knob (up to 8 engines of
+ * 11.5 Gbps each).
+ */
+core::HardwareModel panic_hybrid_chain_hw();
+
+} // namespace lognic::devices
+
+#endif // LOGNIC_DEVICES_PANIC_PROTO_HPP_

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Parameter catalog for the Broadcom Stingray PS1100R SmartNIC JBOF (case
+ * study #2, S4.3): 100 GbE NetXtreme NIC, 8x 3.0 GHz ARM A72 cores, 8 GB
+ * DDR4, FlexSPARX accelerators, NVMe SSD attached over PCIe.
+ *
+ * The NVMe-oF (NVMe-over-RDMA) target program splits across two core
+ * stages — submission-path handling (RDMA receive + NVMe command
+ * fabrication) and completion-path handling (response build + RDMA send) —
+ * around an opaque SSD IP calibrated by curve fitting (lognic/ssd).
+ */
+#ifndef LOGNIC_DEVICES_STINGRAY_HPP_
+#define LOGNIC_DEVICES_STINGRAY_HPP_
+
+#include "lognic/core/hardware_model.hpp"
+
+namespace lognic::devices {
+
+/**
+ * Base hardware model: 100 GbE line rate, SoC interconnect 200 Gbps
+ * (interface), DDR4 150 Gbps (memory), with two core IPs registered:
+ * "cores-submit" (submission path) and "cores-complete" (completion path).
+ * The SSD IP is workload-calibrated; add it via HardwareModel::add_ip with
+ * ssd::CalibratedSsd::to_ip_spec.
+ */
+core::HardwareModel stingray_ps1100r();
+
+/// PCIe link bandwidth between the SoC and the SSD (dedicated edge BW_mn).
+Bandwidth stingray_ssd_link();
+
+/// Per-I/O core cost of the NVMe-oF submission path.
+Seconds stingray_submit_cost();
+
+/// Per-I/O core cost of the NVMe-oF completion path.
+Seconds stingray_complete_cost();
+
+} // namespace lognic::devices
+
+#endif // LOGNIC_DEVICES_STINGRAY_HPP_

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * JSON (de)serialization of the LogNIC system interface: hardware models,
+ * execution graphs, and traffic profiles — the "predefined formats" the
+ * paper's workflow consumes (S3.1, Figure 4a).
+ *
+ * Not serialized: IpSpec::sojourn_curve (an arbitrary callable). Loading a
+ * hardware model that was saved with a curve yields the same roofline
+ * parameters with the curve unset; re-attach it after loading (e.g. by
+ * re-running ssd::calibrate).
+ */
+#ifndef LOGNIC_IO_SERIALIZE_HPP_
+#define LOGNIC_IO_SERIALIZE_HPP_
+
+#include "lognic/core/execution_graph.hpp"
+#include "lognic/core/hardware_model.hpp"
+#include "lognic/core/traffic_profile.hpp"
+#include "lognic/io/json.hpp"
+
+namespace lognic::io {
+
+// --- hardware models ----------------------------------------------------------
+
+Json to_json(const core::HardwareModel& hw);
+/// @throws std::runtime_error on malformed documents.
+core::HardwareModel hardware_from_json(const Json& j);
+
+// --- execution graphs ---------------------------------------------------------
+
+Json to_json(const core::ExecutionGraph& graph);
+core::ExecutionGraph graph_from_json(const Json& j);
+
+// --- traffic profiles ---------------------------------------------------------
+
+Json to_json(const core::TrafficProfile& traffic);
+core::TrafficProfile traffic_from_json(const Json& j);
+
+// --- whole-scenario bundle -----------------------------------------------------
+
+/// A complete model input: hardware + program + traffic in one document.
+struct Scenario {
+    core::HardwareModel hw;
+    core::ExecutionGraph graph;
+    core::TrafficProfile traffic;
+};
+
+Json to_json(const Scenario& scenario);
+Scenario scenario_from_json(const Json& j);
+
+/// Convenience: serialize to a pretty-printed document string.
+std::string save_scenario(const Scenario& scenario);
+/// Convenience: parse + decode in one call.
+Scenario load_scenario(const std::string& text);
+
+} // namespace lognic::io
+
+#endif // LOGNIC_IO_SERIALIZE_HPP_

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * M/G/1 and M/D/1 queueing via the Pollaczek-Khinchine formula.
+ *
+ * The paper's Eq. 9-12 assume exponential service (M/M/1/N). Hardware IP
+ * blocks — fixed-function accelerators, PANIC compute units — serve in
+ * near-deterministic time, halving the queueing delay; these closed forms
+ * let analyses pick the service-time model that matches the engine.
+ */
+#ifndef LOGNIC_QUEUEING_MG1_HPP_
+#define LOGNIC_QUEUEING_MG1_HPP_
+
+namespace lognic::queueing {
+
+/**
+ * An M/G/1 queue characterized by the first two moments of its service
+ * time. Requires rho = lambda * mean_service < 1.
+ */
+class Mg1Queue {
+  public:
+    /**
+     * @param lambda Poisson arrival rate (>= 0).
+     * @param mean_service E[S] (> 0).
+     * @param service_scv Squared coefficient of variation of S:
+     *   Var(S)/E[S]^2. 0 = deterministic, 1 = exponential.
+     * @throws std::invalid_argument on bad parameters or rho >= 1.
+     */
+    Mg1Queue(double lambda, double mean_service, double service_scv);
+
+    double rho() const { return rho_; }
+
+    /// Pollaczek-Khinchine mean waiting time:
+    /// Wq = lambda E[S^2] / (2 (1 - rho)).
+    double mean_queueing_delay() const;
+
+    /// Mean sojourn time Wq + E[S].
+    double mean_sojourn_time() const;
+
+    /// Mean number in system (Little).
+    double mean_in_system() const;
+
+  private:
+    double lambda_;
+    double mean_service_;
+    double scv_;
+    double rho_;
+};
+
+/// M/D/1: deterministic service (SCV = 0).
+class Md1Queue : public Mg1Queue {
+  public:
+    Md1Queue(double lambda, double mean_service)
+        : Mg1Queue(lambda, mean_service, 0.0)
+    {
+    }
+};
+
+} // namespace lognic::queueing
+
+#endif // LOGNIC_QUEUEING_MG1_HPP_

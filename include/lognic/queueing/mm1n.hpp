@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Closed-form queueing models used by the LogNIC latency analysis.
+ *
+ * The paper (Eq. 9-12) models each IP block's request queue as an M/M/1/N
+ * queue: Poisson arrivals (rate lambda), exponential service (rate mu), one
+ * logical server (the virtual shared queue abstraction merges the per-engine
+ * queues), and a finite capacity of N requests in the system. Arrivals that
+ * find the system full are dropped, which is exactly how a SmartNIC ingress
+ * queue sheds load.
+ *
+ * The formulas here are exact, including at the rho == 1 singularity where
+ * the textbook expressions are 0/0; we evaluate the analytic limits instead
+ * of relying on floating-point cancellation.
+ */
+#ifndef LOGNIC_QUEUEING_MM1N_HPP_
+#define LOGNIC_QUEUEING_MM1N_HPP_
+
+#include <cstdint>
+
+namespace lognic::queueing {
+
+/// An M/M/1/N queue (capacity counts the request in service).
+class Mm1nQueue {
+  public:
+    /**
+     * @param lambda Offered arrival rate (requests/sec), > 0.
+     * @param mu Service rate (requests/sec), > 0.
+     * @param capacity Maximum requests in the system (N >= 1).
+     *
+     * @throws std::invalid_argument on non-positive rates or capacity == 0.
+     */
+    Mm1nQueue(double lambda, double mu, std::uint32_t capacity);
+
+    double lambda() const { return lambda_; }
+    double mu() const { return mu_; }
+    std::uint32_t capacity() const { return capacity_; }
+
+    /// Offered load rho = lambda / mu (may exceed 1 for a finite queue).
+    double rho() const { return rho_; }
+
+    /// Steady-state probability of exactly k requests in the system.
+    double prob(std::uint32_t k) const;
+
+    /// Blocking (drop) probability: P[system full] = prob(N).
+    double blocking_probability() const { return prob(capacity_); }
+
+    /// Mean number of requests in the system (the paper's L).
+    double mean_in_system() const;
+
+    /// Effective (accepted) arrival rate: lambda_e = lambda * (1 - P_N).
+    double effective_arrival_rate() const;
+
+    /// Mean total sojourn time W = L / lambda_e (Little's law).
+    double mean_sojourn_time() const;
+
+    /**
+     * Mean waiting-in-queue delay, the paper's Q (Eq. 9):
+     * Q = L / lambda_e - 1 / mu.
+     */
+    double mean_queueing_delay() const;
+
+    /**
+     * The paper's closed form for Q (Eq. 12):
+     * Q = (1/mu) * (rho/(1-rho) - N*rho^N/(1-rho^N)).
+     *
+     * Mathematically identical to mean_queueing_delay(); kept as a separate
+     * entry point so tests can pin the equivalence and so model code can
+     * cite Eq. 12 directly.
+     */
+    double paper_closed_form_delay() const;
+
+    /// Server utilization: fraction of time the engine is busy.
+    double utilization() const { return 1.0 - prob(0); }
+
+    /// Accepted throughput (= effective arrival rate in steady state).
+    double throughput() const { return effective_arrival_rate(); }
+
+  private:
+    double lambda_;
+    double mu_;
+    std::uint32_t capacity_;
+    double rho_;
+};
+
+/// An M/M/1 queue (infinite capacity); requires rho < 1.
+class Mm1Queue {
+  public:
+    /// @throws std::invalid_argument unless 0 <= lambda < mu.
+    Mm1Queue(double lambda, double mu);
+
+    double rho() const { return rho_; }
+    double mean_in_system() const { return rho_ / (1.0 - rho_); }
+    double mean_sojourn_time() const { return 1.0 / (mu_ - lambda_); }
+    double mean_queueing_delay() const { return rho_ / (mu_ - lambda_); }
+
+  private:
+    double lambda_;
+    double mu_;
+    double rho_;
+};
+
+/// An M/M/c queue (c parallel engines, infinite capacity); requires rho < 1.
+class MmcQueue {
+  public:
+    /// @throws std::invalid_argument unless lambda < c * mu and c >= 1.
+    MmcQueue(double lambda, double mu, std::uint32_t servers);
+
+    /// Per-server utilization lambda / (c * mu).
+    double rho() const { return rho_; }
+
+    /// Erlang-C probability that an arriving request must wait.
+    double prob_wait() const { return erlang_c_; }
+
+    /// Mean waiting-in-queue delay.
+    double mean_queueing_delay() const;
+
+    /// Mean requests in the system.
+    double mean_in_system() const;
+
+  private:
+    double lambda_;
+    double mu_;
+    std::uint32_t servers_;
+    double rho_;
+    double erlang_c_;
+};
+
+} // namespace lognic::queueing
+
+#endif // LOGNIC_QUEUEING_MM1N_HPP_

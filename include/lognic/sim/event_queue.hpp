@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A minimal calendar: schedule closures at absolute simulated times and run
+ * until a horizon. Ties are broken by insertion order (FIFO), which keeps
+ * component behaviour deterministic for a fixed seed.
+ */
+#ifndef LOGNIC_SIM_EVENT_QUEUE_HPP_
+#define LOGNIC_SIM_EVENT_QUEUE_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace lognic::sim {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+class EventQueue {
+  public:
+    using Action = std::function<void()>;
+
+    SimTime now() const { return now_; }
+
+    /// Schedule @p action at absolute time @p when (>= now).
+    void schedule_at(SimTime when, Action action);
+
+    /// Schedule @p action @p delay seconds from now.
+    void schedule_in(SimTime delay, Action action)
+    {
+        schedule_at(now_ + delay, std::move(action));
+    }
+
+    /// Run events until the queue drains or simulated time passes @p horizon.
+    void run_until(SimTime horizon);
+
+    /// Number of events executed so far.
+    std::uint64_t executed() const { return executed_; }
+
+    bool empty() const { return events_.empty(); }
+
+  private:
+    struct Event {
+        SimTime when;
+        std::uint64_t seq; ///< FIFO tie-break
+        Action action;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    SimTime now_{0.0};
+    std::uint64_t next_seq_{0};
+    std::uint64_t executed_{0};
+};
+
+} // namespace lognic::sim
+
+#endif // LOGNIC_SIM_EVENT_QUEUE_HPP_

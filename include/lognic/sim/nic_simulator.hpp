@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Packet-level discrete-event simulator of the LogNIC hardware model.
+ *
+ * This is the repository's stand-in for the paper's physical SmartNIC
+ * testbeds: it takes the *same* hardware model, execution graph, and traffic
+ * profile the analytical model takes, but instead of closed forms it
+ * simulates individual packets through queues, parallel engines, and
+ * contended interconnect/memory links. Every "Measured" series in the
+ * reproduced figures comes from this simulator; every "LogNIC" series from
+ * the analytical model — so model validation compares two independent
+ * implementations of the same semantics.
+ *
+ * Semantics mirrored from the model:
+ *  - ingress offers BW_in of traffic with the profile's packet mix
+ *    (Poisson arrivals by default, matching the M/M/1/N assumptions);
+ *  - each IP vertex has a finite queue (N_vi, drop on overflow), D_vi
+ *    engines, and a per-request service time drawn from the IP's roofline
+ *    engine model at the vertex's request granularity;
+ *  - edges move data over the shared interface and/or memory links (FIFO
+ *    bandwidth servers, so contention emerges) and optional dedicated links;
+ *  - the computation-transfer overhead O_i is charged as latency between
+ *    service completion and the outbound transfer.
+ */
+#ifndef LOGNIC_SIM_NIC_SIMULATOR_HPP_
+#define LOGNIC_SIM_NIC_SIMULATOR_HPP_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lognic/core/execution_graph.hpp"
+#include "lognic/core/hardware_model.hpp"
+#include "lognic/core/traffic_profile.hpp"
+#include "lognic/sim/event_queue.hpp"
+#include "lognic/sim/random.hpp"
+#include "lognic/sim/stats.hpp"
+#include "lognic/traffic/trace.hpp"
+
+namespace lognic::sim {
+
+/**
+ * ON/OFF burst modulation of the arrival process: the instantaneous rate
+ * alternates between `intensity` x nominal (ON) and a compensating low
+ * rate (OFF) so the long-run mean stays at the profile's BW_in. Models the
+ * "burst degree" dimension of traffic profiles (S2.4).
+ */
+struct BurstModel {
+    bool enabled{false};
+    Seconds on{Seconds::from_micros(50.0)};
+    Seconds off{Seconds::from_micros(50.0)};
+    /// Rate multiplier during ON periods; must satisfy
+    /// intensity * on/(on+off) <= 1 so the OFF rate stays non-negative.
+    double intensity{1.8};
+};
+
+struct SimOptions {
+    /// Simulated duration in seconds.
+    SimTime duration{0.05};
+    /// Fraction of the duration treated as warmup (stats discarded).
+    double warmup_fraction{0.2};
+    std::uint64_t seed{42};
+    /// Exponential service times (matches the model's M/M/1/N assumption);
+    /// false gives deterministic service.
+    bool exponential_service{true};
+    /// Poisson arrivals; false gives a paced (deterministic) generator.
+    bool poisson_arrivals{true};
+    /// Optional burst modulation (requires poisson_arrivals).
+    BurstModel burst;
+};
+
+/// Per-vertex measurement (IP and rate-limiter vertices only).
+struct VertexStats {
+    std::string name;
+    /// Fraction of (engine x time) spent serving, in [0, 1].
+    double utilization{0.0};
+    /// Time-averaged requests in the system (queue + in service).
+    double mean_occupancy{0.0};
+    std::uint64_t served{0};
+    std::uint64_t dropped{0};
+};
+
+struct SimResult {
+    Bandwidth delivered{Bandwidth{0.0}};   ///< app bytes/s out of egress
+    OpsRate delivered_ops{OpsRate{0.0}};
+    Seconds mean_latency{0.0};
+    Seconds p50_latency{0.0};
+    Seconds p99_latency{0.0};
+    std::uint64_t generated{0};
+    std::uint64_t completed{0};
+    std::uint64_t dropped{0};
+    double drop_rate{0.0};
+    /// Per-vertex breakdown; the most utilized vertex is the measured
+    /// bottleneck (the sim-side counterpart of the model's min() term).
+    std::vector<VertexStats> vertex_stats;
+
+    /// The vertex with the highest utilization; empty stats if none.
+    const VertexStats& busiest() const;
+};
+
+class NicSimulator {
+  public:
+    /**
+     * Build a simulator instance. The graph is validated against @p hw.
+     * The referenced hardware model and graph must outlive the simulator.
+     */
+    NicSimulator(const core::HardwareModel& hw,
+                 const core::ExecutionGraph& graph,
+                 const core::TrafficProfile& traffic, SimOptions options = {});
+    ~NicSimulator();
+
+    NicSimulator(const NicSimulator&) = delete;
+    NicSimulator& operator=(const NicSimulator&) = delete;
+
+    /// Run the full simulation and collect results. Call once.
+    SimResult run();
+
+  private:
+    friend SimResult simulate_trace(const core::HardwareModel&,
+                                    const core::ExecutionGraph&,
+                                    const traffic::PacketTrace&,
+                                    SimOptions);
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/// Convenience: build, run, return.
+SimResult simulate(const core::HardwareModel& hw,
+                   const core::ExecutionGraph& graph,
+                   const core::TrafficProfile& traffic,
+                   SimOptions options = {});
+
+/**
+ * Replay a packet trace through the graph: sizes arrive in recorded order
+ * (cyclically) at the trace's mean rate. Order effects — bursts of large
+ * packets, alternating patterns — are preserved, unlike the histogram
+ * profile the analytical model sees.
+ */
+SimResult simulate_trace(const core::HardwareModel& hw,
+                         const core::ExecutionGraph& graph,
+                         const traffic::PacketTrace& trace,
+                         SimOptions options = {});
+
+} // namespace lognic::sim
+
+#endif // LOGNIC_SIM_NIC_SIMULATOR_HPP_

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Simulator of the PANIC programmable NIC (Lin et al., OSDI '20), the
+ * academic prototype used by the paper's case study #5 (S4.6).
+ *
+ * PANIC's architecture: an RMT pipeline stamps each packet with an
+ * offloading chain; a switching fabric moves packets between components; a
+ * central scheduler steers packets to compute units using a pull/push
+ * credit mechanism — each unit exposes `credits` buffer slots, a packet is
+ * dispatched only while a credit is available, and the credit returns to
+ * the scheduler once the unit finishes the packet. Credits therefore bound
+ * the per-unit in-flight window: too few credits stall the pipeline (the
+ * credit-return round trip is exposed), more credits buy throughput at the
+ * cost of queueing latency — exactly the Figure 15 trade-off.
+ */
+#ifndef LOGNIC_SIM_PANIC_HPP_
+#define LOGNIC_SIM_PANIC_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lognic/core/roofline.hpp"
+#include "lognic/core/traffic_profile.hpp"
+#include "lognic/sim/nic_simulator.hpp"
+
+namespace lognic::sim {
+
+/// One PANIC compute unit.
+struct PanicUnit {
+    std::string name;
+    core::ServiceModel service; ///< per-engine request service time
+    std::uint32_t parallelism{1};
+    std::uint32_t credits{8}; ///< scheduler-visible buffer slots
+};
+
+/// A per-packet offloading chain: the unit indices to traverse in order.
+struct PanicChain {
+    std::vector<std::size_t> units;
+    double weight{1.0}; ///< fraction of packets following this chain
+};
+
+struct PanicConfig {
+    std::vector<PanicUnit> units;
+    std::vector<PanicChain> chains;
+    Bandwidth fabric_bw{Bandwidth::from_gbps(100.0)};
+    Seconds hop_latency{Seconds::from_nanos(500.0)}; ///< per fabric hop
+    Seconds rmt_latency{Seconds::from_nanos(300.0)}; ///< parse + descriptor
+    /// Per-unit pending slots at the central scheduler (the on-chip packet
+    /// buffer share); overflow drops the packet. Bounded buffering is what
+    /// makes over-provisioned credits cost latency instead of just memory.
+    std::uint32_t scheduler_queue_capacity{16};
+};
+
+/**
+ * Run the PANIC simulator under @p traffic.
+ *
+ * @throws std::invalid_argument on an empty/invalid configuration.
+ */
+SimResult simulate_panic(const PanicConfig& config,
+                         const core::TrafficProfile& traffic,
+                         SimOptions options = {});
+
+/**
+ * The analytic credit-window capacity of one unit (used by the LogNIC side
+ * of case study #5): a window of `credits` requests of size @p request over
+ * a (service + credit round-trip) cycle caps the unit's throughput at
+ *
+ *     credits * request / (service_time + 2 * hop + request / fabric).
+ *
+ * The unit's compute capacity still applies; the returned value is the
+ * min of both.
+ */
+Bandwidth panic_credit_capacity(const PanicUnit& unit, Bytes request,
+                                const PanicConfig& config);
+
+} // namespace lognic::sim
+
+#endif // LOGNIC_SIM_PANIC_HPP_

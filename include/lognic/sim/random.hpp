@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Random-number utilities for the simulator.
+ *
+ * One Rng instance per simulation keeps runs reproducible for a given seed.
+ */
+#ifndef LOGNIC_SIM_RANDOM_HPP_
+#define LOGNIC_SIM_RANDOM_HPP_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace lognic::sim {
+
+class Rng {
+  public:
+    explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+    /// Uniform in [0, 1).
+    double uniform()
+    {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+    }
+
+    /// Exponential with the given mean (> 0).
+    double exponential(double mean)
+    {
+        return std::exponential_distribution<double>(1.0 / mean)(engine_);
+    }
+
+    /**
+     * Positive sample with the given mean and squared coefficient of
+     * variation: 0 = deterministic, 1 = exponential, otherwise gamma with
+     * shape 1/scv.
+     */
+    double with_scv(double mean, double scv)
+    {
+        if (scv <= 0.0)
+            return mean;
+        if (scv == 1.0)
+            return exponential(mean);
+        const double shape = 1.0 / scv;
+        return std::gamma_distribution<double>(shape, mean / shape)(
+            engine_);
+    }
+
+    /// Index sampled from (unnormalized, non-negative) weights.
+    std::size_t weighted_index(const std::vector<double>& weights)
+    {
+        std::discrete_distribution<std::size_t> d(weights.begin(),
+                                                  weights.end());
+        return d(engine_);
+    }
+
+    /// Bernoulli with probability @p p of true.
+    bool coin(double p)
+    {
+        return std::bernoulli_distribution(p)(engine_);
+    }
+
+    std::mt19937_64& engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace lognic::sim
+
+#endif // LOGNIC_SIM_RANDOM_HPP_

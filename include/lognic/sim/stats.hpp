@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Measurement helpers: latency distributions and throughput meters with
+ * warmup trimming.
+ */
+#ifndef LOGNIC_SIM_STATS_HPP_
+#define LOGNIC_SIM_STATS_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "lognic/core/units.hpp"
+#include "lognic/sim/event_queue.hpp"
+
+namespace lognic::sim {
+
+/// Collects per-request latencies; samples before the warmup cut are dropped.
+class LatencyRecorder {
+  public:
+    explicit LatencyRecorder(SimTime warmup_end = 0.0)
+        : warmup_end_(warmup_end)
+    {
+    }
+
+    void record(SimTime completion_time, Seconds latency);
+
+    std::size_t count() const { return samples_.size(); }
+    Seconds mean() const;
+    /// Quantile in [0, 1]; nearest-rank on the sorted samples.
+    Seconds quantile(double q) const;
+    Seconds p50() const { return quantile(0.50); }
+    Seconds p99() const { return quantile(0.99); }
+    Seconds max() const;
+
+  private:
+    SimTime warmup_end_;
+    mutable std::vector<double> samples_; ///< seconds; sorted lazily
+    mutable bool sorted_{false};
+};
+
+/// Counts delivered bytes/requests after warmup; yields rates.
+class ThroughputMeter {
+  public:
+    explicit ThroughputMeter(SimTime warmup_end = 0.0)
+        : warmup_end_(warmup_end)
+    {
+    }
+
+    void record(SimTime completion_time, Bytes payload);
+
+    std::uint64_t requests() const { return requests_; }
+    Bytes total() const { return Bytes{bytes_}; }
+
+    /// Delivered bandwidth over (warmup_end, measure_end].
+    Bandwidth bandwidth(SimTime measure_end) const;
+    /// Delivered request rate over the same window.
+    OpsRate rate(SimTime measure_end) const;
+
+  private:
+    SimTime warmup_end_;
+    double bytes_{0.0};
+    std::uint64_t requests_{0};
+};
+
+} // namespace lognic::sim
+
+#endif // LOGNIC_SIM_STATS_HPP_

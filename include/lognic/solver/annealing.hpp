@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Simulated annealing over integer design spaces.
+ *
+ * Exhaustive enumeration stops scaling past a few tens of thousands of
+ * configurations (e.g. per-stage parallelism across long service chains,
+ * joint placement + sizing searches). Annealing trades optimality
+ * guarantees for coverage: random single-coordinate moves, Metropolis
+ * acceptance, geometric cooling. Deterministic for a fixed seed.
+ */
+#ifndef LOGNIC_SOLVER_ANNEALING_HPP_
+#define LOGNIC_SOLVER_ANNEALING_HPP_
+
+#include <cstdint>
+
+#include "lognic/solver/discrete.hpp"
+
+namespace lognic::solver {
+
+struct AnnealingOptions {
+    std::size_t iterations{5000};
+    double initial_temperature{1.0};
+    double cooling{0.995};          ///< geometric factor per iteration
+    std::uint64_t seed{1};
+    /// Maximum +/- step per move, in units of the dimension's step.
+    std::int64_t max_move{2};
+};
+
+/**
+ * Minimize @p f over the box given by @p ranges, starting from @p x0
+ * (clamped into range; empty = range lower bounds).
+ *
+ * Returns the best point *ever visited* (not the final state).
+ */
+IntSearchResult simulated_annealing(const IntObjectiveFn& f, IntVector x0,
+                                    const std::vector<IntRange>& ranges,
+                                    const AnnealingOptions& opts = {});
+
+} // namespace lognic::solver
+
+#endif // LOGNIC_SOLVER_ANNEALING_HPP_

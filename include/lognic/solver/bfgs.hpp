@@ -1,0 +1,33 @@
+/**
+ * @file
+ * BFGS quasi-Newton minimizer with Armijo backtracking line search.
+ *
+ * The paper's SLSQP solver combines the Han-Powell quasi-Newton method with
+ * BFGS updates of the B-matrix (S3.8); this module provides that quasi-Newton
+ * core. Gradients are numerical (central differences) unless supplied.
+ */
+#ifndef LOGNIC_SOLVER_BFGS_HPP_
+#define LOGNIC_SOLVER_BFGS_HPP_
+
+#include "lognic/solver/objective.hpp"
+
+namespace lognic::solver {
+
+struct BfgsOptions {
+    std::size_t max_iterations{500};
+    double gradient_tolerance{1e-8}; ///< stop when ||grad||_inf is below this
+    double step_tolerance{1e-12};    ///< stop when the step is this small
+    double gradient_step{1e-6};      ///< numerical-gradient step size
+    Bounds bounds{};                 ///< iterates are projected into the box
+};
+
+/// Gradient callback; when absent, a numerical gradient is used.
+using GradientFn = std::function<Vector(const Vector&)>;
+
+/// Minimize @p f starting from @p x0.
+SolveResult bfgs(const ObjectiveFn& f, Vector x0, const BfgsOptions& opts = {},
+                 const GradientFn& grad = nullptr);
+
+} // namespace lognic::solver
+
+#endif // LOGNIC_SOLVER_BFGS_HPP_

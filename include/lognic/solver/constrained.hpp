@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Constrained minimization via the augmented-Lagrangian method.
+ *
+ * The paper uses SciPy's SLSQP; this module provides the equivalent
+ * capability — minimize f(x) subject to equality and inequality constraints
+ * plus box bounds — built on the in-repo BFGS/Nelder-Mead solvers. The
+ * augmented-Lagrangian outer loop converts constraints into an adaptive
+ * penalty with multiplier estimates, which is robust for the small, mildly
+ * nonlinear problems the LogNIC optimizer produces.
+ */
+#ifndef LOGNIC_SOLVER_CONSTRAINED_HPP_
+#define LOGNIC_SOLVER_CONSTRAINED_HPP_
+
+#include <vector>
+
+#include "lognic/solver/objective.hpp"
+
+namespace lognic::solver {
+
+/// One scalar constraint.
+struct Constraint {
+    enum class Type {
+        kEquality,   ///< g(x) == 0
+        kInequality, ///< g(x) <= 0
+    };
+    Type type{Type::kInequality};
+    ObjectiveFn fn;
+};
+
+/// Which inner (unconstrained) solver drives the subproblems.
+enum class InnerSolver {
+    kBfgs,       ///< quasi-Newton; best for smooth objectives
+    kNelderMead, ///< derivative-free; best for min()/kinked objectives
+};
+
+struct ConstrainedOptions {
+    std::size_t max_outer_iterations{30};
+    double constraint_tolerance{1e-6}; ///< max violation accepted as feasible
+    double initial_penalty{10.0};
+    double penalty_growth{4.0};
+    InnerSolver inner{InnerSolver::kNelderMead};
+    Bounds bounds{};
+    std::size_t inner_max_iterations{2000};
+};
+
+/// Result including final constraint violation.
+struct ConstrainedResult : SolveResult {
+    double max_violation{0.0};
+    bool feasible{false};
+};
+
+/// Minimize f(x) subject to @p constraints and box bounds.
+ConstrainedResult minimize_constrained(
+    const ObjectiveFn& f, Vector x0,
+    const std::vector<Constraint>& constraints,
+    const ConstrainedOptions& opts = {});
+
+} // namespace lognic::solver
+
+#endif // LOGNIC_SOLVER_CONSTRAINED_HPP_

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Discrete / integer design-space search.
+ *
+ * Several LogNIC optimizer knobs are inherently integral — NIC-core counts
+ * (D_vi), queue credits (N_vi), placement choices. The paper sweeps these by
+ * enumerating model evaluations; this module provides exhaustive search for
+ * small spaces and greedy coordinate descent for larger ones.
+ */
+#ifndef LOGNIC_SOLVER_DISCRETE_HPP_
+#define LOGNIC_SOLVER_DISCRETE_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace lognic::solver {
+
+/// A point in an integer design space.
+using IntVector = std::vector<std::int64_t>;
+
+/// Objective over the integer space; solvers minimize.
+using IntObjectiveFn = std::function<double(const IntVector&)>;
+
+/// Inclusive per-dimension integer range.
+struct IntRange {
+    std::int64_t lo{0};
+    std::int64_t hi{0};
+    std::int64_t step{1};
+
+    std::size_t count() const
+    {
+        return hi < lo
+            ? 0
+            : static_cast<std::size_t>((hi - lo) / step) + 1;
+    }
+};
+
+struct IntSearchResult {
+    IntVector x;
+    double value{std::numeric_limits<double>::infinity()};
+    std::size_t evaluations{0};
+};
+
+/**
+ * Exhaustively enumerate the cross product of @p ranges.
+ *
+ * @throws std::invalid_argument if the space exceeds @p max_points
+ * (protects against accidental combinatorial blowups).
+ */
+IntSearchResult exhaustive_search(const IntObjectiveFn& f,
+                                  const std::vector<IntRange>& ranges,
+                                  std::size_t max_points = 2'000'000);
+
+/**
+ * Greedy coordinate descent: repeatedly sweep each dimension over its full
+ * range holding the others fixed, until a full pass makes no improvement.
+ * Finds local optima only, but evaluates O(passes * sum(range sizes)) points.
+ */
+IntSearchResult coordinate_descent(const IntObjectiveFn& f, IntVector x0,
+                                   const std::vector<IntRange>& ranges,
+                                   std::size_t max_passes = 20);
+
+/// Continuous grid search over box ranges (for coarse seeding).
+struct GridRange {
+    double lo{0.0};
+    double hi{0.0};
+    std::size_t points{2}; ///< >= 2 samples including both endpoints
+};
+
+struct GridSearchResult {
+    std::vector<double> x;
+    double value{std::numeric_limits<double>::infinity()};
+    std::size_t evaluations{0};
+};
+
+GridSearchResult grid_search(
+    const std::function<double(const std::vector<double>&)>& f,
+    const std::vector<GridRange>& ranges, std::size_t max_points = 2'000'000);
+
+} // namespace lognic::solver
+
+#endif // LOGNIC_SOLVER_DISCRETE_HPP_

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Levenberg-Marquardt nonlinear least squares.
+ *
+ * Used for the paper's SSD calibration methodology (S4.3, S4.7): fit a small
+ * parametric latency/throughput curve to observed (io-depth, latency,
+ * throughput) samples and extract LogNIC IP parameters from the fit.
+ */
+#ifndef LOGNIC_SOLVER_LEAST_SQUARES_HPP_
+#define LOGNIC_SOLVER_LEAST_SQUARES_HPP_
+
+#include "lognic/solver/objective.hpp"
+
+namespace lognic::solver {
+
+struct LeastSquaresOptions {
+    std::size_t max_iterations{200};
+    double gradient_tolerance{1e-10};
+    double step_tolerance{1e-12};
+    double initial_damping{1e-3};
+    Bounds bounds{};
+};
+
+/// Result of a fit; value is the final sum of squared residuals.
+struct LeastSquaresResult : SolveResult {
+    Vector residuals; ///< residual vector at the solution
+};
+
+/**
+ * Minimize 0.5 * ||r(x)||^2 with the Levenberg-Marquardt algorithm.
+ *
+ * @param residual_fn Residual vector r(x); its length must not vary with x.
+ * @param x0 Initial parameter guess.
+ */
+LeastSquaresResult levenberg_marquardt(const VectorFn& residual_fn, Vector x0,
+                                       const LeastSquaresOptions& opts = {});
+
+} // namespace lognic::solver
+
+#endif // LOGNIC_SOLVER_LEAST_SQUARES_HPP_

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The paper's SSD parameter-calibration pipeline (S4.3, S4.7): characterize
+ * an opaque storage IP by sweeping load, then curve-fit a small queueing
+ * model to the observed (rate, latency) samples, and emit a LogNIC IpSpec
+ * with the extracted parameters.
+ *
+ * The fitted predictor is an M/M/c service station behind a fixed
+ * pipeline delay:
+ *   latency(lambda) = base + Wq(lambda, 1/s, c),   capacity = c / s,
+ * with free parameters s (per-I/O channel occupancy), c (effective internal
+ * parallelism), and base (low-load command latency). Levenberg-Marquardt
+ * does the fitting.
+ */
+#ifndef LOGNIC_SSD_CALIBRATION_HPP_
+#define LOGNIC_SSD_CALIBRATION_HPP_
+
+#include <vector>
+
+#include "lognic/core/hardware_model.hpp"
+#include "lognic/ssd/ssd_model.hpp"
+
+namespace lognic::ssd {
+
+/// Parameters extracted from a characterization.
+struct CalibratedSsd {
+    Seconds service_time{0.0};     ///< fitted per-I/O channel occupancy
+    std::uint32_t parallelism{1};  ///< fitted internal parallelism (rounded)
+    Seconds base_latency{0.0};     ///< fitted low-load command latency
+    Bandwidth capacity{Bandwidth{0.0}}; ///< c / s in bytes
+    double fit_rmse{0.0};          ///< root-mean-square latency residual (s)
+
+    /// Predicted mean latency at an offered I/O rate.
+    Seconds predict_latency(OpsRate offered) const;
+
+    /**
+     * Pipeline latency beyond the occupancy itself; in a LogNIC execution
+     * graph this becomes the SSD vertex's computation-transfer overhead
+     * O_i (the model's C_i covers the occupancy part).
+     */
+    Seconds extra_latency() const;
+
+    /**
+     * Emit a LogNIC IP spec for the calibrated device: `parallelism`
+     * engines whose per-request time at @p block equals the fitted service
+     * time.
+     */
+    core::IpSpec to_ip_spec(const std::string& name, Bytes block,
+                            std::uint32_t queue_capacity = 64) const;
+};
+
+/**
+ * Fit the predictor to characterization samples.
+ *
+ * @param samples Open-loop (offered rate, latency) characterization points.
+ * @param block The workload's block size (converts rates to bandwidth).
+ * @throws std::invalid_argument with fewer than 3 samples.
+ */
+CalibratedSsd calibrate(const std::vector<SsdGroundTruth::Sample>& samples,
+                        Bytes block);
+
+} // namespace lognic::ssd
+
+#endif // LOGNIC_SSD_CALIBRATION_HPP_

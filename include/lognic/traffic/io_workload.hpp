@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Storage I/O workload descriptors for the NVMe-oF case study (S4.3).
+ */
+#ifndef LOGNIC_TRAFFIC_IO_WORKLOAD_HPP_
+#define LOGNIC_TRAFFIC_IO_WORKLOAD_HPP_
+
+#include <string>
+
+#include "lognic/core/units.hpp"
+
+namespace lognic::traffic {
+
+/// One I/O pattern offered to an NVMe-oF target.
+struct IoWorkload {
+    std::string name;
+    Bytes block_size{Bytes::from_kib(4.0)};
+    double read_fraction{1.0}; ///< 1.0 = pure read, 0.0 = pure write
+    bool random{true};         ///< random vs sequential addressing
+    std::uint32_t queue_depth{32};
+};
+
+/// 4KB random read (the paper's 4KB-RRD).
+IoWorkload random_read_4k(std::uint32_t depth = 32);
+
+/// 128KB random read (128KB-RRD).
+IoWorkload random_read_128k(std::uint32_t depth = 32);
+
+/// 4KB sequential write (4KB-SWR).
+IoWorkload sequential_write_4k(std::uint32_t depth = 32);
+
+/// 4KB random mixed read/write at the given read ratio (Figure 7 sweep).
+IoWorkload random_mixed_4k(double read_fraction, std::uint32_t depth = 32);
+
+} // namespace lognic::traffic
+
+#endif // LOGNIC_TRAFFIC_IO_WORKLOAD_HPP_

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Traffic profile builders, including every named profile used in the
+ * paper's evaluation (S4).
+ */
+#ifndef LOGNIC_TRAFFIC_PROFILES_HPP_
+#define LOGNIC_TRAFFIC_PROFILES_HPP_
+
+#include <vector>
+
+#include "lognic/core/traffic_profile.hpp"
+
+namespace lognic::traffic {
+
+/// The packet-size sweep used by Figures 10, 13, and 14.
+std::vector<Bytes> standard_packet_sizes();
+
+/// Fixed-size traffic at the given offered load.
+core::TrafficProfile fixed_size(Bytes packet, Bandwidth offered);
+
+/**
+ * A mix of flow sizes with the ingress bandwidth split *equally by bytes*
+ * across the sizes — the construction of the PANIC profiles in S4.6.
+ */
+core::TrafficProfile equal_byte_mix(const std::vector<Bytes>& sizes,
+                                    Bandwidth offered);
+
+/**
+ * The four mixed traffic profiles of Figure 15:
+ *   1: 64B/512B        2: 64B/512B/1024B
+ *   3: 64B/256B/512B/1500B   4: 64B/128B/256B/1024B/1500B
+ *
+ * @throws std::invalid_argument unless 1 <= index <= 4.
+ */
+core::TrafficProfile panic_profile(int index, Bandwidth offered);
+
+/// Packet arrival process used by the simulator.
+struct ArrivalProcess {
+    enum class Kind {
+        kPoisson, ///< exponential inter-arrival (datacenter default, S3.6)
+        kPaced,   ///< deterministic inter-arrival (hardware packet generator)
+    };
+    Kind kind{Kind::kPoisson};
+};
+
+} // namespace lognic::traffic
+
+#endif // LOGNIC_TRAFFIC_PROFILES_HPP_

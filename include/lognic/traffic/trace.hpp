@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Packet traces: recorded (or synthesized) packet-size sequences.
+ *
+ * Real deployments feed the model from captured traffic. A PacketTrace is
+ * the raw capture: packet sizes in arrival order plus the mean arrival
+ * rate. The simulator can replay it verbatim (order effects included),
+ * and histogram_profile() reduces it to the dist_size/BW_in profile the
+ * analytical model consumes — the trace-to-model on-ramp.
+ */
+#ifndef LOGNIC_TRAFFIC_TRACE_HPP_
+#define LOGNIC_TRAFFIC_TRACE_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "lognic/core/traffic_profile.hpp"
+
+namespace lognic::traffic {
+
+struct PacketTrace {
+    /// Packet sizes in arrival order; replayed cyclically.
+    std::vector<Bytes> sizes;
+    /// Mean packet arrival rate.
+    OpsRate mean_rate{OpsRate{0.0}};
+    /// Exponential inter-arrival gaps (true) or exact pacing (false).
+    bool poisson{true};
+
+    /// Mean offered bandwidth of the trace.
+    Bandwidth mean_bandwidth() const;
+};
+
+/**
+ * Synthesize a trace by sampling @p count packets from @p profile
+ * (deterministic for a fixed @p seed) — the stand-in for a packet capture.
+ */
+PacketTrace synthesize_trace(const core::TrafficProfile& profile,
+                             std::size_t count, std::uint64_t seed = 1);
+
+/**
+ * Reduce a trace to the model's traffic profile: one packet class per
+ * distinct size (byte-weighted), BW_in from the trace's mean rate.
+ *
+ * @throws std::invalid_argument on an empty trace, zero rate, or more
+ * than @p max_classes distinct sizes (captures should be bucketed first).
+ */
+core::TrafficProfile histogram_profile(const PacketTrace& trace,
+                                       std::size_t max_classes = 16);
+
+} // namespace lognic::traffic
+
+#endif // LOGNIC_TRAFFIC_TRACE_HPP_

@@ -1,0 +1,52 @@
+#include "lognic/apps/inline_accel.hpp"
+
+namespace lognic::apps {
+
+InlineAccelScenario
+make_inline_accel(devices::LiquidIoKernel kernel, std::uint32_t cores)
+{
+    core::HardwareModel hw = devices::liquidio_cn2360();
+    const core::IpId cores_ip = devices::add_core_ip(hw, kernel, 16);
+    const core::IpId accel_ip =
+        *hw.find_ip(devices::to_string(kernel));
+
+    core::ExecutionGraph g(std::string("inline-")
+                           + devices::to_string(kernel));
+    const auto ingress = g.add_ingress();
+    const auto egress = g.add_egress();
+
+    core::VertexParams core_params;
+    core_params.parallelism = cores;
+    const auto v_cores =
+        g.add_ip_vertex("nic-cores", cores_ip, core_params);
+    const auto v_accel =
+        g.add_ip_vertex(devices::to_string(kernel), accel_ip);
+
+    const bool off_chip = devices::is_off_chip(kernel);
+
+    // RX -> cores: packets land in the packet buffer.
+    g.add_edge(ingress, v_cores, core::EdgeParams{1.0, 0.0, 0.0, {}});
+    // Cores -> accelerator: payload crosses the engine's data feed.
+    core::EdgeParams to_accel;
+    to_accel.delta = 1.0;
+    to_accel.alpha = off_chip ? 1.0 : 0.0;
+    to_accel.beta = off_chip ? 0.0 : 1.0;
+    g.add_edge(v_cores, v_accel, to_accel);
+    // Accelerator -> TX: the echo response leaves; the accelerator's own
+    // output is a digest/verdict, so the payload does not recross a medium.
+    g.add_edge(v_accel, egress, core::EdgeParams{1.0, 0.0, 0.0, {}});
+
+    return InlineAccelScenario{std::move(hw), std::move(g), cores_ip,
+                               accel_ip,      v_cores,      v_accel};
+}
+
+InlineAccelScenario
+make_inline_accel_unbounded(devices::LiquidIoKernel kernel,
+                            std::uint32_t cores, Bandwidth feed_rate)
+{
+    InlineAccelScenario sc = make_inline_accel(kernel, cores);
+    sc.hw.set_line_rate(feed_rate);
+    return sc;
+}
+
+} // namespace lognic::apps

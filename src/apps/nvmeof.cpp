@@ -1,0 +1,96 @@
+#include "lognic/apps/nvmeof.hpp"
+
+#include <stdexcept>
+
+#include "lognic/devices/stingray.hpp"
+
+namespace lognic::apps {
+
+namespace {
+
+/// Shared Figure-2c graph construction around an already-registered SSD IP.
+NvmeOfScenario
+build_scenario(core::HardwareModel hw, core::IpId ssd_ip,
+               const traffic::IoWorkload& workload,
+               Seconds ssd_overhead)
+{
+    const core::IpId submit_ip = *hw.find_ip("cores-submit");
+    const core::IpId complete_ip = *hw.find_ip("cores-complete");
+
+    core::ExecutionGraph g("nvmeof-" + workload.name);
+    const auto ingress = g.add_ingress("eth-ingress");
+    const auto egress = g.add_egress("eth-egress");
+    const auto v_submit = g.add_ip_vertex("ip1-submit", submit_ip);
+    core::VertexParams ssd_params;
+    ssd_params.overhead = ssd_overhead;
+    const auto v_ssd = g.add_ip_vertex("ip2-ssd", ssd_ip, ssd_params);
+    const auto v_complete = g.add_ip_vertex("ip3-complete", complete_ip);
+
+    const auto pcie = devices::stingray_ssd_link();
+
+    // Edge 1: RDMA payload lands in DRAM while cores parse the command.
+    g.add_edge(ingress, v_submit, core::EdgeParams{1.0, 0.0, 1.0, {}});
+    // Edge 2: NVMe submission; data DMA between DRAM and the drive (PCIe).
+    g.add_edge(v_submit, v_ssd, core::EdgeParams{1.0, 0.0, 1.0, pcie});
+    // Edge 3: NVMe completion path back through DRAM over PCIe.
+    g.add_edge(v_ssd, v_complete, core::EdgeParams{1.0, 0.0, 1.0, pcie});
+    // Edge 4: response packets out of DRAM to the wire.
+    g.add_edge(v_complete, egress, core::EdgeParams{1.0, 0.0, 1.0, {}});
+
+    return NvmeOfScenario{std::move(hw), std::move(g), ssd_ip};
+}
+
+} // namespace
+
+NvmeOfScenario
+make_nvmeof_target(const ssd::CalibratedSsd& calibrated,
+                   const traffic::IoWorkload& workload)
+{
+    core::HardwareModel hw = devices::stingray_ps1100r();
+    const core::IpId ssd_ip =
+        hw.add_ip(calibrated.to_ip_spec("ssd", workload.block_size));
+    // The fitted sojourn curve covers the full SSD residence time, so the
+    // vertex carries no extra overhead.
+    return build_scenario(std::move(hw), ssd_ip, workload, Seconds{0.0});
+}
+
+NvmeOfScenario
+make_nvmeof_testbed(const ssd::SsdGroundTruth& drive,
+                    const traffic::IoWorkload& workload)
+{
+    core::HardwareModel hw = devices::stingray_ps1100r();
+    const Seconds occupancy = drive.mean_occupancy(workload);
+    core::ServiceModel engine;
+    engine.byte_rate = workload.block_size / occupancy;
+    core::IpSpec spec;
+    spec.name = "ssd";
+    spec.kind = core::IpKind::kStorage;
+    spec.roofline = core::ExtendedRoofline(engine, {});
+    spec.max_engines = drive.spec().parallelism;
+    spec.default_queue_capacity = 256;
+    const core::IpId ssd_ip = hw.add_ip(std::move(spec));
+    // Controller pipelining: latency beyond the channel occupancy shows up
+    // as a fixed per-command delay.
+    const Seconds extra{std::max(
+        0.0, drive.base_latency(workload).seconds() - occupancy.seconds())};
+    return build_scenario(std::move(hw), ssd_ip, workload, extra);
+}
+
+Bandwidth
+mixed_model_bandwidth(const ssd::CalibratedSsd& read_calib,
+                      const ssd::CalibratedSsd& write_calib,
+                      double read_fraction)
+{
+    if (read_fraction < 0.0 || read_fraction > 1.0)
+        throw std::invalid_argument(
+            "mixed_model_bandwidth: read fraction must be in [0, 1]");
+    const double cr = read_calib.capacity.bits_per_sec();
+    const double cw = write_calib.capacity.bits_per_sec();
+    if (cr <= 0.0 || cw <= 0.0)
+        throw std::invalid_argument(
+            "mixed_model_bandwidth: calibrations lack capacity");
+    return Bandwidth{1.0
+                     / (read_fraction / cr + (1.0 - read_fraction) / cw)};
+}
+
+} // namespace lognic::apps

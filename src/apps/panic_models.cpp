@@ -1,0 +1,199 @@
+#include "lognic/apps/panic_models.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "lognic/core/model.hpp"
+#include "lognic/core/optimizer.hpp"
+#include "lognic/devices/panic_proto.hpp"
+
+namespace lognic::apps {
+
+namespace {
+
+/// Model-1 chain unit: calibrated so the credit knee lands at the paper's
+/// 5/4/4/4 for traffic profiles 1-4 (see DESIGN.md S5).
+const Seconds kChainUnitFixed = Seconds::from_nanos(12.5);
+const Bandwidth kChainUnitStream = Bandwidth::from_gbps(250.0);
+
+} // namespace
+
+sim::PanicConfig
+make_panic_pipelined_chain(std::uint32_t credits, std::uint32_t stages)
+{
+    if (credits == 0 || stages == 0)
+        throw std::invalid_argument(
+            "make_panic_pipelined_chain: credits and stages must be >= 1");
+    sim::PanicConfig cfg = devices::panic_defaults();
+    sim::PanicChain chain;
+    for (std::uint32_t s = 0; s < stages; ++s) {
+        cfg.units.push_back(devices::panic_unit(
+            "unit" + std::to_string(s + 1), kChainUnitFixed,
+            kChainUnitStream, 1, credits));
+        chain.units.push_back(s);
+    }
+    chain.weight = 1.0;
+    cfg.chains.push_back(std::move(chain));
+    return cfg;
+}
+
+Bytes
+mean_request_size(const core::TrafficProfile& traffic)
+{
+    // Byte weights w_i at size s_i give packet counts proportional to
+    // w_i / s_i; the packet-count mean size is total bytes / total packets.
+    double count = 0.0;
+    for (const auto& c : traffic.classes())
+        count += c.weight / c.size.bytes();
+    return Bytes{1.0 / count};
+}
+
+Bandwidth
+lognic_panic_chain_capacity(const core::TrafficProfile& traffic,
+                            std::uint32_t credits, std::uint32_t stages)
+{
+    const sim::PanicConfig cfg = make_panic_pipelined_chain(credits, stages);
+    const Bytes request = mean_request_size(traffic);
+    Bandwidth capacity = cfg.fabric_bw;
+    for (const auto& unit : cfg.units) {
+        capacity = std::min(capacity,
+                            sim::panic_credit_capacity(unit, request, cfg));
+    }
+    return capacity;
+}
+
+std::uint32_t
+lognic_optimal_credits(const core::TrafficProfile& traffic,
+                       std::uint32_t max_credits, double tolerance)
+{
+    const Bandwidth saturated =
+        lognic_panic_chain_capacity(traffic, max_credits);
+    for (std::uint32_t c = 1; c < max_credits; ++c) {
+        const Bandwidth cap = lognic_panic_chain_capacity(traffic, c);
+        if (cap.bits_per_sec()
+            >= (1.0 - tolerance) * saturated.bits_per_sec())
+            return c;
+    }
+    return max_credits;
+}
+
+PanicParallelScenario
+make_panic_parallel_chain(double a2_percent)
+{
+    if (a2_percent <= 0.0 || a2_percent >= 80.0)
+        throw std::invalid_argument(
+            "make_panic_parallel_chain: A2 share must be in (0, 80)");
+    PanicParallelScenario sc{devices::panic_parallel_chain_hw(),
+                             core::ExecutionGraph("panic-model2")};
+    const auto ingress = sc.graph.add_ingress();
+    const auto egress = sc.graph.add_egress();
+    const auto a1 = sc.graph.add_ip_vertex("a1", *sc.hw.find_ip("a1"));
+    const auto a2 = sc.graph.add_ip_vertex("a2", *sc.hw.find_ip("a2"));
+    const auto a3 = sc.graph.add_ip_vertex("a3", *sc.hw.find_ip("a3"));
+
+    const double x = a2_percent / 100.0;
+    sc.graph.add_edge(ingress, a1, core::EdgeParams{0.20, 0.0, 0.0, {}});
+    sc.graph.add_edge(ingress, a2, core::EdgeParams{x, 0.0, 0.0, {}});
+    sc.graph.add_edge(ingress, a3,
+                      core::EdgeParams{0.80 - x, 0.0, 0.0, {}});
+    sc.graph.add_edge(a1, egress, core::EdgeParams{0.20, 0.0, 0.0, {}});
+    sc.graph.add_edge(a2, egress, core::EdgeParams{x, 0.0, 0.0, {}});
+    sc.graph.add_edge(a3, egress,
+                      core::EdgeParams{0.80 - x, 0.0, 0.0, {}});
+    return sc;
+}
+
+double
+lognic_opt_split(const core::TrafficProfile& traffic)
+{
+    // One continuous knob: X, the percentage steered to A2.
+    PanicParallelScenario seed = make_panic_parallel_chain(40.0);
+    core::ContinuousProblem problem;
+    problem.graph = seed.graph;
+    problem.traffic = traffic;
+    problem.apply = [](core::ExecutionGraph& g, core::TrafficProfile&,
+                       const solver::Vector& x) {
+        const double share = x[0] / 100.0;
+        // Edges 1/2 (ingress->a2/a3) and 4/5 (a2/a3->egress) carry the split.
+        g.edge(1).params.delta = share;
+        g.edge(2).params.delta = 0.80 - share;
+        g.edge(4).params.delta = share;
+        g.edge(5).params.delta = 0.80 - share;
+    };
+    // Minimize latency, but a lossy configuration must never look good:
+    // penalize the worst per-IP drop probability heavily so the optimizer
+    // cannot "save" latency by overloading one accelerator's finite queue.
+    problem.custom_objective = [](const core::Report& r) {
+        return r.latency.mean.micros()
+            + 1e4 * r.latency.max_drop_probability;
+    };
+    problem.bounds.lower = {5.0};
+    problem.bounds.upper = {75.0};
+    problem.x0 = {40.0};
+
+    const core::Optimizer opt(devices::panic_parallel_chain_hw());
+    return opt.optimize(problem).x[0];
+}
+
+PanicHybridScenario
+make_panic_hybrid(double ip3_fraction, std::uint32_t ip4_parallelism)
+{
+    if (ip3_fraction < 0.0 || ip3_fraction > 1.0)
+        throw std::invalid_argument(
+            "make_panic_hybrid: split fraction must be in [0, 1]");
+    if (ip4_parallelism == 0 || ip4_parallelism > 8)
+        throw std::invalid_argument(
+            "make_panic_hybrid: IP4 parallelism must be 1..8");
+
+    PanicHybridScenario sc{devices::panic_hybrid_chain_hw(),
+                           core::ExecutionGraph("panic-model3")};
+    const auto ingress = sc.graph.add_ingress();
+    const auto egress = sc.graph.add_egress();
+    const auto ip1 = sc.graph.add_ip_vertex("ip1", *sc.hw.find_ip("ip1"));
+    const auto ip2 = sc.graph.add_ip_vertex("ip2", *sc.hw.find_ip("ip2"));
+    const auto ip3 = sc.graph.add_ip_vertex("ip3", *sc.hw.find_ip("ip3"));
+    core::VertexParams ip4_params;
+    ip4_params.parallelism = ip4_parallelism;
+    const auto ip4 =
+        sc.graph.add_ip_vertex("ip4", *sc.hw.find_ip("ip4"), ip4_params);
+
+    const double to_ip1 = 0.7;
+    const double to_ip2 = 0.3;
+    const double d13 = to_ip1 * ip3_fraction;
+    const double d14 = to_ip1 * (1.0 - ip3_fraction);
+    sc.graph.add_edge(ingress, ip1, core::EdgeParams{to_ip1, 0, 0, {}});
+    sc.graph.add_edge(ingress, ip2, core::EdgeParams{to_ip2, 0, 0, {}});
+    sc.graph.add_edge(ip1, ip3, core::EdgeParams{d13, 0, 0, {}});
+    sc.graph.add_edge(ip1, ip4, core::EdgeParams{d14, 0, 0, {}});
+    sc.graph.add_edge(ip2, ip4, core::EdgeParams{to_ip2, 0, 0, {}});
+    sc.graph.add_edge(ip3, egress, core::EdgeParams{d13, 0, 0, {}});
+    sc.graph.add_edge(ip4, egress,
+                      core::EdgeParams{d14 + to_ip2, 0, 0, {}});
+    return sc;
+}
+
+std::uint32_t
+lognic_opt_parallelism(double ip3_fraction,
+                       const core::TrafficProfile& traffic,
+                       std::uint32_t max_parallelism)
+{
+    double saturated = 0.0;
+    {
+        PanicHybridScenario sc =
+            make_panic_hybrid(ip3_fraction, max_parallelism);
+        const core::Model model(sc.hw);
+        saturated =
+            model.throughput(sc.graph, traffic).capacity.bits_per_sec();
+    }
+    for (std::uint32_t d = 1; d < max_parallelism; ++d) {
+        PanicHybridScenario sc = make_panic_hybrid(ip3_fraction, d);
+        const core::Model model(sc.hw);
+        const double cap =
+            model.throughput(sc.graph, traffic).capacity.bits_per_sec();
+        if (cap >= 0.999 * saturated)
+            return d;
+    }
+    return max_parallelism;
+}
+
+} // namespace lognic::apps

@@ -1,0 +1,227 @@
+#include "lognic/core/extensions.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "lognic/core/vertex_analysis.hpp"
+
+namespace lognic::core {
+
+ConsolidatedEstimate
+consolidate(const HardwareModel& hw, const std::vector<TenantWorkload>& tenants)
+{
+    if (tenants.empty())
+        throw std::invalid_argument("consolidate: no tenants");
+    double weight_sum = 0.0;
+    for (const auto& t : tenants) {
+        if (t.graph == nullptr)
+            throw std::invalid_argument("consolidate: null tenant graph");
+        if (t.weight <= 0.0)
+            throw std::invalid_argument(
+                "consolidate: tenant weight must be positive");
+        if (t.traffic.classes().size() != 1)
+            throw std::invalid_argument(
+                "consolidate: tenants must use single-class profiles "
+                "(apply extension #2 per class first)");
+        weight_sum += t.weight;
+    }
+
+    ConsolidatedEstimate out;
+    std::vector<ThroughputTerm> terms;
+
+    // Line rate is shared by everyone.
+    terms.push_back({TermKind::kLineRate, "ingress/egress", hw.line_rate()});
+
+    double alpha_sum = 0.0;
+    double beta_sum = 0.0;
+    const Model model(hw);
+
+    for (const auto& t : tenants) {
+        const double w = t.weight / weight_sum;
+        t.graph->validate(hw);
+
+        // Per-tenant IP and edge terms, scaled by the tenant's demand share:
+        // this tenant only sends w * W through its graph, so the throughput
+        // the entity allows for the *total* W is P / (w * sum(delta)).
+        for (VertexId v = 0; v < t.graph->vertex_count(); ++v) {
+            const Vertex& vx = t.graph->vertex(v);
+            if (vx.kind == VertexKind::kIngress
+                || vx.kind == VertexKind::kEgress)
+                continue;
+            const double delta_sum = t.graph->in_delta_sum(v);
+            if (delta_sum <= 0.0)
+                continue;
+            const VertexAnalysis va =
+                analyze_vertex(*t.graph, hw, v, t.traffic);
+            terms.push_back({vx.kind == VertexKind::kRateLimiter
+                                 ? TermKind::kRateLimit
+                                 : TermKind::kIpCompute,
+                             t.graph->name() + ":" + vx.name,
+                             va.attainable / (w * delta_sum)});
+        }
+        for (EdgeId e = 0; e < t.graph->edge_count(); ++e) {
+            const EdgeParams& p = t.graph->edge(e).params;
+            // Weighted average of the data transfer percentages (S3.7).
+            alpha_sum += w * p.alpha;
+            beta_sum += w * p.beta;
+            if (p.dedicated_bw && p.delta > 0.0) {
+                terms.push_back({TermKind::kEdge,
+                                 t.graph->name() + ":edge",
+                                 *p.dedicated_bw / (w * p.delta)});
+            }
+        }
+    }
+    if (alpha_sum > 0.0) {
+        terms.push_back({TermKind::kInterface, "interface",
+                         hw.interface_bandwidth() / alpha_sum});
+    }
+    if (beta_sum > 0.0) {
+        terms.push_back({TermKind::kMemory, "memory",
+                         hw.memory_bandwidth() / beta_sum});
+    }
+
+    const auto bottleneck_it = std::min_element(
+        terms.begin(), terms.end(),
+        [](const ThroughputTerm& a, const ThroughputTerm& b) {
+            return a.limit < b.limit;
+        });
+    out.total_capacity = bottleneck_it->limit;
+    out.bottleneck = *bottleneck_it;
+
+    // Per-tenant slices and the weighted latency.
+    double mean_latency = 0.0;
+    for (const auto& t : tenants) {
+        const double w = t.weight / weight_sum;
+        TenantEstimate te;
+        te.capacity = out.total_capacity * w;
+        const LatencyReport lat = model.latency(*t.graph, t.traffic);
+        te.latency = lat.mean;
+        mean_latency += w * te.latency.seconds();
+        out.tenants.push_back(te);
+    }
+    out.mean_latency = Seconds{mean_latency};
+    return out;
+}
+
+VertexId
+insert_rate_limiter(ExecutionGraph& graph, VertexId target, Bandwidth limit,
+                    std::uint32_t queue_capacity)
+{
+    const auto incoming = graph.in_edges(target);
+    if (incoming.empty())
+        throw std::invalid_argument(
+            "insert_rate_limiter: target has no in-edges");
+
+    const VertexId rl = graph.add_rate_limiter(
+        graph.vertex(target).name + "-shaper", limit, queue_capacity);
+
+    double delta_sum = 0.0;
+    for (EdgeId e : incoming) {
+        delta_sum += graph.edge(e).params.delta;
+        graph.edge(e).to = rl; // re-route through the limiter
+    }
+
+    // The limiter forwards everything it admits; it adds no medium usage of
+    // its own (it sits at the target's front door).
+    EdgeParams forward;
+    forward.delta = std::min(1.0, delta_sum);
+    graph.add_edge(rl, target, forward);
+    return rl;
+}
+
+std::vector<VertexId>
+unroll_recirculation(ExecutionGraph& graph, VertexId target,
+                     std::uint32_t extra_passes)
+{
+    if (extra_passes == 0)
+        throw std::invalid_argument(
+            "unroll_recirculation: need at least one extra pass");
+    const Vertex original = graph.vertex(target);
+    if (original.kind != VertexKind::kIp)
+        throw std::invalid_argument(
+            "unroll_recirculation: target must be an IP vertex");
+
+    // Every pass (including the original) time-slices the physical IP.
+    const double share = original.params.partition
+        / static_cast<double>(extra_passes + 1);
+    graph.vertex(target).params.partition = share;
+
+    const double delta = graph.in_delta_sum(target);
+    EdgeParams internal;
+    internal.delta = std::min(1.0, delta);
+
+    // Detach the original's out-edges; they will leave from the last pass.
+    const auto outs = graph.out_edges(target);
+
+    std::vector<VertexId> passes;
+    VertexId prev = target;
+    for (std::uint32_t pass = 0; pass < extra_passes; ++pass) {
+        VertexParams params = original.params;
+        params.partition = share;
+        const VertexId clone = graph.add_ip_vertex(
+            original.name + "-pass" + std::to_string(pass + 2),
+            original.ip, params);
+        graph.add_edge(prev, clone, internal);
+        passes.push_back(clone);
+        prev = clone;
+    }
+    for (EdgeId e : outs)
+        graph.edge(e).from = prev;
+    return passes;
+}
+
+ExecutionGraph
+merge_tenant_graphs(const std::vector<TenantWorkload>& tenants)
+{
+    if (tenants.empty())
+        throw std::invalid_argument("merge_tenant_graphs: no tenants");
+    double weight_sum = 0.0;
+    for (const auto& t : tenants) {
+        if (t.graph == nullptr || t.weight <= 0.0)
+            throw std::invalid_argument(
+                "merge_tenant_graphs: null graph or non-positive weight");
+        weight_sum += t.weight;
+    }
+
+    ExecutionGraph merged("merged");
+    for (std::size_t ti = 0; ti < tenants.size(); ++ti) {
+        const ExecutionGraph& g = *tenants[ti].graph;
+        const double w = tenants[ti].weight / weight_sum;
+        const std::string prefix = g.name().empty()
+            ? "t" + std::to_string(ti) + ":"
+            : g.name() + ":";
+
+        std::vector<VertexId> remap(g.vertex_count());
+        for (VertexId v = 0; v < g.vertex_count(); ++v) {
+            const Vertex& vx = g.vertex(v);
+            const std::string name = prefix + vx.name;
+            switch (vx.kind) {
+              case VertexKind::kIngress:
+                remap[v] = merged.add_ingress(name);
+                break;
+              case VertexKind::kEgress:
+                remap[v] = merged.add_egress(name);
+                break;
+              case VertexKind::kRateLimiter:
+                remap[v] = merged.add_rate_limiter(
+                    name, vx.rate_limit, vx.params.queue_capacity);
+                break;
+              case VertexKind::kIp:
+                remap[v] = merged.add_ip_vertex(name, vx.ip, vx.params);
+                break;
+            }
+        }
+        for (EdgeId e = 0; e < g.edge_count(); ++e) {
+            const Edge& ed = g.edge(e);
+            EdgeParams p = ed.params;
+            // Fractions become relative to the merged W.
+            p.delta *= w;
+            p.alpha *= w;
+            p.beta *= w;
+            merged.add_edge(remap[ed.from], remap[ed.to], p);
+        }
+    }
+    return merged;
+}
+
+} // namespace lognic::core

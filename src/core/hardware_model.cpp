@@ -1,0 +1,89 @@
+#include "lognic/core/hardware_model.hpp"
+
+#include <stdexcept>
+#include <tuple>
+
+namespace lognic::core {
+
+const char*
+to_string(IpKind kind)
+{
+    switch (kind) {
+      case IpKind::kCpuCores:
+        return "cpu-cores";
+      case IpKind::kAccelerator:
+        return "accelerator";
+      case IpKind::kStorage:
+        return "storage";
+      case IpKind::kDsp:
+        return "dsp";
+    }
+    return "unknown";
+}
+
+HardwareModel::HardwareModel(std::string name, Bandwidth interface_bw,
+                             Bandwidth memory_bw, Bandwidth line_rate)
+    : name_(std::move(name)), interface_bw_(interface_bw),
+      memory_bw_(memory_bw), line_rate_(line_rate)
+{
+    if (interface_bw.bits_per_sec() <= 0.0
+        || memory_bw.bits_per_sec() <= 0.0 || line_rate.bits_per_sec() <= 0.0)
+        throw std::invalid_argument(
+            "HardwareModel: bandwidths must be positive");
+}
+
+IpId
+HardwareModel::add_ip(IpSpec spec)
+{
+    if (spec.name.empty())
+        throw std::invalid_argument("HardwareModel: IP needs a name");
+    if (spec.max_engines == 0)
+        throw std::invalid_argument(
+            "HardwareModel: IP needs at least one engine");
+    if (find_ip(spec.name))
+        throw std::invalid_argument(
+            "HardwareModel: duplicate IP name '" + spec.name + "'");
+    ips_.push_back(std::move(spec));
+    return static_cast<IpId>(ips_.size() - 1);
+}
+
+const IpSpec&
+HardwareModel::ip(IpId id) const
+{
+    if (id >= ips_.size())
+        throw std::out_of_range("HardwareModel: bad IP id");
+    return ips_[id];
+}
+
+std::optional<IpId>
+HardwareModel::find_ip(const std::string& name) const
+{
+    for (std::size_t i = 0; i < ips_.size(); ++i) {
+        if (ips_[i].name == name)
+            return static_cast<IpId>(i);
+    }
+    return std::nullopt;
+}
+
+void
+HardwareModel::set_ip_bandwidth(IpId a, IpId b, Bandwidth bw)
+{
+    if (a >= ips_.size() || b >= ips_.size())
+        throw std::out_of_range("HardwareModel: bad IP id for link");
+    if (bw.bits_per_sec() <= 0.0)
+        throw std::invalid_argument(
+            "HardwareModel: link bandwidth must be positive");
+    ip_links_.emplace_back(a, b, bw);
+}
+
+std::optional<Bandwidth>
+HardwareModel::ip_bandwidth(IpId a, IpId b) const
+{
+    for (const auto& [m, n, bw] : ip_links_) {
+        if ((m == a && n == b) || (m == b && n == a))
+            return bw;
+    }
+    return std::nullopt;
+}
+
+} // namespace lognic::core

@@ -1,0 +1,197 @@
+#include "lognic/core/optimizer.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "lognic/solver/nelder_mead.hpp"
+
+namespace lognic::core {
+
+namespace {
+
+/// Scale objectives so the solvers see O(1)..O(100) magnitudes.
+constexpr double kGbps = 1e9;
+constexpr double kMicros = 1e-6;
+
+} // namespace
+
+double
+Optimizer::objective_value(const Report& report, Objective obj) const
+{
+    switch (obj) {
+      case Objective::kMaximizeThroughput:
+        return -report.throughput.capacity.bits_per_sec() / kGbps;
+      case Objective::kMinimizeLatency:
+        return report.latency.mean.seconds() / kMicros;
+    }
+    throw std::logic_error("Optimizer: unknown objective");
+}
+
+OptimizationResult
+Optimizer::optimize(const ContinuousProblem& problem) const
+{
+    if (!problem.apply)
+        throw std::invalid_argument("Optimizer: missing apply callback");
+    if (problem.x0.empty())
+        throw std::invalid_argument("Optimizer: missing initial point");
+
+    std::size_t evaluations = 0;
+    auto evaluate = [&](const solver::Vector& x) -> Report {
+        ++evaluations;
+        ExecutionGraph g = problem.graph;
+        TrafficProfile t = problem.traffic;
+        problem.apply(g, t, x);
+        return model_.estimate(g, t);
+    };
+
+    auto objective = [&](const solver::Vector& x) -> double {
+        const Report r = evaluate(x);
+        return problem.custom_objective
+            ? problem.custom_objective(r)
+            : objective_value(r, problem.objective);
+    };
+
+    OptimizationResult out;
+    if (problem.constraints.empty()) {
+        solver::NelderMeadOptions opts;
+        opts.bounds = problem.bounds;
+        const auto res = solver::nelder_mead(objective, problem.x0, opts);
+        out.x = res.x;
+        out.objective_value = res.value;
+        out.feasible = true;
+    } else {
+        std::vector<solver::Constraint> cons;
+        cons.reserve(problem.constraints.size());
+        for (const auto& rc : problem.constraints) {
+            cons.push_back(solver::Constraint{
+                solver::Constraint::Type::kInequality,
+                [&, rc](const solver::Vector& x) { return rc(evaluate(x)); }});
+        }
+        solver::ConstrainedOptions opts;
+        opts.bounds = problem.bounds;
+        const auto res =
+            solver::minimize_constrained(objective, problem.x0, cons, opts);
+        out.x = res.x;
+        out.objective_value = res.value;
+        out.feasible = res.feasible;
+    }
+    out.report = evaluate(out.x);
+    out.evaluations = evaluations;
+    return out;
+}
+
+OptimizationResult
+Optimizer::optimize(const DiscreteProblem& problem) const
+{
+    if (!problem.apply)
+        throw std::invalid_argument("Optimizer: missing apply callback");
+    if (problem.ranges.empty())
+        throw std::invalid_argument("Optimizer: missing ranges");
+
+    std::size_t evaluations = 0;
+    auto evaluate = [&](const solver::IntVector& x) -> Report {
+        ++evaluations;
+        ExecutionGraph g = problem.graph;
+        TrafficProfile t = problem.traffic;
+        problem.apply(g, t, x);
+        return model_.estimate(g, t);
+    };
+
+    // Infeasible candidates get +inf so any feasible point beats them.
+    auto objective = [&](const solver::IntVector& x) -> double {
+        Report r;
+        try {
+            r = evaluate(x);
+        } catch (const std::invalid_argument&) {
+            return std::numeric_limits<double>::infinity();
+        }
+        for (const auto& rc : problem.constraints) {
+            if (rc(r) > 0.0)
+                return std::numeric_limits<double>::infinity();
+        }
+        return problem.custom_objective
+            ? problem.custom_objective(r)
+            : objective_value(r, problem.objective);
+    };
+
+    solver::IntSearchResult res;
+    if (problem.exhaustive) {
+        res = solver::exhaustive_search(objective, problem.ranges);
+    } else {
+        solver::IntVector x0 = problem.x0;
+        if (x0.empty()) {
+            x0.resize(problem.ranges.size());
+            for (std::size_t i = 0; i < x0.size(); ++i)
+                x0[i] = problem.ranges[i].lo;
+        }
+        res = solver::coordinate_descent(objective, std::move(x0),
+                                         problem.ranges);
+    }
+
+    OptimizationResult out;
+    out.xi = res.x;
+    out.objective_value = res.value;
+    out.feasible = std::isfinite(res.value);
+    if (out.feasible)
+        out.report = evaluate(res.x);
+    out.evaluations = evaluations;
+    return out;
+}
+
+SatisficeResult
+Optimizer::satisfice(const SatisficeProblem& problem) const
+{
+    if (!problem.apply)
+        throw std::invalid_argument("Optimizer: missing apply callback");
+    if (problem.ranges.empty())
+        throw std::invalid_argument("Optimizer: missing ranges");
+    if (problem.goals.empty())
+        throw std::invalid_argument("Optimizer: missing goals");
+
+    SatisficeResult out;
+    out.slack.assign(problem.goals.size(), 0.0);
+
+    for (std::size_t round = 0; round <= problem.max_relax_rounds;
+         ++round) {
+        // One discrete optimization pass with the (possibly relaxed)
+        // goals encoded as hard constraints.
+        DiscreteProblem pass;
+        pass.graph = problem.graph;
+        pass.traffic = problem.traffic;
+        pass.apply = problem.apply;
+        pass.objective = problem.objective;
+        pass.ranges = problem.ranges;
+        for (std::size_t g = 0; g < problem.goals.size(); ++g) {
+            const double slack = out.slack[g];
+            const auto& goal = problem.goals[g];
+            pass.constraints.push_back(
+                [&goal, slack](const Report& r) {
+                    return goal.requirement(r) - slack;
+                });
+        }
+
+        const OptimizationResult res = optimize(pass);
+        out.evaluations += res.evaluations;
+        if (res.feasible) {
+            out.xi = res.xi;
+            out.report = res.report;
+            out.satisfied = true;
+            out.relax_rounds_used = round;
+            return out;
+        }
+
+        // Relax every goal that allows it; if nothing can relax, stop.
+        bool relaxed_any = false;
+        for (std::size_t g = 0; g < problem.goals.size(); ++g) {
+            if (problem.goals[g].relax_step > 0.0) {
+                out.slack[g] += problem.goals[g].relax_step;
+                relaxed_any = true;
+            }
+        }
+        if (!relaxed_any)
+            break;
+    }
+    return out;
+}
+
+} // namespace lognic::core

@@ -1,0 +1,153 @@
+#include "lognic/core/reporting.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace lognic::core {
+
+namespace {
+
+std::string
+format(const char* fmt, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    return buf;
+}
+
+std::string
+class_label(const TrafficProfile& traffic, std::size_t i)
+{
+    const auto& c = traffic.classes()[i];
+    std::ostringstream os;
+    os << static_cast<long long>(c.size.bytes()) << "B";
+    if (traffic.classes().size() > 1)
+        os << " (" << format("%.0f", 100.0 * c.weight) << "% of bytes)";
+    return os.str();
+}
+
+} // namespace
+
+std::string
+render_throughput(const ThroughputReport& report,
+                  const TrafficProfile& traffic)
+{
+    std::ostringstream os;
+    os << "Throughput: capacity "
+       << format("%.3f", report.capacity.gbps()) << " Gbps, achieved "
+       << format("%.3f", report.achieved.gbps()) << " Gbps at "
+       << format("%.3f", traffic.ingress_bandwidth().gbps())
+       << " Gbps offered\n";
+    for (std::size_t i = 0; i < report.per_class.size(); ++i) {
+        const auto& est = report.per_class[i];
+        os << "  class " << class_label(traffic, i) << ": capacity "
+           << format("%.3f", est.capacity.gbps()) << " Gbps\n";
+        for (const auto& term : est.terms) {
+            const bool binding = term.name == est.bottleneck.name
+                && term.kind == est.bottleneck.kind;
+            os << "    " << (binding ? "-> " : "   ")
+               << format("%10.3f", term.limit.gbps()) << " Gbps  "
+               << to_string(term.kind) << "  " << term.name
+               << (binding ? "  [bottleneck]" : "") << "\n";
+        }
+    }
+    return os.str();
+}
+
+std::string
+render_latency(const LatencyReport& report, const TrafficProfile& traffic)
+{
+    std::ostringstream os;
+    os << "Latency: mean " << format("%.3f", report.mean.micros())
+       << " us";
+    if (report.max_drop_probability > 0.0)
+        os << ", worst drop probability "
+           << format("%.4f", report.max_drop_probability);
+    os << "\n";
+    for (std::size_t i = 0; i < report.per_class.size(); ++i) {
+        const auto& est = report.per_class[i];
+        os << "  class " << class_label(traffic, i) << ": "
+           << format("%.3f", est.mean.micros()) << " us, goodput "
+           << format("%.3f", est.goodput.gbps()) << " Gbps\n";
+        for (const auto& path : est.paths) {
+            os << "    path (weight " << format("%.2f", path.weight)
+               << "): " << format("%.3f", path.total.micros()) << " us\n";
+            for (const auto& hop : path.hops) {
+                os << "      " << hop.vertex << ": Q="
+                   << format("%.3f", hop.queueing.micros()) << " C="
+                   << format("%.3f", hop.compute.micros()) << " O="
+                   << format("%.3f", hop.overhead.micros()) << " xfer="
+                   << format("%.3f", hop.transfer.micros()) << " us\n";
+            }
+        }
+    }
+    return os.str();
+}
+
+std::string
+render_report(const Report& report, const TrafficProfile& traffic)
+{
+    return render_throughput(report.throughput, traffic)
+        + render_latency(report.latency, traffic);
+}
+
+std::string
+to_dot(const ExecutionGraph& graph, const HardwareModel& hw)
+{
+    std::ostringstream os;
+    os << "digraph \"" << graph.name() << "\" {\n"
+       << "  rankdir=LR;\n"
+       << "  node [shape=box, fontname=\"monospace\"];\n";
+
+    for (VertexId v = 0; v < graph.vertex_count(); ++v) {
+        const Vertex& vx = graph.vertex(v);
+        os << "  v" << v << " [label=\"" << vx.name;
+        switch (vx.kind) {
+          case VertexKind::kIngress:
+          case VertexKind::kEgress:
+            os << "\\n(" << to_string(vx.kind) << " @ "
+               << format("%.0f", hw.line_rate().gbps()) << "G)\"";
+            os << ", shape=ellipse";
+            break;
+          case VertexKind::kRateLimiter:
+            os << "\\n(shaper @ " << format("%.1f", vx.rate_limit.gbps())
+               << "G, N=" << vx.params.queue_capacity << ")\"";
+            os << ", shape=hexagon";
+            break;
+          case VertexKind::kIp: {
+            const IpSpec& spec = hw.ip(vx.ip);
+            const std::uint32_t d = vx.params.parallelism > 0
+                ? vx.params.parallelism
+                : spec.max_engines;
+            const std::uint32_t n = vx.params.queue_capacity > 0
+                ? vx.params.queue_capacity
+                : spec.default_queue_capacity;
+            os << "\\n(" << to_string(spec.kind) << " " << spec.name
+               << ", D=" << d << ", N=" << n;
+            if (vx.params.partition < 1.0)
+                os << ", g=" << format("%.2f", vx.params.partition);
+            os << ")\"";
+            break;
+          }
+        }
+        os << "];\n";
+    }
+
+    for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+        const Edge& ed = graph.edge(e);
+        const EdgeParams& p = ed.params;
+        os << "  v" << ed.from << " -> v" << ed.to << " [label=\"d="
+           << format("%.2f", p.delta);
+        if (p.alpha > 0.0)
+            os << " a=" << format("%.2f", p.alpha);
+        if (p.beta > 0.0)
+            os << " b=" << format("%.2f", p.beta);
+        if (p.dedicated_bw)
+            os << " bw=" << format("%.1f", p.dedicated_bw->gbps()) << "G";
+        os << "\"];\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace lognic::core

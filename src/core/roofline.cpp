@@ -1,0 +1,36 @@
+#include "lognic/core/roofline.hpp"
+
+#include <algorithm>
+
+namespace lognic::core {
+
+Bandwidth
+ExtendedRoofline::attainable(Bytes size, std::uint32_t engines,
+                             double share) const
+{
+    Bandwidth best = engine_.throughput(size) * static_cast<double>(engines)
+        * share;
+    for (const auto& c : ceilings_)
+        best = std::min(best, c.bw * share);
+    return best;
+}
+
+std::string
+ExtendedRoofline::binding_factor(Bytes size, std::uint32_t engines,
+                                 double share) const
+{
+    const Bandwidth compute =
+        engine_.throughput(size) * static_cast<double>(engines) * share;
+    std::string binding = "compute";
+    Bandwidth best = compute;
+    for (const auto& c : ceilings_) {
+        const Bandwidth capped = c.bw * share;
+        if (capped < best) {
+            best = capped;
+            binding = c.name;
+        }
+    }
+    return binding;
+}
+
+} // namespace lognic::core

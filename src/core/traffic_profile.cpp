@@ -1,0 +1,73 @@
+#include "lognic/core/traffic_profile.hpp"
+
+#include <stdexcept>
+
+namespace lognic::core {
+
+TrafficProfile::TrafficProfile() : classes_{PacketClass{}} {}
+
+TrafficProfile
+TrafficProfile::fixed(Bytes packet_size, Bandwidth ingress_bw)
+{
+    return mixed({PacketClass{packet_size, 1.0}}, ingress_bw);
+}
+
+TrafficProfile
+TrafficProfile::mixed(std::vector<PacketClass> classes, Bandwidth ingress_bw)
+{
+    if (classes.empty())
+        throw std::invalid_argument("TrafficProfile: no packet classes");
+    double total = 0.0;
+    for (const auto& c : classes) {
+        if (c.size.bytes() <= 0.0)
+            throw std::invalid_argument(
+                "TrafficProfile: packet size must be positive");
+        if (c.weight <= 0.0)
+            throw std::invalid_argument(
+                "TrafficProfile: class weight must be positive");
+        total += c.weight;
+    }
+    if (ingress_bw.bits_per_sec() <= 0.0)
+        throw std::invalid_argument(
+            "TrafficProfile: ingress bandwidth must be positive");
+
+    TrafficProfile p;
+    p.ingress_bw_ = ingress_bw;
+    p.classes_ = std::move(classes);
+    for (auto& c : p.classes_)
+        c.weight /= total;
+    return p;
+}
+
+Bytes
+TrafficProfile::mean_packet_size() const
+{
+    double mean = 0.0;
+    for (const auto& c : classes_)
+        mean += c.weight * c.size.bytes();
+    return Bytes{mean};
+}
+
+Bytes
+TrafficProfile::granularity(std::size_t class_index) const
+{
+    if (class_index >= classes_.size())
+        throw std::out_of_range("TrafficProfile: bad class index");
+    if (granularity_override_)
+        return *granularity_override_;
+    return classes_[class_index].size;
+}
+
+TrafficProfile
+TrafficProfile::class_profile(std::size_t class_index) const
+{
+    if (class_index >= classes_.size())
+        throw std::out_of_range("TrafficProfile: bad class index");
+    TrafficProfile p;
+    p.ingress_bw_ = ingress_bw_;
+    p.classes_ = {PacketClass{classes_[class_index].size, 1.0}};
+    p.granularity_override_ = granularity_override_;
+    return p;
+}
+
+} // namespace lognic::core

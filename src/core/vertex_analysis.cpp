@@ -1,0 +1,76 @@
+#include "lognic/core/vertex_analysis.hpp"
+
+#include <algorithm>
+
+namespace lognic::core {
+
+VertexAnalysis
+analyze_vertex(const ExecutionGraph& graph, const HardwareModel& hw,
+               VertexId v, const TrafficProfile& traffic,
+               std::size_t class_index)
+{
+    VertexAnalysis out;
+    const Vertex& vx = graph.vertex(v);
+    const Bytes g_in = traffic.granularity(class_index);
+    const Bandwidth bw_in = traffic.ingress_bandwidth();
+
+    if (vx.kind == VertexKind::kIngress || vx.kind == VertexKind::kEgress) {
+        out.passthrough = true;
+        out.request_size = g_in;
+        out.attainable = hw.line_rate();
+        return out;
+    }
+
+    const double delta_sum = graph.in_delta_sum(v);
+    // Requests keep the ingress granularity: delta is the *fraction of
+    // traffic* steered onto an edge, not a per-packet payload scaling, so a
+    // vertex receiving 65% of the packets still serves g_in-sized requests.
+    // (The paper's Eq. 7 writes the granularity as g_in * sum(delta) /
+    // indegree, which coincides with g_in on the single-predecessor,
+    // delta = 1 chains it derives; for fan-in vertices the physical
+    // request size is g_in, and the resulting utilization rho =
+    // BW_in * sum(delta) / P_vi matches Eq. 11 either way.)
+    out.request_size = g_in;
+
+    if (vx.kind == VertexKind::kRateLimiter) {
+        // Extension #3 (S3.7): a pure enqueue/dequeue block whose "compute"
+        // capacity is the shaping rate; the queue captures resource idleness.
+        out.parallelism = 1;
+        out.queue_capacity = std::max<std::uint32_t>(
+            vx.params.queue_capacity, 1);
+        out.attainable = vx.rate_limit;
+    } else {
+        const IpSpec& spec = hw.ip(vx.ip);
+        out.parallelism = vx.params.parallelism > 0
+            ? vx.params.parallelism
+            : spec.max_engines;
+        out.queue_capacity = vx.params.queue_capacity > 0
+            ? vx.params.queue_capacity
+            : spec.default_queue_capacity;
+        out.attainable = spec.roofline.attainable(
+            out.request_size, out.parallelism, vx.params.partition);
+    }
+
+    if (delta_sum <= 0.0 || out.request_size.bytes() <= 0.0) {
+        // The vertex sees no traffic: infinitely fast from the flow's view.
+        out.compute_time = Seconds{0.0};
+        out.lambda = 0.0;
+        out.mu = 0.0;
+        out.rho = 0.0;
+        return out;
+    }
+
+    // Eq. 7 (with the physical request granularity): one engine serves a
+    // g_in-sized request at the vertex's per-engine rate P_vi / D_vi.
+    const double d = static_cast<double>(out.parallelism);
+    out.compute_time = Seconds{
+        d * out.request_size.bits() / out.attainable.bits_per_sec()};
+
+    // Eq. 11: per-engine arrival rate of the vertex's traffic share.
+    out.lambda = bw_in.bits_per_sec() * delta_sum / (d * g_in.bits());
+    out.mu = 1.0 / out.compute_time.seconds();
+    out.rho = bw_in.bits_per_sec() * delta_sum / out.attainable.bits_per_sec();
+    return out;
+}
+
+} // namespace lognic::core

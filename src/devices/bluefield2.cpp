@@ -1,0 +1,148 @@
+#include "lognic/devices/bluefield2.hpp"
+
+#include <stdexcept>
+
+namespace lognic::devices {
+
+namespace {
+
+const Bandwidth kLineRate = Bandwidth::from_gbps(100.0);
+const Bandwidth kInterconnect = Bandwidth::from_gbps(200.0);
+const Bandwidth kDram = Bandwidth::from_gbps(120.0);
+/// One A72 core streaming packet payload through an NF.
+const Bandwidth kArmStream = Bandwidth::from_gbps(8.0);
+
+struct NfEntry {
+    NetworkFunction nf;
+    const char* name;
+    double arm_fixed_us;   ///< ARM per-packet fixed cost
+    const char* accel;     ///< accelerator IP name; nullptr = ARM only
+    double prep_us;        ///< ARM-side offload preparation (O_i)
+};
+
+constexpr NfEntry kNfs[] = {
+    {NetworkFunction::kFirewall, "fw", 0.22, "regex", 0.55},
+    {NetworkFunction::kLoadBalancer, "lb", 0.20, "hash", 0.50},
+    {NetworkFunction::kDpi, "dpi", 0.60, nullptr, 0.0},
+    {NetworkFunction::kNat, "nat", 0.24, "conntrack", 0.50},
+    {NetworkFunction::kEncryption, "pe", 0.70, "crypto", 0.35},
+};
+
+struct AccelEntry {
+    const char* name;
+    std::uint32_t engines;
+    double fixed_us;       ///< per-op engine cost
+    double stream_gbps;    ///< per-engine payload streaming rate
+};
+
+constexpr AccelEntry kAccels[] = {
+    {"regex", 4, 0.45, 40.0},
+    {"hash", 2, 0.25, 14.0}, // low ceiling: the optimizer's escape hatch
+    {"conntrack", 2, 0.30, 80.0},
+    {"crypto", 4, 0.35, 80.0},
+};
+
+const NfEntry&
+nf_entry(NetworkFunction nf)
+{
+    for (const auto& e : kNfs) {
+        if (e.nf == nf)
+            return e;
+    }
+    throw std::invalid_argument("bluefield2: unknown network function");
+}
+
+} // namespace
+
+const char*
+to_string(NetworkFunction nf)
+{
+    return nf_entry(nf).name;
+}
+
+std::vector<NetworkFunction>
+nf_chain_order()
+{
+    return {NetworkFunction::kFirewall, NetworkFunction::kLoadBalancer,
+            NetworkFunction::kDpi, NetworkFunction::kNat,
+            NetworkFunction::kEncryption};
+}
+
+bool
+nf_accelerable(NetworkFunction nf)
+{
+    return nf_entry(nf).accel != nullptr;
+}
+
+const char*
+nf_accelerator(NetworkFunction nf)
+{
+    const NfEntry& e = nf_entry(nf);
+    if (e.accel == nullptr)
+        throw std::invalid_argument(
+            "bluefield2: DPI has no hardware-accelerated implementation");
+    return e.accel;
+}
+
+Seconds
+bf2_arm_cost(NetworkFunction nf, Bytes packet)
+{
+    return Seconds::from_micros(nf_entry(nf).arm_fixed_us)
+        + packet / kArmStream;
+}
+
+Seconds
+bf2_offload_prep(NetworkFunction nf)
+{
+    return Seconds::from_micros(nf_entry(nf).prep_us);
+}
+
+Bandwidth
+bf2_arm_stream_rate()
+{
+    return kArmStream;
+}
+
+core::HardwareModel
+bluefield2()
+{
+    core::HardwareModel hw("BlueField-2", kInterconnect, kDram, kLineRate);
+    for (const auto& a : kAccels) {
+        core::ServiceModel engine;
+        engine.fixed_cost = Seconds::from_micros(a.fixed_us);
+        engine.byte_rate = Bandwidth::from_gbps(a.stream_gbps);
+
+        core::IpSpec spec;
+        spec.name = a.name;
+        spec.kind = core::IpKind::kAccelerator;
+        spec.roofline = core::ExtendedRoofline(
+            engine, {{"interconnect", kInterconnect}});
+        spec.max_engines = a.engines;
+        spec.default_queue_capacity = 64;
+        hw.add_ip(std::move(spec));
+    }
+    return hw;
+}
+
+core::IpId
+add_arm_ip(core::HardwareModel& hw, const std::string& name, Seconds fixed,
+           double streamed_passes, std::uint32_t cores)
+{
+    if (cores == 0 || cores > 8)
+        throw std::invalid_argument("bluefield2: 1..8 ARM cores");
+    core::ServiceModel engine;
+    engine.fixed_cost = fixed;
+    engine.byte_rate = streamed_passes > 0.0
+        ? kArmStream / streamed_passes
+        : Bandwidth::from_gbps(1e6);
+
+    core::IpSpec spec;
+    spec.name = name;
+    spec.kind = core::IpKind::kCpuCores;
+    spec.roofline = core::ExtendedRoofline(engine, {});
+    spec.max_engines = cores;
+    spec.default_queue_capacity = 256;
+    return hw.add_ip(std::move(spec));
+}
+
+} // namespace lognic::devices

@@ -1,0 +1,140 @@
+#include "lognic/devices/liquidio.hpp"
+
+#include <stdexcept>
+
+namespace lognic::devices {
+
+namespace {
+
+/// CMI feed into the on-chip crypto units.
+const Bandwidth kCmiBw = Bandwidth::from_gbps(50.0);
+/// I/O interconnect feed into the off-chip HFA/ZIP engines.
+const Bandwidth kIoBw = Bandwidth::from_gbps(40.0);
+/// 25 GbE ports.
+const Bandwidth kLineRate = Bandwidth::from_gbps(25.0);
+
+/// Streaming rate of one cnMIPS core touching packet payloads.
+const Bandwidth kCoreStreamRate = Bandwidth::from_gigabytes_per_sec(4.0);
+
+/// Accelerator engines are op-dominated; payload streaming is fast enough
+/// that the interconnect ceilings, not the engine, bound large transfers.
+const Bandwidth kAccelStreamRate = Bandwidth::from_gbps(1600.0);
+
+struct KernelEntry {
+    LiquidIoKernel kernel;
+    const char* name;
+    double accel_mops;     ///< calibrated P_IP2 (DESIGN.md S5)
+    double core_fixed_us;  ///< per-request core orchestration fixed cost
+    bool off_chip;
+};
+
+/// The calibrated catalog (see the file header for the derivations).
+constexpr KernelEntry kCatalog[] = {
+    {LiquidIoKernel::kCrc, "crc", 2.80, 2.500, false},
+    {LiquidIoKernel::kMd5, "md5", 1.80, 4.425, false},
+    {LiquidIoKernel::k3Des, "3des", 2.20, 4.600, false},
+    {LiquidIoKernel::kAes, "aes", 2.00, 4.200, false},
+    {LiquidIoKernel::kSms4, "sms4", 1.30, 4.400, false},
+    {LiquidIoKernel::kKasumi, "kasumi", 1.70, 4.125, false},
+    {LiquidIoKernel::kSha1, "sha1", 1.60, 4.300, false},
+    {LiquidIoKernel::kHfa, "hfa", 1.182, 8.625, true},
+    {LiquidIoKernel::kZip, "zip", 0.90, 10.000, true},
+};
+
+const KernelEntry&
+entry(LiquidIoKernel kernel)
+{
+    for (const auto& e : kCatalog) {
+        if (e.kernel == kernel)
+            return e;
+    }
+    throw std::invalid_argument("liquidio: unknown kernel");
+}
+
+} // namespace
+
+const char*
+to_string(LiquidIoKernel kernel)
+{
+    return entry(kernel).name;
+}
+
+std::vector<LiquidIoKernel>
+liquidio_kernels()
+{
+    std::vector<LiquidIoKernel> out;
+    for (const auto& e : kCatalog)
+        out.push_back(e.kernel);
+    return out;
+}
+
+bool
+is_off_chip(LiquidIoKernel kernel)
+{
+    return entry(kernel).off_chip;
+}
+
+OpsRate
+liquidio_accel_rate(LiquidIoKernel kernel)
+{
+    return OpsRate::from_mops(entry(kernel).accel_mops);
+}
+
+Bandwidth
+liquidio_line_rate()
+{
+    return kLineRate;
+}
+
+core::HardwareModel
+liquidio_cn2360()
+{
+    core::HardwareModel hw("LiquidIO-II CN2360", kIoBw, kCmiBw, kLineRate);
+    for (const auto& e : kCatalog) {
+        core::ServiceModel engine;
+        engine.fixed_cost = Seconds{1.0 / (e.accel_mops * 1e6)};
+        engine.byte_rate = kAccelStreamRate;
+
+        const core::BandwidthCeiling feed = e.off_chip
+            ? core::BandwidthCeiling{"io-interconnect", kIoBw}
+            : core::BandwidthCeiling{"cmi", kCmiBw};
+
+        core::IpSpec spec;
+        spec.name = e.name;
+        spec.kind = core::IpKind::kAccelerator;
+        spec.roofline = core::ExtendedRoofline(engine, {feed});
+        spec.max_engines = 1;
+        spec.default_queue_capacity = 64;
+        hw.add_ip(std::move(spec));
+    }
+    return hw;
+}
+
+Seconds
+liquidio_core_cost(LiquidIoKernel kernel, Bytes packet)
+{
+    return Seconds::from_micros(entry(kernel).core_fixed_us)
+        + packet / kCoreStreamRate;
+}
+
+core::IpId
+add_core_ip(core::HardwareModel& hw, LiquidIoKernel kernel,
+            std::uint32_t cores)
+{
+    if (cores == 0 || cores > 16)
+        throw std::invalid_argument(
+            "liquidio: the CN2360 has 1..16 cnMIPS cores");
+    core::ServiceModel engine;
+    engine.fixed_cost = Seconds::from_micros(entry(kernel).core_fixed_us);
+    engine.byte_rate = kCoreStreamRate;
+
+    core::IpSpec spec;
+    spec.name = std::string("cores-") + entry(kernel).name;
+    spec.kind = core::IpKind::kCpuCores;
+    spec.roofline = core::ExtendedRoofline(engine, {});
+    spec.max_engines = cores;
+    spec.default_queue_capacity = 128;
+    return hw.add_ip(std::move(spec));
+}
+
+} // namespace lognic::devices

@@ -1,0 +1,85 @@
+#include "lognic/devices/panic_proto.hpp"
+
+namespace lognic::devices {
+
+namespace {
+
+const Bandwidth kFabric = Bandwidth::from_gbps(100.0);
+const Seconds kHop = Seconds::from_nanos(20.0);
+const Seconds kRmt = Seconds::from_nanos(300.0);
+
+core::IpSpec
+unit_ip(const std::string& name, Seconds fixed, Bandwidth stream,
+        std::uint32_t engines)
+{
+    core::ServiceModel svc;
+    svc.fixed_cost = fixed;
+    svc.byte_rate = stream;
+
+    core::IpSpec spec;
+    spec.name = name;
+    spec.kind = core::IpKind::kAccelerator;
+    spec.roofline = core::ExtendedRoofline(svc, {});
+    spec.max_engines = engines;
+    spec.default_queue_capacity = 32;
+    return spec;
+}
+
+} // namespace
+
+sim::PanicConfig
+panic_defaults()
+{
+    sim::PanicConfig cfg;
+    cfg.fabric_bw = kFabric;
+    cfg.hop_latency = kHop;
+    cfg.rmt_latency = kRmt;
+    return cfg;
+}
+
+sim::PanicUnit
+panic_unit(const std::string& name, Seconds fixed, Bandwidth stream,
+           std::uint32_t parallelism, std::uint32_t credits)
+{
+    sim::PanicUnit unit;
+    unit.name = name;
+    unit.service.fixed_cost = fixed;
+    unit.service.byte_rate = stream;
+    unit.parallelism = parallelism;
+    unit.credits = credits;
+    return unit;
+}
+
+core::HardwareModel
+panic_parallel_chain_hw()
+{
+    // Compute-throughput ratio A1:A2:A3 = 4:7:3 (40/70/30 Gbps at MTU):
+    // identical 10 Gbps engines, 4/7/3 of them.
+    core::HardwareModel hw("PANIC-model2", Bandwidth::from_gbps(100.0),
+                           Bandwidth::from_gbps(100.0),
+                           Bandwidth::from_gbps(100.0));
+    const Seconds fixed = Seconds::from_micros(0.2);
+    const Bandwidth stream = Bandwidth::from_gbps(12.0);
+    hw.add_ip(unit_ip("a1", fixed, stream, 4));
+    hw.add_ip(unit_ip("a2", fixed, stream, 7));
+    hw.add_ip(unit_ip("a3", fixed, stream, 3));
+    return hw;
+}
+
+core::HardwareModel
+panic_hybrid_chain_hw()
+{
+    // Four units of 11.5 Gbps-per-engine compute (at MTU).
+    core::HardwareModel hw("PANIC-model3", Bandwidth::from_gbps(200.0),
+                           Bandwidth::from_gbps(200.0),
+                           Bandwidth::from_gbps(100.0));
+    const Seconds fixed = Seconds::from_micros(0.1);
+    const Bandwidth stream = Bandwidth::from_gbps(12.72);
+    hw.add_ip(unit_ip("ip1", fixed, stream, 8));
+    hw.add_ip(unit_ip("ip2", fixed, stream, 4));
+    hw.add_ip(unit_ip("ip3", fixed, stream, 6));
+    hw.add_ip(unit_ip("ip4", fixed, stream, 8));
+    return hw;
+}
+
+} // namespace lognic::devices

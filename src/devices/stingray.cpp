@@ -1,0 +1,64 @@
+#include "lognic/devices/stingray.hpp"
+
+namespace lognic::devices {
+
+namespace {
+
+const Bandwidth kLineRate = Bandwidth::from_gbps(100.0);
+const Bandwidth kInterconnect = Bandwidth::from_gbps(200.0);
+const Bandwidth kDram = Bandwidth::from_gbps(150.0);
+/// PCIe Gen3 x4 to the drive, minus protocol overhead.
+const Bandwidth kSsdLink = Bandwidth::from_gbps(28.0);
+/// A72 @ 3.0 GHz touching descriptors/headers (payload DMA is offloaded).
+const Bandwidth kCoreStream = Bandwidth::from_gigabytes_per_sec(8.0);
+
+const Seconds kSubmitFixed = Seconds::from_micros(2.2);
+const Seconds kCompleteFixed = Seconds::from_micros(1.6);
+
+core::IpSpec
+core_ip(const char* name, Seconds fixed)
+{
+    core::ServiceModel engine;
+    engine.fixed_cost = fixed;
+    engine.byte_rate = kCoreStream;
+
+    core::IpSpec spec;
+    spec.name = name;
+    spec.kind = core::IpKind::kCpuCores;
+    spec.roofline = core::ExtendedRoofline(engine, {});
+    spec.max_engines = 8;
+    spec.default_queue_capacity = 256;
+    return spec;
+}
+
+} // namespace
+
+core::HardwareModel
+stingray_ps1100r()
+{
+    core::HardwareModel hw("Stingray PS1100R", kInterconnect, kDram,
+                           kLineRate);
+    hw.add_ip(core_ip("cores-submit", kSubmitFixed));
+    hw.add_ip(core_ip("cores-complete", kCompleteFixed));
+    return hw;
+}
+
+Bandwidth
+stingray_ssd_link()
+{
+    return kSsdLink;
+}
+
+Seconds
+stingray_submit_cost()
+{
+    return kSubmitFixed;
+}
+
+Seconds
+stingray_complete_cost()
+{
+    return kCompleteFixed;
+}
+
+} // namespace lognic::devices

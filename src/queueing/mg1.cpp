@@ -1,0 +1,43 @@
+#include "lognic/queueing/mg1.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lognic::queueing {
+
+Mg1Queue::Mg1Queue(double lambda, double mean_service, double service_scv)
+    : lambda_(lambda), mean_service_(mean_service), scv_(service_scv),
+      rho_(lambda * mean_service)
+{
+    if (lambda < 0.0 || !std::isfinite(lambda))
+        throw std::invalid_argument("Mg1Queue: lambda must be >= 0");
+    if (!(mean_service > 0.0) || !std::isfinite(mean_service))
+        throw std::invalid_argument("Mg1Queue: mean service must be > 0");
+    if (service_scv < 0.0 || !std::isfinite(service_scv))
+        throw std::invalid_argument("Mg1Queue: SCV must be >= 0");
+    if (rho_ >= 1.0)
+        throw std::invalid_argument("Mg1Queue: requires rho < 1");
+}
+
+double
+Mg1Queue::mean_queueing_delay() const
+{
+    // E[S^2] = (1 + SCV) E[S]^2.
+    const double second_moment =
+        (1.0 + scv_) * mean_service_ * mean_service_;
+    return lambda_ * second_moment / (2.0 * (1.0 - rho_));
+}
+
+double
+Mg1Queue::mean_sojourn_time() const
+{
+    return mean_queueing_delay() + mean_service_;
+}
+
+double
+Mg1Queue::mean_in_system() const
+{
+    return lambda_ * mean_sojourn_time();
+}
+
+} // namespace lognic::queueing

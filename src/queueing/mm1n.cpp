@@ -1,0 +1,177 @@
+#include "lognic/queueing/mm1n.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lognic::queueing {
+
+namespace {
+
+/**
+ * The textbook expressions (1 - rho^k) / (1 - rho) suffer catastrophic
+ * cancellation near rho = 1 (the two huge terms of Eq. 12 differ by
+ * O(N) while each is O(1/(1-rho))), so the distribution moments are
+ * computed by direct summation instead. To stay finite for rho > 1 and
+ * large N, terms are expressed relative to the largest one:
+ * e_k = rho^(k - N) when rho > 1, else rho^k; both stay in [0, 1].
+ *
+ * Sums return: S0 = sum e_k, S1 = sum k * e_k, plus e_N and e_0 for the
+ * boundary probabilities. All O(N), exact to machine precision.
+ */
+struct StableSums {
+    double s0{0.0};
+    double s1{0.0};
+    double e_first{0.0}; ///< e_0
+    double e_last{0.0};  ///< e_N
+};
+
+StableSums
+stable_sums(double rho, std::uint32_t n)
+{
+    StableSums out;
+    const bool heavy = rho > 1.0;
+    const double q = heavy ? 1.0 / rho : rho;
+    // Iterate from the largest term (k = N when heavy, k = 0 otherwise).
+    double term = 1.0;
+    for (std::uint32_t i = 0; i <= n; ++i) {
+        const std::uint32_t k = heavy ? n - i : i;
+        out.s0 += term;
+        out.s1 += static_cast<double>(k) * term;
+        if (k == 0)
+            out.e_first = term;
+        if (k == n)
+            out.e_last = term;
+        term *= q;
+    }
+    return out;
+}
+
+/// Treat rho within this distance of 1 as the singular case of the Eq. 12
+/// closed form (within the window the analytic limit is more accurate than
+/// the cancelling expression).
+constexpr double kUnitRhoEps = 1e-6;
+
+bool
+near_unit(double rho)
+{
+    return std::abs(rho - 1.0) < kUnitRhoEps;
+}
+
+} // namespace
+
+Mm1nQueue::Mm1nQueue(double lambda, double mu, std::uint32_t capacity)
+    : lambda_(lambda), mu_(mu), capacity_(capacity), rho_(lambda / mu)
+{
+    if (!(lambda > 0.0) || !std::isfinite(lambda))
+        throw std::invalid_argument("Mm1nQueue: lambda must be positive");
+    if (!(mu > 0.0) || !std::isfinite(mu))
+        throw std::invalid_argument("Mm1nQueue: mu must be positive");
+    if (capacity == 0)
+        throw std::invalid_argument("Mm1nQueue: capacity must be >= 1");
+}
+
+double
+Mm1nQueue::prob(std::uint32_t k) const
+{
+    if (k > capacity_)
+        return 0.0;
+    const StableSums sums = stable_sums(rho_, capacity_);
+    const double e_k = rho_ > 1.0
+        ? std::pow(rho_, static_cast<double>(k)
+                             - static_cast<double>(capacity_))
+        : std::pow(rho_, static_cast<double>(k));
+    return e_k / sums.s0;
+}
+
+double
+Mm1nQueue::mean_in_system() const
+{
+    const StableSums sums = stable_sums(rho_, capacity_);
+    return sums.s1 / sums.s0;
+}
+
+double
+Mm1nQueue::effective_arrival_rate() const
+{
+    return lambda_ * (1.0 - blocking_probability());
+}
+
+double
+Mm1nQueue::mean_sojourn_time() const
+{
+    return mean_in_system() / effective_arrival_rate();
+}
+
+double
+Mm1nQueue::mean_queueing_delay() const
+{
+    return mean_sojourn_time() - 1.0 / mu_;
+}
+
+double
+Mm1nQueue::paper_closed_form_delay() const
+{
+    const double n = static_cast<double>(capacity_);
+    if (near_unit(rho_)) {
+        // lim_{rho->1} rho/(1-rho) - N rho^N/(1-rho^N) = (N - 1) / 2.
+        return (n - 1.0) / (2.0 * mu_);
+    }
+    // N rho^N / (1 - rho^N) overflows for rho > 1 with large N; the
+    // reciprocal form N / (rho^-N - 1) is exact and stays finite (the
+    // underflowing rho^-N cleanly limits the term to -N).
+    double tail;
+    if (rho_ > 1.0) {
+        tail = n / (std::pow(1.0 / rho_, n) - 1.0);
+    } else {
+        const double rho_n = std::pow(rho_, n);
+        tail = n * rho_n / (1.0 - rho_n);
+    }
+    return (1.0 / mu_) * (rho_ / (1.0 - rho_) - tail);
+}
+
+Mm1Queue::Mm1Queue(double lambda, double mu)
+    : lambda_(lambda), mu_(mu), rho_(lambda / mu)
+{
+    if (lambda < 0.0 || !std::isfinite(lambda))
+        throw std::invalid_argument("Mm1Queue: lambda must be non-negative");
+    if (!(mu > 0.0) || !std::isfinite(mu))
+        throw std::invalid_argument("Mm1Queue: mu must be positive");
+    if (rho_ >= 1.0)
+        throw std::invalid_argument("Mm1Queue: requires lambda < mu");
+}
+
+MmcQueue::MmcQueue(double lambda, double mu, std::uint32_t servers)
+    : lambda_(lambda), mu_(mu), servers_(servers),
+      rho_(lambda / (mu * static_cast<double>(servers)))
+{
+    if (servers == 0)
+        throw std::invalid_argument("MmcQueue: need at least one server");
+    if (!(lambda >= 0.0) || !(mu > 0.0))
+        throw std::invalid_argument("MmcQueue: rates must be positive");
+    if (rho_ >= 1.0)
+        throw std::invalid_argument("MmcQueue: requires lambda < c * mu");
+
+    // Erlang-C, computed with the numerically stable iterative form of the
+    // Erlang-B recursion followed by the B->C conversion.
+    const double a = lambda_ / mu_; // offered load in Erlangs
+    double erlang_b = 1.0;
+    for (std::uint32_t k = 1; k <= servers_; ++k) {
+        erlang_b = a * erlang_b / (static_cast<double>(k) + a * erlang_b);
+    }
+    erlang_c_ = erlang_b / (1.0 - rho_ * (1.0 - erlang_b));
+}
+
+double
+MmcQueue::mean_queueing_delay() const
+{
+    const double c = static_cast<double>(servers_);
+    return erlang_c_ / (c * mu_ - lambda_);
+}
+
+double
+MmcQueue::mean_in_system() const
+{
+    return lambda_ * mean_queueing_delay() + lambda_ / mu_;
+}
+
+} // namespace lognic::queueing

@@ -1,0 +1,32 @@
+#include "lognic/sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace lognic::sim {
+
+void
+EventQueue::schedule_at(SimTime when, Action action)
+{
+    if (when < now_)
+        throw std::invalid_argument("EventQueue: scheduling into the past");
+    events_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+void
+EventQueue::run_until(SimTime horizon)
+{
+    while (!events_.empty() && events_.top().when <= horizon) {
+        // priority_queue::top() is const; move out via const_cast is UB, so
+        // copy the action handle (cheap: std::function) and pop.
+        Event ev = events_.top();
+        events_.pop();
+        now_ = ev.when;
+        ++executed_;
+        ev.action();
+    }
+    if (now_ < horizon)
+        now_ = horizon;
+}
+
+} // namespace lognic::sim

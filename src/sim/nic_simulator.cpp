@@ -1,0 +1,555 @@
+#include "lognic/sim/nic_simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lognic::sim {
+
+namespace {
+
+using core::Edge;
+using core::EdgeId;
+using core::ExecutionGraph;
+using core::HardwareModel;
+using core::TrafficProfile;
+using core::Vertex;
+using core::VertexId;
+using core::VertexKind;
+
+/// A packet in flight.
+struct Packet {
+    std::size_t class_index{0};
+    Bytes app_size{Bytes{0.0}};
+    SimTime created{0.0};
+};
+
+/// FIFO bandwidth server: transfers serialize, later ones wait.
+struct LinkServer {
+    Bandwidth bw{Bandwidth::from_gbps(0.0)};
+    SimTime free_at{0.0};
+
+    /// Returns the completion time of a transfer of @p payload starting not
+    /// earlier than @p now.
+    SimTime occupy(SimTime now, Bytes payload)
+    {
+        const SimTime start = std::max(now, free_at);
+        free_at = start + (payload / bw).seconds();
+        return free_at;
+    }
+};
+
+} // namespace
+
+const VertexStats&
+SimResult::busiest() const
+{
+    static const VertexStats empty{};
+    const VertexStats* best = &empty;
+    for (const auto& vs : vertex_stats) {
+        if (vs.utilization > best->utilization)
+            best = &vs;
+    }
+    return *best;
+}
+
+struct NicSimulator::Impl {
+    const HardwareModel& hw;
+    const ExecutionGraph& graph;
+    const TrafficProfile traffic;
+    const SimOptions options;
+
+    EventQueue events;
+    Rng rng;
+    SimTime warmup_end;
+    LatencyRecorder latencies;
+    ThroughputMeter delivered;
+    std::uint64_t generated{0};
+    std::uint64_t dropped{0};
+
+    // --- static per-vertex/per-class tables ---------------------------------
+
+    struct VertexState {
+        // Static:
+        std::uint32_t engines{1};
+        std::uint32_t capacity{1};
+        double service_scv{1.0};
+        std::vector<double> service_mean; ///< per class, seconds
+        std::vector<EdgeId> out;
+        std::vector<double> out_weights;
+        bool passthrough{false};
+        Seconds overhead{0.0};
+        // Queueing structure: one FIFO by default; one FIFO per in-edge
+        // (round-robin served, split capacity) when the vertex asks for
+        // per-input queues (Figure 2b).
+        std::vector<std::deque<Packet>> queues;
+        std::uint32_t per_queue_capacity{1};
+        std::size_t rr_cursor{0};
+        /// Queue index for each in-edge id (all 0 for the shared FIFO).
+        std::vector<std::pair<EdgeId, std::size_t>> queue_of_edge;
+        std::uint32_t busy{0};
+        // Measurement (accumulated after warmup):
+        double area_busy{0.0};     ///< integral of busy engines over time
+        double area_occupancy{0.0}; ///< integral of (queue + busy)
+        SimTime last_change{0.0};
+        std::uint64_t served{0};
+        std::uint64_t vertex_dropped{0};
+    };
+    std::vector<VertexState> vertices;
+
+    LinkServer interface_link;
+    LinkServer memory_link;
+    std::vector<LinkServer> dedicated_links; ///< one per edge (unused if none)
+
+    std::vector<double> class_pps_weight; ///< packet-count weights per class
+    double total_pps{0.0};
+    std::vector<VertexId> ingresses;
+    std::vector<double> ingress_weights; ///< delta shares per ingress
+
+    // Trace replay (optional): recorded sizes arrive in order.
+    const traffic::PacketTrace* trace{nullptr};
+    std::vector<std::size_t> trace_class; ///< profile class per position
+    std::size_t trace_pos{0};
+
+    Impl(const HardwareModel& hw_in, const ExecutionGraph& graph_in,
+         const TrafficProfile& traffic_in, SimOptions options_in)
+        : hw(hw_in), graph(graph_in), traffic(traffic_in),
+          options(options_in), rng(options_in.seed),
+          warmup_end(options_in.duration * options_in.warmup_fraction),
+          latencies(warmup_end), delivered(warmup_end)
+    {
+        graph.validate(hw);
+        if (options.duration <= 0.0)
+            throw std::invalid_argument("NicSimulator: duration must be > 0");
+
+        interface_link.bw = hw.interface_bandwidth();
+        memory_link.bw = hw.memory_bandwidth();
+        dedicated_links.resize(graph.edge_count());
+        for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+            if (graph.edge(e).params.dedicated_bw)
+                dedicated_links[e].bw = *graph.edge(e).params.dedicated_bw;
+        }
+
+        build_vertex_tables();
+        build_arrival_tables();
+
+        ingresses = graph.ingress_vertices();
+        ingress_weights.assign(ingresses.size(), 0.0);
+        double total = 0.0;
+        for (std::size_t i = 0; i < ingresses.size(); ++i) {
+            for (EdgeId e : graph.out_edges(ingresses[i]))
+                ingress_weights[i] += graph.edge(e).params.delta;
+            total += ingress_weights[i];
+        }
+        if (total <= 0.0)
+            ingress_weights.assign(ingresses.size(), 1.0);
+    }
+
+    void
+    build_vertex_tables()
+    {
+        const std::size_t nclasses = traffic.classes().size();
+        vertices.resize(graph.vertex_count());
+        for (VertexId v = 0; v < graph.vertex_count(); ++v) {
+            const Vertex& vx = graph.vertex(v);
+            VertexState& st = vertices[v];
+            st.out = graph.out_edges(v);
+            st.out_weights.reserve(st.out.size());
+            for (EdgeId e : st.out)
+                st.out_weights.push_back(graph.edge(e).params.delta);
+            st.overhead = vx.params.overhead;
+
+            if (vx.kind == VertexKind::kIngress
+                || vx.kind == VertexKind::kEgress) {
+                st.passthrough = true;
+                continue;
+            }
+
+            const auto ins = graph.in_edges(v);
+            if (vx.params.per_input_queues && ins.size() > 1) {
+                st.queues.resize(ins.size());
+                for (std::size_t q = 0; q < ins.size(); ++q)
+                    st.queue_of_edge.emplace_back(ins[q], q);
+            } else {
+                st.queues.resize(1);
+                for (EdgeId e : ins)
+                    st.queue_of_edge.emplace_back(e, 0);
+            }
+
+            st.service_mean.resize(nclasses);
+            for (std::size_t c = 0; c < nclasses; ++c) {
+                // Requests keep the ingress granularity (delta steers
+                // traffic; it does not shrink payloads).
+                const Bytes req = traffic.granularity(c);
+                if (vx.kind == VertexKind::kRateLimiter) {
+                    st.engines = 1;
+                    st.capacity = std::max<std::uint32_t>(
+                        vx.params.queue_capacity, 1);
+                    st.service_mean[c] = (req / vx.rate_limit).seconds();
+                } else {
+                    const core::IpSpec& spec = hw.ip(vx.ip);
+                    st.engines = vx.params.parallelism > 0
+                        ? vx.params.parallelism
+                        : spec.max_engines;
+                    st.capacity = vx.params.queue_capacity > 0
+                        ? vx.params.queue_capacity
+                        : spec.default_queue_capacity;
+                    st.service_scv = spec.service_scv;
+                    // A partitioned IP (gamma < 1) time-slices its engines.
+                    const double share = vx.params.partition;
+                    st.service_mean[c] = spec.roofline.engine()
+                                             .service_time(req)
+                                             .seconds()
+                        / (share * vx.params.acceleration);
+                }
+            }
+            st.per_queue_capacity = std::max<std::uint32_t>(
+                1, st.capacity
+                       / static_cast<std::uint32_t>(st.queues.size()));
+        }
+    }
+
+    void
+    build_arrival_tables()
+    {
+        const auto& classes = traffic.classes();
+        // The ingress engine cannot admit traffic faster than the port
+        // speed, no matter what load is offered.
+        const double admitted_bytes_per_sec =
+            std::min(traffic.ingress_bandwidth().bytes_per_sec(),
+                     hw.line_rate().bytes_per_sec());
+        class_pps_weight.reserve(classes.size());
+        total_pps = 0.0;
+        for (const auto& c : classes) {
+            // Byte weight w at size s contributes w * BW_in / s packets/s.
+            const double pps =
+                c.weight * admitted_bytes_per_sec / c.size.bytes();
+            class_pps_weight.push_back(pps);
+            total_pps += pps;
+        }
+        if (total_pps <= 0.0)
+            throw std::invalid_argument("NicSimulator: zero arrival rate");
+
+        if (options.burst.enabled) {
+            if (!options.poisson_arrivals)
+                throw std::invalid_argument(
+                    "NicSimulator: bursts require Poisson arrivals");
+            const double on = options.burst.on.seconds();
+            const double off = options.burst.off.seconds();
+            if (on <= 0.0 || off <= 0.0 || options.burst.intensity < 1.0)
+                throw std::invalid_argument(
+                    "NicSimulator: malformed burst model");
+            const double p_on = on / (on + off);
+            if (options.burst.intensity * p_on > 1.0 + 1e-12)
+                throw std::invalid_argument(
+                    "NicSimulator: burst intensity exceeds the mean "
+                    "(intensity * on-fraction must be <= 1)");
+        }
+    }
+
+    /// Instantaneous arrival-rate multiplier under the burst model
+    /// (deterministic ON/OFF cycle, Poisson within each phase).
+    double
+    rate_multiplier(SimTime t) const
+    {
+        if (!options.burst.enabled)
+            return 1.0;
+        const double on = options.burst.on.seconds();
+        const double off = options.burst.off.seconds();
+        const double phase = std::fmod(t, on + off);
+        const double p_on = on / (on + off);
+        if (phase < on)
+            return options.burst.intensity;
+        // Compensating OFF rate keeps the long-run mean at total_pps.
+        return (1.0 - options.burst.intensity * p_on) / (1.0 - p_on);
+    }
+
+    // --- dynamics -------------------------------------------------------------
+
+    /// Accumulate a vertex's busy/occupancy areas up to the current time.
+    void
+    touch(VertexState& st)
+    {
+        const SimTime now = events.now();
+        if (now <= warmup_end) {
+            st.last_change = warmup_end;
+            return;
+        }
+        const SimTime from = std::max(st.last_change, warmup_end);
+        const double dt = now - from;
+        if (dt > 0.0) {
+            std::size_t queued = 0;
+            for (const auto& q : st.queues)
+                queued += q.size();
+            st.area_busy += dt * static_cast<double>(st.busy);
+            st.area_occupancy += dt
+                * static_cast<double>(st.busy + queued);
+        }
+        st.last_change = now;
+    }
+
+    void
+    schedule_next_arrival()
+    {
+        // Thinning (Lewis-Shedler): sample at the peak rate and accept
+        // with probability rate(t) / peak — exact for the piecewise-
+        // constant burst profile, and exactly Poisson when bursts are off.
+        const double peak = options.burst.enabled
+            ? total_pps * options.burst.intensity
+            : total_pps;
+        const double gap = options.poisson_arrivals
+            ? rng.exponential(1.0 / peak)
+            : 1.0 / total_pps;
+        events.schedule_in(gap, [this, peak] {
+            if (events.now() >= options.duration)
+                return;
+            if (options.burst.enabled
+                && rng.uniform()
+                    > rate_multiplier(events.now()) * total_pps / peak) {
+                schedule_next_arrival(); // thinned out
+                return;
+            }
+            Packet pkt;
+            if (trace != nullptr) {
+                pkt.class_index =
+                    trace_class[trace_pos % trace_class.size()];
+                ++trace_pos;
+            } else {
+                pkt.class_index = rng.weighted_index(class_pps_weight);
+            }
+            pkt.app_size = traffic.classes()[pkt.class_index].size;
+            pkt.created = events.now();
+            ++generated;
+            const std::size_t which = ingresses.size() > 1
+                ? rng.weighted_index(ingress_weights)
+                : 0;
+            depart(pkt, ingresses[which]);
+            schedule_next_arrival();
+        });
+    }
+
+    /// The packet finished at @p v (or passed through); move it on.
+    void
+    depart(const Packet& pkt, VertexId v)
+    {
+        VertexState& st = vertices[v];
+        if (st.out.empty()) { // egress
+            latencies.record(events.now(),
+                             Seconds{events.now() - pkt.created});
+            delivered.record(events.now(), pkt.app_size);
+            return;
+        }
+        // Pick the outgoing edge by delta weights.
+        std::size_t pick = 0;
+        if (st.out.size() > 1) {
+            double wsum = 0.0;
+            for (double w : st.out_weights)
+                wsum += w;
+            pick = wsum > 0.0
+                ? rng.weighted_index(st.out_weights)
+                : static_cast<std::size_t>(rng.uniform()
+                                           * static_cast<double>(
+                                               st.out.size()));
+            pick = std::min(pick, st.out.size() - 1);
+        }
+        const EdgeId eid = st.out[pick];
+
+        // Overhead O_i first, then the transfer chain. Each link must be
+        // occupied *at the moment the packet reaches it* — reserving a
+        // link for a future instant would block other packets' transfers
+        // for the whole overhead duration.
+        events.schedule_in(st.overhead.seconds(), [this, pkt, eid] {
+            transfer_stage(pkt, eid, 0);
+        });
+    }
+
+    /// Run transfer stage @p stage (0 = interface, 1 = memory,
+    /// 2 = dedicated link) of edge @p eid, then deliver.
+    void
+    transfer_stage(const Packet& pkt, EdgeId eid, int stage)
+    {
+        const Edge& e = graph.edge(eid);
+        const Bytes g_in = traffic.granularity(pkt.class_index);
+        for (; stage < 3; ++stage) {
+            LinkServer* link = nullptr;
+            Bytes payload{0.0};
+            if (stage == 0 && e.params.alpha > 0.0) {
+                link = &interface_link;
+                payload = Bytes{g_in.bytes() * e.params.alpha};
+            } else if (stage == 1 && e.params.beta > 0.0) {
+                link = &memory_link;
+                payload = Bytes{g_in.bytes() * e.params.beta};
+            } else if (stage == 2 && e.params.dedicated_bw) {
+                link = &dedicated_links[eid];
+                payload = Bytes{g_in.bytes() * e.params.delta};
+            }
+            if (link != nullptr) {
+                const SimTime end = link->occupy(events.now(), payload);
+                events.schedule_at(end, [this, pkt, eid, stage] {
+                    transfer_stage(pkt, eid, stage + 1);
+                });
+                return;
+            }
+        }
+        arrive(pkt, e.to, eid);
+    }
+
+    void
+    arrive(const Packet& pkt, VertexId v, EdgeId via)
+    {
+        VertexState& st = vertices[v];
+        if (st.passthrough) {
+            depart(pkt, v);
+            return;
+        }
+        std::size_t qi = 0;
+        for (const auto& [edge, index] : st.queue_of_edge) {
+            if (edge == via) {
+                qi = index;
+                break;
+            }
+        }
+        if (st.queues.size() == 1) {
+            // Shared FIFO: the whole capacity N bounds queue + service.
+            std::size_t queued = st.queues[0].size();
+            if (queued + st.busy >= st.capacity) {
+                ++dropped;
+                ++st.vertex_dropped;
+                return;
+            }
+        } else if (st.queues[qi].size() >= st.per_queue_capacity) {
+            // Per-input queue full: only this input's share overflows.
+            ++dropped;
+            ++st.vertex_dropped;
+            return;
+        }
+        touch(st);
+        st.queues[qi].push_back(pkt);
+        try_dispatch(v);
+    }
+
+    void
+    try_dispatch(VertexId v)
+    {
+        VertexState& st = vertices[v];
+        auto next_queue = [&st]() -> std::deque<Packet>* {
+            // Round-robin scan starting after the last served queue.
+            for (std::size_t i = 0; i < st.queues.size(); ++i) {
+                const std::size_t q =
+                    (st.rr_cursor + 1 + i) % st.queues.size();
+                if (!st.queues[q].empty()) {
+                    st.rr_cursor = q;
+                    return &st.queues[q];
+                }
+            }
+            return nullptr;
+        };
+        std::deque<Packet>* queue = nullptr;
+        while (st.busy < st.engines && (queue = next_queue()) != nullptr) {
+            touch(st);
+            const Packet pkt = queue->front();
+            queue->pop_front();
+            ++st.busy;
+            const double mean = st.service_mean[pkt.class_index];
+            // exponential_service = false forces determinism everywhere;
+            // otherwise each IP's own variability (SCV) governs.
+            const double service = options.exponential_service
+                ? rng.with_scv(mean, st.service_scv)
+                : mean;
+            events.schedule_in(service, [this, pkt, v] {
+                VertexState& s2 = vertices[v];
+                touch(s2);
+                --s2.busy;
+                ++s2.served;
+                try_dispatch(v);
+                depart(pkt, v);
+            });
+        }
+    }
+};
+
+NicSimulator::NicSimulator(const HardwareModel& hw,
+                           const ExecutionGraph& graph,
+                           const TrafficProfile& traffic, SimOptions options)
+    : impl_(std::make_unique<Impl>(hw, graph, traffic, options))
+{
+}
+
+NicSimulator::~NicSimulator() = default;
+
+SimResult
+NicSimulator::run()
+{
+    Impl& s = *impl_;
+    s.schedule_next_arrival();
+    s.events.run_until(s.options.duration);
+
+    SimResult r;
+    r.delivered = s.delivered.bandwidth(s.options.duration);
+    r.delivered_ops = s.delivered.rate(s.options.duration);
+    r.mean_latency = s.latencies.mean();
+    r.p50_latency = s.latencies.p50();
+    r.p99_latency = s.latencies.p99();
+    r.generated = s.generated;
+    r.completed = s.delivered.requests();
+    r.dropped = s.dropped;
+    r.drop_rate = s.generated > 0
+        ? static_cast<double>(s.dropped) / static_cast<double>(s.generated)
+        : 0.0;
+
+    // Close out the per-vertex accounting at the horizon.
+    const double window = s.options.duration - s.warmup_end;
+    for (core::VertexId v = 0; v < s.graph.vertex_count(); ++v) {
+        auto& st = s.vertices[v];
+        if (st.passthrough)
+            continue;
+        s.touch(st);
+        VertexStats vs;
+        vs.name = s.graph.vertex(v).name;
+        if (window > 0.0) {
+            vs.utilization = st.area_busy
+                / (window * static_cast<double>(st.engines));
+            vs.mean_occupancy = st.area_occupancy / window;
+        }
+        vs.served = st.served;
+        vs.dropped = st.vertex_dropped;
+        r.vertex_stats.push_back(std::move(vs));
+    }
+    return r;
+}
+
+SimResult
+simulate(const core::HardwareModel& hw, const core::ExecutionGraph& graph,
+         const core::TrafficProfile& traffic, SimOptions options)
+{
+    NicSimulator sim(hw, graph, traffic, options);
+    return sim.run();
+}
+
+SimResult
+simulate_trace(const core::HardwareModel& hw,
+               const core::ExecutionGraph& graph,
+               const traffic::PacketTrace& trace, SimOptions options)
+{
+    // Service-time tables come from the trace's size histogram; arrivals
+    // then replay the recorded order at the recorded mean rate.
+    options.poisson_arrivals = trace.poisson;
+    const core::TrafficProfile profile = traffic::histogram_profile(trace);
+    NicSimulator sim(hw, graph, profile, options);
+    auto& impl = *sim.impl_;
+    impl.trace = &trace;
+    impl.trace_class.reserve(trace.sizes.size());
+    for (Bytes s : trace.sizes) {
+        std::size_t ci = 0;
+        for (std::size_t c = 0; c < profile.classes().size(); ++c) {
+            if (profile.classes()[c].size.bytes() == s.bytes()) {
+                ci = c;
+                break;
+            }
+        }
+        impl.trace_class.push_back(ci);
+    }
+    return sim.run();
+}
+
+} // namespace lognic::sim

@@ -1,0 +1,234 @@
+#include "lognic/sim/panic.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace lognic::sim {
+
+namespace {
+
+struct Packet {
+    std::size_t class_index{0};
+    Bytes size{Bytes{0.0}};
+    SimTime created{0.0};
+    std::size_t chain{0};
+    std::size_t stage{0}; ///< index into the chain's unit list
+};
+
+struct UnitState {
+    std::uint32_t credits_free{0};
+    std::uint32_t busy{0};
+    std::deque<Packet> pending; ///< held at the central scheduler
+    std::deque<Packet> buffer;  ///< on-unit, waiting for an engine
+};
+
+struct PanicSim {
+    const PanicConfig& config;
+    const core::TrafficProfile& traffic;
+    const SimOptions& options;
+
+    EventQueue events;
+    Rng rng;
+    SimTime warmup_end;
+    LatencyRecorder latencies;
+    ThroughputMeter delivered;
+    std::uint64_t generated{0};
+    std::uint64_t dropped{0};
+
+    std::vector<UnitState> units;
+    std::vector<double> chain_weights;
+    std::vector<double> class_pps_weight;
+    double total_pps{0.0};
+
+    // The switching fabric is a crossbar: each unit's ingress port (and
+    // the TX port) has the full fabric bandwidth; only same-port transfers
+    // serialize.
+    struct LinkFree {
+        SimTime free_at{0.0};
+    };
+    std::vector<LinkFree> fabric_ports;
+
+    PanicSim(const PanicConfig& cfg, const core::TrafficProfile& tp,
+             const SimOptions& opts)
+        : config(cfg), traffic(tp), options(opts), rng(opts.seed),
+          warmup_end(opts.duration * opts.warmup_fraction),
+          latencies(warmup_end), delivered(warmup_end)
+    {
+        if (config.units.empty() || config.chains.empty())
+            throw std::invalid_argument("simulate_panic: empty config");
+        for (const auto& chain : config.chains) {
+            if (chain.units.empty())
+                throw std::invalid_argument("simulate_panic: empty chain");
+            for (std::size_t u : chain.units) {
+                if (u >= config.units.size())
+                    throw std::invalid_argument(
+                        "simulate_panic: chain references unknown unit");
+            }
+            chain_weights.push_back(chain.weight);
+        }
+        units.resize(config.units.size());
+        for (std::size_t u = 0; u < config.units.size(); ++u) {
+            if (config.units[u].credits == 0)
+                throw std::invalid_argument(
+                    "simulate_panic: unit needs at least one credit");
+            units[u].credits_free = config.units[u].credits;
+        }
+        for (const auto& c : traffic.classes()) {
+            const double pps = c.weight
+                * traffic.ingress_bandwidth().bytes_per_sec()
+                / c.size.bytes();
+            class_pps_weight.push_back(pps);
+            total_pps += pps;
+        }
+        fabric_ports.resize(config.units.size() + 1); // +1: the TX port
+    }
+
+    SimTime
+    fabric_transfer(SimTime earliest, Bytes payload, std::size_t port)
+    {
+        LinkFree& p = fabric_ports[port];
+        const SimTime start = std::max(earliest, p.free_at);
+        p.free_at = start + (payload / config.fabric_bw).seconds();
+        return p.free_at + config.hop_latency.seconds();
+    }
+
+    void
+    schedule_next_arrival()
+    {
+        const double gap = options.poisson_arrivals
+            ? rng.exponential(1.0 / total_pps)
+            : 1.0 / total_pps;
+        events.schedule_in(gap, [this] {
+            if (events.now() >= options.duration)
+                return;
+            Packet pkt;
+            pkt.class_index = rng.weighted_index(class_pps_weight);
+            pkt.size = traffic.classes()[pkt.class_index].size;
+            pkt.created = events.now();
+            pkt.chain = rng.weighted_index(chain_weights);
+            ++generated;
+            // RMT parse, then hand the packet to the scheduler.
+            events.schedule_in(config.rmt_latency.seconds(),
+                               [this, pkt] { enqueue_at_scheduler(pkt); });
+            schedule_next_arrival();
+        });
+    }
+
+    void
+    enqueue_at_scheduler(const Packet& pkt)
+    {
+        const std::size_t u = config.chains[pkt.chain].units[pkt.stage];
+        if (pkt.stage == 0
+            && units[u].pending.size() >= config.scheduler_queue_capacity) {
+            // The central packet buffer is full: shed new arrivals.
+            // Mid-chain packets are never shed (they already own buffering).
+            ++dropped;
+            return;
+        }
+        units[u].pending.push_back(pkt);
+        try_dispatch(u);
+    }
+
+    void
+    try_dispatch(std::size_t u)
+    {
+        UnitState& st = units[u];
+        while (st.credits_free > 0 && !st.pending.empty()) {
+            const Packet pkt = st.pending.front();
+            st.pending.pop_front();
+            --st.credits_free;
+            const SimTime arrive = fabric_transfer(events.now(), pkt.size, u);
+            events.schedule_at(arrive, [this, pkt, u] {
+                units[u].buffer.push_back(pkt);
+                try_serve(u);
+            });
+        }
+    }
+
+    void
+    try_serve(std::size_t u)
+    {
+        UnitState& st = units[u];
+        const PanicUnit& spec = config.units[u];
+        while (st.busy < spec.parallelism && !st.buffer.empty()) {
+            const Packet pkt = st.buffer.front();
+            st.buffer.pop_front();
+            ++st.busy;
+            const double mean = spec.service.service_time(pkt.size).seconds();
+            const double service = options.exponential_service
+                ? rng.exponential(mean)
+                : mean;
+            events.schedule_in(service, [this, pkt, u] {
+                --units[u].busy;
+                try_serve(u);
+                // Credit returns to the scheduler after one fabric hop.
+                events.schedule_in(config.hop_latency.seconds(), [this, u] {
+                    ++units[u].credits_free;
+                    try_dispatch(u);
+                });
+                advance(pkt);
+            });
+        }
+    }
+
+    void
+    advance(Packet pkt)
+    {
+        ++pkt.stage;
+        if (pkt.stage < config.chains[pkt.chain].units.size()) {
+            enqueue_at_scheduler(pkt);
+            return;
+        }
+        // Egress: one last fabric traversal to the TX pipeline.
+        const SimTime out =
+            fabric_transfer(events.now(), pkt.size, config.units.size());
+        events.schedule_at(out, [this, pkt] {
+            latencies.record(events.now(), Seconds{events.now() - pkt.created});
+            delivered.record(events.now(), pkt.size);
+        });
+    }
+};
+
+} // namespace
+
+SimResult
+simulate_panic(const PanicConfig& config, const core::TrafficProfile& traffic,
+               SimOptions options)
+{
+    PanicSim sim(config, traffic, options);
+    sim.schedule_next_arrival();
+    sim.events.run_until(options.duration);
+
+    SimResult r;
+    r.delivered = sim.delivered.bandwidth(options.duration);
+    r.delivered_ops = sim.delivered.rate(options.duration);
+    r.mean_latency = sim.latencies.mean();
+    r.p50_latency = sim.latencies.p50();
+    r.p99_latency = sim.latencies.p99();
+    r.generated = sim.generated;
+    r.completed = sim.delivered.requests();
+    r.dropped = sim.dropped;
+    r.drop_rate = sim.generated > 0
+        ? static_cast<double>(sim.dropped)
+            / static_cast<double>(sim.generated)
+        : 0.0;
+    return r;
+}
+
+Bandwidth
+panic_credit_capacity(const PanicUnit& unit, Bytes request,
+                      const PanicConfig& config)
+{
+    const double service = unit.service.service_time(request).seconds();
+    const double rtt = 2.0 * config.hop_latency.seconds()
+        + (request / config.fabric_bw).seconds();
+    const double window_bytes_per_sec =
+        static_cast<double>(unit.credits) * request.bytes() / (service + rtt);
+    const Bandwidth compute = unit.service.throughput(request)
+        * static_cast<double>(unit.parallelism);
+    return std::min(compute,
+                    Bandwidth::from_bytes_per_sec(window_bytes_per_sec));
+}
+
+} // namespace lognic::sim

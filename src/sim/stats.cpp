@@ -1,0 +1,81 @@
+#include "lognic/sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lognic::sim {
+
+void
+LatencyRecorder::record(SimTime completion_time, Seconds latency)
+{
+    if (completion_time < warmup_end_)
+        return;
+    samples_.push_back(latency.seconds());
+    sorted_ = false;
+}
+
+Seconds
+LatencyRecorder::mean() const
+{
+    if (samples_.empty())
+        return Seconds{0.0};
+    double sum = 0.0;
+    for (double s : samples_)
+        sum += s;
+    return Seconds{sum / static_cast<double>(samples_.size())};
+}
+
+Seconds
+LatencyRecorder::quantile(double q) const
+{
+    if (q < 0.0 || q > 1.0)
+        throw std::invalid_argument("LatencyRecorder: quantile out of range");
+    if (samples_.empty())
+        return Seconds{0.0};
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples_.size())));
+    const std::size_t idx = rank == 0 ? 0 : rank - 1;
+    return Seconds{samples_[std::min(idx, samples_.size() - 1)]};
+}
+
+Seconds
+LatencyRecorder::max() const
+{
+    if (samples_.empty())
+        return Seconds{0.0};
+    return Seconds{*std::max_element(samples_.begin(), samples_.end())};
+}
+
+void
+ThroughputMeter::record(SimTime completion_time, Bytes payload)
+{
+    if (completion_time < warmup_end_)
+        return;
+    bytes_ += payload.bytes();
+    ++requests_;
+}
+
+Bandwidth
+ThroughputMeter::bandwidth(SimTime measure_end) const
+{
+    const double window = measure_end - warmup_end_;
+    if (window <= 0.0)
+        return Bandwidth{0.0};
+    return Bandwidth::from_bytes_per_sec(bytes_ / window);
+}
+
+OpsRate
+ThroughputMeter::rate(SimTime measure_end) const
+{
+    const double window = measure_end - warmup_end_;
+    if (window <= 0.0)
+        return OpsRate{0.0};
+    return OpsRate{static_cast<double>(requests_) / window};
+}
+
+} // namespace lognic::sim

@@ -1,0 +1,80 @@
+#include "lognic/solver/annealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace lognic::solver {
+
+IntSearchResult
+simulated_annealing(const IntObjectiveFn& f, IntVector x0,
+                    const std::vector<IntRange>& ranges,
+                    const AnnealingOptions& opts)
+{
+    if (ranges.empty())
+        throw std::invalid_argument("simulated_annealing: empty ranges");
+    for (const auto& r : ranges) {
+        if (r.step <= 0 || r.hi < r.lo)
+            throw std::invalid_argument(
+                "simulated_annealing: malformed range");
+    }
+    if (x0.empty()) {
+        x0.resize(ranges.size());
+        for (std::size_t i = 0; i < ranges.size(); ++i)
+            x0[i] = ranges[i].lo;
+    }
+    if (x0.size() != ranges.size())
+        throw std::invalid_argument(
+            "simulated_annealing: dimension mismatch");
+    for (std::size_t i = 0; i < ranges.size(); ++i)
+        x0[i] = std::clamp(x0[i], ranges[i].lo, ranges[i].hi);
+
+    std::mt19937_64 rng(opts.seed);
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+    std::uniform_int_distribution<std::size_t> pick_dim(
+        0, ranges.size() - 1);
+    std::uniform_int_distribution<std::int64_t> pick_move(
+        1, std::max<std::int64_t>(1, opts.max_move));
+
+    IntSearchResult best;
+    IntVector current = x0;
+    double current_value = f(current);
+    best.x = current;
+    best.value = current_value;
+    best.evaluations = 1;
+
+    double temperature = opts.initial_temperature;
+    for (std::size_t it = 0; it < opts.iterations; ++it) {
+        // Propose a single-coordinate move.
+        const std::size_t d = pick_dim(rng);
+        const std::int64_t direction = uniform(rng) < 0.5 ? -1 : 1;
+        const std::int64_t magnitude = pick_move(rng) * ranges[d].step;
+        IntVector candidate = current;
+        candidate[d] = std::clamp(candidate[d] + direction * magnitude,
+                                  ranges[d].lo, ranges[d].hi);
+        if (candidate[d] == current[d]) {
+            temperature *= opts.cooling;
+            continue;
+        }
+
+        const double value = f(candidate);
+        ++best.evaluations;
+        const double delta = value - current_value;
+        const bool accept = delta <= 0.0
+            || (std::isfinite(delta)
+                && uniform(rng) < std::exp(-delta / temperature));
+        if (accept) {
+            current = std::move(candidate);
+            current_value = value;
+            if (current_value < best.value) {
+                best.value = current_value;
+                best.x = current;
+            }
+        }
+        temperature *= opts.cooling;
+    }
+    return best;
+}
+
+} // namespace lognic::solver

@@ -1,0 +1,131 @@
+#include "lognic/solver/bfgs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lognic::solver {
+
+namespace {
+
+double
+inf_norm(const Vector& v)
+{
+    double m = 0.0;
+    for (double x : v)
+        m = std::max(m, std::abs(x));
+    return m;
+}
+
+} // namespace
+
+SolveResult
+bfgs(const ObjectiveFn& f, Vector x0, const BfgsOptions& opts,
+     const GradientFn& grad)
+{
+    const std::size_t n = x0.size();
+    SolveResult result;
+    std::size_t evals = 0;
+    auto eval = [&](const Vector& x) {
+        ++evals;
+        return f(x);
+    };
+    auto gradient = [&](const Vector& x) {
+        if (grad)
+            return grad(x);
+        evals += 2 * n;
+        return numerical_gradient(f, x, opts.gradient_step);
+    };
+
+    Vector x = opts.bounds.clamp(std::move(x0));
+    double fx = eval(x);
+    Vector g = gradient(x);
+    Matrix h_inv = Matrix::identity(n); // inverse Hessian approximation
+
+    for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+        result.iterations = iter + 1;
+        if (inf_norm(g) < opts.gradient_tolerance) {
+            result.converged = true;
+            result.message = "gradient below tolerance";
+            break;
+        }
+
+        // Search direction d = -H_inv * g.
+        Vector d = h_inv * g;
+        for (double& v : d)
+            v = -v;
+        double descent = dot(g, d);
+        if (descent >= 0.0) {
+            // Hessian approximation lost positive definiteness; reset.
+            h_inv = Matrix::identity(n);
+            d = scaled(g, -1.0);
+            descent = dot(g, d);
+        }
+
+        // Armijo backtracking.
+        constexpr double kArmijoC = 1e-4;
+        constexpr double kBacktrack = 0.5;
+        double alpha = 1.0;
+        Vector x_new;
+        double f_new = fx;
+        bool accepted = false;
+        for (int ls = 0; ls < 60; ++ls) {
+            x_new = opts.bounds.clamp(axpy(alpha, d, x));
+            f_new = eval(x_new);
+            if (f_new <= fx + kArmijoC * alpha * descent) {
+                accepted = true;
+                break;
+            }
+            alpha *= kBacktrack;
+        }
+        if (!accepted) {
+            result.converged = true;
+            result.message = "line search made no progress";
+            break;
+        }
+
+        Vector s(n), y(n);
+        const Vector g_new = gradient(x_new);
+        for (std::size_t i = 0; i < n; ++i) {
+            s[i] = x_new[i] - x[i];
+            y[i] = g_new[i] - g[i];
+        }
+        if (inf_norm(s) < opts.step_tolerance) {
+            x = std::move(x_new);
+            fx = f_new;
+            g = g_new;
+            result.converged = true;
+            result.message = "step below tolerance";
+            break;
+        }
+
+        // BFGS inverse-Hessian update (Sherman-Morrison form):
+        // H' = (I - r s y^T) H (I - r y s^T) + r s s^T,  r = 1/(y^T s).
+        const double ys = dot(y, s);
+        if (ys > 1e-12) {
+            const double r = 1.0 / ys;
+            const Vector hy = h_inv * y;
+            const double yhy = dot(y, hy);
+            Matrix h_next = h_inv;
+            for (std::size_t i = 0; i < n; ++i) {
+                for (std::size_t j = 0; j < n; ++j) {
+                    h_next(i, j) += (r * r * yhy + r) * s[i] * s[j]
+                        - r * (hy[i] * s[j] + s[i] * hy[j]);
+                }
+            }
+            h_inv = std::move(h_next);
+        }
+
+        x = std::move(x_new);
+        fx = f_new;
+        g = g_new;
+    }
+
+    result.x = std::move(x);
+    result.value = fx;
+    result.evaluations = evals;
+    if (result.message.empty())
+        result.message = "iteration limit reached";
+    return result;
+}
+
+} // namespace lognic::solver

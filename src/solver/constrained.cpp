@@ -1,0 +1,107 @@
+#include "lognic/solver/constrained.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lognic/solver/bfgs.hpp"
+#include "lognic/solver/nelder_mead.hpp"
+
+namespace lognic::solver {
+
+namespace {
+
+/// Maximum violation across all constraints at @p x.
+double
+max_violation(const std::vector<Constraint>& constraints, const Vector& x)
+{
+    double worst = 0.0;
+    for (const auto& c : constraints) {
+        const double g = c.fn(x);
+        const double v = c.type == Constraint::Type::kEquality
+            ? std::abs(g)
+            : std::max(0.0, g);
+        worst = std::max(worst, v);
+    }
+    return worst;
+}
+
+} // namespace
+
+ConstrainedResult
+minimize_constrained(const ObjectiveFn& f, Vector x0,
+                     const std::vector<Constraint>& constraints,
+                     const ConstrainedOptions& opts)
+{
+    ConstrainedResult result;
+    const std::size_t m = constraints.size();
+    Vector multipliers(m, 0.0);
+    double penalty = opts.initial_penalty;
+    Vector x = opts.bounds.clamp(std::move(x0));
+
+    for (std::size_t outer = 0; outer < opts.max_outer_iterations; ++outer) {
+        result.iterations = outer + 1;
+
+        // Augmented Lagrangian:
+        //   L(x) = f(x) + sum_eq [ l_i g_i + (p/2) g_i^2 ]
+        //        + sum_ineq (1/2p) [ max(0, l_i + p g_i)^2 - l_i^2 ]
+        auto augmented = [&](const Vector& v) {
+            double val = f(v);
+            for (std::size_t i = 0; i < m; ++i) {
+                const double g = constraints[i].fn(v);
+                if (constraints[i].type == Constraint::Type::kEquality) {
+                    val += multipliers[i] * g + 0.5 * penalty * g * g;
+                } else {
+                    const double t =
+                        std::max(0.0, multipliers[i] + penalty * g);
+                    val += (t * t - multipliers[i] * multipliers[i])
+                        / (2.0 * penalty);
+                }
+            }
+            return val;
+        };
+
+        SolveResult inner;
+        if (opts.inner == InnerSolver::kBfgs) {
+            BfgsOptions bo;
+            bo.bounds = opts.bounds;
+            bo.max_iterations = opts.inner_max_iterations;
+            inner = bfgs(augmented, x, bo);
+        } else {
+            NelderMeadOptions no;
+            no.bounds = opts.bounds;
+            no.max_iterations = opts.inner_max_iterations;
+            inner = nelder_mead(augmented, x, no);
+        }
+        x = inner.x;
+        result.evaluations += inner.evaluations;
+
+        // Multiplier updates.
+        for (std::size_t i = 0; i < m; ++i) {
+            const double g = constraints[i].fn(x);
+            if (constraints[i].type == Constraint::Type::kEquality) {
+                multipliers[i] += penalty * g;
+            } else {
+                multipliers[i] =
+                    std::max(0.0, multipliers[i] + penalty * g);
+            }
+        }
+
+        const double violation = max_violation(constraints, x);
+        if (violation <= opts.constraint_tolerance) {
+            result.converged = true;
+            result.message = "feasible stationary point";
+            break;
+        }
+        penalty *= opts.penalty_growth;
+    }
+
+    result.x = x;
+    result.value = f(x);
+    result.max_violation = max_violation(constraints, x);
+    result.feasible = result.max_violation <= opts.constraint_tolerance;
+    if (result.message.empty())
+        result.message = "outer iteration limit reached";
+    return result;
+}
+
+} // namespace lognic::solver

@@ -1,0 +1,152 @@
+#include "lognic/solver/discrete.hpp"
+
+#include <stdexcept>
+
+namespace lognic::solver {
+
+namespace {
+
+std::size_t
+space_size(const std::vector<IntRange>& ranges)
+{
+    std::size_t total = 1;
+    for (const auto& r : ranges) {
+        const std::size_t c = r.count();
+        if (c == 0)
+            return 0;
+        if (total > std::numeric_limits<std::size_t>::max() / c)
+            return std::numeric_limits<std::size_t>::max();
+        total *= c;
+    }
+    return total;
+}
+
+} // namespace
+
+IntSearchResult
+exhaustive_search(const IntObjectiveFn& f, const std::vector<IntRange>& ranges,
+                  std::size_t max_points)
+{
+    for (const auto& r : ranges) {
+        if (r.step <= 0)
+            throw std::invalid_argument("exhaustive_search: step must be > 0");
+    }
+    const std::size_t total = space_size(ranges);
+    if (total == 0)
+        throw std::invalid_argument("exhaustive_search: empty range");
+    if (total > max_points)
+        throw std::invalid_argument(
+            "exhaustive_search: design space exceeds max_points");
+
+    IntSearchResult best;
+    IntVector x(ranges.size());
+    for (std::size_t i = 0; i < ranges.size(); ++i)
+        x[i] = ranges[i].lo;
+
+    for (;;) {
+        const double v = f(x);
+        ++best.evaluations;
+        if (v < best.value) {
+            best.value = v;
+            best.x = x;
+        }
+        // Odometer increment.
+        std::size_t d = 0;
+        for (; d < ranges.size(); ++d) {
+            x[d] += ranges[d].step;
+            if (x[d] <= ranges[d].hi)
+                break;
+            x[d] = ranges[d].lo;
+        }
+        if (d == ranges.size())
+            break;
+    }
+    return best;
+}
+
+IntSearchResult
+coordinate_descent(const IntObjectiveFn& f, IntVector x0,
+                   const std::vector<IntRange>& ranges,
+                   std::size_t max_passes)
+{
+    if (x0.size() != ranges.size())
+        throw std::invalid_argument("coordinate_descent: dimension mismatch");
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+        if (ranges[i].step <= 0)
+            throw std::invalid_argument("coordinate_descent: step must be > 0");
+        x0[i] = std::max(ranges[i].lo, std::min(ranges[i].hi, x0[i]));
+    }
+
+    IntSearchResult best;
+    best.x = std::move(x0);
+    best.value = f(best.x);
+    best.evaluations = 1;
+
+    for (std::size_t pass = 0; pass < max_passes; ++pass) {
+        bool improved = false;
+        for (std::size_t d = 0; d < ranges.size(); ++d) {
+            IntVector probe = best.x;
+            for (std::int64_t v = ranges[d].lo; v <= ranges[d].hi;
+                 v += ranges[d].step) {
+                if (v == best.x[d])
+                    continue;
+                probe[d] = v;
+                const double fv = f(probe);
+                ++best.evaluations;
+                if (fv < best.value) {
+                    best.value = fv;
+                    best.x = probe;
+                    improved = true;
+                }
+            }
+        }
+        if (!improved)
+            break;
+    }
+    return best;
+}
+
+GridSearchResult
+grid_search(const std::function<double(const std::vector<double>&)>& f,
+            const std::vector<GridRange>& ranges, std::size_t max_points)
+{
+    std::size_t total = 1;
+    for (const auto& r : ranges) {
+        if (r.points < 2)
+            throw std::invalid_argument("grid_search: need >= 2 points");
+        total *= r.points;
+        if (total > max_points)
+            throw std::invalid_argument(
+                "grid_search: design space exceeds max_points");
+    }
+
+    GridSearchResult best;
+    std::vector<std::size_t> idx(ranges.size(), 0);
+    std::vector<double> x(ranges.size());
+
+    for (;;) {
+        for (std::size_t d = 0; d < ranges.size(); ++d) {
+            const auto& r = ranges[d];
+            x[d] = r.lo
+                + (r.hi - r.lo) * static_cast<double>(idx[d])
+                    / static_cast<double>(r.points - 1);
+        }
+        const double v = f(x);
+        ++best.evaluations;
+        if (v < best.value) {
+            best.value = v;
+            best.x = x;
+        }
+        std::size_t d = 0;
+        for (; d < ranges.size(); ++d) {
+            if (++idx[d] < ranges[d].points)
+                break;
+            idx[d] = 0;
+        }
+        if (d == ranges.size())
+            break;
+    }
+    return best;
+}
+
+} // namespace lognic::solver

@@ -1,0 +1,106 @@
+#include "lognic/solver/least_squares.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lognic::solver {
+
+namespace {
+
+double
+sum_squares(const Vector& r)
+{
+    double s = 0.0;
+    for (double v : r)
+        s += v * v;
+    return 0.5 * s;
+}
+
+} // namespace
+
+LeastSquaresResult
+levenberg_marquardt(const VectorFn& residual_fn, Vector x0,
+                    const LeastSquaresOptions& opts)
+{
+    LeastSquaresResult result;
+    const std::size_t n = x0.size();
+
+    Vector x = opts.bounds.clamp(std::move(x0));
+    Vector r = residual_fn(x);
+    double cost = sum_squares(r);
+    double damping = opts.initial_damping;
+    std::size_t evals = 1;
+
+    for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+        result.iterations = iter + 1;
+
+        const Matrix j = numerical_jacobian(residual_fn, x);
+        evals += n + 1;
+        const Matrix jt = j.transposed();
+        Matrix jtj = jt * j;
+        const Vector g = jt * r; // gradient of 0.5||r||^2
+
+        double g_inf = 0.0;
+        for (double v : g)
+            g_inf = std::max(g_inf, std::abs(v));
+        if (g_inf < opts.gradient_tolerance) {
+            result.converged = true;
+            result.message = "gradient below tolerance";
+            break;
+        }
+
+        bool stepped = false;
+        for (int attempt = 0; attempt < 30 && !stepped; ++attempt) {
+            // Solve (J^T J + damping * diag(J^T J)) dx = -g.
+            Matrix a = jtj;
+            for (std::size_t i = 0; i < n; ++i)
+                a(i, i) += damping * std::max(jtj(i, i), 1e-12);
+            Vector neg_g = scaled(g, -1.0);
+            Vector dx;
+            try {
+                dx = solve_cholesky(a, neg_g);
+            } catch (const std::exception&) {
+                damping *= 10.0;
+                continue;
+            }
+
+            const Vector x_new = opts.bounds.clamp(axpy(1.0, dx, x));
+            const Vector r_new = residual_fn(x_new);
+            ++evals;
+            const double cost_new = sum_squares(r_new);
+            if (cost_new < cost) {
+                double step = 0.0;
+                for (std::size_t i = 0; i < n; ++i)
+                    step = std::max(step, std::abs(x_new[i] - x[i]));
+                x = x_new;
+                r = r_new;
+                cost = cost_new;
+                damping = std::max(damping * 0.3, 1e-12);
+                stepped = true;
+                if (step < opts.step_tolerance) {
+                    result.converged = true;
+                    result.message = "step below tolerance";
+                }
+            } else {
+                damping *= 10.0;
+            }
+        }
+        if (!stepped) {
+            result.converged = true;
+            result.message = "damping saturated";
+            break;
+        }
+        if (result.converged)
+            break;
+    }
+
+    result.x = std::move(x);
+    result.value = cost;
+    result.residuals = std::move(r);
+    result.evaluations = evals;
+    if (result.message.empty())
+        result.message = "iteration limit reached";
+    return result;
+}
+
+} // namespace lognic::solver

@@ -1,0 +1,151 @@
+#include "lognic/solver/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace lognic::solver {
+
+namespace {
+
+// Standard Nelder-Mead coefficients.
+constexpr double kReflect = 1.0;
+constexpr double kExpand = 2.0;
+constexpr double kContract = 0.5;
+constexpr double kShrink = 0.5;
+
+} // namespace
+
+SolveResult
+nelder_mead(const ObjectiveFn& f, Vector x0, const NelderMeadOptions& opts)
+{
+    const std::size_t n = x0.size();
+    SolveResult result;
+    std::size_t evals = 0;
+    auto eval = [&](const Vector& x) {
+        ++evals;
+        return f(x);
+    };
+
+    x0 = opts.bounds.clamp(std::move(x0));
+
+    // Build the initial simplex: x0 plus one perturbed point per dimension.
+    std::vector<Vector> simplex;
+    simplex.reserve(n + 1);
+    simplex.push_back(x0);
+    for (std::size_t i = 0; i < n; ++i) {
+        Vector p = x0;
+        const double h =
+            opts.initial_step * std::max(1.0, std::abs(x0[i]));
+        p[i] += h;
+        if (!opts.bounds.contains(p)) {
+            p[i] = x0[i] - h; // flip direction if the bound is in the way
+            p = opts.bounds.clamp(std::move(p));
+        }
+        simplex.push_back(std::move(p));
+    }
+
+    std::vector<double> fv(n + 1);
+    for (std::size_t i = 0; i <= n; ++i)
+        fv[i] = eval(simplex[i]);
+
+    std::vector<std::size_t> order(n + 1);
+
+    for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) { return fv[a] < fv[b]; });
+
+        const std::size_t best = order.front();
+        const std::size_t worst = order.back();
+        const std::size_t second_worst = order[n > 0 ? n - 1 : 0];
+
+        // Convergence checks.
+        const double f_spread = std::abs(fv[worst] - fv[best]);
+        double diameter = 0.0;
+        for (std::size_t i = 0; i <= n; ++i) {
+            for (std::size_t d = 0; d < n; ++d) {
+                diameter = std::max(
+                    diameter, std::abs(simplex[i][d] - simplex[best][d]));
+            }
+        }
+        if (f_spread < opts.f_tolerance && diameter < opts.x_tolerance) {
+            result.converged = true;
+            result.message = "simplex collapsed";
+            result.iterations = iter;
+            break;
+        }
+        result.iterations = iter + 1;
+
+        // Centroid of all but the worst vertex.
+        Vector centroid(n, 0.0);
+        for (std::size_t i = 0; i <= n; ++i) {
+            if (i == worst)
+                continue;
+            for (std::size_t d = 0; d < n; ++d)
+                centroid[d] += simplex[i][d];
+        }
+        for (double& c : centroid)
+            c /= static_cast<double>(n);
+
+        auto blend = [&](double coeff) {
+            Vector p(n);
+            for (std::size_t d = 0; d < n; ++d)
+                p[d] = centroid[d] + coeff * (centroid[d] - simplex[worst][d]);
+            return opts.bounds.clamp(std::move(p));
+        };
+
+        const Vector reflected = blend(kReflect);
+        const double f_reflected = eval(reflected);
+
+        if (f_reflected < fv[best]) {
+            const Vector expanded = blend(kExpand);
+            const double f_expanded = eval(expanded);
+            if (f_expanded < f_reflected) {
+                simplex[worst] = expanded;
+                fv[worst] = f_expanded;
+            } else {
+                simplex[worst] = reflected;
+                fv[worst] = f_reflected;
+            }
+        } else if (f_reflected < fv[second_worst]) {
+            simplex[worst] = reflected;
+            fv[worst] = f_reflected;
+        } else {
+            // Contract toward the centroid (outside or inside).
+            const bool outside = f_reflected < fv[worst];
+            const Vector contracted =
+                blend(outside ? kContract : -kContract);
+            const double f_contracted = eval(contracted);
+            const double accept_below = outside ? f_reflected : fv[worst];
+            if (f_contracted < accept_below) {
+                simplex[worst] = contracted;
+                fv[worst] = f_contracted;
+            } else {
+                // Shrink everything toward the best vertex.
+                for (std::size_t i = 0; i <= n; ++i) {
+                    if (i == best)
+                        continue;
+                    for (std::size_t d = 0; d < n; ++d) {
+                        simplex[i][d] = simplex[best][d]
+                            + kShrink * (simplex[i][d] - simplex[best][d]);
+                    }
+                    simplex[i] = opts.bounds.clamp(std::move(simplex[i]));
+                    fv[i] = eval(simplex[i]);
+                }
+            }
+        }
+    }
+
+    const auto best_it = std::min_element(fv.begin(), fv.end());
+    const std::size_t best = static_cast<std::size_t>(
+        std::distance(fv.begin(), best_it));
+    result.x = simplex[best];
+    result.value = fv[best];
+    result.evaluations = evals;
+    if (!result.converged)
+        result.message = "iteration limit reached";
+    return result;
+}
+
+} // namespace lognic::solver

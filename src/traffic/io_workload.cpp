@@ -1,0 +1,35 @@
+#include "lognic/traffic/io_workload.hpp"
+
+#include <stdexcept>
+
+namespace lognic::traffic {
+
+IoWorkload
+random_read_4k(std::uint32_t depth)
+{
+    return IoWorkload{"4KB-RRD", Bytes::from_kib(4.0), 1.0, true, depth};
+}
+
+IoWorkload
+random_read_128k(std::uint32_t depth)
+{
+    return IoWorkload{"128KB-RRD", Bytes::from_kib(128.0), 1.0, true, depth};
+}
+
+IoWorkload
+sequential_write_4k(std::uint32_t depth)
+{
+    return IoWorkload{"4KB-SWR", Bytes::from_kib(4.0), 0.0, false, depth};
+}
+
+IoWorkload
+random_mixed_4k(double read_fraction, std::uint32_t depth)
+{
+    if (read_fraction < 0.0 || read_fraction > 1.0)
+        throw std::invalid_argument(
+            "random_mixed_4k: read fraction must be in [0, 1]");
+    return IoWorkload{"4KB-MIXED", Bytes::from_kib(4.0), read_fraction, true,
+                      depth};
+}
+
+} // namespace lognic::traffic

@@ -1,0 +1,52 @@
+#include "lognic/traffic/profiles.hpp"
+
+#include <stdexcept>
+
+namespace lognic::traffic {
+
+std::vector<Bytes>
+standard_packet_sizes()
+{
+    return {Bytes{64.0},  Bytes{128.0},  Bytes{256.0},
+            Bytes{512.0}, Bytes{1024.0}, Bytes{1500.0}};
+}
+
+core::TrafficProfile
+fixed_size(Bytes packet, Bandwidth offered)
+{
+    return core::TrafficProfile::fixed(packet, offered);
+}
+
+core::TrafficProfile
+equal_byte_mix(const std::vector<Bytes>& sizes, Bandwidth offered)
+{
+    std::vector<core::PacketClass> classes;
+    classes.reserve(sizes.size());
+    for (Bytes s : sizes)
+        classes.push_back(core::PacketClass{s, 1.0});
+    return core::TrafficProfile::mixed(std::move(classes), offered);
+}
+
+core::TrafficProfile
+panic_profile(int index, Bandwidth offered)
+{
+    switch (index) {
+      case 1:
+        return equal_byte_mix({Bytes{64.0}, Bytes{512.0}}, offered);
+      case 2:
+        return equal_byte_mix({Bytes{64.0}, Bytes{512.0}, Bytes{1024.0}},
+                              offered);
+      case 3:
+        return equal_byte_mix(
+            {Bytes{64.0}, Bytes{256.0}, Bytes{512.0}, Bytes{1500.0}}, offered);
+      case 4:
+        return equal_byte_mix({Bytes{64.0}, Bytes{128.0}, Bytes{256.0},
+                               Bytes{1024.0}, Bytes{1500.0}},
+                              offered);
+      default:
+        throw std::invalid_argument(
+            "panic_profile: index must be in [1, 4]");
+    }
+}
+
+} // namespace lognic::traffic

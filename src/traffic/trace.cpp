@@ -1,0 +1,76 @@
+#include "lognic/traffic/trace.hpp"
+
+#include <map>
+#include <random>
+#include <stdexcept>
+
+namespace lognic::traffic {
+
+Bandwidth
+PacketTrace::mean_bandwidth() const
+{
+    if (sizes.empty())
+        return Bandwidth{0.0};
+    double total = 0.0;
+    for (Bytes s : sizes)
+        total += s.bytes();
+    const double mean_size = total / static_cast<double>(sizes.size());
+    return Bandwidth::from_bytes_per_sec(mean_size * mean_rate.per_sec());
+}
+
+PacketTrace
+synthesize_trace(const core::TrafficProfile& profile, std::size_t count,
+                 std::uint64_t seed)
+{
+    if (count == 0)
+        throw std::invalid_argument("synthesize_trace: empty trace");
+    // Packet-count weights from the byte weights.
+    std::vector<double> pps;
+    double total_pps = 0.0;
+    for (const auto& c : profile.classes()) {
+        const double rate = c.weight
+            * profile.ingress_bandwidth().bytes_per_sec()
+            / c.size.bytes();
+        pps.push_back(rate);
+        total_pps += rate;
+    }
+    std::mt19937_64 rng(seed);
+    std::discrete_distribution<std::size_t> pick(pps.begin(), pps.end());
+
+    PacketTrace trace;
+    trace.sizes.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        trace.sizes.push_back(profile.classes()[pick(rng)].size);
+    trace.mean_rate = OpsRate{total_pps};
+    return trace;
+}
+
+core::TrafficProfile
+histogram_profile(const PacketTrace& trace, std::size_t max_classes)
+{
+    if (trace.sizes.empty())
+        throw std::invalid_argument("histogram_profile: empty trace");
+    if (trace.mean_rate.per_sec() <= 0.0)
+        throw std::invalid_argument("histogram_profile: zero arrival rate");
+
+    std::map<double, std::size_t> counts;
+    for (Bytes s : trace.sizes)
+        ++counts[s.bytes()];
+    if (counts.size() > max_classes)
+        throw std::invalid_argument(
+            "histogram_profile: too many distinct sizes (bucket first)");
+
+    double total_bytes = 0.0;
+    for (const auto& [size, n] : counts)
+        total_bytes += size * static_cast<double>(n);
+
+    std::vector<core::PacketClass> classes;
+    for (const auto& [size, n] : counts) {
+        classes.push_back(core::PacketClass{
+            Bytes{size}, size * static_cast<double>(n) / total_bytes});
+    }
+    return core::TrafficProfile::mixed(std::move(classes),
+                                       trace.mean_bandwidth());
+}
+
+} // namespace lognic::traffic

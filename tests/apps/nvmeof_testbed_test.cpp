@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "lognic/apps/nvmeof.hpp"
+#include "lognic/core/model.hpp"
+#include "lognic/sim/nic_simulator.hpp"
+
+namespace lognic::apps {
+namespace {
+
+TEST(NvmeOfTestbed, GraphValidatesAndMirrorsTarget)
+{
+    const ssd::SsdGroundTruth drive;
+    const auto workload = traffic::random_read_4k();
+    const auto testbed = make_nvmeof_testbed(drive, workload);
+    EXPECT_NO_THROW(testbed.graph.validate(testbed.hw));
+    EXPECT_EQ(testbed.graph.vertex_count(), 5u);
+    const auto& ssd_spec = testbed.hw.ip(testbed.ssd);
+    EXPECT_EQ(ssd_spec.kind, core::IpKind::kStorage);
+    EXPECT_EQ(ssd_spec.max_engines, drive.spec().parallelism);
+    // The testbed uses the *real* occupancy, not a fitted curve.
+    EXPECT_EQ(ssd_spec.sojourn_curve, nullptr);
+    EXPECT_NEAR(
+        ssd_spec.roofline.engine().service_time(workload.block_size)
+            .seconds(),
+        drive.mean_occupancy(workload).seconds(), 1e-12);
+}
+
+TEST(NvmeOfTestbed, LowLoadLatencyEqualsDeviceBaseLatency)
+{
+    const ssd::SsdGroundTruth drive;
+    const auto workload = traffic::random_read_4k();
+    const auto testbed = make_nvmeof_testbed(drive, workload);
+    sim::SimOptions opts;
+    opts.duration = 0.05;
+    const auto traffic = core::TrafficProfile::fixed(
+        workload.block_size,
+        drive.capacity(workload) * 0.05); // nearly idle
+    const auto res =
+        sim::simulate(testbed.hw, testbed.graph, traffic, opts);
+    // Latency = SSD base latency + core stages + transfers (~8 us).
+    const double floor = drive.base_latency(workload).seconds();
+    EXPECT_GT(res.mean_latency.seconds(), floor);
+    EXPECT_LT(res.mean_latency.seconds(), floor + 15e-6);
+}
+
+TEST(NvmeOfTestbed, CapacityTracksGroundTruth)
+{
+    const ssd::SsdGroundTruth drive;
+    for (const auto& workload :
+         {traffic::random_read_4k(), traffic::sequential_write_4k()}) {
+        const auto testbed = make_nvmeof_testbed(drive, workload);
+        const auto cap =
+            core::Model(testbed.hw)
+                .throughput(testbed.graph,
+                            core::TrafficProfile::fixed(
+                                workload.block_size,
+                                Bandwidth::from_gbps(1.0)))
+                .capacity;
+        EXPECT_NEAR(cap.bits_per_sec(),
+                    drive.capacity(workload).bits_per_sec(),
+                    0.01 * drive.capacity(workload).bits_per_sec())
+            << workload.name;
+    }
+}
+
+TEST(NvmeOfTestbed, ModelAndTestbedAgreeAcrossLoads)
+{
+    // The headline Figure-6 property as a regression test: < 10% latency
+    // error at every load point for 4KB random reads.
+    const ssd::SsdGroundTruth drive;
+    const auto workload = traffic::random_read_4k();
+    const auto calib = ssd::calibrate(drive.characterize(workload, 14),
+                                      workload.block_size);
+    const auto target = make_nvmeof_target(calib, workload);
+    const auto testbed = make_nvmeof_testbed(drive, workload);
+    const core::Model model(target.hw);
+    for (double frac : {0.3, 0.6, 0.9}) {
+        const auto traffic = core::TrafficProfile::fixed(
+            workload.block_size, calib.capacity * frac);
+        const auto rep = model.latency(target.graph, traffic);
+        sim::SimOptions opts;
+        opts.duration = 0.1;
+        opts.seed = 6;
+        const auto res =
+            sim::simulate(testbed.hw, testbed.graph, traffic, opts);
+        EXPECT_NEAR(rep.mean.seconds(), res.mean_latency.seconds(),
+                    0.10 * res.mean_latency.seconds())
+            << frac;
+    }
+}
+
+} // namespace
+} // namespace lognic::apps

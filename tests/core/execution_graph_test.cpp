@@ -1,0 +1,242 @@
+#include "lognic/core/execution_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lognic::core {
+namespace {
+
+HardwareModel
+toy_hw()
+{
+    HardwareModel hw("toy", Bandwidth::from_gbps(100.0),
+                     Bandwidth::from_gbps(100.0), Bandwidth::from_gbps(25.0));
+    IpSpec ip;
+    ip.name = "cores";
+    ip.roofline = ExtendedRoofline(
+        ServiceModel{Seconds::from_micros(1.0), Bandwidth::from_gbps(1e6)},
+        {});
+    ip.max_engines = 8;
+    hw.add_ip(ip);
+    return hw;
+}
+
+ExecutionGraph
+chain_graph(const HardwareModel& hw)
+{
+    ExecutionGraph g("chain");
+    const auto in = g.add_ingress();
+    const auto out = g.add_egress();
+    const auto v = g.add_ip_vertex("work", *hw.find_ip("cores"));
+    g.add_edge(in, v);
+    g.add_edge(v, out);
+    return g;
+}
+
+TEST(ExecutionGraph, BuildsAndValidatesChain)
+{
+    const HardwareModel hw = toy_hw();
+    const ExecutionGraph g = chain_graph(hw);
+    EXPECT_EQ(g.vertex_count(), 3u);
+    EXPECT_EQ(g.edge_count(), 2u);
+    EXPECT_NO_THROW(g.validate(hw));
+}
+
+TEST(ExecutionGraph, RejectsDuplicateVertexNames)
+{
+    ExecutionGraph g;
+    g.add_ingress("a");
+    EXPECT_THROW(g.add_egress("a"), std::invalid_argument);
+}
+
+TEST(ExecutionGraph, RejectsSelfLoopsAndBadIds)
+{
+    ExecutionGraph g;
+    const auto in = g.add_ingress();
+    EXPECT_THROW(g.add_edge(in, in), std::invalid_argument);
+    EXPECT_THROW(g.add_edge(in, 99), std::out_of_range);
+    EXPECT_THROW(g.vertex(42), std::out_of_range);
+    EXPECT_THROW(g.edge(42), std::out_of_range);
+}
+
+TEST(ExecutionGraph, ValidateRequiresIngressAndEgress)
+{
+    const HardwareModel hw = toy_hw();
+    ExecutionGraph no_ingress;
+    no_ingress.add_egress();
+    EXPECT_THROW(no_ingress.validate(hw), std::invalid_argument);
+
+    ExecutionGraph no_egress;
+    no_egress.add_ingress();
+    EXPECT_THROW(no_egress.validate(hw), std::invalid_argument);
+}
+
+TEST(ExecutionGraph, ValidateDetectsCycle)
+{
+    const HardwareModel hw = toy_hw();
+    ExecutionGraph g;
+    const auto in = g.add_ingress();
+    const auto out = g.add_egress();
+    const auto a = g.add_ip_vertex("a", 0);
+    const auto b = g.add_ip_vertex("b", 0);
+    g.add_edge(in, a);
+    g.add_edge(a, b);
+    g.add_edge(b, a); // cycle
+    g.add_edge(b, out);
+    EXPECT_THROW(g.validate(hw), std::invalid_argument);
+    EXPECT_THROW(g.topological_order(), std::invalid_argument);
+}
+
+TEST(ExecutionGraph, ValidateDetectsDeadEndAndUnreachable)
+{
+    const HardwareModel hw = toy_hw();
+    ExecutionGraph g;
+    const auto in = g.add_ingress();
+    const auto out = g.add_egress();
+    const auto a = g.add_ip_vertex("a", 0);
+    g.add_edge(in, a);
+    g.add_edge(a, out);
+    g.add_ip_vertex("orphan", 0); // no edges at all
+    EXPECT_THROW(g.validate(hw), std::invalid_argument);
+}
+
+TEST(ExecutionGraph, ValidateChecksParameterRanges)
+{
+    const HardwareModel hw = toy_hw();
+    {
+        ExecutionGraph g = chain_graph(hw);
+        g.vertex(*g.find_vertex("work")).params.parallelism = 99;
+        EXPECT_THROW(g.validate(hw), std::invalid_argument);
+    }
+    {
+        ExecutionGraph g = chain_graph(hw);
+        g.vertex(*g.find_vertex("work")).params.partition = 0.0;
+        EXPECT_THROW(g.validate(hw), std::invalid_argument);
+    }
+    {
+        ExecutionGraph g = chain_graph(hw);
+        g.vertex(*g.find_vertex("work")).params.acceleration = -1.0;
+        EXPECT_THROW(g.validate(hw), std::invalid_argument);
+    }
+    {
+        ExecutionGraph g = chain_graph(hw);
+        g.edge(0).params.delta = 1.5;
+        EXPECT_THROW(g.validate(hw), std::invalid_argument);
+    }
+    {
+        ExecutionGraph g = chain_graph(hw);
+        g.edge(0).params.alpha = -0.1;
+        EXPECT_THROW(g.validate(hw), std::invalid_argument);
+    }
+}
+
+TEST(ExecutionGraph, TopologicalOrderRespectsEdges)
+{
+    const HardwareModel hw = toy_hw();
+    ExecutionGraph g;
+    const auto in = g.add_ingress();
+    const auto out = g.add_egress();
+    const auto a = g.add_ip_vertex("a", 0);
+    const auto b = g.add_ip_vertex("b", 0);
+    g.add_edge(in, a);
+    g.add_edge(a, b);
+    g.add_edge(b, out);
+    const auto order = g.topological_order();
+    auto pos = [&](VertexId v) {
+        for (std::size_t i = 0; i < order.size(); ++i)
+            if (order[i] == v)
+                return i;
+        return order.size();
+    };
+    EXPECT_LT(pos(in), pos(a));
+    EXPECT_LT(pos(a), pos(b));
+    EXPECT_LT(pos(b), pos(out));
+}
+
+TEST(ExecutionGraph, EnumeratesDiamondPathsWithWeights)
+{
+    ExecutionGraph g;
+    const auto in = g.add_ingress();
+    const auto out = g.add_egress();
+    const auto a = g.add_ip_vertex("a", 0);
+    const auto b = g.add_ip_vertex("b", 0);
+    g.add_edge(in, a, EdgeParams{0.75, 0, 0, {}});
+    g.add_edge(in, b, EdgeParams{0.25, 0, 0, {}});
+    g.add_edge(a, out, EdgeParams{0.75, 0, 0, {}});
+    g.add_edge(b, out, EdgeParams{0.25, 0, 0, {}});
+
+    const auto paths = g.enumerate_paths();
+    ASSERT_EQ(paths.size(), 2u);
+    double total = 0.0;
+    for (const auto& p : paths) {
+        EXPECT_EQ(p.edges.size(), 2u);
+        total += p.weight;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    // The heavier branch carries 75% of traffic.
+    const double w0 = paths[0].weight;
+    EXPECT_TRUE(std::abs(w0 - 0.75) < 1e-9 || std::abs(w0 - 0.25) < 1e-9);
+}
+
+TEST(ExecutionGraph, PathExplosionGuard)
+{
+    ExecutionGraph g;
+    const auto in = g.add_ingress();
+    const auto out = g.add_egress();
+    // A ladder of 2-way fanouts: 2^10 paths.
+    VertexId prev_a = in;
+    VertexId prev_b = in;
+    for (int level = 0; level < 10; ++level) {
+        const auto a = g.add_ip_vertex("a" + std::to_string(level), 0);
+        const auto b = g.add_ip_vertex("b" + std::to_string(level), 0);
+        if (level == 0) {
+            g.add_edge(in, a);
+            g.add_edge(in, b);
+        } else {
+            g.add_edge(prev_a, a);
+            g.add_edge(prev_a, b);
+            g.add_edge(prev_b, a);
+            g.add_edge(prev_b, b);
+        }
+        prev_a = a;
+        prev_b = b;
+    }
+    g.add_edge(prev_a, out);
+    g.add_edge(prev_b, out);
+    EXPECT_THROW(g.enumerate_paths(16), std::invalid_argument);
+    EXPECT_NO_THROW(g.enumerate_paths(100000));
+}
+
+TEST(ExecutionGraph, InDeltaSumAggregates)
+{
+    ExecutionGraph g;
+    const auto in = g.add_ingress();
+    const auto out = g.add_egress();
+    const auto a = g.add_ip_vertex("a", 0);
+    const auto b = g.add_ip_vertex("b", 0);
+    g.add_edge(in, a, EdgeParams{0.6, 0, 0, {}});
+    g.add_edge(in, b, EdgeParams{0.4, 0, 0, {}});
+    g.add_edge(a, b, EdgeParams{0.6, 0, 0, {}});
+    g.add_edge(b, out, EdgeParams{1.0, 0, 0, {}});
+    EXPECT_DOUBLE_EQ(g.in_delta_sum(b), 1.0);
+    EXPECT_DOUBLE_EQ(g.in_delta_sum(a), 0.6);
+    EXPECT_EQ(g.in_degree(b), 2u);
+}
+
+TEST(ExecutionGraph, RateLimiterVertexValidation)
+{
+    ExecutionGraph g;
+    EXPECT_THROW(g.add_rate_limiter("rl", Bandwidth::from_gbps(0.0), 4),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(g.add_rate_limiter("rl", Bandwidth::from_gbps(5.0), 4));
+}
+
+TEST(ExecutionGraph, FindVertexByName)
+{
+    ExecutionGraph g;
+    g.add_ingress("rx");
+    EXPECT_TRUE(g.find_vertex("rx").has_value());
+    EXPECT_FALSE(g.find_vertex("nope").has_value());
+}
+
+} // namespace
+} // namespace lognic::core

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Property sweeps over the model's invariants: monotonicity in every
+ * resource knob, composition rules for mixed traffic, and internal
+ * consistency between the throughput and latency sides.
+ */
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "lognic/core/model.hpp"
+
+namespace lognic::core {
+namespace {
+
+using test::single_stage_graph;
+using test::small_nic;
+using test::two_stage_graph;
+
+class LoadSweep : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(LoadSweep, AchievedNeverExceedsOfferOrCapacity)
+{
+    const Model model(small_nic());
+    const auto g = two_stage_graph(model.hardware());
+    const auto traffic = test::mtu_traffic(GetParam());
+    const auto rep = model.throughput(g, traffic);
+    EXPECT_LE(rep.achieved.bits_per_sec(),
+              traffic.ingress_bandwidth().bits_per_sec() + 1.0);
+    EXPECT_LE(rep.achieved.bits_per_sec(),
+              rep.capacity.bits_per_sec() + 1.0);
+}
+
+TEST_P(LoadSweep, CapacityIndependentOfOfferedLoad)
+{
+    const Model model(small_nic());
+    const auto g = two_stage_graph(model.hardware());
+    const auto at_load =
+        model.throughput(g, test::mtu_traffic(GetParam()));
+    const auto at_one = model.throughput(g, test::mtu_traffic(1.0));
+    EXPECT_DOUBLE_EQ(at_load.capacity.bits_per_sec(),
+                     at_one.capacity.bits_per_sec());
+}
+
+TEST_P(LoadSweep, GoodputBoundedByOfferAndNonNegative)
+{
+    const Model model(small_nic());
+    const auto g = two_stage_graph(model.hardware());
+    const auto rep = model.latency(g, test::mtu_traffic(GetParam()));
+    const double goodput = rep.per_class[0].goodput.bits_per_sec();
+    EXPECT_GE(goodput, 0.0);
+    EXPECT_LE(goodput,
+              std::min(GetParam() * 1e9,
+                       model.hardware().line_rate().bits_per_sec())
+                  + 1.0);
+}
+
+TEST_P(LoadSweep, TailAboveMean)
+{
+    const Model model(small_nic());
+    const auto g = two_stage_graph(model.hardware());
+    const auto rep = model.latency(g, test::mtu_traffic(GetParam()));
+    EXPECT_GE(rep.per_class[0].p99.seconds(),
+              rep.per_class[0].mean.seconds());
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, LoadSweep,
+                         testing::Values(0.5, 2.0, 8.0, 16.0, 24.0, 40.0,
+                                         90.0));
+
+TEST(ModelProperties, LatencyMonotoneInLoad)
+{
+    const Model model(small_nic());
+    const auto g = single_stage_graph(model.hardware());
+    double prev = 0.0;
+    for (double load : {0.5, 4.0, 10.0, 18.0, 24.0}) {
+        const double mean =
+            model.latency(g, test::mtu_traffic(load)).mean.seconds();
+        EXPECT_GE(mean, prev) << load;
+        prev = mean;
+    }
+}
+
+TEST(ModelProperties, CapacityMonotoneInParallelism)
+{
+    const auto hw = small_nic(Bandwidth::from_gbps(1000.0));
+    const Model model(hw);
+    double prev = 0.0;
+    for (std::uint32_t d = 1; d <= 8; ++d) {
+        VertexParams p;
+        p.parallelism = d;
+        const double cap =
+            model.throughput(single_stage_graph(hw, p),
+                             test::mtu_traffic(1.0))
+                .capacity.bits_per_sec();
+        EXPECT_GT(cap, prev) << d;
+        prev = cap;
+    }
+}
+
+TEST(ModelProperties, CapacityLinearInPartition)
+{
+    const auto hw = small_nic(Bandwidth::from_gbps(1000.0));
+    const Model model(hw);
+    VertexParams base;
+    base.partition = 1.0;
+    const double full =
+        model.throughput(single_stage_graph(hw, base),
+                         test::mtu_traffic(1.0))
+            .capacity.bits_per_sec();
+    for (double gamma : {0.25, 0.5, 0.75}) {
+        VertexParams p;
+        p.partition = gamma;
+        const double cap =
+            model.throughput(single_stage_graph(hw, p),
+                             test::mtu_traffic(1.0))
+                .capacity.bits_per_sec();
+        EXPECT_NEAR(cap, gamma * full, 1.0) << gamma;
+    }
+}
+
+TEST(ModelProperties, MixedCapacityIsWeightedCombination)
+{
+    const Model model(small_nic(Bandwidth::from_gbps(1000.0)));
+    const auto g = single_stage_graph(model.hardware());
+    for (double w64 : {0.2, 0.5, 0.8}) {
+        const auto mixed = TrafficProfile::mixed(
+            {{Bytes{64.0}, w64}, {Bytes{1500.0}, 1.0 - w64}},
+            Bandwidth::from_gbps(10.0));
+        const auto rep = model.throughput(g, mixed);
+        const double expected =
+            w64 * rep.per_class[0].capacity.bits_per_sec()
+            + (1.0 - w64) * rep.per_class[1].capacity.bits_per_sec();
+        EXPECT_NEAR(rep.capacity.bits_per_sec(), expected, 1.0) << w64;
+    }
+}
+
+TEST(ModelProperties, AccelerationScalesComputeOnly)
+{
+    const Model model(small_nic());
+    const auto traffic = test::mtu_traffic(0.1); // negligible queueing
+    VertexParams slow;
+    VertexParams fast;
+    fast.acceleration = 4.0;
+    const auto a =
+        model.latency(single_stage_graph(model.hardware(), slow), traffic);
+    const auto b =
+        model.latency(single_stage_graph(model.hardware(), fast), traffic);
+    // Compute is 1.375 us; 4x acceleration removes 3/4 of it.
+    EXPECT_NEAR(a.mean.seconds() - b.mean.seconds(), 1.375e-6 * 0.75,
+                5e-8);
+}
+
+TEST(ModelProperties, QueueCapacityTradesDropsForDelay)
+{
+    // Overloaded vertex: growing N raises delay and lowers drops,
+    // monotonically on both axes.
+    const auto hw = small_nic(Bandwidth::from_gbps(1000.0));
+    const Model model(hw);
+    double prev_delay = 0.0;
+    double prev_drop = 1.0;
+    for (std::uint32_t n : {2u, 4u, 8u, 16u, 32u}) {
+        VertexParams p;
+        p.parallelism = 1;
+        p.queue_capacity = n;
+        const auto rep = model.latency(single_stage_graph(hw, p),
+                                       test::mtu_traffic(20.0));
+        EXPECT_GT(rep.mean.seconds(), prev_delay) << n;
+        EXPECT_LT(rep.max_drop_probability, prev_drop) << n;
+        prev_delay = rep.mean.seconds();
+        prev_drop = rep.max_drop_probability;
+    }
+}
+
+TEST(ModelProperties, InterfaceBandwidthMonotone)
+{
+    // Raising a shared-medium bandwidth can only help capacity.
+    double prev = 0.0;
+    for (double intf : {20.0, 40.0, 80.0, 160.0}) {
+        HardwareModel hw("x", Bandwidth::from_gbps(intf),
+                         Bandwidth::from_gbps(80.0),
+                         Bandwidth::from_gbps(1000.0));
+        IpSpec ip;
+        ip.name = "cores";
+        ip.roofline = ExtendedRoofline(
+            ServiceModel{Seconds::from_micros(0.1),
+                         Bandwidth::from_gigabytes_per_sec(8.0)},
+            {});
+        ip.max_engines = 8;
+        hw.add_ip(ip);
+        ExecutionGraph g("chain");
+        const auto in = g.add_ingress();
+        const auto out = g.add_egress();
+        const auto v = g.add_ip_vertex("cores", 0);
+        g.add_edge(in, v, EdgeParams{1.0, 1.0, 0.0, {}});
+        g.add_edge(v, out, EdgeParams{1.0, 1.0, 0.0, {}});
+        const double cap = Model(hw)
+                               .throughput(g, test::mtu_traffic(1.0))
+                               .capacity.bits_per_sec();
+        EXPECT_GE(cap, prev);
+        prev = cap;
+    }
+}
+
+TEST(ModelProperties, EstimatesAreDeterministic)
+{
+    const Model model(small_nic());
+    const auto g = two_stage_graph(model.hardware());
+    const auto traffic = test::mtu_traffic(12.0);
+    const auto a = model.estimate(g, traffic);
+    const auto b = model.estimate(g, traffic);
+    EXPECT_DOUBLE_EQ(a.throughput.capacity.bits_per_sec(),
+                     b.throughput.capacity.bits_per_sec());
+    EXPECT_DOUBLE_EQ(a.latency.mean.seconds(), b.latency.mean.seconds());
+    EXPECT_DOUBLE_EQ(a.latency.per_class[0].p99.seconds(),
+                     b.latency.per_class[0].p99.seconds());
+}
+
+} // namespace
+} // namespace lognic::core

@@ -1,0 +1,89 @@
+#include "lognic/core/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+
+namespace lognic::core {
+namespace {
+
+using test::single_stage_graph;
+using test::small_nic;
+
+TEST(Model, SingleClassMatchesDirectEstimates)
+{
+    const Model model(small_nic());
+    const ExecutionGraph g = single_stage_graph(model.hardware());
+    const auto traffic = test::mtu_traffic(10.0);
+    const Report rep = model.estimate(g, traffic);
+    const auto direct_t = estimate_throughput(g, model.hardware(), traffic);
+    const auto direct_l = estimate_latency(g, model.hardware(), traffic);
+    EXPECT_DOUBLE_EQ(rep.throughput.capacity.bits_per_sec(),
+                     direct_t.capacity.bits_per_sec());
+    EXPECT_DOUBLE_EQ(rep.latency.mean.seconds(), direct_l.mean.seconds());
+}
+
+TEST(Model, MixedTrafficWeightsThroughput)
+{
+    const Model model(small_nic(Bandwidth::from_gbps(1000.0)));
+    const ExecutionGraph g = single_stage_graph(model.hardware());
+    const auto mixed = TrafficProfile::mixed(
+        {{Bytes{64.0}, 0.5}, {Bytes{1500.0}, 0.5}},
+        Bandwidth::from_gbps(10.0));
+    const auto rep = model.throughput(g, mixed);
+    ASSERT_EQ(rep.per_class.size(), 2u);
+    const double expected = 0.5 * rep.per_class[0].capacity.bits_per_sec()
+        + 0.5 * rep.per_class[1].capacity.bits_per_sec();
+    EXPECT_NEAR(rep.capacity.bits_per_sec(), expected, 1.0);
+}
+
+TEST(Model, MixedTrafficLatencyIsWeightedAverage)
+{
+    const Model model(small_nic());
+    const ExecutionGraph g = single_stage_graph(model.hardware());
+    const auto mixed = TrafficProfile::mixed(
+        {{Bytes{64.0}, 0.25}, {Bytes{1500.0}, 0.75}},
+        Bandwidth::from_gbps(1.0));
+    const auto rep = model.latency(g, mixed);
+    ASSERT_EQ(rep.per_class.size(), 2u);
+    const double expected = 0.25 * rep.per_class[0].mean.seconds()
+        + 0.75 * rep.per_class[1].mean.seconds();
+    EXPECT_NEAR(rep.mean.seconds(), expected, 1e-12);
+}
+
+TEST(Model, MixedClassesSeeTheirBandwidthShare)
+{
+    const Model model(small_nic());
+    const ExecutionGraph g = single_stage_graph(model.hardware());
+    // 90% of bytes are MTU: the 64 B class runs at a light 1 Gbps share and
+    // must see near-zero queueing even when the total load is 10 Gbps.
+    const auto mixed = TrafficProfile::mixed(
+        {{Bytes{64.0}, 0.1}, {Bytes{1500.0}, 0.9}},
+        Bandwidth::from_gbps(10.0));
+    const auto rep = model.latency(g, mixed);
+    const auto solo_light = model.latency(
+        g, TrafficProfile::fixed(Bytes{64.0}, Bandwidth::from_gbps(1.0)));
+    EXPECT_NEAR(rep.per_class[0].mean.micros(),
+                solo_light.per_class[0].mean.micros(), 0.35);
+}
+
+TEST(Model, BottleneckPicksWorstClass)
+{
+    const Model model(small_nic());
+    const ExecutionGraph g = single_stage_graph(model.hardware());
+    const auto mixed = TrafficProfile::mixed(
+        {{Bytes{64.0}, 0.5}, {Bytes{1500.0}, 0.5}},
+        Bandwidth::from_gbps(10.0));
+    const auto rep = model.throughput(g, mixed);
+    // 64 B class is compute-bound far below the MTU class.
+    EXPECT_EQ(rep.bottleneck().kind, TermKind::kIpCompute);
+}
+
+TEST(Model, EmptyReportBottleneckThrows)
+{
+    ThroughputReport empty;
+    EXPECT_THROW(empty.bottleneck(), std::logic_error);
+}
+
+} // namespace
+} // namespace lognic::core

@@ -1,0 +1,160 @@
+#include "lognic/core/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+
+namespace lognic::core {
+namespace {
+
+using test::small_nic;
+
+/// Two parallel stages with capacity ratio 3:1 (engines); the knob is the
+/// traffic split. Optimal throughput split sends 75% to the big stage.
+ExecutionGraph
+split_graph(const HardwareModel& hw, double to_a)
+{
+    ExecutionGraph g("split");
+    const auto in = g.add_ingress();
+    const auto out = g.add_egress();
+    VertexParams big;
+    big.parallelism = 3;
+    VertexParams small;
+    small.parallelism = 1;
+    const auto a = g.add_ip_vertex("a", *hw.find_ip("cores"), big);
+    const auto b = g.add_ip_vertex("b", *hw.find_ip("cores"), small);
+    g.add_edge(in, a, EdgeParams{to_a, 0, 0, {}});
+    g.add_edge(in, b, EdgeParams{1.0 - to_a, 0, 0, {}});
+    g.add_edge(a, out, EdgeParams{to_a, 0, 0, {}});
+    g.add_edge(b, out, EdgeParams{1.0 - to_a, 0, 0, {}});
+    return g;
+}
+
+void
+apply_split(ExecutionGraph& g, const solver::Vector& x)
+{
+    const double s = x[0];
+    g.edge(0).params.delta = s;
+    g.edge(1).params.delta = 1.0 - s;
+    g.edge(2).params.delta = s;
+    g.edge(3).params.delta = 1.0 - s;
+}
+
+TEST(Optimizer, ContinuousSplitMaximizesThroughput)
+{
+    const HardwareModel hw = small_nic(Bandwidth::from_gbps(1000.0));
+    ContinuousProblem problem;
+    problem.graph = split_graph(hw, 0.5);
+    problem.traffic = test::mtu_traffic(10.0);
+    problem.apply = [](ExecutionGraph& g, TrafficProfile&,
+                       const solver::Vector& x) { apply_split(g, x); };
+    problem.objective = Objective::kMaximizeThroughput;
+    problem.bounds.lower = {0.05};
+    problem.bounds.upper = {0.95};
+    problem.x0 = {0.3};
+
+    const Optimizer opt(hw);
+    const auto res = opt.optimize(problem);
+    EXPECT_NEAR(res.x[0], 0.75, 0.01);
+}
+
+TEST(Optimizer, ContinuousWithConstraint)
+{
+    const HardwareModel hw = small_nic(Bandwidth::from_gbps(1000.0));
+    ContinuousProblem problem;
+    problem.graph = split_graph(hw, 0.5);
+    problem.traffic = test::mtu_traffic(10.0);
+    problem.apply = [](ExecutionGraph& g, TrafficProfile&,
+                       const solver::Vector& x) { apply_split(g, x); };
+    problem.objective = Objective::kMaximizeThroughput;
+    // Cap the split below the unconstrained optimum of 0.75.
+    problem.constraints.push_back([](const Report&) { return 0.0; });
+    problem.bounds.lower = {0.05};
+    problem.bounds.upper = {0.60};
+    problem.x0 = {0.3};
+
+    const Optimizer opt(hw);
+    const auto res = opt.optimize(problem);
+    EXPECT_TRUE(res.feasible);
+    EXPECT_NEAR(res.x[0], 0.60, 0.02);
+}
+
+TEST(Optimizer, DiscreteParallelismSearch)
+{
+    const HardwareModel hw = small_nic(Bandwidth::from_gbps(1000.0));
+    // One stage, knob = engine count 1..8; capacity is monotone in engines,
+    // so maximize-throughput must pick 8.
+    DiscreteProblem problem;
+    problem.graph = test::single_stage_graph(hw);
+    problem.traffic = test::mtu_traffic(10.0);
+    problem.apply = [](ExecutionGraph& g, TrafficProfile&,
+                       const solver::IntVector& x) {
+        g.vertex(*g.find_vertex("cores")).params.parallelism =
+            static_cast<std::uint32_t>(x[0]);
+    };
+    problem.objective = Objective::kMaximizeThroughput;
+    problem.ranges = {{1, 8, 1}};
+
+    const Optimizer opt(hw);
+    const auto res = opt.optimize(problem);
+    EXPECT_EQ(res.xi, (solver::IntVector{8}));
+    EXPECT_EQ(res.evaluations, 8u + 1u); // sweep + final re-evaluation
+}
+
+TEST(Optimizer, DiscreteConstraintRejectsCandidates)
+{
+    const HardwareModel hw = small_nic(Bandwidth::from_gbps(1000.0));
+    DiscreteProblem problem;
+    problem.graph = test::single_stage_graph(hw);
+    problem.traffic = test::mtu_traffic(10.0);
+    problem.apply = [](ExecutionGraph& g, TrafficProfile&,
+                       const solver::IntVector& x) {
+        g.vertex(*g.find_vertex("cores")).params.parallelism =
+            static_cast<std::uint32_t>(x[0]);
+    };
+    problem.objective = Objective::kMaximizeThroughput;
+    // Reject capacities above 30 Gbps (so high engine counts are culled).
+    problem.constraints.push_back([](const Report& r) {
+        return r.throughput.capacity.gbps() - 30.0;
+    });
+    problem.ranges = {{1, 8, 1}};
+
+    const Optimizer opt(hw);
+    const auto res = opt.optimize(problem);
+    EXPECT_TRUE(res.feasible);
+    EXPECT_LE(res.report.throughput.capacity.gbps(), 30.0);
+    EXPECT_EQ(res.xi, (solver::IntVector{3})); // 3 * 8.7 Gbps = 26.2
+}
+
+TEST(Optimizer, DiscreteMinimizeLatencyPrefersMoreEngines)
+{
+    const HardwareModel hw = small_nic(Bandwidth::from_gbps(1000.0));
+    DiscreteProblem problem;
+    problem.graph = test::single_stage_graph(hw);
+    problem.traffic = test::mtu_traffic(20.0);
+    problem.apply = [](ExecutionGraph& g, TrafficProfile&,
+                       const solver::IntVector& x) {
+        g.vertex(*g.find_vertex("cores")).params.parallelism =
+            static_cast<std::uint32_t>(x[0]);
+    };
+    problem.objective = Objective::kMinimizeLatency;
+    problem.ranges = {{1, 8, 1}};
+    const Optimizer opt(hw);
+    const auto res = opt.optimize(problem);
+    // At 20 Gbps offered, 1 engine (8.7 Gbps) is saturated; queueing pushes
+    // the optimum to the maximum parallelism.
+    EXPECT_EQ(res.xi, (solver::IntVector{8}));
+}
+
+TEST(Optimizer, MissingPiecesThrow)
+{
+    const HardwareModel hw = small_nic();
+    const Optimizer opt(hw);
+    ContinuousProblem c;
+    EXPECT_THROW(opt.optimize(c), std::invalid_argument);
+    DiscreteProblem d;
+    EXPECT_THROW(opt.optimize(d), std::invalid_argument);
+}
+
+} // namespace
+} // namespace lognic::core

@@ -1,0 +1,90 @@
+#include "lognic/core/reporting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "lognic/core/extensions.hpp"
+
+namespace lognic::core {
+namespace {
+
+TEST(Reporting, ThroughputShowsBottleneckAndTerms)
+{
+    const Model model(test::small_nic());
+    const auto g = test::two_stage_graph(model.hardware());
+    const auto traffic = test::mtu_traffic(10.0);
+    const auto text =
+        render_throughput(model.throughput(g, traffic), traffic);
+    EXPECT_NE(text.find("[bottleneck]"), std::string::npos);
+    EXPECT_NE(text.find("cores"), std::string::npos);
+    EXPECT_NE(text.find("accel"), std::string::npos);
+    EXPECT_NE(text.find("Gbps"), std::string::npos);
+}
+
+TEST(Reporting, LatencyShowsHopBreakdown)
+{
+    const Model model(test::small_nic());
+    const auto g = test::two_stage_graph(model.hardware());
+    const auto traffic = test::mtu_traffic(10.0);
+    const auto text = render_latency(model.latency(g, traffic), traffic);
+    EXPECT_NE(text.find("path (weight"), std::string::npos);
+    EXPECT_NE(text.find("Q="), std::string::npos);
+    EXPECT_NE(text.find("xfer="), std::string::npos);
+    EXPECT_NE(text.find("goodput"), std::string::npos);
+}
+
+TEST(Reporting, FullReportConcatenatesBothSides)
+{
+    const Model model(test::small_nic());
+    const auto g = test::single_stage_graph(model.hardware());
+    const auto traffic = test::mtu_traffic(5.0);
+    const auto text = render_report(model.estimate(g, traffic), traffic);
+    EXPECT_NE(text.find("Throughput:"), std::string::npos);
+    EXPECT_NE(text.find("Latency:"), std::string::npos);
+}
+
+TEST(Reporting, MixedProfilesLabelClasses)
+{
+    const Model model(test::small_nic());
+    const auto g = test::single_stage_graph(model.hardware());
+    const auto mixed = TrafficProfile::mixed(
+        {{Bytes{64.0}, 0.5}, {Bytes{1500.0}, 0.5}},
+        Bandwidth::from_gbps(4.0));
+    const auto text =
+        render_throughput(model.throughput(g, mixed), mixed);
+    EXPECT_NE(text.find("64B (50% of bytes)"), std::string::npos);
+    EXPECT_NE(text.find("1500B (50% of bytes)"), std::string::npos);
+}
+
+TEST(Reporting, DotExportContainsStructure)
+{
+    const auto hw = test::small_nic();
+    ExecutionGraph g = test::two_stage_graph(hw);
+    g.edge(1).params.dedicated_bw = Bandwidth::from_gbps(12.0);
+    insert_rate_limiter(g, *g.find_vertex("accel"),
+                        Bandwidth::from_gbps(5.0), 4);
+    const auto dot = to_dot(g, hw);
+    EXPECT_EQ(dot.rfind("digraph", 0), 0u); // starts with digraph
+    EXPECT_NE(dot.find("cores"), std::string::npos);
+    EXPECT_NE(dot.find("shaper"), std::string::npos);
+    EXPECT_NE(dot.find("hexagon"), std::string::npos); // rate limiter shape
+    EXPECT_NE(dot.find("ellipse"), std::string::npos); // ingress/egress
+    EXPECT_NE(dot.find("bw=12.0G"), std::string::npos);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+    EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(Reporting, DotShowsEffectiveParallelismAndPartition)
+{
+    const auto hw = test::small_nic();
+    VertexParams p;
+    p.parallelism = 3;
+    p.partition = 0.5;
+    const auto g = test::single_stage_graph(hw, p);
+    const auto dot = to_dot(g, hw);
+    EXPECT_NE(dot.find("D=3"), std::string::npos);
+    EXPECT_NE(dot.find("g=0.50"), std::string::npos);
+}
+
+} // namespace
+} // namespace lognic::core

@@ -1,0 +1,95 @@
+#include "lognic/core/roofline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lognic::core {
+namespace {
+
+TEST(ServiceModel, ServiceTimeCombinesFixedAndStreaming)
+{
+    const ServiceModel m{Seconds::from_micros(1.0),
+                         Bandwidth::from_gigabytes_per_sec(1.0)};
+    // 1 us fixed + 1024 B / 1 GB/s = 1.024 us streaming.
+    EXPECT_NEAR(m.service_time(Bytes{1024.0}).micros(), 2.024, 1e-9);
+}
+
+TEST(ServiceModel, OpRateIsInverseServiceTime)
+{
+    const ServiceModel m{Seconds::from_micros(2.0),
+                         Bandwidth::from_gbps(1e6)};
+    EXPECT_NEAR(m.op_rate(Bytes{64.0}).mops(), 0.5, 1e-6);
+}
+
+TEST(ServiceModel, FromOpRate)
+{
+    const ServiceModel m = ServiceModel::from_op_rate(OpsRate::from_mops(2.0));
+    EXPECT_NEAR(m.service_time(Bytes{64.0}).micros(), 0.5, 1e-6);
+    EXPECT_NEAR(m.service_time(Bytes{16384.0}).micros(), 0.5, 1e-3);
+}
+
+TEST(ServiceModel, ThroughputScalesWithSizeWhenOpDominated)
+{
+    const ServiceModel m = ServiceModel::from_op_rate(OpsRate::from_mops(1.0));
+    const Bandwidth small = m.throughput(Bytes{64.0});
+    const Bandwidth large = m.throughput(Bytes{1500.0});
+    EXPECT_NEAR(large.bits_per_sec() / small.bits_per_sec(), 1500.0 / 64.0,
+                0.01);
+}
+
+TEST(ExtendedRoofline, ComputeBoundWithoutCeilings)
+{
+    const ExtendedRoofline r(
+        ServiceModel{Seconds::from_micros(1.0), Bandwidth::from_gbps(1e6)},
+        {});
+    // One engine, 1 us/op, 1500 B packets -> 12 Gbps.
+    EXPECT_NEAR(r.attainable(Bytes{1500.0}, 1).gbps(), 12.0, 0.01);
+    // Four engines quadruple it.
+    EXPECT_NEAR(r.attainable(Bytes{1500.0}, 4).gbps(), 48.0, 0.04);
+    EXPECT_EQ(r.binding_factor(Bytes{1500.0}, 4), "compute");
+}
+
+TEST(ExtendedRoofline, CeilingBindsAtLargeRequests)
+{
+    const ExtendedRoofline r(
+        ServiceModel::from_op_rate(OpsRate::from_mops(2.0)),
+        {{"cmi", Bandwidth::from_gbps(50.0)}});
+    // Small requests: compute-bound (2 Mops * 512 B = 8.2 Gbps < 50).
+    EXPECT_EQ(r.binding_factor(Bytes{512.0}, 1), "compute");
+    // Large requests: 2 Mops * 16 KiB = 262 Gbps -> the 50 Gbps feed binds.
+    EXPECT_EQ(r.binding_factor(Bytes{16384.0}, 1), "cmi");
+    EXPECT_NEAR(r.attainable(Bytes{16384.0}, 1).gbps(), 50.0, 1e-9);
+}
+
+TEST(ExtendedRoofline, PartitionScalesBothComputeAndCeilings)
+{
+    const ExtendedRoofline r(
+        ServiceModel::from_op_rate(OpsRate::from_mops(2.0)),
+        {{"cmi", Bandwidth::from_gbps(50.0)}});
+    const Bandwidth full = r.attainable(Bytes{16384.0}, 1, 1.0);
+    const Bandwidth half = r.attainable(Bytes{16384.0}, 1, 0.5);
+    EXPECT_NEAR(half.bits_per_sec(), 0.5 * full.bits_per_sec(), 1e-3);
+}
+
+TEST(ExtendedRoofline, TightestCeilingWins)
+{
+    const ExtendedRoofline r(
+        ServiceModel{Seconds{0.0}, Bandwidth::from_gbps(1e6)},
+        {{"wide", Bandwidth::from_gbps(100.0)},
+         {"narrow", Bandwidth::from_gbps(10.0)}});
+    EXPECT_NEAR(r.attainable(Bytes{1500.0}, 8).gbps(), 10.0, 1e-9);
+    EXPECT_EQ(r.binding_factor(Bytes{1500.0}, 8), "narrow");
+}
+
+TEST(ExtendedRoofline, AttainableOpsConsistentWithBandwidth)
+{
+    const ExtendedRoofline r(
+        ServiceModel::from_op_rate(OpsRate::from_mops(1.5)), {});
+    const Bytes size{1024.0};
+    const OpsRate ops = r.attainable_ops(size, 2);
+    const Bandwidth bw = r.attainable(size, 2);
+    EXPECT_NEAR(to_bandwidth(ops, size).bits_per_sec(), bw.bits_per_sec(),
+                1.0);
+}
+
+} // namespace
+} // namespace lognic::core

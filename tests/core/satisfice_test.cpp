@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "lognic/core/optimizer.hpp"
+
+namespace lognic::core {
+namespace {
+
+using test::single_stage_graph;
+using test::small_nic;
+
+SatisficeProblem
+base_problem(const HardwareModel& hw)
+{
+    SatisficeProblem p;
+    p.graph = single_stage_graph(hw);
+    p.traffic = test::mtu_traffic(20.0);
+    p.apply = [](ExecutionGraph& g, TrafficProfile&,
+                 const solver::IntVector& x) {
+        g.vertex(*g.find_vertex("cores")).params.parallelism =
+            static_cast<std::uint32_t>(x[0]);
+    };
+    p.ranges = {{1, 8, 1}};
+    return p;
+}
+
+TEST(Satisfice, FindsMinimalSatisfyingConfiguration)
+{
+    const HardwareModel hw = small_nic(Bandwidth::from_gbps(1000.0));
+    SatisficeProblem p = base_problem(hw);
+    // Goal: capacity >= 30 Gbps (each engine gives ~8.7 at MTU -> need 4).
+    p.goals.push_back(PerformanceGoal{
+        "capacity>=30G",
+        [](const Report& r) {
+            return 30.0 - r.throughput.capacity.gbps();
+        },
+        0.0});
+    // Tie-break toward *low* resource usage by minimizing latency? No:
+    // use a custom preference encoded as the objective — here maximize
+    // throughput, so the optimizer returns the highest-capacity config
+    // among satisfying ones.
+    const Optimizer opt(hw);
+    const auto res = opt.satisfice(p);
+    EXPECT_TRUE(res.satisfied);
+    EXPECT_EQ(res.relax_rounds_used, 0u);
+    EXPECT_GE(res.report.throughput.capacity.gbps(), 30.0);
+}
+
+TEST(Satisfice, MultipleGoalsIntersect)
+{
+    const HardwareModel hw = small_nic(Bandwidth::from_gbps(1000.0));
+    SatisficeProblem p = base_problem(hw);
+    p.traffic = test::mtu_traffic(20.0);
+    // Capacity at least 25 Gbps AND capacity at most 45 Gbps (resource
+    // budget stand-in): engines 3..5 qualify (26.2 / 34.9 / 43.6).
+    p.goals.push_back(PerformanceGoal{
+        "cap>=25", [](const Report& r) {
+            return 25.0 - r.throughput.capacity.gbps();
+        }});
+    p.goals.push_back(PerformanceGoal{
+        "cap<=45", [](const Report& r) {
+            return r.throughput.capacity.gbps() - 45.0;
+        }});
+    const Optimizer opt(hw);
+    const auto res = opt.satisfice(p);
+    ASSERT_TRUE(res.satisfied);
+    EXPECT_GE(res.xi[0], 3);
+    EXPECT_LE(res.xi[0], 5);
+    // Maximize-throughput tie-break picks 5 engines.
+    EXPECT_EQ(res.xi[0], 5);
+}
+
+TEST(Satisfice, RelaxesUnreachableGoal)
+{
+    const HardwareModel hw = small_nic(Bandwidth::from_gbps(1000.0));
+    SatisficeProblem p = base_problem(hw);
+    // Max capacity is ~69.8 Gbps; demand 90 and allow 10 Gbps relaxation
+    // per round.
+    p.goals.push_back(PerformanceGoal{
+        "cap>=90",
+        [](const Report& r) {
+            return 90.0 - r.throughput.capacity.gbps();
+        },
+        10.0});
+    p.max_relax_rounds = 3;
+    const Optimizer opt(hw);
+    const auto res = opt.satisfice(p);
+    EXPECT_TRUE(res.satisfied);
+    // Needs 90 - 69.8 = 20.2 Gbps of slack -> 3 rounds of 10.
+    EXPECT_EQ(res.relax_rounds_used, 3u);
+    EXPECT_NEAR(res.slack[0], 30.0, 1e-9);
+    EXPECT_EQ(res.xi[0], 8);
+}
+
+TEST(Satisfice, FailsWhenGoalCannotRelax)
+{
+    const HardwareModel hw = small_nic(Bandwidth::from_gbps(1000.0));
+    SatisficeProblem p = base_problem(hw);
+    p.goals.push_back(PerformanceGoal{
+        "cap>=500",
+        [](const Report& r) {
+            return 500.0 - r.throughput.capacity.gbps();
+        },
+        0.0}); // relaxation not permitted
+    const Optimizer opt(hw);
+    const auto res = opt.satisfice(p);
+    EXPECT_FALSE(res.satisfied);
+}
+
+TEST(Satisfice, ValidatesInputs)
+{
+    const HardwareModel hw = small_nic();
+    const Optimizer opt(hw);
+    SatisficeProblem empty;
+    EXPECT_THROW(opt.satisfice(empty), std::invalid_argument);
+
+    SatisficeProblem no_goals = base_problem(hw);
+    EXPECT_THROW(opt.satisfice(no_goals), std::invalid_argument);
+}
+
+TEST(Satisfice, LatencyBoundGoal)
+{
+    const HardwareModel hw = small_nic(Bandwidth::from_gbps(1000.0));
+    SatisficeProblem p = base_problem(hw);
+    p.traffic = test::mtu_traffic(15.0);
+    // Mean latency under 3 us: needs enough engines to kill queueing.
+    p.goals.push_back(PerformanceGoal{
+        "latency<=3us",
+        [](const Report& r) { return r.latency.mean.micros() - 3.0; },
+        0.0});
+    p.objective = Objective::kMinimizeLatency;
+    const Optimizer opt(hw);
+    const auto res = opt.satisfice(p);
+    ASSERT_TRUE(res.satisfied);
+    EXPECT_LE(res.report.latency.mean.micros(), 3.0);
+}
+
+} // namespace
+} // namespace lognic::core

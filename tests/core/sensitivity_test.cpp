@@ -1,0 +1,116 @@
+#include "lognic/core/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+
+namespace lognic::core {
+namespace {
+
+using test::single_stage_graph;
+using test::small_nic;
+
+double
+find(const std::vector<Sensitivity>& results, const std::string& name,
+     bool capacity = true)
+{
+    for (const auto& s : results) {
+        if (s.parameter == name)
+            return capacity ? s.capacity_elasticity : s.latency_elasticity;
+    }
+    ADD_FAILURE() << "missing parameter " << name;
+    return 0.0;
+}
+
+TEST(SensitivityAnalysis, LineRateBoundScenarioBlamesThePort)
+{
+    // small_nic at MTU: cores capacity ~69.8 G >> the 25 G port.
+    const auto hw = small_nic();
+    const auto g = single_stage_graph(hw);
+    const auto results =
+        analyze_sensitivity(g, hw, test::mtu_traffic(10.0));
+    EXPECT_NEAR(find(results, "hw:line-rate"), 1.0, 0.02);
+    // Nothing else moves capacity.
+    EXPECT_NEAR(find(results, "hw:memory-bandwidth"), 0.0, 1e-9);
+    EXPECT_NEAR(find(results, "hw:interface-bandwidth"), 0.0, 1e-9);
+    // And the ranking puts the port first.
+    EXPECT_EQ(results.front().parameter, "hw:line-rate");
+}
+
+TEST(SensitivityAnalysis, ComputeBoundScenarioBlamesTheVertex)
+{
+    const auto hw = small_nic(Bandwidth::from_gbps(1000.0));
+    VertexParams p;
+    p.parallelism = 4; // interior point: two-sided engine probe
+    const auto g = single_stage_graph(hw, p);
+    const auto results =
+        analyze_sensitivity(g, hw, test::mtu_traffic(10.0));
+    // Capacity scales ~linearly with the core count.
+    EXPECT_NEAR(find(results, "vertex:cores:parallelism"), 1.0, 0.05);
+    EXPECT_NEAR(find(results, "hw:line-rate"), 0.0, 1e-9);
+    // gamma scales capacity linearly too (it cannot exceed 1, so the
+    // default partition of 1.0 is skipped -- set one).
+}
+
+TEST(SensitivityAnalysis, PartitionProbeScalesCapacity)
+{
+    const auto hw = small_nic(Bandwidth::from_gbps(1000.0));
+    VertexParams p;
+    p.partition = 0.5;
+    const auto g = single_stage_graph(hw, p);
+    const auto results =
+        analyze_sensitivity(g, hw, test::mtu_traffic(10.0));
+    EXPECT_NEAR(find(results, "vertex:cores:partition"), 1.0, 0.02);
+}
+
+TEST(SensitivityAnalysis, OfferedLoadDrivesLatencyNotCapacity)
+{
+    const auto hw = small_nic();
+    VertexParams p;
+    p.parallelism = 1;
+    const auto g = single_stage_graph(hw, p);
+    const auto results =
+        analyze_sensitivity(g, hw, test::mtu_traffic(7.0)); // rho ~ 0.8
+    EXPECT_NEAR(find(results, "traffic:offered-load"), 0.0, 1e-9);
+    EXPECT_GT(find(results, "traffic:offered-load", false), 0.5);
+}
+
+TEST(SensitivityAnalysis, FanOutDeltaProbed)
+{
+    const auto hw = small_nic(Bandwidth::from_gbps(1000.0));
+    ExecutionGraph g("split");
+    const auto in = g.add_ingress();
+    const auto out = g.add_egress();
+    VertexParams one;
+    one.parallelism = 1;
+    const auto a = g.add_ip_vertex("a", *hw.find_ip("cores"), one);
+    const auto b = g.add_ip_vertex("b", *hw.find_ip("cores"), one);
+    g.add_edge(in, a, EdgeParams{0.7, 0, 0, {}});
+    g.add_edge(in, b, EdgeParams{0.3, 0, 0, {}});
+    g.add_edge(a, out, EdgeParams{0.7, 0, 0, {}});
+    g.add_edge(b, out, EdgeParams{0.3, 0, 0, {}});
+    const auto results =
+        analyze_sensitivity(g, hw, test::mtu_traffic(10.0));
+    // The hot branch's delta (0.7, feeding the binding vertex) moves
+    // capacity inversely: more share -> lower capacity.
+    EXPECT_LT(find(results, "edge:ingress->a:delta"), -0.5);
+    // The cold branch's delta barely matters for capacity.
+    EXPECT_NEAR(find(results, "edge:ingress->b:delta"), 0.0, 0.1);
+}
+
+TEST(SensitivityAnalysis, DeterministicOutput)
+{
+    const auto hw = small_nic();
+    const auto g = single_stage_graph(hw);
+    const auto a = analyze_sensitivity(g, hw, test::mtu_traffic(5.0));
+    const auto b = analyze_sensitivity(g, hw, test::mtu_traffic(5.0));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].parameter, b[i].parameter);
+        EXPECT_DOUBLE_EQ(a[i].capacity_elasticity,
+                         b[i].capacity_elasticity);
+    }
+}
+
+} // namespace
+} // namespace lognic::core

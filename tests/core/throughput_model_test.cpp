@@ -1,0 +1,184 @@
+#include "lognic/core/throughput_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "lognic/core/extensions.hpp"
+
+namespace lognic::core {
+namespace {
+
+using test::mtu_traffic;
+using test::single_stage_graph;
+using test::small_nic;
+using test::two_stage_graph;
+
+TEST(ThroughputModel, ComputeBoundSingleStage)
+{
+    const HardwareModel hw = small_nic(Bandwidth::from_gbps(1000.0));
+    const ExecutionGraph g = single_stage_graph(hw);
+    const auto est = estimate_throughput(g, hw, mtu_traffic(10.0));
+    // 8 engines, t(1500 B) = 1 us + 0.375 us = 1.375 us -> 69.8 Gbps.
+    const double expected = 8.0 * 1500.0 * 8.0 / 1.375e-6 / 1e9;
+    EXPECT_NEAR(est.capacity.gbps(), expected, 0.01);
+    EXPECT_EQ(est.bottleneck.kind, TermKind::kIpCompute);
+    EXPECT_EQ(est.bottleneck.name, "cores");
+}
+
+TEST(ThroughputModel, LineRateBindsWhenComputeIsAmple)
+{
+    const HardwareModel hw = small_nic(Bandwidth::from_gbps(25.0));
+    const ExecutionGraph g = single_stage_graph(hw);
+    const auto est = estimate_throughput(g, hw, mtu_traffic(10.0));
+    EXPECT_NEAR(est.capacity.gbps(), 25.0, 1e-9);
+    EXPECT_EQ(est.bottleneck.kind, TermKind::kLineRate);
+}
+
+TEST(ThroughputModel, AchievedIsMinOfOfferAndCapacity)
+{
+    const HardwareModel hw = small_nic();
+    const ExecutionGraph g = single_stage_graph(hw);
+    const auto low = estimate_throughput(g, hw, mtu_traffic(5.0));
+    EXPECT_NEAR(low.achieved.gbps(), 5.0, 1e-9);
+    const auto high = estimate_throughput(g, hw, mtu_traffic(100.0));
+    EXPECT_NEAR(high.achieved.gbps(), high.capacity.gbps(), 1e-9);
+}
+
+TEST(ThroughputModel, ParallelismScalesCapacity)
+{
+    const HardwareModel hw = small_nic(Bandwidth::from_gbps(1000.0));
+    VertexParams p1;
+    p1.parallelism = 1;
+    VertexParams p4;
+    p4.parallelism = 4;
+    const auto est1 = estimate_throughput(single_stage_graph(hw, p1), hw,
+                                          mtu_traffic(10.0));
+    const auto est4 = estimate_throughput(single_stage_graph(hw, p4), hw,
+                                          mtu_traffic(10.0));
+    EXPECT_NEAR(est4.capacity.bits_per_sec(),
+                4.0 * est1.capacity.bits_per_sec(), 1.0);
+}
+
+TEST(ThroughputModel, PartitionScalesCapacity)
+{
+    const HardwareModel hw = small_nic(Bandwidth::from_gbps(1000.0));
+    VertexParams half;
+    half.partition = 0.5;
+    const auto full = estimate_throughput(single_stage_graph(hw), hw,
+                                          mtu_traffic(10.0));
+    const auto part = estimate_throughput(single_stage_graph(hw, half), hw,
+                                          mtu_traffic(10.0));
+    EXPECT_NEAR(part.capacity.bits_per_sec(),
+                0.5 * full.capacity.bits_per_sec(), 1.0);
+}
+
+TEST(ThroughputModel, SharedMemoryTermUsesAggregateBeta)
+{
+    const HardwareModel hw = small_nic(Bandwidth::from_gbps(1000.0));
+    // Two-stage graph moves each packet once over memory (beta = 1) on the
+    // cores->accel edge; add beta on the accel->egress edge too.
+    ExecutionGraph g = two_stage_graph(hw);
+    g.edge(2).params.beta = 1.0;
+    const auto est = estimate_throughput(g, hw, mtu_traffic(10.0));
+    bool found = false;
+    for (const auto& t : est.terms) {
+        if (t.kind == TermKind::kMemory) {
+            EXPECT_NEAR(t.limit.gbps(), 80.0 / 2.0, 1e-9);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(ThroughputModel, InterfaceTermAppearsOnlyWithAlpha)
+{
+    const HardwareModel hw = small_nic();
+    const ExecutionGraph g = single_stage_graph(hw);
+    const auto est = estimate_throughput(g, hw, mtu_traffic(10.0));
+    for (const auto& t : est.terms)
+        EXPECT_NE(t.kind, TermKind::kInterface);
+}
+
+TEST(ThroughputModel, DedicatedEdgeBecomesTerm)
+{
+    const HardwareModel hw = small_nic(Bandwidth::from_gbps(1000.0));
+    ExecutionGraph g = single_stage_graph(hw);
+    g.edge(0).params.dedicated_bw = Bandwidth::from_gbps(7.0);
+    const auto est = estimate_throughput(g, hw, mtu_traffic(10.0));
+    EXPECT_NEAR(est.capacity.gbps(), 7.0, 1e-9);
+    EXPECT_EQ(est.bottleneck.kind, TermKind::kEdge);
+}
+
+TEST(ThroughputModel, DeltaScalesEdgeDemand)
+{
+    const HardwareModel hw = small_nic(Bandwidth::from_gbps(1000.0));
+    ExecutionGraph g = single_stage_graph(hw);
+    g.edge(0).params.dedicated_bw = Bandwidth::from_gbps(7.0);
+    g.edge(0).params.delta = 0.5; // only half the traffic crosses this edge
+    g.edge(1).params.delta = 0.5;
+    const auto est = estimate_throughput(g, hw, mtu_traffic(10.0));
+    // The edge allows 7 / 0.5 = 14 Gbps of total ingress W.
+    EXPECT_NEAR(est.capacity.gbps(), 14.0, 1e-9);
+}
+
+TEST(ThroughputModel, FanOutSplitsLoad)
+{
+    const HardwareModel hw = small_nic(Bandwidth::from_gbps(1000.0));
+    // Two parallel single-core stages, 50/50 split: capacity doubles
+    // compared to one stage at parallelism 1.
+    ExecutionGraph g("fanout");
+    const auto in = g.add_ingress();
+    const auto out = g.add_egress();
+    VertexParams one;
+    one.parallelism = 1;
+    const auto a = g.add_ip_vertex("a", *hw.find_ip("cores"), one);
+    const auto b = g.add_ip_vertex("b", *hw.find_ip("cores"), one);
+    g.add_edge(in, a, EdgeParams{0.5, 0, 0, {}});
+    g.add_edge(in, b, EdgeParams{0.5, 0, 0, {}});
+    g.add_edge(a, out, EdgeParams{0.5, 0, 0, {}});
+    g.add_edge(b, out, EdgeParams{0.5, 0, 0, {}});
+    const auto est = estimate_throughput(g, hw, mtu_traffic(10.0));
+
+    VertexParams p1;
+    p1.parallelism = 1;
+    const auto single = estimate_throughput(single_stage_graph(hw, p1), hw,
+                                            mtu_traffic(10.0));
+    EXPECT_NEAR(est.capacity.bits_per_sec(),
+                2.0 * single.capacity.bits_per_sec(), 1.0);
+}
+
+TEST(ThroughputModel, RateLimiterBinds)
+{
+    const HardwareModel hw = small_nic(Bandwidth::from_gbps(1000.0));
+    ExecutionGraph g = single_stage_graph(hw);
+    insert_rate_limiter(g, *g.find_vertex("cores"),
+                        Bandwidth::from_gbps(3.0), 8);
+    const auto est = estimate_throughput(g, hw, mtu_traffic(10.0));
+    EXPECT_NEAR(est.capacity.gbps(), 3.0, 1e-9);
+    EXPECT_EQ(est.bottleneck.kind, TermKind::kRateLimit);
+}
+
+TEST(ThroughputModel, TermsSortedAscending)
+{
+    const HardwareModel hw = small_nic();
+    const auto est = estimate_throughput(two_stage_graph(hw), hw,
+                                         mtu_traffic(10.0));
+    for (std::size_t i = 1; i < est.terms.size(); ++i)
+        EXPECT_LE(est.terms[i - 1].limit.bits_per_sec(),
+                  est.terms[i].limit.bits_per_sec());
+}
+
+TEST(ThroughputModel, SmallPacketsShrinkComputeCapacity)
+{
+    const HardwareModel hw = small_nic(Bandwidth::from_gbps(1000.0));
+    const ExecutionGraph g = single_stage_graph(hw);
+    const auto small = estimate_throughput(
+        g, hw, TrafficProfile::fixed(Bytes{64.0}, Bandwidth::from_gbps(10)));
+    const auto large = estimate_throughput(g, hw, mtu_traffic(10.0));
+    // Fixed per-packet cost dominates at 64 B.
+    EXPECT_LT(small.capacity.bits_per_sec(),
+              0.1 * large.capacity.bits_per_sec());
+}
+
+} // namespace
+} // namespace lognic::core

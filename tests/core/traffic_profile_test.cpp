@@ -1,0 +1,75 @@
+#include "lognic/core/traffic_profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lognic::core {
+namespace {
+
+TEST(TrafficProfile, FixedProfile)
+{
+    const auto p =
+        TrafficProfile::fixed(Bytes{1500.0}, Bandwidth::from_gbps(25.0));
+    ASSERT_EQ(p.classes().size(), 1u);
+    EXPECT_DOUBLE_EQ(p.classes()[0].weight, 1.0);
+    EXPECT_DOUBLE_EQ(p.mean_packet_size().bytes(), 1500.0);
+    EXPECT_DOUBLE_EQ(p.granularity(0).bytes(), 1500.0);
+    EXPECT_DOUBLE_EQ(p.ingress_bandwidth().gbps(), 25.0);
+}
+
+TEST(TrafficProfile, MixedWeightsNormalize)
+{
+    const auto p = TrafficProfile::mixed(
+        {{Bytes{64.0}, 2.0}, {Bytes{1500.0}, 6.0}},
+        Bandwidth::from_gbps(10.0));
+    EXPECT_DOUBLE_EQ(p.classes()[0].weight, 0.25);
+    EXPECT_DOUBLE_EQ(p.classes()[1].weight, 0.75);
+    EXPECT_DOUBLE_EQ(p.mean_packet_size().bytes(),
+                     0.25 * 64.0 + 0.75 * 1500.0);
+}
+
+TEST(TrafficProfile, RejectsBadInput)
+{
+    EXPECT_THROW(TrafficProfile::mixed({}, Bandwidth::from_gbps(1.0)),
+                 std::invalid_argument);
+    EXPECT_THROW(TrafficProfile::mixed({{Bytes{0.0}, 1.0}},
+                                       Bandwidth::from_gbps(1.0)),
+                 std::invalid_argument);
+    EXPECT_THROW(TrafficProfile::mixed({{Bytes{64.0}, 0.0}},
+                                       Bandwidth::from_gbps(1.0)),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        TrafficProfile::fixed(Bytes{64.0}, Bandwidth::from_gbps(0.0)),
+        std::invalid_argument);
+}
+
+TEST(TrafficProfile, GranularityOverride)
+{
+    auto p = TrafficProfile::fixed(Bytes{1024.0}, Bandwidth::from_gbps(5.0));
+    p.set_granularity(Bytes::from_kib(16.0));
+    EXPECT_DOUBLE_EQ(p.granularity(0).bytes(), 16384.0);
+    EXPECT_THROW(p.granularity(5), std::out_of_range);
+}
+
+TEST(TrafficProfile, ClassProfileExtractsOneClass)
+{
+    const auto p = TrafficProfile::mixed(
+        {{Bytes{64.0}, 1.0}, {Bytes{512.0}, 1.0}},
+        Bandwidth::from_gbps(8.0));
+    const auto c1 = p.class_profile(1);
+    ASSERT_EQ(c1.classes().size(), 1u);
+    EXPECT_DOUBLE_EQ(c1.classes()[0].size.bytes(), 512.0);
+    EXPECT_DOUBLE_EQ(c1.classes()[0].weight, 1.0);
+    EXPECT_DOUBLE_EQ(c1.ingress_bandwidth().gbps(), 8.0);
+    EXPECT_THROW(p.class_profile(2), std::out_of_range);
+}
+
+TEST(TrafficProfile, DefaultIsValidPlaceholder)
+{
+    const TrafficProfile p;
+    ASSERT_EQ(p.classes().size(), 1u);
+    EXPECT_GT(p.mean_packet_size().bytes(), 0.0);
+    EXPECT_GT(p.ingress_bandwidth().bits_per_sec(), 0.0);
+}
+
+} // namespace
+} // namespace lognic::core

@@ -1,0 +1,93 @@
+#include "lognic/core/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lognic {
+namespace {
+
+TEST(Units, SecondsConversions)
+{
+    const Seconds s = Seconds::from_micros(1500.0);
+    EXPECT_DOUBLE_EQ(s.seconds(), 1.5e-3);
+    EXPECT_DOUBLE_EQ(s.millis(), 1.5);
+    EXPECT_DOUBLE_EQ(s.nanos(), 1.5e6);
+    EXPECT_DOUBLE_EQ(Seconds::from_nanos(500.0).micros(), 0.5);
+    EXPECT_DOUBLE_EQ(Seconds::from_millis(2.0).seconds(), 2e-3);
+}
+
+TEST(Units, BytesConversions)
+{
+    const Bytes b = Bytes::from_kib(4.0);
+    EXPECT_DOUBLE_EQ(b.bytes(), 4096.0);
+    EXPECT_DOUBLE_EQ(b.bits(), 32768.0);
+    EXPECT_DOUBLE_EQ(b.kib(), 4.0);
+    EXPECT_DOUBLE_EQ(Bytes::from_bits(80.0).bytes(), 10.0);
+}
+
+TEST(Units, BandwidthConversions)
+{
+    const Bandwidth bw = Bandwidth::from_gbps(25.0);
+    EXPECT_DOUBLE_EQ(bw.bits_per_sec(), 25e9);
+    EXPECT_DOUBLE_EQ(bw.gbps(), 25.0);
+    EXPECT_DOUBLE_EQ(bw.bytes_per_sec(), 3.125e9);
+    EXPECT_DOUBLE_EQ(Bandwidth::from_gigabytes_per_sec(1.0).gbps(), 8.0);
+    EXPECT_DOUBLE_EQ(Bandwidth::from_mbps(500.0).gbps(), 0.5);
+    EXPECT_DOUBLE_EQ(Bandwidth::from_bytes_per_sec(1e9).gbps(), 8.0);
+}
+
+TEST(Units, ArithmeticAndComparison)
+{
+    const Seconds a = Seconds::from_micros(2.0);
+    const Seconds b = Seconds::from_micros(3.0);
+    EXPECT_DOUBLE_EQ((a + b).micros(), 5.0);
+    EXPECT_DOUBLE_EQ((b - a).micros(), 1.0);
+    EXPECT_DOUBLE_EQ((a * 4.0).micros(), 8.0);
+    EXPECT_DOUBLE_EQ((4.0 * a).micros(), 8.0);
+    EXPECT_DOUBLE_EQ((b / 3.0).micros(), 1.0);
+    EXPECT_DOUBLE_EQ(b / a, 1.5);
+    EXPECT_LT(a, b);
+    EXPECT_DOUBLE_EQ(a.seconds(), Seconds::from_nanos(2000.0).seconds());
+}
+
+TEST(Units, CompoundAssignment)
+{
+    Seconds t = Seconds::from_micros(1.0);
+    t += Seconds::from_micros(2.0);
+    EXPECT_DOUBLE_EQ(t.micros(), 3.0);
+    t -= Seconds::from_micros(0.5);
+    EXPECT_DOUBLE_EQ(t.micros(), 2.5);
+}
+
+TEST(Units, TransferTimePhysics)
+{
+    // 1500 B over 25 Gbps = 480 ns.
+    const Seconds t = Bytes{1500.0} / Bandwidth::from_gbps(25.0);
+    EXPECT_NEAR(t.nanos(), 480.0, 1e-9);
+}
+
+TEST(Units, BandwidthTimesTime)
+{
+    const Bytes moved = Bandwidth::from_gbps(10.0) * Seconds{1.0};
+    EXPECT_DOUBLE_EQ(moved.bytes(), 1.25e9);
+    EXPECT_DOUBLE_EQ((Seconds{2.0} * Bandwidth::from_gbps(4.0)).bits(), 8e9);
+}
+
+TEST(Units, RateHelpers)
+{
+    const OpsRate pps =
+        packets_per_sec(Bandwidth::from_gbps(25.0), Bytes{1500.0});
+    EXPECT_NEAR(pps.per_sec(), 25e9 / 12000.0, 1e-6);
+    const Bandwidth back = to_bandwidth(pps, Bytes{1500.0});
+    EXPECT_NEAR(back.gbps(), 25.0, 1e-9);
+    EXPECT_DOUBLE_EQ(service_time(OpsRate::from_mops(1.0)).micros(), 1.0);
+    EXPECT_DOUBLE_EQ(OpsRate::from_kops(2000.0).mops(), 2.0);
+}
+
+TEST(Units, BytesPerTimeGivesRate)
+{
+    const Bandwidth bw = Bytes{1250.0} / Seconds::from_micros(1.0);
+    EXPECT_DOUBLE_EQ(bw.gbps(), 10.0);
+}
+
+} // namespace
+} // namespace lognic

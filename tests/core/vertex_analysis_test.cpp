@@ -1,0 +1,144 @@
+#include "lognic/core/vertex_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "lognic/core/extensions.hpp"
+#include "lognic/core/latency_model.hpp"
+
+namespace lognic::core {
+namespace {
+
+using test::single_stage_graph;
+using test::small_nic;
+
+TEST(VertexAnalysis, PassthroughForIngressEgress)
+{
+    const auto hw = small_nic();
+    const auto g = single_stage_graph(hw);
+    const auto traffic = test::mtu_traffic(10.0);
+    const auto in = analyze_vertex(g, hw, g.ingress_vertices()[0], traffic);
+    EXPECT_TRUE(in.passthrough);
+    const auto out = analyze_vertex(g, hw, g.egress_vertices()[0], traffic);
+    EXPECT_TRUE(out.passthrough);
+}
+
+TEST(VertexAnalysis, ComputesOperatingPoint)
+{
+    const auto hw = small_nic();
+    VertexParams p;
+    p.parallelism = 4;
+    p.queue_capacity = 10;
+    const auto g = single_stage_graph(hw, p);
+    const auto traffic = test::mtu_traffic(10.0);
+    const auto va =
+        analyze_vertex(g, hw, *g.find_vertex("cores"), traffic);
+    EXPECT_FALSE(va.passthrough);
+    EXPECT_EQ(va.parallelism, 4u);
+    EXPECT_EQ(va.queue_capacity, 10u);
+    EXPECT_DOUBLE_EQ(va.request_size.bytes(), 1500.0);
+    // Per-engine service time: 1 us + 1500 B / 4 GB/s = 1.375 us.
+    EXPECT_NEAR(va.compute_time.micros(), 1.375, 1e-9);
+    // lambda per engine: 10 Gbps / (4 * 12000 b) = 208.3 k/s.
+    EXPECT_NEAR(va.lambda, 10e9 / (4.0 * 12000.0), 1e-6);
+    EXPECT_NEAR(va.mu, 1.0 / 1.375e-6, 1.0);
+    // rho = BW_in / P_v.
+    const double p_v = 4.0 * 12000.0 / 1.375e-6;
+    EXPECT_NEAR(va.rho, 10e9 / p_v, 1e-9);
+}
+
+TEST(VertexAnalysis, DefaultsComeFromIpSpec)
+{
+    const auto hw = small_nic();
+    const auto g = single_stage_graph(hw); // parallelism/queue unset
+    const auto va = analyze_vertex(g, hw, *g.find_vertex("cores"),
+                                   test::mtu_traffic(10.0));
+    EXPECT_EQ(va.parallelism, 8u);  // spec.max_engines
+    EXPECT_EQ(va.queue_capacity, 64u); // spec default
+}
+
+TEST(VertexAnalysis, RhoScalesWithDeltaShare)
+{
+    const auto hw = small_nic();
+    ExecutionGraph g("split");
+    const auto in = g.add_ingress();
+    const auto out = g.add_egress();
+    const auto v = g.add_ip_vertex("cores", *hw.find_ip("cores"));
+    g.add_edge(in, v, EdgeParams{0.4, 0, 0, {}}); // 40% of traffic
+    g.add_edge(v, out, EdgeParams{0.4, 0, 0, {}});
+    const auto va =
+        analyze_vertex(g, hw, v, test::mtu_traffic(10.0));
+    const auto g_full = single_stage_graph(hw);
+    const auto va_full = analyze_vertex(
+        g_full, hw, *g_full.find_vertex("cores"), test::mtu_traffic(10.0));
+    EXPECT_NEAR(va.rho, 0.4 * va_full.rho, 1e-12);
+    // Request size stays the full packet.
+    EXPECT_DOUBLE_EQ(va.request_size.bytes(), 1500.0);
+}
+
+TEST(VertexAnalysis, RateLimiterUsesShapingRate)
+{
+    const auto hw = small_nic();
+    ExecutionGraph g = single_stage_graph(hw);
+    const auto rl = insert_rate_limiter(g, *g.find_vertex("cores"),
+                                        Bandwidth::from_gbps(6.0), 8);
+    const auto va = analyze_vertex(g, hw, rl, test::mtu_traffic(3.0));
+    EXPECT_NEAR(va.attainable.gbps(), 6.0, 1e-12);
+    EXPECT_EQ(va.queue_capacity, 8u);
+    EXPECT_NEAR(va.rho, 0.5, 1e-12); // 3 of 6 Gbps
+}
+
+TEST(VertexAnalysis, ZeroTrafficVertexIsInert)
+{
+    const auto hw = small_nic();
+    ExecutionGraph g("zero");
+    const auto in = g.add_ingress();
+    const auto out = g.add_egress();
+    const auto a = g.add_ip_vertex("cores", *hw.find_ip("cores"));
+    const auto b = g.add_ip_vertex("accel", *hw.find_ip("accel"));
+    g.add_edge(in, a, EdgeParams{1.0, 0, 0, {}});
+    g.add_edge(in, b, EdgeParams{0.0, 0, 0, {}}); // no traffic
+    g.add_edge(a, out);
+    g.add_edge(b, out, EdgeParams{0.0, 0, 0, {}});
+    const auto va = analyze_vertex(g, hw, b, test::mtu_traffic(10.0));
+    EXPECT_DOUBLE_EQ(va.rho, 0.0);
+    EXPECT_DOUBLE_EQ(va.lambda, 0.0);
+    EXPECT_DOUBLE_EQ(va.compute_time.seconds(), 0.0);
+}
+
+TEST(Goodput, MatchesAchievedWhenLossless)
+{
+    const auto hw = small_nic();
+    const auto g = single_stage_graph(hw);
+    const auto traffic = test::mtu_traffic(5.0);
+    const auto est = estimate_latency(g, hw, traffic);
+    EXPECT_NEAR(est.goodput.gbps(), 5.0, 0.01);
+}
+
+TEST(Goodput, SurvivalWeightedUnderOverload)
+{
+    const auto hw = small_nic(Bandwidth::from_gbps(1000.0));
+    VertexParams p;
+    p.parallelism = 1;
+    p.queue_capacity = 8;
+    const auto g = single_stage_graph(hw, p);
+    const auto traffic = test::mtu_traffic(20.0);
+    const auto est = estimate_latency(g, hw, traffic);
+    EXPECT_NEAR(est.goodput.gbps(),
+                20.0 * (1.0 - est.max_drop_probability), 1e-6);
+    // Goodput can never exceed the vertex capacity by much (blocking
+    // probability throttles it to ~capacity).
+    EXPECT_LT(est.goodput.gbps(), 10.0);
+}
+
+TEST(Goodput, CappedByLineRate)
+{
+    const auto hw = small_nic(Bandwidth::from_gbps(25.0));
+    const auto g = single_stage_graph(hw);
+    const auto traffic = test::mtu_traffic(80.0); // over the port speed
+    const auto est = estimate_latency(g, hw, traffic);
+    EXPECT_LE(est.goodput.gbps(), 25.0 + 1e-9);
+}
+
+} // namespace
+} // namespace lognic::core

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Integration tests: the analytical model and the packet-level simulator
+ * are two independent implementations of the same semantics; on scenarios
+ * within the model's assumptions they must agree. This is the in-repo
+ * analogue of the paper's model-validation experiments.
+ */
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "lognic/apps/inline_accel.hpp"
+#include "lognic/apps/panic_models.hpp"
+#include "lognic/core/model.hpp"
+#include "lognic/sim/nic_simulator.hpp"
+
+namespace lognic {
+namespace {
+
+sim::SimOptions
+long_run(std::uint64_t seed = 21)
+{
+    sim::SimOptions o;
+    o.duration = 0.1;
+    o.seed = seed;
+    return o;
+}
+
+TEST(ModelVsSim, ThroughputAgreesBelowSaturation)
+{
+    const auto hw = test::small_nic();
+    const auto g = test::two_stage_graph(hw);
+    const core::Model model(hw);
+    for (double load : {2.0, 8.0, 16.0}) {
+        const auto traffic = test::mtu_traffic(load);
+        const auto rep = model.throughput(g, traffic);
+        const auto res = sim::simulate(hw, g, traffic, long_run());
+        EXPECT_NEAR(res.delivered.gbps(), rep.achieved.gbps(),
+                    0.05 * rep.achieved.gbps() + 0.2)
+            << "load=" << load;
+    }
+}
+
+TEST(ModelVsSim, SaturatedThroughputMatchesCapacity)
+{
+    const auto hw = test::small_nic(Bandwidth::from_gbps(1000.0));
+    core::VertexParams p;
+    p.parallelism = 2;
+    const auto g = test::single_stage_graph(hw, p);
+    const core::Model model(hw);
+    const auto traffic = test::mtu_traffic(100.0); // far over capacity
+    const auto rep = model.throughput(g, traffic);
+    const auto res = sim::simulate(hw, g, traffic, long_run());
+    EXPECT_NEAR(res.delivered.gbps(), rep.capacity.gbps(),
+                0.06 * rep.capacity.gbps());
+}
+
+TEST(ModelVsSim, LatencyAgreesAtModerateLoadSingleEngine)
+{
+    // The M/M/1/N latency model is exact for single-engine vertices.
+    const auto hw = test::small_nic();
+    core::VertexParams p;
+    p.parallelism = 1;
+    p.queue_capacity = 32;
+    const auto g = test::single_stage_graph(hw, p);
+    const core::Model model(hw);
+    for (double load : {2.0, 5.0, 7.0}) {
+        const auto traffic = test::mtu_traffic(load);
+        const auto rep = model.latency(g, traffic);
+        const auto res = sim::simulate(hw, g, traffic, long_run());
+        EXPECT_NEAR(res.mean_latency.seconds(), rep.mean.seconds(),
+                    0.08 * rep.mean.seconds())
+            << "load=" << load;
+    }
+}
+
+TEST(ModelVsSim, MultiEngineModelIsConservative)
+{
+    // With D engines the model books one M/M/1/N queue per engine; real
+    // pooled queues (M/M/D) wait less, so the model upper-bounds the sim.
+    const auto hw = test::small_nic();
+    core::VertexParams p;
+    p.parallelism = 8;
+    const auto g = test::single_stage_graph(hw, p);
+    const core::Model model(hw);
+    const auto traffic = test::mtu_traffic(40.0);
+    const auto rep = model.latency(g, traffic);
+    const auto res = sim::simulate(hw, g, traffic, long_run());
+    EXPECT_LE(res.mean_latency.seconds(), rep.mean.seconds() * 1.05);
+    // But not absurdly so: within 3x at this load.
+    EXPECT_GE(res.mean_latency.seconds(), rep.mean.seconds() / 3.0);
+}
+
+TEST(ModelVsSim, DropRatePredictedUnderOverload)
+{
+    const auto hw = test::small_nic(Bandwidth::from_gbps(1000.0));
+    core::VertexParams p;
+    p.parallelism = 1;
+    p.queue_capacity = 8;
+    const auto g = test::single_stage_graph(hw, p);
+    const core::Model model(hw);
+    const auto traffic = test::mtu_traffic(12.0); // ~1.4x capacity
+    const auto rep = model.latency(g, traffic);
+    const auto res = sim::simulate(hw, g, traffic, long_run());
+    EXPECT_NEAR(res.drop_rate, rep.max_drop_probability, 0.03);
+}
+
+TEST(ModelVsSim, InlineAccelerationScenario)
+{
+    // Case-study #1 end to end: model and simulator agree on the achieved
+    // bandwidth of the MD5 inline-acceleration graph at line rate.
+    const auto sc = apps::make_inline_accel(devices::LiquidIoKernel::kMd5, 12);
+    const core::Model model(sc.hw);
+    const auto traffic = test::mtu_traffic(25.0);
+    const auto rep = model.throughput(sc.graph, traffic);
+    const auto res = sim::simulate(sc.hw, sc.graph, traffic, long_run());
+    EXPECT_NEAR(res.delivered.gbps(), rep.achieved.gbps(),
+                0.08 * rep.achieved.gbps());
+}
+
+TEST(ModelVsSim, PanicHybridParallelismSweepTracks)
+{
+    // Figures 18/19 shape: as IP4 parallelism rises, both model capacity
+    // and simulated throughput rise then saturate together.
+    const auto traffic = test::mtu_traffic(100.0);
+    double prev_sim = 0.0;
+    for (std::uint32_t d : {2u, 4u, 6u, 8u}) {
+        const auto sc = apps::make_panic_hybrid(0.5, d);
+        const core::Model model(sc.hw);
+        // Under-provisioned IP4 sheds load; compare against the model's
+        // goodput (delivered-under-drops) prediction, which is what a
+        // testbed measures at the egress port.
+        const auto rep = model.latency(sc.graph, traffic);
+        const auto res =
+            sim::simulate(sc.hw, sc.graph, traffic, long_run());
+        const double predicted = rep.per_class[0].goodput.gbps();
+        EXPECT_NEAR(res.delivered.gbps(), predicted,
+                    0.12 * predicted + 0.5)
+            << "D=" << d;
+        EXPECT_GE(res.delivered.gbps(), prev_sim - 1.0);
+        prev_sim = res.delivered.gbps();
+    }
+}
+
+TEST(ModelVsSim, MixedTrafficProfile)
+{
+    const auto hw = test::small_nic();
+    const auto g = test::single_stage_graph(hw);
+    const auto mixed = core::TrafficProfile::mixed(
+        {{Bytes{64.0}, 0.2}, {Bytes{512.0}, 0.3}, {Bytes{1500.0}, 0.5}},
+        Bandwidth::from_gbps(4.0));
+    const core::Model model(hw);
+    const auto rep = model.estimate(g, mixed);
+    const auto res = sim::simulate(hw, g, mixed, long_run());
+    EXPECT_NEAR(res.delivered.gbps(), rep.throughput.achieved.gbps(), 0.4);
+    // Latency: same order of magnitude (mixed-class queueing is where the
+    // model approximates hardest).
+    EXPECT_NEAR(res.mean_latency.seconds(), rep.latency.mean.seconds(),
+                0.5 * rep.latency.mean.seconds());
+}
+
+// Property sweep: achieved throughput never exceeds modelled capacity.
+class CapacityBound : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(CapacityBound, SimNeverExceedsModelCapacity)
+{
+    const auto hw = test::small_nic();
+    const auto g = test::two_stage_graph(hw);
+    const core::Model model(hw);
+    const auto traffic = test::mtu_traffic(GetParam());
+    const auto rep = model.throughput(g, traffic);
+    sim::SimOptions o;
+    o.duration = 0.03;
+    const auto res = sim::simulate(hw, g, traffic, o);
+    EXPECT_LE(res.delivered.gbps(), rep.capacity.gbps() * 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, CapacityBound,
+                         testing::Values(1.0, 5.0, 10.0, 20.0, 40.0, 80.0));
+
+} // namespace
+} // namespace lognic

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Randomized agreement sweep: generate random layered execution graphs on
+ * a random hardware model, then check that the analytical model and the
+ * packet-level simulator stay consistent — the strongest guard against
+ * semantics drift between the two implementations.
+ */
+#include <gtest/gtest.h>
+#include <random>
+
+#include "lognic/core/model.hpp"
+#include "lognic/sim/nic_simulator.hpp"
+
+namespace lognic {
+namespace {
+
+struct RandomScenario {
+    core::HardwareModel hw;
+    core::ExecutionGraph graph;
+    core::TrafficProfile traffic;
+};
+
+RandomScenario
+generate(std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    auto uniform = [&](double lo, double hi) {
+        return std::uniform_real_distribution<double>(lo, hi)(rng);
+    };
+    auto pick = [&](int lo, int hi) {
+        return std::uniform_int_distribution<int>(lo, hi)(rng);
+    };
+
+    core::HardwareModel hw("random", Bandwidth::from_gbps(uniform(50, 200)),
+                           Bandwidth::from_gbps(uniform(40, 150)),
+                           Bandwidth::from_gbps(uniform(20, 100)));
+
+    const int n_ips = pick(2, 4);
+    for (int i = 0; i < n_ips; ++i) {
+        core::IpSpec spec;
+        spec.name = "ip" + std::to_string(i);
+        spec.kind = i == 0 ? core::IpKind::kCpuCores
+                           : core::IpKind::kAccelerator;
+        spec.roofline = core::ExtendedRoofline(
+            core::ServiceModel{
+                Seconds::from_micros(uniform(0.2, 2.0)),
+                Bandwidth::from_gigabytes_per_sec(uniform(1.0, 8.0))},
+            {});
+        spec.max_engines = static_cast<std::uint32_t>(pick(1, 8));
+        spec.default_queue_capacity =
+            static_cast<std::uint32_t>(pick(8, 64));
+        hw.add_ip(spec);
+    }
+
+    // A layered DAG: ingress -> layer1 (1..3 vertices) -> layer2 (1..2)
+    // -> egress, with delta-weighted fanout.
+    core::ExecutionGraph g("random-" + std::to_string(seed));
+    const auto ingress = g.add_ingress();
+    const auto egress = g.add_egress();
+
+    std::vector<core::VertexId> prev{ingress};
+    std::vector<double> prev_share{1.0};
+    const int layers = pick(1, 3);
+    for (int layer = 0; layer < layers; ++layer) {
+        const int width = pick(1, 3);
+        std::vector<core::VertexId> cur;
+        std::vector<double> cur_share;
+        // Random split of each upstream vertex's traffic across the layer.
+        std::vector<double> weights(width);
+        double wsum = 0.0;
+        for (auto& w : weights) {
+            w = uniform(0.2, 1.0);
+            wsum += w;
+        }
+        for (int i = 0; i < width; ++i) {
+            core::VertexParams params;
+            params.parallelism = static_cast<std::uint32_t>(
+                pick(1, static_cast<int>(
+                            hw.ip(static_cast<core::IpId>(
+                                      pick(0, n_ips - 1)))
+                                .max_engines)));
+            const core::IpId ip = static_cast<core::IpId>(
+                pick(0, n_ips - 1));
+            params.parallelism = std::min<std::uint32_t>(
+                params.parallelism, hw.ip(ip).max_engines);
+            if (params.parallelism == 0)
+                params.parallelism = 1;
+            const auto v = g.add_ip_vertex(
+                "L" + std::to_string(layer) + "v" + std::to_string(i), ip,
+                params);
+            cur.push_back(v);
+            cur_share.push_back(0.0);
+        }
+        for (std::size_t u = 0; u < prev.size(); ++u) {
+            for (int i = 0; i < width; ++i) {
+                const double delta =
+                    prev_share[u] * weights[static_cast<std::size_t>(i)]
+                    / wsum;
+                if (delta <= 1e-6)
+                    continue;
+                g.add_edge(prev[u], cur[static_cast<std::size_t>(i)],
+                           core::EdgeParams{delta, 0.0, 0.0, {}});
+                cur_share[static_cast<std::size_t>(i)] += delta;
+            }
+        }
+        prev = cur;
+        prev_share = cur_share;
+    }
+    for (std::size_t u = 0; u < prev.size(); ++u) {
+        g.add_edge(prev[u], egress,
+                   core::EdgeParams{prev_share[u], 0.0, 0.0, {}});
+    }
+
+    const auto traffic = core::TrafficProfile::fixed(
+        Bytes{uniform(200.0, 1500.0)},
+        Bandwidth::from_gbps(uniform(1.0, 40.0)));
+    return RandomScenario{std::move(hw), std::move(g), traffic};
+}
+
+class RandomGraphAgreement : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RandomGraphAgreement, ModelAndSimAgree)
+{
+    const RandomScenario sc = generate(GetParam());
+    ASSERT_NO_THROW(sc.graph.validate(sc.hw));
+
+    const core::Model model(sc.hw);
+    const auto tput = model.throughput(sc.graph, sc.traffic);
+    const auto lat = model.latency(sc.graph, sc.traffic);
+
+    sim::SimOptions opts;
+    opts.duration = 0.05;
+    opts.seed = GetParam() * 7 + 1;
+    const auto res = sim::simulate(sc.hw, sc.graph, sc.traffic, opts);
+
+    // 1. Below saturation the simulator can never beat the model's
+    // capacity. (Above it, fan-out paths may deliver more than the
+    // *lossless* capacity, which is a statement about zero-drop operation.)
+    if (sc.traffic.ingress_bandwidth().gbps() <= tput.capacity.gbps()) {
+        EXPECT_LE(res.delivered.gbps(), tput.capacity.gbps() * 1.08 + 0.3)
+            << sc.graph.name();
+    }
+    EXPECT_LE(res.delivered.gbps(),
+              sc.traffic.ingress_bandwidth().gbps() * 1.05 + 0.3);
+
+    // 2. Delivered tracks the model's goodput (survival-weighted offer).
+    const double goodput = lat.per_class[0].goodput.gbps();
+    EXPECT_NEAR(res.delivered.gbps(), goodput, 0.25 * goodput + 0.4)
+        << sc.graph.name();
+
+    // 3. Latency stays within a broad factor (multi-engine pooling makes
+    // the model conservative; transfers are deterministic both sides).
+    if (res.completed > 100) {
+        EXPECT_LT(res.mean_latency.seconds(), lat.mean.seconds() * 1.6 + 1e-6)
+            << sc.graph.name();
+        EXPECT_GT(res.mean_latency.seconds(), lat.mean.seconds() / 6.0)
+            << sc.graph.name();
+    }
+
+    // 4. Conservation in the sim.
+    EXPECT_LE(res.completed + res.dropped, res.generated);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphAgreement,
+                         testing::Range<std::uint64_t>(1, 17));
+
+} // namespace
+} // namespace lognic

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Cross-validation of the service-variability stack: the simulator's
+ * gamma-distributed service sampling against the Pollaczek-Khinchine
+ * closed form, across the SCV range.
+ */
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "lognic/core/latency_model.hpp"
+#include "lognic/queueing/mg1.hpp"
+#include "lognic/sim/nic_simulator.hpp"
+
+namespace lognic {
+namespace {
+
+core::HardwareModel
+nic_with_scv(double scv)
+{
+    core::HardwareModel hw("scv", Bandwidth::from_gbps(100.0),
+                           Bandwidth::from_gbps(80.0),
+                           Bandwidth::from_gbps(25.0));
+    core::IpSpec ip;
+    ip.name = "cores";
+    ip.roofline = core::ExtendedRoofline(
+        core::ServiceModel{Seconds::from_micros(1.0),
+                           Bandwidth::from_gigabytes_per_sec(4.0)},
+        {});
+    ip.max_engines = 1;
+    ip.default_queue_capacity = 2048;
+    ip.service_scv = scv;
+    hw.add_ip(ip);
+    return hw;
+}
+
+class ScvSweep : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(ScvSweep, SimulatorMatchesPollaczekKhinchine)
+{
+    const double scv = GetParam();
+    const auto hw = nic_with_scv(scv);
+    const auto g = test::single_stage_graph(hw);
+    const double service = 1.375e-6;
+    const double load = 0.7;
+    const auto traffic = core::TrafficProfile::fixed(
+        Bytes{1500.0},
+        Bandwidth::from_bytes_per_sec(load / service * 1500.0));
+
+    const double lambda = load / service;
+    const queueing::Mg1Queue pk(lambda, service, scv);
+    const double expected = pk.mean_sojourn_time();
+
+    sim::SimOptions opts;
+    opts.duration = 0.8;
+    opts.seed = 31;
+    const auto res = sim::simulate(hw, g, traffic, opts);
+    EXPECT_NEAR(res.mean_latency.seconds(), expected, 0.07 * expected)
+        << "scv=" << scv;
+
+    // And the analytic model (which uses P-K below rho = 1 for scv < 1)
+    // agrees with both.
+    const auto est = core::estimate_latency(g, hw, traffic);
+    if (scv <= 1.0) {
+        EXPECT_NEAR(est.mean.seconds(), expected, 0.01 * expected)
+            << "scv=" << scv;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variability, ScvSweep,
+                         testing::Values(0.0, 0.25, 0.5, 1.0));
+
+} // namespace
+} // namespace lognic

@@ -1,0 +1,64 @@
+#include "lognic/queueing/mg1.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lognic/queueing/mm1n.hpp"
+
+namespace lognic::queueing {
+namespace {
+
+TEST(Mg1Queue, RejectsBadParameters)
+{
+    EXPECT_THROW(Mg1Queue(-1.0, 1.0, 0.0), std::invalid_argument);
+    EXPECT_THROW(Mg1Queue(1.0, 0.0, 0.0), std::invalid_argument);
+    EXPECT_THROW(Mg1Queue(1.0, 0.5, -0.1), std::invalid_argument);
+    EXPECT_THROW(Mg1Queue(2.0, 0.5, 0.0), std::invalid_argument); // rho=1
+}
+
+TEST(Mg1Queue, ExponentialServiceMatchesMm1)
+{
+    // SCV = 1 reduces Pollaczek-Khinchine to the M/M/1 formulas.
+    const Mg1Queue mg1(3.0, 0.2, 1.0);
+    const Mm1Queue mm1(3.0, 5.0);
+    EXPECT_NEAR(mg1.mean_queueing_delay(), mm1.mean_queueing_delay(),
+                1e-12);
+    EXPECT_NEAR(mg1.mean_in_system(), mm1.mean_in_system(), 1e-12);
+}
+
+TEST(Md1Queue, HalvesTheExponentialWait)
+{
+    // Deterministic service waits exactly half as long as exponential.
+    const Mg1Queue exp_q(3.0, 0.2, 1.0);
+    const Md1Queue det_q(3.0, 0.2);
+    EXPECT_NEAR(det_q.mean_queueing_delay(),
+                0.5 * exp_q.mean_queueing_delay(), 1e-12);
+}
+
+TEST(Md1Queue, TextbookValue)
+{
+    // rho = 0.5, E[S] = 1: Wq = rho / (2 mu (1 - rho)) = 0.5.
+    const Md1Queue q(0.5, 1.0);
+    EXPECT_NEAR(q.mean_queueing_delay(), 0.5, 1e-12);
+    EXPECT_NEAR(q.mean_sojourn_time(), 1.5, 1e-12);
+    EXPECT_NEAR(q.mean_in_system(), 0.75, 1e-12);
+}
+
+TEST(Mg1Queue, WaitGrowsWithVariability)
+{
+    double prev = -1.0;
+    for (double scv : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+        const Mg1Queue q(2.0, 0.3, scv);
+        EXPECT_GT(q.mean_queueing_delay(), prev);
+        prev = q.mean_queueing_delay();
+    }
+}
+
+TEST(Mg1Queue, ZeroArrivalMeansNoWait)
+{
+    const Mg1Queue q(0.0, 0.3, 1.0);
+    EXPECT_DOUBLE_EQ(q.mean_queueing_delay(), 0.0);
+    EXPECT_DOUBLE_EQ(q.mean_sojourn_time(), 0.3);
+}
+
+} // namespace
+} // namespace lognic::queueing

@@ -1,0 +1,214 @@
+#include "lognic/queueing/mm1n.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace lognic::queueing {
+namespace {
+
+TEST(Mm1nQueue, RejectsInvalidArguments)
+{
+    EXPECT_THROW(Mm1nQueue(0.0, 1.0, 4), std::invalid_argument);
+    EXPECT_THROW(Mm1nQueue(-1.0, 1.0, 4), std::invalid_argument);
+    EXPECT_THROW(Mm1nQueue(1.0, 0.0, 4), std::invalid_argument);
+    EXPECT_THROW(Mm1nQueue(1.0, -2.0, 4), std::invalid_argument);
+    EXPECT_THROW(Mm1nQueue(1.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Mm1nQueue, ProbabilitiesSumToOne)
+{
+    const Mm1nQueue q(3.0, 5.0, 6);
+    double sum = 0.0;
+    for (std::uint32_t k = 0; k <= 6; ++k)
+        sum += q.prob(k);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(q.prob(7), 0.0);
+}
+
+TEST(Mm1nQueue, HandComputedExample)
+{
+    // lambda=1, mu=2, N=3: rho=0.5; P3 = 0.125/1.875 = 1/15;
+    // L = 11/15; lambda_e = 14/15; W = 11/14; Q = 11/14 - 1/2 = 2/7.
+    const Mm1nQueue q(1.0, 2.0, 3);
+    EXPECT_NEAR(q.blocking_probability(), 1.0 / 15.0, 1e-12);
+    EXPECT_NEAR(q.mean_in_system(), 11.0 / 15.0, 1e-12);
+    EXPECT_NEAR(q.effective_arrival_rate(), 14.0 / 15.0, 1e-12);
+    EXPECT_NEAR(q.mean_queueing_delay(), 2.0 / 7.0, 1e-12);
+}
+
+TEST(Mm1nQueue, PaperClosedFormMatchesLittlesLaw)
+{
+    // Eq. 12 must be algebraically identical to Q = L/lambda_e - 1/mu.
+    for (double lambda : {0.2, 0.9, 1.7, 3.0, 7.5}) {
+        for (double mu : {1.0, 2.5, 4.0}) {
+            for (std::uint32_t n : {1u, 2u, 5u, 16u, 64u}) {
+                const Mm1nQueue q(lambda, mu, n);
+                EXPECT_NEAR(q.paper_closed_form_delay(),
+                            q.mean_queueing_delay(), 1e-9)
+                    << "lambda=" << lambda << " mu=" << mu << " N=" << n;
+            }
+        }
+    }
+}
+
+TEST(Mm1nQueue, UnitRhoUsesExactLimits)
+{
+    const Mm1nQueue q(2.0, 2.0, 5);
+    // P_k = 1/(N+1), L = N/2, Q = (N-1)/(2 mu).
+    EXPECT_NEAR(q.prob(0), 1.0 / 6.0, 1e-12);
+    EXPECT_NEAR(q.prob(5), 1.0 / 6.0, 1e-12);
+    EXPECT_NEAR(q.mean_in_system(), 2.5, 1e-12);
+    EXPECT_NEAR(q.paper_closed_form_delay(), (5.0 - 1.0) / (2.0 * 2.0), 1e-9);
+    EXPECT_NEAR(q.paper_closed_form_delay(), q.mean_queueing_delay(), 1e-9);
+}
+
+TEST(Mm1nQueue, ContinuousAcrossUnitRho)
+{
+    // The near-1 branch must agree with the general formula just outside it.
+    const Mm1nQueue just_below(1.0 - 1e-8, 1.0, 8);
+    const Mm1nQueue at_one(1.0, 1.0, 8);
+    EXPECT_NEAR(just_below.mean_queueing_delay(),
+                at_one.mean_queueing_delay(), 1e-4);
+    EXPECT_NEAR(just_below.blocking_probability(),
+                at_one.blocking_probability(), 1e-4);
+}
+
+TEST(Mm1nQueue, ExtremeOverloadWithDeepQueueStaysFinite)
+{
+    // Regression: rho^N overflows double for rho = 16, N = 256; the
+    // closed form must use the reciprocal tail and stay exact.
+    const Mm1nQueue q(16.0, 1.0, 256);
+    EXPECT_TRUE(std::isfinite(q.paper_closed_form_delay()));
+    EXPECT_TRUE(std::isfinite(q.mean_queueing_delay()));
+    EXPECT_NEAR(q.paper_closed_form_delay(), q.mean_queueing_delay(),
+                1e-6 * q.mean_queueing_delay());
+    // Deep overload: the queue is essentially always full, so waiting is
+    // about (N - 1) services.
+    EXPECT_NEAR(q.mean_queueing_delay(), 255.0, 1.0);
+    EXPECT_NEAR(q.blocking_probability(), 1.0 - 1.0 / 16.0, 1e-9);
+}
+
+TEST(Mm1nQueue, BlockingIncreasesWithLoad)
+{
+    double prev = -1.0;
+    for (double lambda : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+        const Mm1nQueue q(lambda, 2.0, 4);
+        EXPECT_GT(q.blocking_probability(), prev);
+        prev = q.blocking_probability();
+    }
+}
+
+TEST(Mm1nQueue, DelayDecreasesWithCapacityUnderOverload)
+{
+    // Overloaded (rho > 1): a smaller queue means less waiting.
+    const Mm1nQueue small(4.0, 2.0, 2);
+    const Mm1nQueue large(4.0, 2.0, 16);
+    EXPECT_LT(small.mean_queueing_delay(), large.mean_queueing_delay());
+}
+
+TEST(Mm1nQueue, ConvergesToMm1ForLargeCapacity)
+{
+    const double lambda = 3.0;
+    const double mu = 5.0;
+    const Mm1Queue ref(lambda, mu);
+    const Mm1nQueue big(lambda, mu, 400);
+    EXPECT_NEAR(big.mean_queueing_delay(), ref.mean_queueing_delay(), 1e-9);
+    EXPECT_NEAR(big.mean_in_system(), ref.mean_in_system(), 1e-9);
+    EXPECT_LT(big.blocking_probability(), 1e-12);
+}
+
+TEST(Mm1nQueue, ThroughputCappedByServiceRate)
+{
+    const Mm1nQueue q(100.0, 2.0, 8);
+    EXPECT_LE(q.throughput(), 2.0);
+    EXPECT_GT(q.throughput(), 1.9); // nearly saturated
+}
+
+TEST(Mm1nQueue, UtilizationMatchesEffectiveLoad)
+{
+    const Mm1nQueue q(1.0, 2.0, 4);
+    // In steady state, accepted rate = mu * P(busy).
+    EXPECT_NEAR(q.effective_arrival_rate(), 2.0 * q.utilization(), 1e-12);
+}
+
+TEST(Mm1Queue, RejectsUnstableLoad)
+{
+    EXPECT_THROW(Mm1Queue(2.0, 2.0), std::invalid_argument);
+    EXPECT_THROW(Mm1Queue(3.0, 2.0), std::invalid_argument);
+    EXPECT_THROW(Mm1Queue(-1.0, 2.0), std::invalid_argument);
+}
+
+TEST(Mm1Queue, TextbookValues)
+{
+    const Mm1Queue q(1.0, 2.0);
+    EXPECT_DOUBLE_EQ(q.rho(), 0.5);
+    EXPECT_DOUBLE_EQ(q.mean_in_system(), 1.0);
+    EXPECT_DOUBLE_EQ(q.mean_sojourn_time(), 1.0);
+    EXPECT_DOUBLE_EQ(q.mean_queueing_delay(), 0.5);
+}
+
+TEST(MmcQueue, SingleServerMatchesMm1)
+{
+    const MmcQueue mmc(1.0, 2.0, 1);
+    const Mm1Queue mm1(1.0, 2.0);
+    EXPECT_NEAR(mmc.mean_queueing_delay(), mm1.mean_queueing_delay(), 1e-12);
+    EXPECT_NEAR(mmc.mean_in_system(), mm1.mean_in_system(), 1e-12);
+    EXPECT_NEAR(mmc.prob_wait(), 0.5, 1e-12); // Erlang C at rho=0.5, c=1
+}
+
+TEST(MmcQueue, PoolingReducesDelay)
+{
+    // Same total capacity: one fast server vs c slow servers vs c pooled.
+    const MmcQueue pooled(3.0, 1.0, 4);    // 4 servers of rate 1
+    const Mm1Queue split(3.0 / 4.0, 1.0);  // one of the 4 separate queues
+    EXPECT_LT(pooled.mean_queueing_delay(), split.mean_queueing_delay());
+}
+
+TEST(MmcQueue, RejectsUnstableLoad)
+{
+    EXPECT_THROW(MmcQueue(4.0, 1.0, 4), std::invalid_argument);
+    EXPECT_THROW(MmcQueue(1.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(MmcQueue, ErlangCDecreasesWithServers)
+{
+    double prev = 1.1;
+    for (std::uint32_t c : {2u, 4u, 8u, 16u}) {
+        const MmcQueue q(1.5, 1.0, c);
+        EXPECT_LT(q.prob_wait(), prev);
+        prev = q.prob_wait();
+    }
+}
+
+// Property sweep: Little's law L = lambda_e * W holds everywhere.
+class Mm1nProperty
+    : public testing::TestWithParam<std::tuple<double, double, std::uint32_t>>
+{
+};
+
+TEST_P(Mm1nProperty, LittlesLawHolds)
+{
+    const auto [lambda, mu, n] = GetParam();
+    const Mm1nQueue q(lambda, mu, n);
+    EXPECT_NEAR(q.mean_in_system(),
+                q.effective_arrival_rate() * q.mean_sojourn_time(), 1e-9);
+}
+
+TEST_P(Mm1nProperty, DelayNonNegativeAndBounded)
+{
+    const auto [lambda, mu, n] = GetParam();
+    const Mm1nQueue q(lambda, mu, n);
+    EXPECT_GE(q.mean_queueing_delay(), -1e-12);
+    // Waiting can never exceed N-1 services ahead of you.
+    EXPECT_LE(q.mean_queueing_delay(),
+              static_cast<double>(n) / mu + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LoadSweep, Mm1nProperty,
+    testing::Combine(testing::Values(0.1, 0.5, 0.99, 1.0, 1.5, 4.0),
+                     testing::Values(1.0, 3.0),
+                     testing::Values(1u, 2u, 8u, 32u)));
+
+} // namespace
+} // namespace lognic::queueing

@@ -1,0 +1,77 @@
+#include "lognic/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+#include <vector>
+
+namespace lognic::sim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule_at(3.0, [&] { order.push_back(3); });
+    q.schedule_at(1.0, [&] { order.push_back(1); });
+    q.schedule_at(2.0, [&] { order.push_back(2); });
+    q.run_until(10.0);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.executed(), 3u);
+}
+
+TEST(EventQueue, TiesBreakFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+    q.run_until(2.0);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HorizonStopsExecution)
+{
+    EventQueue q;
+    int ran = 0;
+    q.schedule_at(1.0, [&] { ++ran; });
+    q.schedule_at(5.0, [&] { ++ran; });
+    q.run_until(2.0);
+    EXPECT_EQ(ran, 1);
+    EXPECT_DOUBLE_EQ(q.now(), 2.0);
+    q.run_until(10.0);
+    EXPECT_EQ(ran, 2);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue q;
+    int count = 0;
+    std::function<void()> tick = [&] {
+        ++count;
+        if (count < 10)
+            q.schedule_in(1.0, tick);
+    };
+    q.schedule_at(0.0, tick);
+    q.run_until(100.0);
+    EXPECT_EQ(count, 10);
+    EXPECT_DOUBLE_EQ(q.now(), 100.0);
+}
+
+TEST(EventQueue, SchedulingIntoThePastThrows)
+{
+    EventQueue q;
+    q.schedule_at(5.0, [] {});
+    q.run_until(5.0);
+    EXPECT_THROW(q.schedule_at(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, NowAdvancesToEventTime)
+{
+    EventQueue q;
+    double seen = -1.0;
+    q.schedule_at(2.5, [&] { seen = q.now(); });
+    q.run_until(10.0);
+    EXPECT_DOUBLE_EQ(seen, 2.5);
+}
+
+} // namespace
+} // namespace lognic::sim

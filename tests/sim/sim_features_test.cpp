@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "lognic/sim/nic_simulator.hpp"
+
+namespace lognic::sim {
+namespace {
+
+using test::mtu_traffic;
+using test::single_stage_graph;
+using test::small_nic;
+using test::two_stage_graph;
+
+SimOptions
+quick(std::uint64_t seed = 7)
+{
+    SimOptions o;
+    o.duration = 0.04;
+    o.seed = seed;
+    return o;
+}
+
+TEST(VertexStatsSim, UtilizationMatchesOfferedLoad)
+{
+    const auto hw = small_nic();
+    core::VertexParams p;
+    p.parallelism = 1;
+    const auto g = single_stage_graph(hw, p);
+    // 1 engine at 1.375 us/req; 5 Gbps = 416.7 kpps -> rho = 0.573.
+    const auto res = simulate(hw, g, mtu_traffic(5.0), quick());
+    ASSERT_EQ(res.vertex_stats.size(), 1u);
+    const auto& vs = res.vertex_stats[0];
+    EXPECT_EQ(vs.name, "cores");
+    EXPECT_NEAR(vs.utilization, 5e9 / 12000.0 * 1.375e-6, 0.04);
+    EXPECT_GT(vs.served, 1000u);
+    EXPECT_EQ(vs.dropped, 0u);
+}
+
+TEST(VertexStatsSim, OccupancyMatchesLittlesLaw)
+{
+    const auto hw = small_nic();
+    core::VertexParams p;
+    p.parallelism = 1;
+    p.queue_capacity = 32;
+    const auto g = single_stage_graph(hw, p);
+    SimOptions o = quick();
+    o.duration = 0.2;
+    const auto res = simulate(hw, g, mtu_traffic(6.0), o);
+    const auto& vs = res.vertex_stats[0];
+    // L = lambda * W (sojourn at this vertex ~ total latency since the
+    // chain has one serving stage).
+    const double lambda = 6e9 / 12000.0;
+    const double expected = lambda * res.mean_latency.seconds();
+    EXPECT_NEAR(vs.mean_occupancy, expected, 0.1 * expected);
+}
+
+TEST(VertexStatsSim, BusiestIdentifiesBottleneck)
+{
+    const auto hw = small_nic(Bandwidth::from_gbps(1000.0));
+    // cores (8 engines, fast) feeding accel (2 engines, slower aggregate).
+    const auto g = two_stage_graph(hw);
+    const auto res = simulate(hw, g, mtu_traffic(40.0), quick());
+    ASSERT_EQ(res.vertex_stats.size(), 2u);
+    // accel aggregate ~45.3 Gbps < cores ~69.8 Gbps: accel is busiest.
+    EXPECT_EQ(res.busiest().name, "accel");
+    EXPECT_GT(res.busiest().utilization, 0.8);
+    EXPECT_LT(res.vertex_stats[0].utilization,
+              res.busiest().utilization); // cores are less loaded
+}
+
+TEST(VertexStatsSim, DropsAttributedToTheFullVertex)
+{
+    const auto hw = small_nic(Bandwidth::from_gbps(1000.0));
+    core::VertexParams p;
+    p.parallelism = 1;
+    p.queue_capacity = 4;
+    const auto g = single_stage_graph(hw, p);
+    const auto res = simulate(hw, g, mtu_traffic(40.0), quick());
+    EXPECT_EQ(res.vertex_stats[0].dropped, res.dropped);
+    EXPECT_GT(res.dropped, 0u);
+}
+
+TEST(VertexStatsSim, EmptyBusiestIsSafe)
+{
+    const SimResult empty;
+    EXPECT_EQ(empty.busiest().name, "");
+    EXPECT_DOUBLE_EQ(empty.busiest().utilization, 0.0);
+}
+
+TEST(BurstArrivals, PreservesMeanRate)
+{
+    const auto hw = small_nic();
+    const auto g = single_stage_graph(hw);
+    SimOptions o = quick();
+    o.duration = 0.2;
+    o.burst.enabled = true;
+    o.burst.on = Seconds::from_micros(40.0);
+    o.burst.off = Seconds::from_micros(60.0);
+    o.burst.intensity = 2.0; // 2.0 * 0.4 = 0.8 <= 1 OK
+    const auto res = simulate(hw, g, mtu_traffic(5.0), o);
+    EXPECT_NEAR(res.delivered.gbps(), 5.0, 0.3);
+}
+
+TEST(BurstArrivals, IncreaseTailLatency)
+{
+    const auto hw = small_nic();
+    core::VertexParams p;
+    p.parallelism = 2;
+    const auto g = single_stage_graph(hw, p);
+    SimOptions smooth = quick(3);
+    smooth.duration = 0.2;
+    SimOptions bursty = smooth;
+    bursty.burst.enabled = true;
+    bursty.burst.on = Seconds::from_micros(30.0);
+    bursty.burst.off = Seconds::from_micros(70.0);
+    bursty.burst.intensity = 3.0; // 3.0 * 0.3 = 0.9 <= 1
+    const auto a = simulate(hw, g, mtu_traffic(10.0), smooth);
+    const auto b = simulate(hw, g, mtu_traffic(10.0), bursty);
+    EXPECT_GT(b.p99_latency.seconds(), a.p99_latency.seconds());
+    EXPECT_GT(b.mean_latency.seconds(), a.mean_latency.seconds());
+}
+
+TEST(BurstArrivals, ValidatesParameters)
+{
+    const auto hw = small_nic();
+    const auto g = single_stage_graph(hw);
+    SimOptions o = quick();
+    o.burst.enabled = true;
+    o.burst.intensity = 5.0; // 5.0 * 0.5 > 1: cannot preserve the mean
+    EXPECT_THROW(NicSimulator(hw, g, mtu_traffic(1.0), o),
+                 std::invalid_argument);
+
+    SimOptions paced = quick();
+    paced.burst.enabled = true;
+    paced.poisson_arrivals = false;
+    EXPECT_THROW(NicSimulator(hw, g, mtu_traffic(1.0), paced),
+                 std::invalid_argument);
+
+    SimOptions bad = quick();
+    bad.burst.enabled = true;
+    bad.burst.on = Seconds{0.0};
+    EXPECT_THROW(NicSimulator(hw, g, mtu_traffic(1.0), bad),
+                 std::invalid_argument);
+}
+
+TEST(PerInputQueues, IsolateVictimFromAggressor)
+{
+    // Two inputs into one IP: a well-behaved 2 Gbps flow and a 60 Gbps
+    // aggressor. With a shared FIFO the aggressor occupies the whole
+    // buffer and the victim's packets drop alongside; with per-input
+    // queues the victim keeps its own slots.
+    auto build = [](bool per_input) {
+        const auto hw = small_nic(Bandwidth::from_gbps(1000.0));
+        core::ExecutionGraph g(per_input ? "isolated" : "shared");
+        const auto in = g.add_ingress();
+        const auto out = g.add_egress();
+        core::VertexParams upstream;
+        upstream.parallelism = 2; // the accel IP has two engines
+        const auto fast_a = g.add_ip_vertex("pre-a", *hw.find_ip("accel"),
+                                            upstream);
+        const auto fast_b = g.add_ip_vertex("pre-b", *hw.find_ip("accel"),
+                                            upstream);
+        core::VertexParams shared;
+        shared.parallelism = 1;
+        shared.queue_capacity = 16;
+        shared.per_input_queues = per_input;
+        const auto v = g.add_ip_vertex("cores", *hw.find_ip("cores"),
+                                       shared);
+        // Victim: ~3% of packets; aggressor: 97%.
+        g.add_edge(in, fast_a, core::EdgeParams{0.03, 0, 0, {}});
+        g.add_edge(in, fast_b, core::EdgeParams{0.97, 0, 0, {}});
+        g.add_edge(fast_a, v, core::EdgeParams{0.03, 0, 0, {}});
+        g.add_edge(fast_b, v, core::EdgeParams{0.97, 0, 0, {}});
+        g.add_edge(v, out);
+        return std::pair{hw, g};
+    };
+
+    SimOptions o = quick(5);
+    o.duration = 0.1;
+    const auto traffic = mtu_traffic(60.0); // cores (1 engine) overloads
+
+    const auto [hw_s, g_s] = build(false);
+    const auto shared_res = simulate(hw_s, g_s, traffic, o);
+    const auto [hw_i, g_i] = build(true);
+    const auto isolated_res = simulate(hw_i, g_i, traffic, o);
+
+    // Both saturate the single core similarly...
+    EXPECT_NEAR(isolated_res.delivered.gbps(), shared_res.delivered.gbps(),
+                2.0);
+    // ...but the per-input discipline serves the victim queue every other
+    // round (RR), so the victim's share of the *served* packets rises far
+    // above its 3% arrival share. Proxy: with per-input queues the victim
+    // queue never overflows, so total drops shift entirely onto the
+    // aggressor and delivered packets skew small... measure via vertex
+    // drops: both drop heavily, but the isolated victim keeps a bounded
+    // queue -> RR guarantees it ~half the service slots. Observable
+    // effect: mean occupancy of the shared vertex is lower when split
+    // (victim queue is short).
+    const auto find = [](const SimResult& r, const char* name) {
+        for (const auto& vs : r.vertex_stats) {
+            if (vs.name == std::string(name))
+                return vs;
+        }
+        return VertexStats{};
+    };
+    const auto vs_shared = find(shared_res, "cores");
+    const auto vs_isolated = find(isolated_res, "cores");
+    EXPECT_GT(vs_shared.mean_occupancy, vs_isolated.mean_occupancy);
+    EXPECT_GT(vs_isolated.utilization, 0.95); // still work conserving
+}
+
+TEST(PerInputQueues, SingleInputBehavesLikeSharedFifo)
+{
+    const auto hw = small_nic();
+    core::VertexParams p;
+    p.parallelism = 1;
+    p.queue_capacity = 16;
+    p.per_input_queues = true; // no-op with one in-edge
+    const auto g = single_stage_graph(hw, p);
+    const auto iso = simulate(hw, g, mtu_traffic(6.0), quick(9));
+    core::VertexParams q = p;
+    q.per_input_queues = false;
+    const auto g2 = single_stage_graph(hw, q);
+    const auto fifo = simulate(hw, g2, mtu_traffic(6.0), quick(9));
+    EXPECT_DOUBLE_EQ(iso.mean_latency.seconds(),
+                     fifo.mean_latency.seconds());
+    EXPECT_EQ(iso.completed, fifo.completed);
+}
+
+} // namespace
+} // namespace lognic::sim

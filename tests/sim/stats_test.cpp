@@ -1,0 +1,77 @@
+#include "lognic/sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lognic::sim {
+namespace {
+
+TEST(LatencyRecorder, MeanAndQuantiles)
+{
+    LatencyRecorder r;
+    for (double us : {1.0, 2.0, 3.0, 4.0, 5.0})
+        r.record(1.0, Seconds::from_micros(us));
+    EXPECT_EQ(r.count(), 5u);
+    EXPECT_NEAR(r.mean().micros(), 3.0, 1e-12);
+    EXPECT_NEAR(r.p50().micros(), 3.0, 1e-12);
+    EXPECT_NEAR(r.quantile(1.0).micros(), 5.0, 1e-12);
+    EXPECT_NEAR(r.quantile(0.0).micros(), 1.0, 1e-12);
+    EXPECT_NEAR(r.max().micros(), 5.0, 1e-12);
+}
+
+TEST(LatencyRecorder, WarmupSamplesDropped)
+{
+    LatencyRecorder r(10.0);
+    r.record(5.0, Seconds::from_micros(100.0));  // during warmup
+    r.record(15.0, Seconds::from_micros(2.0));
+    EXPECT_EQ(r.count(), 1u);
+    EXPECT_NEAR(r.mean().micros(), 2.0, 1e-12);
+}
+
+TEST(LatencyRecorder, EmptyIsZero)
+{
+    const LatencyRecorder r;
+    EXPECT_DOUBLE_EQ(r.mean().seconds(), 0.0);
+    EXPECT_DOUBLE_EQ(r.p99().seconds(), 0.0);
+}
+
+TEST(LatencyRecorder, QuantileRangeChecked)
+{
+    LatencyRecorder r;
+    r.record(1.0, Seconds::from_micros(1.0));
+    EXPECT_THROW(r.quantile(1.5), std::invalid_argument);
+    EXPECT_THROW(r.quantile(-0.1), std::invalid_argument);
+}
+
+TEST(LatencyRecorder, RecordingAfterQuantileKeepsSorted)
+{
+    LatencyRecorder r;
+    r.record(1.0, Seconds::from_micros(5.0));
+    r.record(1.0, Seconds::from_micros(1.0));
+    EXPECT_NEAR(r.p50().micros(), 1.0, 1e-12);
+    r.record(1.0, Seconds::from_micros(0.5));
+    EXPECT_NEAR(r.quantile(0.0).micros(), 0.5, 1e-12);
+}
+
+TEST(ThroughputMeter, RatesOverMeasurementWindow)
+{
+    ThroughputMeter m(1.0);
+    m.record(0.5, Bytes{1000.0}); // warmup, dropped
+    m.record(1.5, Bytes{1250.0});
+    m.record(2.0, Bytes{1250.0});
+    // 2500 B over the (1.0, 3.0] window = 1250 B/s = 10 kbit/s.
+    EXPECT_NEAR(m.bandwidth(3.0).bits_per_sec(), 10000.0, 1e-9);
+    EXPECT_NEAR(m.rate(3.0).per_sec(), 1.0, 1e-12);
+    EXPECT_EQ(m.requests(), 2u);
+    EXPECT_DOUBLE_EQ(m.total().bytes(), 2500.0);
+}
+
+TEST(ThroughputMeter, DegenerateWindowIsZero)
+{
+    ThroughputMeter m(5.0);
+    m.record(6.0, Bytes{100.0});
+    EXPECT_DOUBLE_EQ(m.bandwidth(5.0).bits_per_sec(), 0.0);
+    EXPECT_DOUBLE_EQ(m.rate(4.0).per_sec(), 0.0);
+}
+
+} // namespace
+} // namespace lognic::sim

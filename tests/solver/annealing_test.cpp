@@ -1,0 +1,119 @@
+#include "lognic/solver/annealing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lognic::solver {
+namespace {
+
+double
+int_sphere(const IntVector& x)
+{
+    double s = 0.0;
+    for (auto v : x) {
+        const double d = static_cast<double>(v) - 7.0;
+        s += d * d;
+    }
+    return s;
+}
+
+TEST(SimulatedAnnealing, FindsOptimumOnSmoothLandscape)
+{
+    const std::vector<IntRange> ranges{{0, 20, 1}, {0, 20, 1}};
+    const auto res = simulated_annealing(int_sphere, {0, 20}, ranges);
+    EXPECT_EQ(res.x, (IntVector{7, 7}));
+    EXPECT_DOUBLE_EQ(res.value, 0.0);
+}
+
+TEST(SimulatedAnnealing, EscapesLocalMinima)
+{
+    // A deceptive landscape: local minimum at x=2 (value 1), global at
+    // x=18 (value 0), separated by a high barrier.
+    const IntObjectiveFn f = [](const IntVector& x) {
+        const auto v = x[0];
+        if (v == 18)
+            return 0.0;
+        if (v == 2)
+            return 1.0;
+        if (v >= 5 && v <= 15)
+            return 30.0; // barrier
+        return 10.0;
+    };
+    AnnealingOptions opts;
+    opts.iterations = 20000;
+    opts.initial_temperature = 20.0;
+    opts.cooling = 0.9995;
+    opts.max_move = 4;
+    const auto res =
+        simulated_annealing(f, {2}, {{0, 20, 1}}, opts);
+    EXPECT_EQ(res.x, (IntVector{18}));
+}
+
+TEST(SimulatedAnnealing, DeterministicForFixedSeed)
+{
+    const std::vector<IntRange> ranges{{0, 50, 1}, {0, 50, 1},
+                                       {0, 50, 1}};
+    AnnealingOptions opts;
+    opts.seed = 99;
+    const auto a = simulated_annealing(int_sphere, {}, ranges, opts);
+    const auto b = simulated_annealing(int_sphere, {}, ranges, opts);
+    EXPECT_EQ(a.x, b.x);
+    EXPECT_DOUBLE_EQ(a.value, b.value);
+}
+
+TEST(SimulatedAnnealing, HonorsRangeStep)
+{
+    const std::vector<IntRange> ranges{{0, 20, 5}}; // only 0,5,10,15,20
+    const auto res = simulated_annealing(int_sphere, {0}, ranges);
+    EXPECT_TRUE(res.x[0] % 5 == 0);
+    EXPECT_EQ(res.x[0], 5); // closest multiple of 5 to 7
+}
+
+TEST(SimulatedAnnealing, ClampsStartAndValidates)
+{
+    const auto res =
+        simulated_annealing(int_sphere, {100}, {{0, 10, 1}});
+    EXPECT_LE(res.x[0], 10);
+    EXPECT_THROW(simulated_annealing(int_sphere, {}, {}),
+                 std::invalid_argument);
+    EXPECT_THROW(simulated_annealing(int_sphere, {1, 2}, {{0, 5, 1}}),
+                 std::invalid_argument);
+    EXPECT_THROW(simulated_annealing(int_sphere, {}, {{5, 1, 1}}),
+                 std::invalid_argument);
+}
+
+TEST(SimulatedAnnealing, TracksBestEverVisited)
+{
+    // Even if late high-temperature moves wander off, the reported point
+    // must be the best seen.
+    AnnealingOptions opts;
+    opts.iterations = 300;
+    opts.initial_temperature = 100.0; // very hot: accepts almost anything
+    opts.cooling = 1.0;               // never cools
+    const auto res = simulated_annealing(
+        int_sphere, {7, 7}, {{0, 20, 1}, {0, 20, 1}}, opts);
+    EXPECT_DOUBLE_EQ(res.value, 0.0); // started at the optimum, kept it
+}
+
+TEST(SimulatedAnnealing, MatchesExhaustiveOnSmallSpaces)
+{
+    // On spaces small enough to enumerate, a reasonably-budgeted anneal
+    // must find the same optimum the exhaustive search proves.
+    const IntObjectiveFn f = [](const IntVector& x) {
+        // A rugged but fully enumerable 2-D landscape.
+        const double a = static_cast<double>(x[0]);
+        const double b = static_cast<double>(x[1]);
+        return (a - 11.0) * (a - 11.0) + (b - 3.0) * (b - 3.0)
+            + 5.0 * ((x[0] + x[1]) % 3);
+    };
+    const std::vector<IntRange> ranges{{0, 15, 1}, {0, 15, 1}};
+    const auto truth = exhaustive_search(f, ranges);
+    AnnealingOptions opts;
+    opts.iterations = 20000;
+    opts.initial_temperature = 10.0;
+    opts.cooling = 0.9995;
+    const auto approx = simulated_annealing(f, {0, 15}, ranges, opts);
+    EXPECT_DOUBLE_EQ(approx.value, truth.value);
+}
+
+} // namespace
+} // namespace lognic::solver

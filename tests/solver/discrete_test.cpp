@@ -1,0 +1,113 @@
+#include "lognic/solver/discrete.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lognic::solver {
+namespace {
+
+double
+int_sphere(const IntVector& x)
+{
+    double s = 0.0;
+    for (auto v : x) {
+        const double d = static_cast<double>(v) - 3.0;
+        s += d * d;
+    }
+    return s;
+}
+
+TEST(ExhaustiveSearch, FindsGlobalOptimum)
+{
+    const std::vector<IntRange> ranges{{0, 10, 1}, {0, 10, 1}};
+    const auto res = exhaustive_search(int_sphere, ranges);
+    EXPECT_EQ(res.x, (IntVector{3, 3}));
+    EXPECT_DOUBLE_EQ(res.value, 0.0);
+    EXPECT_EQ(res.evaluations, 121u);
+}
+
+TEST(ExhaustiveSearch, HonorsStep)
+{
+    const std::vector<IntRange> ranges{{0, 10, 2}};
+    const auto res = exhaustive_search(int_sphere, ranges);
+    EXPECT_EQ(res.evaluations, 6u); // 0,2,4,6,8,10
+    // 3 is not reachable; both 2 and 4 give value 1 and 2 comes first.
+    EXPECT_DOUBLE_EQ(res.value, 1.0);
+}
+
+TEST(ExhaustiveSearch, GuardsAgainstBlowup)
+{
+    const std::vector<IntRange> ranges{{0, 999, 1}, {0, 999, 1}, {0, 999, 1}};
+    EXPECT_THROW(exhaustive_search(int_sphere, ranges, 1000),
+                 std::invalid_argument);
+}
+
+TEST(ExhaustiveSearch, RejectsBadRanges)
+{
+    EXPECT_THROW(exhaustive_search(int_sphere, {{0, 10, 0}}),
+                 std::invalid_argument);
+    EXPECT_THROW(exhaustive_search(int_sphere, {{5, 2, 1}}),
+                 std::invalid_argument);
+}
+
+TEST(CoordinateDescent, FindsOptimumOnSeparableObjective)
+{
+    const std::vector<IntRange> ranges{{0, 20, 1}, {0, 20, 1}, {0, 20, 1}};
+    const auto res = coordinate_descent(int_sphere, {20, 0, 10}, ranges);
+    EXPECT_EQ(res.x, (IntVector{3, 3, 3}));
+    EXPECT_DOUBLE_EQ(res.value, 0.0);
+}
+
+TEST(CoordinateDescent, ClampsStartIntoRange)
+{
+    const std::vector<IntRange> ranges{{0, 5, 1}};
+    const auto res = coordinate_descent(int_sphere, {100}, ranges);
+    EXPECT_EQ(res.x, (IntVector{3}));
+}
+
+TEST(CoordinateDescent, DimensionMismatchThrows)
+{
+    EXPECT_THROW(coordinate_descent(int_sphere, {1, 2}, {{0, 5, 1}}),
+                 std::invalid_argument);
+}
+
+TEST(GridSearch, FindsMinimumOnGrid)
+{
+    const auto res = grid_search(
+        [](const std::vector<double>& x) {
+            return (x[0] - 0.5) * (x[0] - 0.5);
+        },
+        {{0.0, 1.0, 11}});
+    EXPECT_NEAR(res.x[0], 0.5, 1e-12);
+    EXPECT_EQ(res.evaluations, 11u);
+}
+
+TEST(GridSearch, CoversEndpoints)
+{
+    // Minimum at the upper endpoint must be found exactly.
+    const auto res = grid_search(
+        [](const std::vector<double>& x) { return -x[0]; },
+        {{0.0, 2.0, 5}});
+    EXPECT_DOUBLE_EQ(res.x[0], 2.0);
+}
+
+TEST(GridSearch, MultiDimensionalSweep)
+{
+    const auto res = grid_search(
+        [](const std::vector<double>& x) {
+            return (x[0] - 1.0) * (x[0] - 1.0) + (x[1] + 1.0) * (x[1] + 1.0);
+        },
+        {{-2.0, 2.0, 5}, {-2.0, 2.0, 5}});
+    EXPECT_DOUBLE_EQ(res.x[0], 1.0);
+    EXPECT_DOUBLE_EQ(res.x[1], -1.0);
+    EXPECT_EQ(res.evaluations, 25u);
+}
+
+TEST(GridSearch, RejectsDegenerateRanges)
+{
+    EXPECT_THROW(grid_search([](const std::vector<double>&) { return 0.0; },
+                             {{0.0, 1.0, 1}}),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace lognic::solver

@@ -1,0 +1,81 @@
+#include "lognic/solver/least_squares.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace lognic::solver {
+namespace {
+
+TEST(LevenbergMarquardt, FitsLine)
+{
+    // y = 2x + 3 sampled exactly.
+    const std::vector<double> xs{0.0, 1.0, 2.0, 3.0, 4.0};
+    const VectorFn residuals = [&](const Vector& p) {
+        Vector r(xs.size());
+        for (std::size_t i = 0; i < xs.size(); ++i)
+            r[i] = p[0] * xs[i] + p[1] - (2.0 * xs[i] + 3.0);
+        return r;
+    };
+    const auto fit = levenberg_marquardt(residuals, {0.0, 0.0});
+    EXPECT_NEAR(fit.x[0], 2.0, 1e-6);
+    EXPECT_NEAR(fit.x[1], 3.0, 1e-6);
+    EXPECT_LT(fit.value, 1e-12);
+}
+
+TEST(LevenbergMarquardt, FitsExponentialDecay)
+{
+    // y = 5 exp(-0.7 x): nonlinear in the rate parameter.
+    const std::vector<double> xs{0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0};
+    const VectorFn residuals = [&](const Vector& p) {
+        Vector r(xs.size());
+        for (std::size_t i = 0; i < xs.size(); ++i)
+            r[i] = p[0] * std::exp(-p[1] * xs[i])
+                - 5.0 * std::exp(-0.7 * xs[i]);
+        return r;
+    };
+    const auto fit = levenberg_marquardt(residuals, {1.0, 0.1});
+    EXPECT_NEAR(fit.x[0], 5.0, 1e-4);
+    EXPECT_NEAR(fit.x[1], 0.7, 1e-4);
+}
+
+TEST(LevenbergMarquardt, NoisyDataStillRecoversTrend)
+{
+    // Deterministic "noise" so the test is reproducible.
+    const std::vector<double> xs{0.0, 1.0, 2.0, 3.0, 4.0, 5.0};
+    const std::vector<double> noise{0.05, -0.04, 0.03, -0.02, 0.04, -0.05};
+    const VectorFn residuals = [&](const Vector& p) {
+        Vector r(xs.size());
+        for (std::size_t i = 0; i < xs.size(); ++i)
+            r[i] = p[0] * xs[i] + p[1] - (1.5 * xs[i] + 0.5 + noise[i]);
+        return r;
+    };
+    const auto fit = levenberg_marquardt(residuals, {0.0, 0.0});
+    EXPECT_NEAR(fit.x[0], 1.5, 0.05);
+    EXPECT_NEAR(fit.x[1], 0.5, 0.10);
+    EXPECT_EQ(fit.residuals.size(), xs.size());
+}
+
+TEST(LevenbergMarquardt, RespectsBounds)
+{
+    const VectorFn residuals = [](const Vector& p) {
+        return Vector{p[0] - 10.0};
+    };
+    LeastSquaresOptions opts;
+    opts.bounds.lower = {0.0};
+    opts.bounds.upper = {4.0};
+    const auto fit = levenberg_marquardt(residuals, {1.0}, opts);
+    EXPECT_NEAR(fit.x[0], 4.0, 1e-9);
+}
+
+TEST(LevenbergMarquardt, AlreadyOptimalConvergesImmediately)
+{
+    const VectorFn residuals = [](const Vector& p) {
+        return Vector{p[0] - 1.0, p[0] - 1.0};
+    };
+    const auto fit = levenberg_marquardt(residuals, {1.0});
+    EXPECT_TRUE(fit.converged);
+    EXPECT_LT(fit.value, 1e-20);
+}
+
+} // namespace
+} // namespace lognic::solver

@@ -1,0 +1,176 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "lognic/solver/bfgs.hpp"
+#include "lognic/solver/constrained.hpp"
+#include "lognic/solver/nelder_mead.hpp"
+
+namespace lognic::solver {
+namespace {
+
+double
+sphere(const Vector& x)
+{
+    double s = 0.0;
+    for (double v : x)
+        s += (v - 1.0) * (v - 1.0);
+    return s;
+}
+
+double
+rosenbrock(const Vector& x)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+        const double a = x[i + 1] - x[i] * x[i];
+        const double b = 1.0 - x[i];
+        s += 100.0 * a * a + b * b;
+    }
+    return s;
+}
+
+TEST(NelderMead, MinimizesSphere)
+{
+    const auto res = nelder_mead(sphere, {5.0, -3.0, 0.0});
+    EXPECT_TRUE(res.converged);
+    EXPECT_LT(res.value, 1e-8);
+    for (double v : res.x)
+        EXPECT_NEAR(v, 1.0, 1e-3);
+}
+
+TEST(NelderMead, MinimizesRosenbrock2D)
+{
+    NelderMeadOptions opts;
+    opts.max_iterations = 5000;
+    const auto res = nelder_mead(rosenbrock, {-1.2, 1.0}, opts);
+    EXPECT_NEAR(res.x[0], 1.0, 1e-3);
+    EXPECT_NEAR(res.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMead, HandlesNonSmoothObjective)
+{
+    const auto res = nelder_mead(
+        [](const Vector& x) { return std::abs(x[0] - 2.0) + std::abs(x[1]); },
+        {10.0, -7.0});
+    EXPECT_NEAR(res.x[0], 2.0, 1e-4);
+    EXPECT_NEAR(res.x[1], 0.0, 1e-4);
+}
+
+TEST(NelderMead, RespectsBounds)
+{
+    NelderMeadOptions opts;
+    opts.bounds.lower = {2.0, -10.0};
+    opts.bounds.upper = {10.0, 10.0};
+    const auto res = nelder_mead(sphere, {5.0, 5.0}, opts);
+    // Unconstrained optimum (1,1) is outside; the bound binds at x0 = 2.
+    EXPECT_NEAR(res.x[0], 2.0, 1e-6);
+    EXPECT_NEAR(res.x[1], 1.0, 1e-4);
+}
+
+TEST(NelderMead, ReportsEvaluations)
+{
+    const auto res = nelder_mead(sphere, {3.0});
+    EXPECT_GT(res.evaluations, 0u);
+    EXPECT_TRUE(res.converged);
+}
+
+TEST(Bfgs, MinimizesQuadraticExactly)
+{
+    const auto res = bfgs(sphere, {8.0, -2.0});
+    EXPECT_TRUE(res.converged);
+    EXPECT_NEAR(res.x[0], 1.0, 1e-6);
+    EXPECT_NEAR(res.x[1], 1.0, 1e-6);
+}
+
+TEST(Bfgs, MinimizesRosenbrock)
+{
+    BfgsOptions opts;
+    opts.max_iterations = 2000;
+    const auto res = bfgs(rosenbrock, {-1.2, 1.0}, opts);
+    EXPECT_NEAR(res.x[0], 1.0, 1e-4);
+    EXPECT_NEAR(res.x[1], 1.0, 1e-4);
+}
+
+TEST(Bfgs, UsesAnalyticGradientWhenProvided)
+{
+    const GradientFn grad = [](const Vector& x) {
+        return Vector{2.0 * (x[0] - 1.0), 2.0 * (x[1] - 1.0)};
+    };
+    const auto res = bfgs(sphere, {4.0, 4.0}, {}, grad);
+    EXPECT_TRUE(res.converged);
+    EXPECT_NEAR(res.x[0], 1.0, 1e-6);
+}
+
+TEST(Bfgs, RespectsBounds)
+{
+    BfgsOptions opts;
+    opts.bounds.lower = {3.0};
+    opts.bounds.upper = {100.0};
+    const auto res = bfgs(sphere, {50.0}, opts);
+    EXPECT_NEAR(res.x[0], 3.0, 1e-6);
+}
+
+TEST(Constrained, EqualityConstraintOnCircle)
+{
+    // min x + y  s.t.  x^2 + y^2 = 2  ->  (-1, -1).
+    const ObjectiveFn f = [](const Vector& x) { return x[0] + x[1]; };
+    const std::vector<Constraint> cons{
+        {Constraint::Type::kEquality,
+         [](const Vector& x) { return x[0] * x[0] + x[1] * x[1] - 2.0; }}};
+    ConstrainedOptions opts;
+    opts.inner = InnerSolver::kBfgs;
+    // Start in the minimizer's basin; (1, 1) is a KKT point too (a
+    // constrained maximum), and penalty methods can land there otherwise.
+    const auto res = minimize_constrained(f, {-0.5, -1.5}, cons, opts);
+    EXPECT_TRUE(res.feasible);
+    EXPECT_NEAR(res.x[0], -1.0, 1e-3);
+    EXPECT_NEAR(res.x[1], -1.0, 1e-3);
+}
+
+TEST(Constrained, InequalityBecomesActive)
+{
+    // min (x-3)^2  s.t.  x <= 1  ->  x = 1.
+    const ObjectiveFn f = [](const Vector& x) {
+        return (x[0] - 3.0) * (x[0] - 3.0);
+    };
+    const std::vector<Constraint> cons{
+        {Constraint::Type::kInequality,
+         [](const Vector& x) { return x[0] - 1.0; }}};
+    const auto res = minimize_constrained(f, {0.0}, cons);
+    EXPECT_TRUE(res.feasible);
+    EXPECT_NEAR(res.x[0], 1.0, 1e-3);
+}
+
+TEST(Constrained, InactiveConstraintLeavesOptimumAlone)
+{
+    const ObjectiveFn f = sphere; // optimum (1, 1)
+    const std::vector<Constraint> cons{
+        {Constraint::Type::kInequality,
+         [](const Vector& x) { return x[0] + x[1] - 100.0; }}};
+    const auto res = minimize_constrained(f, {5.0, 5.0}, cons);
+    EXPECT_TRUE(res.feasible);
+    EXPECT_NEAR(res.x[0], 1.0, 1e-3);
+    EXPECT_NEAR(res.x[1], 1.0, 1e-3);
+}
+
+TEST(Constrained, ResourceAllocationProblem)
+{
+    // max min-style smooth stand-in: minimize 1/x + 4/y s.t. x + y <= 10.
+    // KKT: y = 2x, x + y = 10 -> x = 10/3, y = 20/3.
+    const ObjectiveFn f = [](const Vector& v) {
+        return 1.0 / v[0] + 4.0 / v[1];
+    };
+    const std::vector<Constraint> cons{
+        {Constraint::Type::kInequality,
+         [](const Vector& v) { return v[0] + v[1] - 10.0; }}};
+    ConstrainedOptions opts;
+    opts.bounds.lower = {0.1, 0.1};
+    opts.bounds.upper = {10.0, 10.0};
+    const auto res = minimize_constrained(f, {1.0, 1.0}, cons, opts);
+    EXPECT_TRUE(res.feasible);
+    EXPECT_NEAR(res.x[0], 10.0 / 3.0, 0.05);
+    EXPECT_NEAR(res.x[1], 20.0 / 3.0, 0.05);
+}
+
+} // namespace
+} // namespace lognic::solver

@@ -1,0 +1,93 @@
+#include "lognic/solver/special.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace lognic::solver {
+namespace {
+
+TEST(RegularizedGamma, ShapeOneIsExponentialCdf)
+{
+    for (double x : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+        EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12)
+            << x;
+    }
+}
+
+TEST(RegularizedGamma, BoundaryValues)
+{
+    EXPECT_DOUBLE_EQ(regularized_gamma_p(3.0, 0.0), 0.0);
+    EXPECT_NEAR(regularized_gamma_p(3.0, 1e6), 1.0, 1e-12);
+    EXPECT_NEAR(regularized_gamma_q(2.0, 0.0), 1.0, 1e-12);
+}
+
+TEST(RegularizedGamma, KnownValues)
+{
+    // P(0.5, x) = erf(sqrt(x)).
+    for (double x : {0.25, 1.0, 4.0}) {
+        EXPECT_NEAR(regularized_gamma_p(0.5, x), std::erf(std::sqrt(x)),
+                    1e-10)
+            << x;
+    }
+    // Chi-square with 4 dof at its mean: P(2, 2) = 1 - 3e^{-2}.
+    EXPECT_NEAR(regularized_gamma_p(2.0, 2.0), 1.0 - 3.0 * std::exp(-2.0),
+                1e-12);
+}
+
+TEST(RegularizedGamma, MonotoneInX)
+{
+    double prev = -1.0;
+    for (double x = 0.0; x < 20.0; x += 0.5) {
+        const double v = regularized_gamma_p(3.7, x);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(RegularizedGamma, SeriesAndFractionAgreeAtCrossover)
+{
+    // The implementation switches branches at x = a + 1; both must agree
+    // in a neighbourhood of the seam.
+    for (double a : {0.7, 2.0, 11.0}) {
+        const double left = regularized_gamma_p(a, a + 1.0 - 1e-9);
+        const double right = regularized_gamma_p(a, a + 1.0 + 1e-9);
+        EXPECT_NEAR(left, right, 1e-9) << a;
+    }
+}
+
+TEST(RegularizedGamma, RejectsBadArguments)
+{
+    EXPECT_THROW(regularized_gamma_p(0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(regularized_gamma_p(-1.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(regularized_gamma_p(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(GammaQuantile, ExponentialQuantileExact)
+{
+    // k = 1, theta = m: quantile(p) = -m ln(1 - p).
+    const double m = 2.5;
+    EXPECT_NEAR(gamma_quantile(1.0, m, 0.99), -m * std::log(0.01), 1e-6);
+    EXPECT_NEAR(gamma_quantile(1.0, m, 0.5), -m * std::log(0.5), 1e-6);
+}
+
+TEST(GammaQuantile, RoundTripsThroughCdf)
+{
+    for (double k : {0.5, 2.0, 7.3}) {
+        for (double p : {0.1, 0.5, 0.9, 0.99}) {
+            const double q = gamma_quantile(k, 1.7, p);
+            EXPECT_NEAR(regularized_gamma_p(k, q / 1.7), p, 1e-9)
+                << "k=" << k << " p=" << p;
+        }
+    }
+}
+
+TEST(GammaQuantile, RejectsBadArguments)
+{
+    EXPECT_THROW(gamma_quantile(0.0, 1.0, 0.5), std::invalid_argument);
+    EXPECT_THROW(gamma_quantile(1.0, 0.0, 0.5), std::invalid_argument);
+    EXPECT_THROW(gamma_quantile(1.0, 1.0, 0.0), std::invalid_argument);
+    EXPECT_THROW(gamma_quantile(1.0, 1.0, 1.0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace lognic::solver

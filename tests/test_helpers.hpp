@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared builders for model tests: a small configurable SmartNIC and
+ * canonical execution graphs.
+ */
+#ifndef LOGNIC_TESTS_TEST_HELPERS_HPP_
+#define LOGNIC_TESTS_TEST_HELPERS_HPP_
+
+#include "lognic/core/execution_graph.hpp"
+#include "lognic/core/hardware_model.hpp"
+#include "lognic/core/traffic_profile.hpp"
+
+namespace lognic::test {
+
+/// A NIC with one CPU IP ("cores", 8 engines, 1 us + size/4GBps per request)
+/// and one accelerator IP ("accel", 2 engines, 0.5 us/op, 50 Gbps feed).
+inline core::HardwareModel
+small_nic(Bandwidth line_rate = Bandwidth::from_gbps(25.0))
+{
+    core::HardwareModel hw("test-nic", Bandwidth::from_gbps(100.0),
+                           Bandwidth::from_gbps(80.0), line_rate);
+    core::IpSpec cores;
+    cores.name = "cores";
+    cores.kind = core::IpKind::kCpuCores;
+    cores.roofline = core::ExtendedRoofline(
+        core::ServiceModel{Seconds::from_micros(1.0),
+                           Bandwidth::from_gigabytes_per_sec(4.0)},
+        {});
+    cores.max_engines = 8;
+    cores.default_queue_capacity = 64;
+    hw.add_ip(cores);
+
+    core::IpSpec accel;
+    accel.name = "accel";
+    accel.kind = core::IpKind::kAccelerator;
+    accel.roofline = core::ExtendedRoofline(
+        core::ServiceModel{Seconds::from_micros(0.5),
+                           Bandwidth::from_gbps(400.0)},
+        {{"feed", Bandwidth::from_gbps(50.0)}});
+    accel.max_engines = 2;
+    accel.default_queue_capacity = 32;
+    hw.add_ip(accel);
+    return hw;
+}
+
+/// ingress -> cores -> egress.
+inline core::ExecutionGraph
+single_stage_graph(const core::HardwareModel& hw,
+                   core::VertexParams params = {})
+{
+    core::ExecutionGraph g("single");
+    const auto in = g.add_ingress();
+    const auto out = g.add_egress();
+    const auto v = g.add_ip_vertex("cores", *hw.find_ip("cores"), params);
+    g.add_edge(in, v);
+    g.add_edge(v, out);
+    return g;
+}
+
+/// ingress -> cores -> accel -> egress, accel fed via memory (beta = 1).
+inline core::ExecutionGraph
+two_stage_graph(const core::HardwareModel& hw)
+{
+    core::ExecutionGraph g("two-stage");
+    const auto in = g.add_ingress();
+    const auto out = g.add_egress();
+    const auto v1 = g.add_ip_vertex("cores", *hw.find_ip("cores"));
+    const auto v2 = g.add_ip_vertex("accel", *hw.find_ip("accel"));
+    g.add_edge(in, v1);
+    g.add_edge(v1, v2, core::EdgeParams{1.0, 0.0, 1.0, {}});
+    g.add_edge(v2, out);
+    return g;
+}
+
+inline core::TrafficProfile
+mtu_traffic(double gbps)
+{
+    return core::TrafficProfile::fixed(Bytes{1500.0},
+                                       Bandwidth::from_gbps(gbps));
+}
+
+} // namespace lognic::test
+
+#endif // LOGNIC_TESTS_TEST_HELPERS_HPP_

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "lognic/traffic/io_workload.hpp"
+#include "lognic/traffic/profiles.hpp"
+
+namespace lognic::traffic {
+namespace {
+
+TEST(Profiles, StandardPacketSizesMatchPaperSweep)
+{
+    const auto sizes = standard_packet_sizes();
+    ASSERT_EQ(sizes.size(), 6u);
+    EXPECT_DOUBLE_EQ(sizes.front().bytes(), 64.0);
+    EXPECT_DOUBLE_EQ(sizes.back().bytes(), 1500.0);
+}
+
+TEST(Profiles, EqualByteMixSplitsBandwidthEqually)
+{
+    const auto p = equal_byte_mix({Bytes{64.0}, Bytes{512.0}},
+                                  Bandwidth::from_gbps(10.0));
+    ASSERT_EQ(p.classes().size(), 2u);
+    EXPECT_DOUBLE_EQ(p.classes()[0].weight, 0.5);
+    EXPECT_DOUBLE_EQ(p.classes()[1].weight, 0.5);
+}
+
+TEST(Profiles, PanicProfilesMatchPaperCompositions)
+{
+    const Bandwidth bw = Bandwidth::from_gbps(1.0);
+    EXPECT_EQ(panic_profile(1, bw).classes().size(), 2u);
+    EXPECT_EQ(panic_profile(2, bw).classes().size(), 3u);
+    EXPECT_EQ(panic_profile(3, bw).classes().size(), 4u);
+    EXPECT_EQ(panic_profile(4, bw).classes().size(), 5u);
+    EXPECT_THROW(panic_profile(0, bw), std::invalid_argument);
+    EXPECT_THROW(panic_profile(5, bw), std::invalid_argument);
+    // Profile 3 contains a 1500 B flow, profile 2 does not.
+    const auto p3 = panic_profile(3, bw);
+    bool has_mtu = false;
+    for (const auto& c : p3.classes())
+        has_mtu |= c.size.bytes() == 1500.0;
+    EXPECT_TRUE(has_mtu);
+}
+
+TEST(IoWorkloads, NamedWorkloadsMatchPaper)
+{
+    const auto rrd4 = random_read_4k();
+    EXPECT_EQ(rrd4.name, "4KB-RRD");
+    EXPECT_DOUBLE_EQ(rrd4.block_size.bytes(), 4096.0);
+    EXPECT_DOUBLE_EQ(rrd4.read_fraction, 1.0);
+    EXPECT_TRUE(rrd4.random);
+
+    const auto rrd128 = random_read_128k();
+    EXPECT_DOUBLE_EQ(rrd128.block_size.kib(), 128.0);
+
+    const auto swr4 = sequential_write_4k();
+    EXPECT_DOUBLE_EQ(swr4.read_fraction, 0.0);
+    EXPECT_FALSE(swr4.random);
+}
+
+TEST(IoWorkloads, MixedValidatesRatio)
+{
+    EXPECT_THROW(random_mixed_4k(-0.1), std::invalid_argument);
+    EXPECT_THROW(random_mixed_4k(1.1), std::invalid_argument);
+    EXPECT_DOUBLE_EQ(random_mixed_4k(0.7).read_fraction, 0.7);
+}
+
+} // namespace
+} // namespace lognic::traffic

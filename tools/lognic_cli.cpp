@@ -1,0 +1,219 @@
+/**
+ * @file
+ * lognic — command-line front end for the model (Figure 4a's workflow as
+ * a tool). Scenarios (hardware + execution graph + traffic) travel as
+ * JSON documents; see `lognic example` for a starting point.
+ *
+ *   lognic example                      print a sample scenario JSON
+ *   lognic estimate <scenario.json>     model throughput/latency report
+ *   lognic simulate <scenario.json> [seconds] [seed]
+ *                                       packet-level simulation
+ *   lognic sweep <scenario.json> <gbps> [gbps...]
+ *                                       rate sweep (capacity/latency/p99)
+ *   lognic dot <scenario.json>          Graphviz export of the graph
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "lognic/core/model.hpp"
+#include "lognic/core/reporting.hpp"
+#include "lognic/core/sensitivity.hpp"
+#include "lognic/io/serialize.hpp"
+#include "lognic/sim/nic_simulator.hpp"
+
+using namespace lognic;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: lognic <command> [args]\n"
+                 "  example                       print a sample scenario\n"
+                 "  estimate <scenario.json>      analytical report\n"
+                 "  simulate <scenario.json> [seconds] [seed]\n"
+                 "  sweep    <scenario.json> <gbps> [gbps...]\n"
+                 "  sensitivity <scenario.json>   parameter elasticities\n"
+                 "  dot      <scenario.json>      Graphviz export\n");
+    return 2;
+}
+
+io::Scenario
+load(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return io::load_scenario(buf.str());
+}
+
+io::Scenario
+sample_scenario()
+{
+    core::HardwareModel hw("sample-nic", Bandwidth::from_gbps(100.0),
+                           Bandwidth::from_gbps(80.0),
+                           Bandwidth::from_gbps(25.0));
+    core::IpSpec cores;
+    cores.name = "cores";
+    cores.kind = core::IpKind::kCpuCores;
+    cores.roofline = core::ExtendedRoofline(
+        core::ServiceModel{Seconds::from_micros(1.0),
+                           Bandwidth::from_gigabytes_per_sec(4.0)},
+        {});
+    cores.max_engines = 8;
+    cores.default_queue_capacity = 64;
+    const auto cores_id = hw.add_ip(cores);
+
+    core::IpSpec crypto;
+    crypto.name = "crypto";
+    crypto.kind = core::IpKind::kAccelerator;
+    crypto.roofline = core::ExtendedRoofline(
+        core::ServiceModel{Seconds::from_micros(0.4),
+                           Bandwidth::from_gbps(400.0)},
+        {{"feed", Bandwidth::from_gbps(50.0)}});
+    crypto.max_engines = 2;
+    crypto.service_scv = 0.1; // hardware pipeline
+    const auto crypto_id = hw.add_ip(crypto);
+
+    core::ExecutionGraph g("sample-offload");
+    const auto in = g.add_ingress();
+    const auto out = g.add_egress();
+    const auto v1 = g.add_ip_vertex("cores", cores_id);
+    const auto v2 = g.add_ip_vertex("crypto", crypto_id);
+    g.add_edge(in, v1);
+    g.add_edge(v1, v2, core::EdgeParams{1.0, 0.0, 1.0, {}});
+    g.add_edge(v2, out);
+
+    return io::Scenario{std::move(hw), std::move(g),
+                        core::TrafficProfile::fixed(
+                            Bytes{1024.0}, Bandwidth::from_gbps(12.0))};
+}
+
+int
+cmd_estimate(const io::Scenario& sc)
+{
+    const core::Model model(sc.hw);
+    const core::Report rep = model.estimate(sc.graph, sc.traffic);
+    std::fputs(core::render_report(rep, sc.traffic).c_str(), stdout);
+    std::printf("p99 (approx): %.3f us\n",
+                rep.latency.per_class[0].p99.micros());
+    return 0;
+}
+
+int
+cmd_simulate(const io::Scenario& sc, double seconds, std::uint64_t seed)
+{
+    sim::SimOptions opts;
+    opts.duration = seconds;
+    opts.seed = seed;
+    const auto res = sim::simulate(sc.hw, sc.graph, sc.traffic, opts);
+    std::printf("simulated %.3fs (seed %llu)\n", seconds,
+                static_cast<unsigned long long>(seed));
+    std::printf("  delivered    : %.3f Gbps (%.3f Mops)\n",
+                res.delivered.gbps(), res.delivered_ops.mops());
+    std::printf("  latency      : mean %.3f us, p50 %.3f, p99 %.3f\n",
+                res.mean_latency.micros(), res.p50_latency.micros(),
+                res.p99_latency.micros());
+    std::printf("  drops        : %llu of %llu (%.4f)\n",
+                static_cast<unsigned long long>(res.dropped),
+                static_cast<unsigned long long>(res.generated),
+                res.drop_rate);
+    for (const auto& vs : res.vertex_stats) {
+        std::printf("  %-12s util %.3f, occupancy %.2f, served %llu, "
+                    "dropped %llu\n",
+                    vs.name.c_str(), vs.utilization, vs.mean_occupancy,
+                    static_cast<unsigned long long>(vs.served),
+                    static_cast<unsigned long long>(vs.dropped));
+    }
+    return 0;
+}
+
+int
+cmd_sweep(const io::Scenario& sc, int argc, char** argv)
+{
+    const core::Model model(sc.hw);
+    std::printf("%10s %12s %12s %12s %12s\n", "offered", "capacity",
+                "goodput", "mean(us)", "p99(us)");
+    for (int i = 0; i < argc; ++i) {
+        const double gbps = std::atof(argv[i]);
+        if (gbps <= 0.0) {
+            std::fprintf(stderr, "bad rate '%s'\n", argv[i]);
+            return 2;
+        }
+        auto traffic = sc.traffic;
+        traffic.set_ingress_bandwidth(Bandwidth::from_gbps(gbps));
+        const auto rep = model.estimate(sc.graph, traffic);
+        std::printf("%9.2fG %11.2fG %11.2fG %12.3f %12.3f\n", gbps,
+                    rep.throughput.capacity.gbps(),
+                    rep.latency.per_class[0].goodput.gbps(),
+                    rep.latency.mean.micros(),
+                    rep.latency.per_class[0].p99.micros());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    try {
+        if (command == "example") {
+            std::fputs(io::save_scenario(sample_scenario()).c_str(),
+                       stdout);
+            std::printf("\n");
+            return 0;
+        }
+        if (argc < 3)
+            return usage();
+        const io::Scenario sc = load(argv[2]);
+        if (command == "estimate")
+            return cmd_estimate(sc);
+        if (command == "simulate") {
+            const double seconds = argc > 3 ? std::atof(argv[3]) : 0.05;
+            const std::uint64_t seed = argc > 4
+                ? static_cast<std::uint64_t>(std::atoll(argv[4]))
+                : 42;
+            if (seconds <= 0.0) {
+                std::fprintf(stderr, "bad duration\n");
+                return 2;
+            }
+            return cmd_simulate(sc, seconds, seed);
+        }
+        if (command == "sweep") {
+            if (argc < 4)
+                return usage();
+            return cmd_sweep(sc, argc - 3, argv + 3);
+        }
+        if (command == "sensitivity") {
+            const auto results =
+                core::analyze_sensitivity(sc.graph, sc.hw, sc.traffic);
+            std::printf("%-36s %12s %12s\n", "parameter", "d(cap)",
+                        "d(latency)");
+            for (const auto& s : results) {
+                std::printf("%-36s %12.3f %12.3f\n", s.parameter.c_str(),
+                            s.capacity_elasticity, s.latency_elasticity);
+            }
+            std::printf("\n(log-log elasticities: +1 = output scales "
+                        "proportionally with the knob)\n");
+            return 0;
+        }
+        if (command == "dot") {
+            std::fputs(core::to_dot(sc.graph, sc.hw).c_str(), stdout);
+            return 0;
+        }
+        return usage();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "lognic: %s\n", e.what());
+        return 1;
+    }
+}
