@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hw_whatif.dir/ablation_hw_whatif.cpp.o"
+  "CMakeFiles/ablation_hw_whatif.dir/ablation_hw_whatif.cpp.o.d"
+  "ablation_hw_whatif"
+  "ablation_hw_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hw_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_model_components.dir/ablation_model_components.cpp.o"
+  "CMakeFiles/ablation_model_components.dir/ablation_model_components.cpp.o.d"
+  "ablation_model_components"
+  "ablation_model_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_model_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

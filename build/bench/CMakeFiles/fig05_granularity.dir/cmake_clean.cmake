@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_granularity.dir/fig05_granularity.cpp.o"
+  "CMakeFiles/fig05_granularity.dir/fig05_granularity.cpp.o.d"
+  "fig05_granularity"
+  "fig05_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

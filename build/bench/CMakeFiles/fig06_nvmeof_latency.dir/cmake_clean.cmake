@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_nvmeof_latency.dir/fig06_nvmeof_latency.cpp.o"
+  "CMakeFiles/fig06_nvmeof_latency.dir/fig06_nvmeof_latency.cpp.o.d"
+  "fig06_nvmeof_latency"
+  "fig06_nvmeof_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_nvmeof_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

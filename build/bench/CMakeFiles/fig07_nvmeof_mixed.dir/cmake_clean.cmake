@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_nvmeof_mixed.dir/fig07_nvmeof_mixed.cpp.o"
+  "CMakeFiles/fig07_nvmeof_mixed.dir/fig07_nvmeof_mixed.cpp.o.d"
+  "fig07_nvmeof_mixed"
+  "fig07_nvmeof_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_nvmeof_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

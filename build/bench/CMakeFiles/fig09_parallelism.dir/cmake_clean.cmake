@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_parallelism.dir/fig09_parallelism.cpp.o"
+  "CMakeFiles/fig09_parallelism.dir/fig09_parallelism.cpp.o.d"
+  "fig09_parallelism"
+  "fig09_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_pktsize.dir/fig10_pktsize.cpp.o"
+  "CMakeFiles/fig10_pktsize.dir/fig10_pktsize.cpp.o.d"
+  "fig10_pktsize"
+  "fig10_pktsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_pktsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_12_microservices.dir/fig11_12_microservices.cpp.o"
+  "CMakeFiles/fig11_12_microservices.dir/fig11_12_microservices.cpp.o.d"
+  "fig11_12_microservices"
+  "fig11_12_microservices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_12_microservices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_14_placement.dir/fig13_14_placement.cpp.o"
+  "CMakeFiles/fig13_14_placement.dir/fig13_14_placement.cpp.o.d"
+  "fig13_14_placement"
+  "fig13_14_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_14_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

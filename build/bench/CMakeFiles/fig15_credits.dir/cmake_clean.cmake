@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_credits.dir/fig15_credits.cpp.o"
+  "CMakeFiles/fig15_credits.dir/fig15_credits.cpp.o.d"
+  "fig15_credits"
+  "fig15_credits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_credits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_17_steering.dir/fig16_17_steering.cpp.o"
+  "CMakeFiles/fig16_17_steering.dir/fig16_17_steering.cpp.o.d"
+  "fig16_17_steering"
+  "fig16_17_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_17_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_19_parallel_degree.dir/fig18_19_parallel_degree.cpp.o"
+  "CMakeFiles/fig18_19_parallel_degree.dir/fig18_19_parallel_degree.cpp.o.d"
+  "fig18_19_parallel_degree"
+  "fig18_19_parallel_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_19_parallel_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

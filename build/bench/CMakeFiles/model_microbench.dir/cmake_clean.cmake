@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_microbench.dir/model_microbench.cpp.o"
+  "CMakeFiles/model_microbench.dir/model_microbench.cpp.o.d"
+  "model_microbench"
+  "model_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

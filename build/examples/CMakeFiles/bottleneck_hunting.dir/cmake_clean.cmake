@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bottleneck_hunting.dir/bottleneck_hunting.cpp.o"
+  "CMakeFiles/bottleneck_hunting.dir/bottleneck_hunting.cpp.o.d"
+  "bottleneck_hunting"
+  "bottleneck_hunting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bottleneck_hunting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

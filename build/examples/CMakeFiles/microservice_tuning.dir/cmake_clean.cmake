@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microservice_tuning.dir/microservice_tuning.cpp.o"
+  "CMakeFiles/microservice_tuning.dir/microservice_tuning.cpp.o.d"
+  "microservice_tuning"
+  "microservice_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microservice_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf_placement.dir/nf_placement.cpp.o"
+  "CMakeFiles/nf_placement.dir/nf_placement.cpp.o.d"
+  "nf_placement"
+  "nf_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmeof_walkthrough.dir/nvmeof_walkthrough.cpp.o"
+  "CMakeFiles/nvmeof_walkthrough.dir/nvmeof_walkthrough.cpp.o.d"
+  "nvmeof_walkthrough"
+  "nvmeof_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmeof_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

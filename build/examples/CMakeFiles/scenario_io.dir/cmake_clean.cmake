@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_io.dir/scenario_io.cpp.o"
+  "CMakeFiles/scenario_io.dir/scenario_io.cpp.o.d"
+  "scenario_io"
+  "scenario_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

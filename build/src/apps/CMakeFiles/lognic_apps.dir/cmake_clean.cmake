@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lognic_apps.dir/inline_accel.cpp.o"
+  "CMakeFiles/lognic_apps.dir/inline_accel.cpp.o.d"
+  "CMakeFiles/lognic_apps.dir/microservices.cpp.o"
+  "CMakeFiles/lognic_apps.dir/microservices.cpp.o.d"
+  "CMakeFiles/lognic_apps.dir/nf_chain.cpp.o"
+  "CMakeFiles/lognic_apps.dir/nf_chain.cpp.o.d"
+  "CMakeFiles/lognic_apps.dir/nvmeof.cpp.o"
+  "CMakeFiles/lognic_apps.dir/nvmeof.cpp.o.d"
+  "CMakeFiles/lognic_apps.dir/panic_models.cpp.o"
+  "CMakeFiles/lognic_apps.dir/panic_models.cpp.o.d"
+  "liblognic_apps.a"
+  "liblognic_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lognic_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/execution_graph.cpp" "src/core/CMakeFiles/lognic_core.dir/execution_graph.cpp.o" "gcc" "src/core/CMakeFiles/lognic_core.dir/execution_graph.cpp.o.d"
+  "/root/repo/src/core/extensions.cpp" "src/core/CMakeFiles/lognic_core.dir/extensions.cpp.o" "gcc" "src/core/CMakeFiles/lognic_core.dir/extensions.cpp.o.d"
+  "/root/repo/src/core/hardware_model.cpp" "src/core/CMakeFiles/lognic_core.dir/hardware_model.cpp.o" "gcc" "src/core/CMakeFiles/lognic_core.dir/hardware_model.cpp.o.d"
+  "/root/repo/src/core/latency_model.cpp" "src/core/CMakeFiles/lognic_core.dir/latency_model.cpp.o" "gcc" "src/core/CMakeFiles/lognic_core.dir/latency_model.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/lognic_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/lognic_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/lognic_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/lognic_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/reporting.cpp" "src/core/CMakeFiles/lognic_core.dir/reporting.cpp.o" "gcc" "src/core/CMakeFiles/lognic_core.dir/reporting.cpp.o.d"
+  "/root/repo/src/core/roofline.cpp" "src/core/CMakeFiles/lognic_core.dir/roofline.cpp.o" "gcc" "src/core/CMakeFiles/lognic_core.dir/roofline.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/lognic_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/lognic_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/throughput_model.cpp" "src/core/CMakeFiles/lognic_core.dir/throughput_model.cpp.o" "gcc" "src/core/CMakeFiles/lognic_core.dir/throughput_model.cpp.o.d"
+  "/root/repo/src/core/traffic_profile.cpp" "src/core/CMakeFiles/lognic_core.dir/traffic_profile.cpp.o" "gcc" "src/core/CMakeFiles/lognic_core.dir/traffic_profile.cpp.o.d"
+  "/root/repo/src/core/vertex_analysis.cpp" "src/core/CMakeFiles/lognic_core.dir/vertex_analysis.cpp.o" "gcc" "src/core/CMakeFiles/lognic_core.dir/vertex_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/queueing/CMakeFiles/lognic_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/lognic_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

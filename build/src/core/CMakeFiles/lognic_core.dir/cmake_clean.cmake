@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lognic_core.dir/execution_graph.cpp.o"
+  "CMakeFiles/lognic_core.dir/execution_graph.cpp.o.d"
+  "CMakeFiles/lognic_core.dir/extensions.cpp.o"
+  "CMakeFiles/lognic_core.dir/extensions.cpp.o.d"
+  "CMakeFiles/lognic_core.dir/hardware_model.cpp.o"
+  "CMakeFiles/lognic_core.dir/hardware_model.cpp.o.d"
+  "CMakeFiles/lognic_core.dir/latency_model.cpp.o"
+  "CMakeFiles/lognic_core.dir/latency_model.cpp.o.d"
+  "CMakeFiles/lognic_core.dir/model.cpp.o"
+  "CMakeFiles/lognic_core.dir/model.cpp.o.d"
+  "CMakeFiles/lognic_core.dir/optimizer.cpp.o"
+  "CMakeFiles/lognic_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/lognic_core.dir/reporting.cpp.o"
+  "CMakeFiles/lognic_core.dir/reporting.cpp.o.d"
+  "CMakeFiles/lognic_core.dir/roofline.cpp.o"
+  "CMakeFiles/lognic_core.dir/roofline.cpp.o.d"
+  "CMakeFiles/lognic_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/lognic_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/lognic_core.dir/throughput_model.cpp.o"
+  "CMakeFiles/lognic_core.dir/throughput_model.cpp.o.d"
+  "CMakeFiles/lognic_core.dir/traffic_profile.cpp.o"
+  "CMakeFiles/lognic_core.dir/traffic_profile.cpp.o.d"
+  "CMakeFiles/lognic_core.dir/vertex_analysis.cpp.o"
+  "CMakeFiles/lognic_core.dir/vertex_analysis.cpp.o.d"
+  "liblognic_core.a"
+  "liblognic_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lognic_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

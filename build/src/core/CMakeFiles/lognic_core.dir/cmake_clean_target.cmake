@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblognic_core.a"
+)

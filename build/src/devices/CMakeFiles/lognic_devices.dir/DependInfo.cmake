@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/bluefield2.cpp" "src/devices/CMakeFiles/lognic_devices.dir/bluefield2.cpp.o" "gcc" "src/devices/CMakeFiles/lognic_devices.dir/bluefield2.cpp.o.d"
+  "/root/repo/src/devices/liquidio.cpp" "src/devices/CMakeFiles/lognic_devices.dir/liquidio.cpp.o" "gcc" "src/devices/CMakeFiles/lognic_devices.dir/liquidio.cpp.o.d"
+  "/root/repo/src/devices/panic_proto.cpp" "src/devices/CMakeFiles/lognic_devices.dir/panic_proto.cpp.o" "gcc" "src/devices/CMakeFiles/lognic_devices.dir/panic_proto.cpp.o.d"
+  "/root/repo/src/devices/stingray.cpp" "src/devices/CMakeFiles/lognic_devices.dir/stingray.cpp.o" "gcc" "src/devices/CMakeFiles/lognic_devices.dir/stingray.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lognic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lognic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/lognic_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/lognic_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/lognic_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

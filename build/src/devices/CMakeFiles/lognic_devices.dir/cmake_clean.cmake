@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lognic_devices.dir/bluefield2.cpp.o"
+  "CMakeFiles/lognic_devices.dir/bluefield2.cpp.o.d"
+  "CMakeFiles/lognic_devices.dir/liquidio.cpp.o"
+  "CMakeFiles/lognic_devices.dir/liquidio.cpp.o.d"
+  "CMakeFiles/lognic_devices.dir/panic_proto.cpp.o"
+  "CMakeFiles/lognic_devices.dir/panic_proto.cpp.o.d"
+  "CMakeFiles/lognic_devices.dir/stingray.cpp.o"
+  "CMakeFiles/lognic_devices.dir/stingray.cpp.o.d"
+  "liblognic_devices.a"
+  "liblognic_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lognic_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

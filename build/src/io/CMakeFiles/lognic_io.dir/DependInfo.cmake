@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/json.cpp" "src/io/CMakeFiles/lognic_io.dir/json.cpp.o" "gcc" "src/io/CMakeFiles/lognic_io.dir/json.cpp.o.d"
+  "/root/repo/src/io/serialize.cpp" "src/io/CMakeFiles/lognic_io.dir/serialize.cpp.o" "gcc" "src/io/CMakeFiles/lognic_io.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lognic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/lognic_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/lognic_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

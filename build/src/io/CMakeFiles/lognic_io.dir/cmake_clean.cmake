@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lognic_io.dir/json.cpp.o"
+  "CMakeFiles/lognic_io.dir/json.cpp.o.d"
+  "CMakeFiles/lognic_io.dir/serialize.cpp.o"
+  "CMakeFiles/lognic_io.dir/serialize.cpp.o.d"
+  "liblognic_io.a"
+  "liblognic_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lognic_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

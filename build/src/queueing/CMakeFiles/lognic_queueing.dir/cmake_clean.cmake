@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lognic_queueing.dir/mg1.cpp.o"
+  "CMakeFiles/lognic_queueing.dir/mg1.cpp.o.d"
+  "CMakeFiles/lognic_queueing.dir/mm1n.cpp.o"
+  "CMakeFiles/lognic_queueing.dir/mm1n.cpp.o.d"
+  "liblognic_queueing.a"
+  "liblognic_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lognic_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lognic_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/lognic_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/lognic_sim.dir/nic_simulator.cpp.o"
+  "CMakeFiles/lognic_sim.dir/nic_simulator.cpp.o.d"
+  "CMakeFiles/lognic_sim.dir/panic.cpp.o"
+  "CMakeFiles/lognic_sim.dir/panic.cpp.o.d"
+  "CMakeFiles/lognic_sim.dir/stats.cpp.o"
+  "CMakeFiles/lognic_sim.dir/stats.cpp.o.d"
+  "liblognic_sim.a"
+  "liblognic_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lognic_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

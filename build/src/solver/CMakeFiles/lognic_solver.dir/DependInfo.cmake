@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/annealing.cpp" "src/solver/CMakeFiles/lognic_solver.dir/annealing.cpp.o" "gcc" "src/solver/CMakeFiles/lognic_solver.dir/annealing.cpp.o.d"
+  "/root/repo/src/solver/bfgs.cpp" "src/solver/CMakeFiles/lognic_solver.dir/bfgs.cpp.o" "gcc" "src/solver/CMakeFiles/lognic_solver.dir/bfgs.cpp.o.d"
+  "/root/repo/src/solver/constrained.cpp" "src/solver/CMakeFiles/lognic_solver.dir/constrained.cpp.o" "gcc" "src/solver/CMakeFiles/lognic_solver.dir/constrained.cpp.o.d"
+  "/root/repo/src/solver/discrete.cpp" "src/solver/CMakeFiles/lognic_solver.dir/discrete.cpp.o" "gcc" "src/solver/CMakeFiles/lognic_solver.dir/discrete.cpp.o.d"
+  "/root/repo/src/solver/least_squares.cpp" "src/solver/CMakeFiles/lognic_solver.dir/least_squares.cpp.o" "gcc" "src/solver/CMakeFiles/lognic_solver.dir/least_squares.cpp.o.d"
+  "/root/repo/src/solver/linalg.cpp" "src/solver/CMakeFiles/lognic_solver.dir/linalg.cpp.o" "gcc" "src/solver/CMakeFiles/lognic_solver.dir/linalg.cpp.o.d"
+  "/root/repo/src/solver/nelder_mead.cpp" "src/solver/CMakeFiles/lognic_solver.dir/nelder_mead.cpp.o" "gcc" "src/solver/CMakeFiles/lognic_solver.dir/nelder_mead.cpp.o.d"
+  "/root/repo/src/solver/objective.cpp" "src/solver/CMakeFiles/lognic_solver.dir/objective.cpp.o" "gcc" "src/solver/CMakeFiles/lognic_solver.dir/objective.cpp.o.d"
+  "/root/repo/src/solver/special.cpp" "src/solver/CMakeFiles/lognic_solver.dir/special.cpp.o" "gcc" "src/solver/CMakeFiles/lognic_solver.dir/special.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lognic_solver.dir/annealing.cpp.o"
+  "CMakeFiles/lognic_solver.dir/annealing.cpp.o.d"
+  "CMakeFiles/lognic_solver.dir/bfgs.cpp.o"
+  "CMakeFiles/lognic_solver.dir/bfgs.cpp.o.d"
+  "CMakeFiles/lognic_solver.dir/constrained.cpp.o"
+  "CMakeFiles/lognic_solver.dir/constrained.cpp.o.d"
+  "CMakeFiles/lognic_solver.dir/discrete.cpp.o"
+  "CMakeFiles/lognic_solver.dir/discrete.cpp.o.d"
+  "CMakeFiles/lognic_solver.dir/least_squares.cpp.o"
+  "CMakeFiles/lognic_solver.dir/least_squares.cpp.o.d"
+  "CMakeFiles/lognic_solver.dir/linalg.cpp.o"
+  "CMakeFiles/lognic_solver.dir/linalg.cpp.o.d"
+  "CMakeFiles/lognic_solver.dir/nelder_mead.cpp.o"
+  "CMakeFiles/lognic_solver.dir/nelder_mead.cpp.o.d"
+  "CMakeFiles/lognic_solver.dir/objective.cpp.o"
+  "CMakeFiles/lognic_solver.dir/objective.cpp.o.d"
+  "CMakeFiles/lognic_solver.dir/special.cpp.o"
+  "CMakeFiles/lognic_solver.dir/special.cpp.o.d"
+  "liblognic_solver.a"
+  "liblognic_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lognic_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssd/calibration.cpp" "src/ssd/CMakeFiles/lognic_ssd.dir/calibration.cpp.o" "gcc" "src/ssd/CMakeFiles/lognic_ssd.dir/calibration.cpp.o.d"
+  "/root/repo/src/ssd/ssd_model.cpp" "src/ssd/CMakeFiles/lognic_ssd.dir/ssd_model.cpp.o" "gcc" "src/ssd/CMakeFiles/lognic_ssd.dir/ssd_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lognic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/lognic_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/lognic_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/lognic_traffic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lognic_ssd.dir/calibration.cpp.o"
+  "CMakeFiles/lognic_ssd.dir/calibration.cpp.o.d"
+  "CMakeFiles/lognic_ssd.dir/ssd_model.cpp.o"
+  "CMakeFiles/lognic_ssd.dir/ssd_model.cpp.o.d"
+  "liblognic_ssd.a"
+  "liblognic_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lognic_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

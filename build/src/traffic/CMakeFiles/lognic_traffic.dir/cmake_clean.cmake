@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lognic_traffic.dir/io_workload.cpp.o"
+  "CMakeFiles/lognic_traffic.dir/io_workload.cpp.o.d"
+  "CMakeFiles/lognic_traffic.dir/profiles.cpp.o"
+  "CMakeFiles/lognic_traffic.dir/profiles.cpp.o.d"
+  "CMakeFiles/lognic_traffic.dir/trace.cpp.o"
+  "CMakeFiles/lognic_traffic.dir/trace.cpp.o.d"
+  "liblognic_traffic.a"
+  "liblognic_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lognic_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/execution_graph_test.cpp" "tests/CMakeFiles/core_tests.dir/core/execution_graph_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/execution_graph_test.cpp.o.d"
+  "/root/repo/tests/core/extensions_test.cpp" "tests/CMakeFiles/core_tests.dir/core/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/extensions_test.cpp.o.d"
+  "/root/repo/tests/core/latency_model_test.cpp" "tests/CMakeFiles/core_tests.dir/core/latency_model_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/latency_model_test.cpp.o.d"
+  "/root/repo/tests/core/model_properties_test.cpp" "tests/CMakeFiles/core_tests.dir/core/model_properties_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/model_properties_test.cpp.o.d"
+  "/root/repo/tests/core/model_test.cpp" "tests/CMakeFiles/core_tests.dir/core/model_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/model_test.cpp.o.d"
+  "/root/repo/tests/core/optimizer_test.cpp" "tests/CMakeFiles/core_tests.dir/core/optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/optimizer_test.cpp.o.d"
+  "/root/repo/tests/core/reporting_test.cpp" "tests/CMakeFiles/core_tests.dir/core/reporting_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/reporting_test.cpp.o.d"
+  "/root/repo/tests/core/roofline_test.cpp" "tests/CMakeFiles/core_tests.dir/core/roofline_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/roofline_test.cpp.o.d"
+  "/root/repo/tests/core/satisfice_test.cpp" "tests/CMakeFiles/core_tests.dir/core/satisfice_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/satisfice_test.cpp.o.d"
+  "/root/repo/tests/core/sensitivity_test.cpp" "tests/CMakeFiles/core_tests.dir/core/sensitivity_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/sensitivity_test.cpp.o.d"
+  "/root/repo/tests/core/tail_latency_test.cpp" "tests/CMakeFiles/core_tests.dir/core/tail_latency_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/tail_latency_test.cpp.o.d"
+  "/root/repo/tests/core/throughput_model_test.cpp" "tests/CMakeFiles/core_tests.dir/core/throughput_model_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/throughput_model_test.cpp.o.d"
+  "/root/repo/tests/core/traffic_profile_test.cpp" "tests/CMakeFiles/core_tests.dir/core/traffic_profile_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/traffic_profile_test.cpp.o.d"
+  "/root/repo/tests/core/units_test.cpp" "tests/CMakeFiles/core_tests.dir/core/units_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/units_test.cpp.o.d"
+  "/root/repo/tests/core/vertex_analysis_test.cpp" "tests/CMakeFiles/core_tests.dir/core/vertex_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/vertex_analysis_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/lognic_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/lognic_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/lognic_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lognic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/lognic_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/lognic_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lognic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/lognic_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/lognic_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devices_tests.dir/devices/devices_test.cpp.o"
+  "CMakeFiles/devices_tests.dir/devices/devices_test.cpp.o.d"
+  "devices_tests"
+  "devices_tests.pdb"
+  "devices_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devices_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/io/json_fuzz_test.cpp" "tests/CMakeFiles/io_tests.dir/io/json_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/io_tests.dir/io/json_fuzz_test.cpp.o.d"
+  "/root/repo/tests/io/json_test.cpp" "tests/CMakeFiles/io_tests.dir/io/json_test.cpp.o" "gcc" "tests/CMakeFiles/io_tests.dir/io/json_test.cpp.o.d"
+  "/root/repo/tests/io/serialize_test.cpp" "tests/CMakeFiles/io_tests.dir/io/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/io_tests.dir/io/serialize_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/lognic_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/lognic_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/lognic_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lognic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/lognic_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/lognic_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lognic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/lognic_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/lognic_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

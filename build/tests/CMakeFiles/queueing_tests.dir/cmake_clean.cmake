@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queueing_tests.dir/queueing/mg1_test.cpp.o"
+  "CMakeFiles/queueing_tests.dir/queueing/mg1_test.cpp.o.d"
+  "CMakeFiles/queueing_tests.dir/queueing/mm1n_test.cpp.o"
+  "CMakeFiles/queueing_tests.dir/queueing/mm1n_test.cpp.o.d"
+  "queueing_tests"
+  "queueing_tests.pdb"
+  "queueing_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queueing_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_tests.dir/solver/annealing_test.cpp.o"
+  "CMakeFiles/solver_tests.dir/solver/annealing_test.cpp.o.d"
+  "CMakeFiles/solver_tests.dir/solver/discrete_test.cpp.o"
+  "CMakeFiles/solver_tests.dir/solver/discrete_test.cpp.o.d"
+  "CMakeFiles/solver_tests.dir/solver/least_squares_test.cpp.o"
+  "CMakeFiles/solver_tests.dir/solver/least_squares_test.cpp.o.d"
+  "CMakeFiles/solver_tests.dir/solver/linalg_test.cpp.o"
+  "CMakeFiles/solver_tests.dir/solver/linalg_test.cpp.o.d"
+  "CMakeFiles/solver_tests.dir/solver/optimizers_test.cpp.o"
+  "CMakeFiles/solver_tests.dir/solver/optimizers_test.cpp.o.d"
+  "CMakeFiles/solver_tests.dir/solver/special_test.cpp.o"
+  "CMakeFiles/solver_tests.dir/solver/special_test.cpp.o.d"
+  "solver_tests"
+  "solver_tests.pdb"
+  "solver_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

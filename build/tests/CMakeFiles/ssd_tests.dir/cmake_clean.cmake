@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_tests.dir/ssd/ssd_test.cpp.o"
+  "CMakeFiles/ssd_tests.dir/ssd/ssd_test.cpp.o.d"
+  "ssd_tests"
+  "ssd_tests.pdb"
+  "ssd_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

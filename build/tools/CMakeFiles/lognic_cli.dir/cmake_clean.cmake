@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lognic_cli.dir/lognic_cli.cpp.o"
+  "CMakeFiles/lognic_cli.dir/lognic_cli.cpp.o.d"
+  "lognic"
+  "lognic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lognic_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

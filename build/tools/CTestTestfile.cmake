@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_example_roundtrip "sh" "-c" "/root/repo/build/tools/lognic example > cli_scenario.json              && /root/repo/build/tools/lognic estimate cli_scenario.json              && /root/repo/build/tools/lognic simulate cli_scenario.json 0.01              && /root/repo/build/tools/lognic sweep cli_scenario.json 5 15 30              && /root/repo/build/tools/lognic sensitivity cli_scenario.json              && /root/repo/build/tools/lognic dot cli_scenario.json > /dev/null")
+set_tests_properties(cli_example_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_garbage "sh" "-c" "! /root/repo/build/tools/lognic estimate /nonexistent.json              && ! /root/repo/build/tools/lognic bogus-command x")
+set_tests_properties(cli_rejects_garbage PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
