@@ -9,10 +9,41 @@
 #define LOGNIC_BENCH_BENCH_UTIL_HPP_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace lognic::bench {
+
+/**
+ * Parse `--threads N` from a figure driver's argv (default 1 = serial;
+ * `--threads 0` means hardware concurrency). Results are bit-identical for
+ * any thread count — the runner derives seeds from point indices alone —
+ * so the flag only changes wall-clock time.
+ */
+inline std::size_t
+threads_arg(int argc, char** argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0) {
+            char* end = nullptr;
+            const long n = std::strtol(argv[i + 1], &end, 10);
+            if (n < 0 || end == argv[i + 1] || *end != '\0') {
+                std::fprintf(stderr, "bad --threads value '%s'\n",
+                             argv[i + 1]);
+                std::exit(2);
+            }
+            if (n == 0) {
+                const unsigned hw = std::thread::hardware_concurrency();
+                return hw > 0 ? hw : 1;
+            }
+            return static_cast<std::size_t>(n);
+        }
+    }
+    return 1;
+}
 
 /// Print the figure banner.
 inline void

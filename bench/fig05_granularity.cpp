@@ -11,17 +11,22 @@
  * The microbenchmark feeds the accelerators from on-card memory, so the
  * scenario uses the unbounded-ingress variant (the 25 GbE port must not cap
  * the sweep).
+ *
+ * Accepts `--threads N` to fan the 24 simulated (kernel x granularity)
+ * points across the runner; output is byte-identical for any N.
  */
 #include "bench_util.hpp"
 #include "lognic/apps/inline_accel.hpp"
 #include "lognic/core/model.hpp"
+#include "lognic/runner/sweep.hpp"
 #include "lognic/sim/nic_simulator.hpp"
 
 using namespace lognic;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const std::size_t threads = bench::threads_arg(argc, argv);
     bench::banner("Figure 5",
                   "Accelerator throughput (MOPS) vs data access granularity "
                   "(1KB traffic accumulated to the access size)");
@@ -35,22 +40,44 @@ main()
     bench::header({"series", "512B", "1KB", "2KB", "4KB", "8KB", "16KB",
                    "pct@16KB"});
 
+    runner::Sweep sweep;
     for (const auto kernel : kernels) {
+        const auto sc = apps::make_inline_accel_unbounded(kernel, 16);
+        for (double g : granularities) {
+            sim::SimOptions opts;
+            opts.duration = 0.004;
+            sweep.add(runner::SweepPoint{
+                std::string(devices::to_string(kernel)) + "/"
+                    + std::to_string(static_cast<int>(g)) + "B",
+                sc.hw, sc.graph,
+                core::TrafficProfile::fixed(Bytes{g},
+                                            Bandwidth::from_gbps(200.0)),
+                opts});
+        }
+    }
+    runner::SweepOptions ropts;
+    ropts.threads = threads;
+    ropts.replications = 1;
+    ropts.root_seed = 42;
+    const auto results = sweep.run(ropts);
+
+    for (std::size_t k = 0; k < kernels.size(); ++k) {
+        const auto kernel = kernels[k];
         const auto sc = apps::make_inline_accel_unbounded(kernel, 16);
         const core::Model model(sc.hw);
 
         std::vector<double> model_mops;
         std::vector<double> sim_mops;
-        for (double g : granularities) {
+        for (std::size_t i = 0; i < granularities.size(); ++i) {
+            const double g = granularities[i];
             const auto traffic = core::TrafficProfile::fixed(
                 Bytes{g}, Bandwidth::from_gbps(200.0));
             const auto est = model.throughput(sc.graph, traffic);
             model_mops.push_back(est.capacity.bytes_per_sec() / g / 1e6);
 
-            sim::SimOptions opts;
-            opts.duration = 0.004;
-            const auto res = sim::simulate(sc.hw, sc.graph, traffic, opts);
-            sim_mops.push_back(res.delivered.bytes_per_sec() / g / 1e6);
+            const auto& pr = results[k * granularities.size() + i];
+            sim_mops.push_back(
+                pr.stats.delivered_gbps.mean * 1e9 / 8.0 / g / 1e6);
         }
         std::vector<double> model_row = model_mops;
         model_row.push_back(100.0 * model_mops.back() / model_mops.front());

@@ -6,18 +6,23 @@
  * Paper result: achieved bandwidth ~ min(P_IP2 * packet_size, 25 Gbps) —
  * op-rate-bound engines scale linearly with packet size until the port
  * speed caps them.
+ *
+ * Accepts `--threads N` to fan the simulated (kernel x size) points across
+ * the runner; output is byte-identical for any N.
  */
 #include "bench_util.hpp"
 #include "lognic/apps/inline_accel.hpp"
 #include "lognic/core/model.hpp"
+#include "lognic/runner/sweep.hpp"
 #include "lognic/sim/nic_simulator.hpp"
 #include "lognic/traffic/profiles.hpp"
 
 using namespace lognic;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const std::size_t threads = bench::threads_arg(argc, argv);
     bench::banner("Figure 10",
                   "Achieved bandwidth (Gbps) vs packet size under 25 GbE "
                   "line rate");
@@ -33,20 +38,39 @@ main()
         cols.push_back(std::to_string(static_cast<int>(s.bytes())) + "B");
     bench::header(cols);
 
+    runner::Sweep sweep;
     for (const auto kernel : kernels) {
+        const auto sc = apps::make_inline_accel(kernel, 16);
+        for (Bytes s : sizes) {
+            sim::SimOptions opts;
+            opts.duration = 0.008;
+            sweep.add(runner::SweepPoint{
+                std::string(devices::to_string(kernel)) + "/"
+                    + std::to_string(static_cast<int>(s.bytes())) + "B",
+                sc.hw, sc.graph,
+                core::TrafficProfile::fixed(s, Bandwidth::from_gbps(25.0)),
+                opts});
+        }
+    }
+    runner::SweepOptions ropts;
+    ropts.threads = threads;
+    ropts.replications = 1;
+    ropts.root_seed = 42;
+    const auto results = sweep.run(ropts);
+
+    for (std::size_t k = 0; k < kernels.size(); ++k) {
+        const auto kernel = kernels[k];
         const auto sc = apps::make_inline_accel(kernel, 16);
         const core::Model model(sc.hw);
         std::vector<double> model_gbps;
         std::vector<double> sim_gbps;
-        for (Bytes s : sizes) {
-            const auto t =
-                core::TrafficProfile::fixed(s, Bandwidth::from_gbps(25.0));
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            const auto t = core::TrafficProfile::fixed(
+                sizes[i], Bandwidth::from_gbps(25.0));
             model_gbps.push_back(
                 model.throughput(sc.graph, t).achieved.gbps());
-            sim::SimOptions opts;
-            opts.duration = 0.008;
             sim_gbps.push_back(
-                sim::simulate(sc.hw, sc.graph, t, opts).delivered.gbps());
+                results[k * sizes.size() + i].stats.delivered_gbps.mean);
         }
         bench::row(std::string(devices::to_string(kernel)) + "/sim",
                    sim_gbps);

@@ -6,17 +6,23 @@
  *
  * Paper result: throughput rises with the parallel degree and saturates;
  * the optimizer suggests degree 6 for the 50/50 split and 4 for 80/20.
+ *
+ * Accepts `--threads N`: the 16 simulated design points fan out over the
+ * runner's thread pool; per-point seeds derive from the point index, so
+ * output is byte-identical for any N.
  */
 #include "bench_util.hpp"
 #include "lognic/apps/panic_models.hpp"
 #include "lognic/core/model.hpp"
+#include "lognic/runner/sweep.hpp"
 #include "lognic/sim/nic_simulator.hpp"
 
 using namespace lognic;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const std::size_t threads = bench::threads_arg(argc, argv);
     bench::banner("Figures 18 & 19",
                   "PANIC Model-3: latency (us) and throughput (Gbps) vs "
                   "IP4 parallel degree for two traffic splits");
@@ -30,7 +36,29 @@ main()
     cols.push_back("D*");
     bench::header(cols);
 
-    for (double split : {0.5, 0.8}) {
+    const std::vector<double> splits{0.5, 0.8};
+
+    // All (split x degree) simulation points go through one sweep.
+    runner::Sweep sweep;
+    for (double split : splits) {
+        for (std::uint32_t d = 1; d <= 8; ++d) {
+            const auto sc = apps::make_panic_hybrid(split, d);
+            sim::SimOptions opts;
+            opts.duration = 0.02;
+            sweep.add(runner::SweepPoint{
+                "split=" + std::to_string(split)
+                    + ",D=" + std::to_string(d),
+                sc.hw, sc.graph, traffic, opts});
+        }
+    }
+    runner::SweepOptions ropts;
+    ropts.threads = threads;
+    ropts.replications = 1;
+    ropts.root_seed = 13;
+    const auto results = sweep.run(ropts);
+
+    for (std::size_t s = 0; s < splits.size(); ++s) {
+        const double split = splits[s];
         const std::uint32_t d_opt =
             apps::lognic_opt_parallelism(split, traffic);
 
@@ -38,14 +66,10 @@ main()
         std::vector<double> sim_lat;
         std::vector<double> model_thr;
         for (std::uint32_t d = 1; d <= 8; ++d) {
+            const auto& pr = results[s * 8 + (d - 1)];
+            sim_thr.push_back(pr.stats.delivered_gbps.mean);
+            sim_lat.push_back(pr.stats.mean_latency_us.mean);
             const auto sc = apps::make_panic_hybrid(split, d);
-            sim::SimOptions opts;
-            opts.duration = 0.02;
-            opts.seed = 13;
-            const auto res =
-                sim::simulate(sc.hw, sc.graph, traffic, opts);
-            sim_thr.push_back(res.delivered.gbps());
-            sim_lat.push_back(res.mean_latency.micros());
             const core::Model model(sc.hw);
             model_thr.push_back(model.latency(sc.graph, traffic)
                                     .per_class[0]

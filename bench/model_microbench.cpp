@@ -14,6 +14,8 @@
 #include "lognic/core/model.hpp"
 #include "lognic/core/optimizer.hpp"
 #include "lognic/io/serialize.hpp"
+#include "lognic/runner/replicator.hpp"
+#include "lognic/runner/seed.hpp"
 #include "lognic/sim/nic_simulator.hpp"
 #include "lognic/solver/special.hpp"
 
@@ -120,6 +122,39 @@ BM_SimulatorMillisecond(benchmark::State& state)
     }
 }
 BENCHMARK(BM_SimulatorMillisecond);
+
+void
+BM_SeedDerivation(benchmark::State& state)
+{
+    std::uint64_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runner::derive_seed(42, i++));
+}
+BENCHMARK(BM_SeedDerivation);
+
+/**
+ * 8 independent replications of a 0.5 ms run aggregated with CIs, at 1, 2,
+ * and 4 pool threads — the runner's core fan-out path. Results are
+ * identical across the Arg values; only wall-clock changes.
+ */
+void
+BM_ReplicatedSimulation(benchmark::State& state)
+{
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    const runner::Replicator rep(8, 42);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rep.run(
+            [](std::uint64_t seed) {
+                sim::SimOptions opts;
+                opts.duration = 0.0005;
+                opts.seed = seed;
+                return sim::simulate(kScenario.hw, kScenario.graph,
+                                     kTraffic, opts);
+            },
+            threads));
+    }
+}
+BENCHMARK(BM_ReplicatedSimulation)->Arg(1)->Arg(2)->Arg(4);
 
 } // namespace
 

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Deterministic seed derivation for parallel replications.
+ *
+ * Every replication of every sweep point gets its own RNG seed, derived
+ * from a single root seed with the SplitMix64 finalizer (Steele et al.,
+ * "Fast Splittable Pseudorandom Number Generators", OOPSLA 2014). The
+ * scheme is pure 64-bit integer arithmetic, so derived seeds are identical
+ * on every platform and independent of which thread happens to evaluate a
+ * point — the property that makes runner results bit-identical regardless
+ * of thread count.
+ *
+ * Derivation: seed(root, i) = splitmix64_mix(root + (i + 1) * GAMMA).
+ * The mix function is a bijection on 64-bit values and the inputs are
+ * pairwise distinct for distinct indices (GAMMA is odd), so derived seeds
+ * never collide for the same root. Index 0 does not map to the root itself
+ * (the +1), keeping the root reserved for deriving, never for running.
+ */
+#ifndef LOGNIC_RUNNER_SEED_HPP_
+#define LOGNIC_RUNNER_SEED_HPP_
+
+#include <cstdint>
+
+namespace lognic::runner {
+
+/// SplitMix64's golden-ratio increment (odd, hence a bijection mod 2^64).
+inline constexpr std::uint64_t kSplitMix64Gamma = 0x9E3779B97F4A7C15ull;
+
+/// The SplitMix64 output (finalizer) function: a 64-bit bijection.
+constexpr std::uint64_t
+splitmix64_mix(std::uint64_t x)
+{
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/// Seed for replication @p index under @p root; stable across platforms.
+constexpr std::uint64_t
+derive_seed(std::uint64_t root, std::uint64_t index)
+{
+    return splitmix64_mix(root + (index + 1) * kSplitMix64Gamma);
+}
+
+} // namespace lognic::runner
+
+#endif // LOGNIC_RUNNER_SEED_HPP_

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Design-space sweeps: fan a grid of (device x app scenario x traffic x
+ * option) points out across a thread pool, with N replications per point.
+ *
+ * Determinism contract: every (point, replication) pair gets a seed that
+ * is a pure function of (root_seed, point index, replication index) — see
+ * seed.hpp — and each simulation owns all of its state. Results are
+ * therefore bit-identical for any thread count, which the determinism test
+ * suite pins.
+ *
+ * Sweeps also travel as JSON documents (the same io layer scenarios use):
+ *
+ *   {
+ *     "scenario": { ...a regular scenario document... },
+ *     "sweep": {
+ *       "rates_gbps":    [5, 10, 20],     // optional; default: base rate
+ *       "packet_sizes":  [64, 1500],      // optional, bytes; default: base
+ *       "replications":  3,               // default 1
+ *       "threads":       4,               // default 1
+ *       "root_seed":     42,              // default 42
+ *       "duration":      0.01,            // seconds, default 0.05
+ *       "warmup_fraction": 0.2            // default 0.2
+ *     }
+ *   }
+ *
+ * The grid is the cartesian product rates x sizes; an absent axis keeps
+ * the base scenario's value for that dimension.
+ */
+#ifndef LOGNIC_RUNNER_SWEEP_HPP_
+#define LOGNIC_RUNNER_SWEEP_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lognic/core/execution_graph.hpp"
+#include "lognic/core/hardware_model.hpp"
+#include "lognic/core/traffic_profile.hpp"
+#include "lognic/io/serialize.hpp"
+#include "lognic/runner/replicator.hpp"
+#include "lognic/sim/nic_simulator.hpp"
+
+namespace lognic::runner {
+
+/// One evaluation point: a full scenario plus simulation options.
+struct SweepPoint {
+    std::string label;
+    core::HardwareModel hw;
+    core::ExecutionGraph graph;
+    core::TrafficProfile traffic;
+    /// Per-point sim options; the seed field is ignored (the runner
+    /// derives one per replication).
+    sim::SimOptions options{};
+};
+
+struct SweepOptions {
+    std::size_t threads{1};      ///< <= 1 runs serially on the caller
+    std::size_t replications{1}; ///< DES replications per point
+    std::uint64_t root_seed{42};
+};
+
+struct PointResult {
+    std::size_t index{0};
+    std::string label;
+    ReplicationResult stats;
+};
+
+class Sweep {
+  public:
+    /// Append a point; returns its index (stable — seeds key off it).
+    std::size_t add(SweepPoint point);
+
+    std::size_t size() const { return points_.size(); }
+    const SweepPoint& point(std::size_t i) const { return points_.at(i); }
+
+    /**
+     * Evaluate every point x replication, fanned across
+     * options.threads threads, and aggregate per point. Bit-identical for
+     * any thread count given the same root seed.
+     */
+    std::vector<PointResult> run(const SweepOptions& options = {}) const;
+
+  private:
+    std::vector<SweepPoint> points_;
+};
+
+// --- JSON sweep specs ---------------------------------------------------------
+
+/// A parsed sweep document: base scenario + grid axes + runner knobs.
+struct SweepSpec {
+    io::Scenario base;
+    std::vector<double> rates_gbps;        ///< empty: keep base rate
+    std::vector<double> packet_sizes_bytes; ///< empty: keep base classes
+    sim::SimOptions sim;
+    SweepOptions options;
+};
+
+/// Parse a sweep document. @throws std::runtime_error on malformed specs.
+SweepSpec sweep_spec_from_json(const io::Json& doc);
+
+/// Expand the spec's grid into concrete points.
+Sweep build_sweep(const SweepSpec& spec);
+
+/// Per-point result as JSON (seeds rendered as hex strings — JSON numbers
+/// are doubles and cannot hold a full uint64).
+io::Json to_json(const PointResult& result);
+
+/// The whole result set: {"points": [...]}.
+io::Json sweep_results_json(const std::vector<PointResult>& results);
+
+/// A small, fast-to-run sample sweep spec document (for `lognic example`).
+std::string sample_sweep_spec(const io::Scenario& base);
+
+} // namespace lognic::runner
+
+#endif // LOGNIC_RUNNER_SWEEP_HPP_

@@ -5,13 +5,18 @@
  * A minimal calendar: schedule closures at absolute simulated times and run
  * until a horizon. Ties are broken by insertion order (FIFO), which keeps
  * component behaviour deterministic for a fixed seed.
+ *
+ * The calendar is a hand-rolled binary min-heap over a std::vector rather
+ * than std::priority_queue: top() of the standard adaptor is const, so the
+ * dispatch loop would have to *copy* every Event (and its std::function
+ * action) off the heap. The explicit heap moves events out instead, keeping
+ * the hot loop allocation- and copy-free per dispatch.
  */
 #ifndef LOGNIC_SIM_EVENT_QUEUE_HPP_
 #define LOGNIC_SIM_EVENT_QUEUE_HPP_
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace lognic::sim {
@@ -48,16 +53,21 @@ class EventQueue {
         std::uint64_t seq; ///< FIFO tie-break
         Action action;
     };
-    struct Later {
-        bool operator()(const Event& a, const Event& b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
 
-    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    /// Strict (time, seq) ordering: the heap's min is the next event.
+    static bool earlier(const Event& a, const Event& b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    void sift_up(std::size_t i);
+    void sift_down(std::size_t i);
+    /// Remove and return the minimum; moves, never copies, the action.
+    Event pop_top();
+
+    std::vector<Event> events_; ///< binary min-heap by (when, seq)
     SimTime now_{0.0};
     std::uint64_t next_seq_{0};
     std::uint64_t executed_{0};

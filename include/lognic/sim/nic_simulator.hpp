@@ -85,6 +85,8 @@ struct VertexStats {
 struct SimResult {
     Bandwidth delivered{Bandwidth{0.0}};   ///< app bytes/s out of egress
     OpsRate delivered_ops{OpsRate{0.0}};
+    /// Latency fields hold the empty-set sentinel 0.0 when `completed` is
+    /// zero (nothing finished after warmup); check before aggregating.
     Seconds mean_latency{0.0};
     Seconds p50_latency{0.0};
     Seconds p99_latency{0.0};

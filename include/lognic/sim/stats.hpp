@@ -2,11 +2,17 @@
  * @file
  * Measurement helpers: latency distributions and throughput meters with
  * warmup trimming.
+ *
+ * Warmup convention (applied uniformly across the sim): the measurement
+ * window is the half-open interval (warmup_end, horizon] — a completion at
+ * exactly `warmup_end` still belongs to the warmup and is discarded. The
+ * per-vertex area accounting in the simulator uses the same boundary.
  */
 #ifndef LOGNIC_SIM_STATS_HPP_
 #define LOGNIC_SIM_STATS_HPP_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "lognic/core/units.hpp"
@@ -14,7 +20,15 @@
 
 namespace lognic::sim {
 
-/// Collects per-request latencies; samples before the warmup cut are dropped.
+/**
+ * Collects per-request latencies; samples at or before the warmup cut are
+ * dropped.
+ *
+ * Empty-set behaviour is explicit: every statistic returns `std::nullopt`
+ * when no sample survived the warmup trim. Callers that aggregate across
+ * replications (the runner's Replicator) must check for absence rather
+ * than averaging in a fake 0.
+ */
 class LatencyRecorder {
   public:
     explicit LatencyRecorder(SimTime warmup_end = 0.0)
@@ -25,12 +39,17 @@ class LatencyRecorder {
     void record(SimTime completion_time, Seconds latency);
 
     std::size_t count() const { return samples_.size(); }
-    Seconds mean() const;
-    /// Quantile in [0, 1]; nearest-rank on the sorted samples.
-    Seconds quantile(double q) const;
-    Seconds p50() const { return quantile(0.50); }
-    Seconds p99() const { return quantile(0.99); }
-    Seconds max() const;
+    std::optional<Seconds> mean() const;
+    /**
+     * Nearest-rank quantile on the sorted samples: for n samples, returns
+     * the value at 1-based rank max(1, ceil(q * n)). q = 0 is therefore
+     * defined as the minimum (rank 1) and q = 1 as the maximum (rank n).
+     * @throws std::invalid_argument when q is outside [0, 1].
+     */
+    std::optional<Seconds> quantile(double q) const;
+    std::optional<Seconds> p50() const { return quantile(0.50); }
+    std::optional<Seconds> p99() const { return quantile(0.99); }
+    std::optional<Seconds> max() const;
 
   private:
     SimTime warmup_end_;

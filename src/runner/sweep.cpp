@@ -1,0 +1,218 @@
+#include "lognic/runner/sweep.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "lognic/runner/seed.hpp"
+#include "lognic/runner/thread_pool.hpp"
+
+namespace lognic::runner {
+
+namespace {
+
+std::string
+format_gbps(double gbps)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "rate=%gGbps", gbps);
+    return buf;
+}
+
+std::string
+format_size(double bytes)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "size=%gB", bytes);
+    return buf;
+}
+
+io::Json
+to_json(const Summary& s)
+{
+    io::JsonObject o;
+    o.emplace("n", io::Json(static_cast<double>(s.n)));
+    o.emplace("mean", io::Json(s.mean));
+    o.emplace("stddev", io::Json(s.stddev));
+    o.emplace("ci95", io::Json(s.ci_half));
+    return io::Json(std::move(o));
+}
+
+std::string
+hex_seed(std::uint64_t seed)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(seed));
+    return buf;
+}
+
+} // namespace
+
+std::size_t
+Sweep::add(SweepPoint point)
+{
+    points_.push_back(std::move(point));
+    return points_.size() - 1;
+}
+
+std::vector<PointResult>
+Sweep::run(const SweepOptions& options) const
+{
+    const std::size_t reps = options.replications > 0
+        ? options.replications
+        : 1;
+    const std::size_t npoints = points_.size();
+    std::vector<std::vector<sim::SimResult>> raw(
+        npoints, std::vector<sim::SimResult>(reps));
+
+    // One task per (point, replication): replications of a slow point can
+    // run alongside other points, and the seed is a pure function of the
+    // flattened index — never of the executing thread.
+    parallel_for(npoints * reps, options.threads, [&](std::size_t task) {
+        const std::size_t p = task / reps;
+        const std::size_t r = task % reps;
+        const SweepPoint& pt = points_[p];
+        sim::SimOptions so = pt.options;
+        so.seed = derive_seed(derive_seed(options.root_seed, p), r);
+        raw[p][r] = sim::simulate(pt.hw, pt.graph, pt.traffic, so);
+    });
+
+    std::vector<PointResult> out;
+    out.reserve(npoints);
+    for (std::size_t p = 0; p < npoints; ++p) {
+        const std::uint64_t point_root = derive_seed(options.root_seed, p);
+        std::vector<std::uint64_t> seeds;
+        seeds.reserve(reps);
+        for (std::size_t r = 0; r < reps; ++r)
+            seeds.push_back(derive_seed(point_root, r));
+        PointResult pr;
+        pr.index = p;
+        pr.label = points_[p].label;
+        pr.stats = Replicator::aggregate(seeds, raw[p]);
+        out.push_back(std::move(pr));
+    }
+    return out;
+}
+
+SweepSpec
+sweep_spec_from_json(const io::Json& doc)
+{
+    if (!doc.is_object() || !doc.contains("scenario")
+        || !doc.contains("sweep"))
+        throw std::runtime_error(
+            "sweep spec: expected {\"scenario\": ..., \"sweep\": ...}");
+    SweepSpec spec{io::scenario_from_json(doc.at("scenario")),
+                   {}, {}, {}, {}};
+
+    const io::Json& sw = doc.at("sweep");
+    if (!sw.is_object())
+        throw std::runtime_error("sweep spec: \"sweep\" must be an object");
+    if (sw.contains("rates_gbps")) {
+        for (const auto& v : sw.at("rates_gbps").as_array())
+            spec.rates_gbps.push_back(v.as_number());
+    }
+    if (sw.contains("packet_sizes")) {
+        for (const auto& v : sw.at("packet_sizes").as_array())
+            spec.packet_sizes_bytes.push_back(v.as_number());
+    }
+    spec.options.replications = static_cast<std::size_t>(
+        sw.number_or("replications", 1.0));
+    spec.options.threads = static_cast<std::size_t>(
+        sw.number_or("threads", 1.0));
+    spec.options.root_seed = static_cast<std::uint64_t>(
+        sw.number_or("root_seed", 42.0));
+    spec.sim.duration = sw.number_or("duration", spec.sim.duration);
+    spec.sim.warmup_fraction =
+        sw.number_or("warmup_fraction", spec.sim.warmup_fraction);
+    if (spec.options.replications == 0)
+        throw std::runtime_error("sweep spec: replications must be >= 1");
+    if (spec.sim.duration <= 0.0)
+        throw std::runtime_error("sweep spec: duration must be > 0");
+    return spec;
+}
+
+Sweep
+build_sweep(const SweepSpec& spec)
+{
+    // An absent axis contributes a single "keep the base" element.
+    std::vector<double> rates = spec.rates_gbps;
+    if (rates.empty())
+        rates.push_back(spec.base.traffic.ingress_bandwidth().gbps());
+    std::vector<double> sizes = spec.packet_sizes_bytes;
+    const bool size_axis = !sizes.empty();
+    if (!size_axis)
+        sizes.push_back(0.0); // placeholder: keep the base packet mix
+
+    Sweep sweep;
+    for (double size : sizes) {
+        for (double rate : rates) {
+            std::string label;
+            core::TrafficProfile traffic = spec.base.traffic;
+            if (size_axis) {
+                traffic = core::TrafficProfile::fixed(
+                    Bytes{size}, Bandwidth::from_gbps(rate));
+                label = format_size(size) + "," + format_gbps(rate);
+            } else {
+                traffic.set_ingress_bandwidth(Bandwidth::from_gbps(rate));
+                label = format_gbps(rate);
+            }
+            sweep.add(SweepPoint{std::move(label), spec.base.hw,
+                                 spec.base.graph, std::move(traffic),
+                                 spec.sim});
+        }
+    }
+    return sweep;
+}
+
+io::Json
+to_json(const PointResult& result)
+{
+    io::JsonObject o;
+    o.emplace("index", io::Json(static_cast<double>(result.index)));
+    o.emplace("label", io::Json(result.label));
+    o.emplace("replications",
+              io::Json(static_cast<double>(result.stats.replications)));
+    o.emplace("degenerate",
+              io::Json(static_cast<double>(result.stats.degenerate)));
+    io::JsonArray seeds;
+    for (std::uint64_t s : result.stats.seeds)
+        seeds.emplace_back(hex_seed(s));
+    o.emplace("seeds", io::Json(std::move(seeds)));
+    o.emplace("delivered_gbps", to_json(result.stats.delivered_gbps));
+    o.emplace("delivered_mops", to_json(result.stats.delivered_mops));
+    o.emplace("mean_latency_us", to_json(result.stats.mean_latency_us));
+    o.emplace("p50_latency_us", to_json(result.stats.p50_latency_us));
+    o.emplace("p99_latency_us", to_json(result.stats.p99_latency_us));
+    o.emplace("drop_rate", to_json(result.stats.drop_rate));
+    return io::Json(std::move(o));
+}
+
+io::Json
+sweep_results_json(const std::vector<PointResult>& results)
+{
+    io::JsonArray points;
+    for (const auto& r : results)
+        points.push_back(to_json(r));
+    io::JsonObject o;
+    o.emplace("points", io::Json(std::move(points)));
+    return io::Json(std::move(o));
+}
+
+std::string
+sample_sweep_spec(const io::Scenario& base)
+{
+    io::JsonObject sw;
+    sw.emplace("rates_gbps", io::Json(io::JsonArray{
+                                 io::Json(5.0), io::Json(12.0)}));
+    sw.emplace("replications", io::Json(2.0));
+    sw.emplace("threads", io::Json(2.0));
+    sw.emplace("root_seed", io::Json(42.0));
+    sw.emplace("duration", io::Json(0.002));
+    io::JsonObject doc;
+    doc.emplace("scenario", io::to_json(base));
+    doc.emplace("sweep", io::Json(std::move(sw)));
+    return io::Json(std::move(doc)).dump();
+}
+
+} // namespace lognic::runner

@@ -10,17 +10,58 @@ EventQueue::schedule_at(SimTime when, Action action)
 {
     if (when < now_)
         throw std::invalid_argument("EventQueue: scheduling into the past");
-    events_.push(Event{when, next_seq_++, std::move(action)});
+    events_.push_back(Event{when, next_seq_++, std::move(action)});
+    sift_up(events_.size() - 1);
+}
+
+void
+EventQueue::sift_up(std::size_t i)
+{
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!earlier(events_[i], events_[parent]))
+            break;
+        std::swap(events_[i], events_[parent]);
+        i = parent;
+    }
+}
+
+void
+EventQueue::sift_down(std::size_t i)
+{
+    const std::size_t n = events_.size();
+    for (;;) {
+        std::size_t smallest = i;
+        const std::size_t left = 2 * i + 1;
+        const std::size_t right = 2 * i + 2;
+        if (left < n && earlier(events_[left], events_[smallest]))
+            smallest = left;
+        if (right < n && earlier(events_[right], events_[smallest]))
+            smallest = right;
+        if (smallest == i)
+            return;
+        std::swap(events_[i], events_[smallest]);
+        i = smallest;
+    }
+}
+
+EventQueue::Event
+EventQueue::pop_top()
+{
+    Event top = std::move(events_.front());
+    if (events_.size() > 1)
+        events_.front() = std::move(events_.back());
+    events_.pop_back();
+    if (!events_.empty())
+        sift_down(0);
+    return top;
 }
 
 void
 EventQueue::run_until(SimTime horizon)
 {
-    while (!events_.empty() && events_.top().when <= horizon) {
-        // priority_queue::top() is const; move out via const_cast is UB, so
-        // copy the action handle (cheap: std::function) and pop.
-        Event ev = events_.top();
-        events_.pop();
+    while (!events_.empty() && events_.front().when <= horizon) {
+        Event ev = pop_top();
         now_ = ev.when;
         ++executed_;
         ev.action();

@@ -487,9 +487,12 @@ NicSimulator::run()
     SimResult r;
     r.delivered = s.delivered.bandwidth(s.options.duration);
     r.delivered_ops = s.delivered.rate(s.options.duration);
-    r.mean_latency = s.latencies.mean();
-    r.p50_latency = s.latencies.p50();
-    r.p99_latency = s.latencies.p99();
+    // Empty-set sentinel: a run that completed nothing after warmup keeps
+    // 0.0 latencies; consumers must gate on `completed` (the runner's
+    // Replicator counts such runs as degenerate and excludes them).
+    r.mean_latency = s.latencies.mean().value_or(Seconds{0.0});
+    r.p50_latency = s.latencies.p50().value_or(Seconds{0.0});
+    r.p99_latency = s.latencies.p99().value_or(Seconds{0.0});
     r.generated = s.generated;
     r.completed = s.delivered.requests();
     r.dropped = s.dropped;

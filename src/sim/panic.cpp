@@ -203,9 +203,9 @@ simulate_panic(const PanicConfig& config, const core::TrafficProfile& traffic,
     SimResult r;
     r.delivered = sim.delivered.bandwidth(options.duration);
     r.delivered_ops = sim.delivered.rate(options.duration);
-    r.mean_latency = sim.latencies.mean();
-    r.p50_latency = sim.latencies.p50();
-    r.p99_latency = sim.latencies.p99();
+    r.mean_latency = sim.latencies.mean().value_or(Seconds{0.0});
+    r.p50_latency = sim.latencies.p50().value_or(Seconds{0.0});
+    r.p99_latency = sim.latencies.p99().value_or(Seconds{0.0});
     r.generated = sim.generated;
     r.completed = sim.delivered.requests();
     r.dropped = sim.dropped;

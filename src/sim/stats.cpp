@@ -9,52 +9,57 @@ namespace lognic::sim {
 void
 LatencyRecorder::record(SimTime completion_time, Seconds latency)
 {
-    if (completion_time < warmup_end_)
+    // Measurement window is (warmup_end, horizon]: the warmup instant
+    // itself is excluded, matching the simulator's area accounting.
+    if (completion_time <= warmup_end_)
         return;
     samples_.push_back(latency.seconds());
     sorted_ = false;
 }
 
-Seconds
+std::optional<Seconds>
 LatencyRecorder::mean() const
 {
     if (samples_.empty())
-        return Seconds{0.0};
+        return std::nullopt;
     double sum = 0.0;
     for (double s : samples_)
         sum += s;
     return Seconds{sum / static_cast<double>(samples_.size())};
 }
 
-Seconds
+std::optional<Seconds>
 LatencyRecorder::quantile(double q) const
 {
     if (q < 0.0 || q > 1.0)
         throw std::invalid_argument("LatencyRecorder: quantile out of range");
     if (samples_.empty())
-        return Seconds{0.0};
+        return std::nullopt;
     if (!sorted_) {
         std::sort(samples_.begin(), samples_.end());
         sorted_ = true;
     }
-    const auto rank = static_cast<std::size_t>(
-        std::ceil(q * static_cast<double>(samples_.size())));
-    const std::size_t idx = rank == 0 ? 0 : rank - 1;
-    return Seconds{samples_[std::min(idx, samples_.size() - 1)]};
+    // Nearest rank: 1-based rank max(1, ceil(q * n)), clamped to n so
+    // floating-point overshoot at q = 1 cannot index past the end.
+    const auto n = samples_.size();
+    auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    rank = std::clamp<std::size_t>(rank, 1, n);
+    return Seconds{samples_[rank - 1]};
 }
 
-Seconds
+std::optional<Seconds>
 LatencyRecorder::max() const
 {
     if (samples_.empty())
-        return Seconds{0.0};
+        return std::nullopt;
     return Seconds{*std::max_element(samples_.begin(), samples_.end())};
 }
 
 void
 ThroughputMeter::record(SimTime completion_time, Bytes payload)
 {
-    if (completion_time < warmup_end_)
+    if (completion_time <= warmup_end_)
         return;
     bytes_ += payload.bytes();
     ++requests_;

@@ -1,0 +1,131 @@
+#include "lognic/runner/replicator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "lognic/runner/seed.hpp"
+
+namespace lognic::runner {
+namespace {
+
+sim::SimResult
+fake_result(double gbps, double mean_us, std::uint64_t completed)
+{
+    sim::SimResult r;
+    r.delivered = Bandwidth::from_gbps(gbps);
+    r.delivered_ops = OpsRate::from_mops(gbps / 8.0);
+    r.mean_latency = Seconds::from_micros(completed > 0 ? mean_us : 0.0);
+    r.p50_latency = r.mean_latency;
+    r.p99_latency = r.mean_latency;
+    r.completed = completed;
+    r.generated = completed;
+    return r;
+}
+
+TEST(Summarize, EmptyAndSingleton)
+{
+    const Summary empty = summarize({});
+    EXPECT_EQ(empty.n, 0u);
+    EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+
+    const Summary one = summarize({3.5});
+    EXPECT_EQ(one.n, 1u);
+    EXPECT_DOUBLE_EQ(one.mean, 3.5);
+    EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(one.ci_half, 0.0);
+}
+
+TEST(Summarize, MeanStddevAndT95Interval)
+{
+    // n = 5, mean 3, sample stddev sqrt(2.5); t_{0.975, 4} = 2.776.
+    const Summary s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+    EXPECT_EQ(s.n, 5u);
+    EXPECT_DOUBLE_EQ(s.mean, 3.0);
+    EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+    EXPECT_NEAR(s.ci_half, 2.776 * std::sqrt(2.5) / std::sqrt(5.0), 1e-9);
+}
+
+TEST(Replicator, SeedsAreDerivedAndDistinct)
+{
+    const Replicator rep(64, 42);
+    const auto seeds = rep.seeds();
+    ASSERT_EQ(seeds.size(), 64u);
+    std::set<std::uint64_t> unique(seeds.begin(), seeds.end());
+    EXPECT_EQ(unique.size(), seeds.size());
+    for (std::size_t i = 0; i < seeds.size(); ++i)
+        EXPECT_EQ(seeds[i], derive_seed(42, i));
+}
+
+TEST(Replicator, AggregatesAcrossReplications)
+{
+    const Replicator rep(4, 1);
+    const auto res = rep.run([](std::uint64_t seed) {
+        // Deterministic pseudo-results keyed off the seed's low bits so
+        // aggregation itself (not the simulator) is under test.
+        const double x = static_cast<double>(seed % 7);
+        return fake_result(10.0 + x, 5.0 + x, 100);
+    });
+    EXPECT_EQ(res.replications, 4u);
+    EXPECT_EQ(res.degenerate, 0u);
+    EXPECT_EQ(res.seeds, rep.seeds());
+    EXPECT_EQ(res.delivered_gbps.n, 4u);
+    EXPECT_EQ(res.mean_latency_us.n, 4u);
+    // Latency tracks throughput by construction: mean offsets match.
+    EXPECT_NEAR(res.mean_latency_us.mean - 5.0,
+                res.delivered_gbps.mean - 10.0, 1e-9);
+}
+
+TEST(Replicator, DegenerateReplicationsExcludedFromLatency)
+{
+    // One replication completed nothing: its sentinel-0.0 latencies must
+    // not drag the latency mean down, but its zero throughput is real.
+    std::vector<std::uint64_t> seeds{1, 2, 3};
+    std::vector<sim::SimResult> results{
+        fake_result(10.0, 8.0, 100),
+        fake_result(0.0, 0.0, 0), // degenerate
+        fake_result(10.0, 12.0, 100),
+    };
+    const auto agg = Replicator::aggregate(seeds, results);
+    EXPECT_EQ(agg.replications, 3u);
+    EXPECT_EQ(agg.degenerate, 1u);
+    EXPECT_EQ(agg.mean_latency_us.n, 2u);
+    EXPECT_DOUBLE_EQ(agg.mean_latency_us.mean, 10.0);
+    EXPECT_EQ(agg.delivered_gbps.n, 3u);
+    EXPECT_NEAR(agg.delivered_gbps.mean, 20.0 / 3.0, 1e-12);
+}
+
+TEST(Replicator, RunResultsIndependentOfThreadCount)
+{
+    const Replicator rep(8, 99);
+    auto fn = [](std::uint64_t seed) {
+        return fake_result(static_cast<double>(seed % 100),
+                           static_cast<double>(seed % 10), 10);
+    };
+    const auto serial = rep.run(fn, 1);
+    const auto parallel = rep.run(fn, 4);
+    EXPECT_EQ(serial.seeds, parallel.seeds);
+    EXPECT_DOUBLE_EQ(serial.delivered_gbps.mean,
+                     parallel.delivered_gbps.mean);
+    EXPECT_DOUBLE_EQ(serial.delivered_gbps.stddev,
+                     parallel.delivered_gbps.stddev);
+    EXPECT_DOUBLE_EQ(serial.mean_latency_us.mean,
+                     parallel.mean_latency_us.mean);
+}
+
+TEST(Replicator, ZeroReplicationsThrows)
+{
+    const Replicator rep(0, 1);
+    EXPECT_THROW(rep.run([](std::uint64_t) { return fake_result(1, 1, 1); }),
+                 std::invalid_argument);
+}
+
+TEST(Replicator, AggregateSizeMismatchThrows)
+{
+    EXPECT_THROW(Replicator::aggregate({1, 2}, {fake_result(1, 1, 1)}),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace lognic::runner

@@ -1,0 +1,92 @@
+#include "lognic/runner/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lognic/apps/inline_accel.hpp"
+#include "lognic/io/serialize.hpp"
+
+namespace lognic::runner {
+namespace {
+
+io::Scenario
+tiny_scenario()
+{
+    auto sc = apps::make_inline_accel(devices::LiquidIoKernel::kCrc, 4);
+    return io::Scenario{std::move(sc.hw), std::move(sc.graph),
+                        core::TrafficProfile::fixed(
+                            Bytes{1024.0}, Bandwidth::from_gbps(10.0))};
+}
+
+TEST(SweepSpec, ParsesGridAndRunnerKnobs)
+{
+    const std::string doc = sample_sweep_spec(tiny_scenario());
+    const auto spec = sweep_spec_from_json(io::Json::parse(doc));
+    EXPECT_EQ(spec.rates_gbps, (std::vector<double>{5.0, 12.0}));
+    EXPECT_TRUE(spec.packet_sizes_bytes.empty());
+    EXPECT_EQ(spec.options.replications, 2u);
+    EXPECT_EQ(spec.options.threads, 2u);
+    EXPECT_EQ(spec.options.root_seed, 42u);
+    EXPECT_DOUBLE_EQ(spec.sim.duration, 0.002);
+}
+
+TEST(SweepSpec, RejectsMalformedDocuments)
+{
+    EXPECT_THROW(sweep_spec_from_json(io::Json::parse("{}")),
+                 std::runtime_error);
+    EXPECT_THROW(sweep_spec_from_json(io::Json::parse("[1,2]")),
+                 std::runtime_error);
+}
+
+TEST(SweepSpec, GridIsCartesianProduct)
+{
+    auto spec = sweep_spec_from_json(
+        io::Json::parse(sample_sweep_spec(tiny_scenario())));
+    spec.packet_sizes_bytes = {256.0, 1024.0, 4096.0};
+    const auto sweep = build_sweep(spec);
+    EXPECT_EQ(sweep.size(), 6u); // 3 sizes x 2 rates
+    EXPECT_EQ(sweep.point(0).label, "size=256B,rate=5Gbps");
+    EXPECT_EQ(sweep.point(5).label, "size=4096B,rate=12Gbps");
+}
+
+TEST(Sweep, RunAggregatesPerPoint)
+{
+    const auto spec = sweep_spec_from_json(
+        io::Json::parse(sample_sweep_spec(tiny_scenario())));
+    const auto sweep = build_sweep(spec);
+    const auto results = sweep.run(spec.options);
+    ASSERT_EQ(results.size(), 2u);
+    for (const auto& pr : results) {
+        EXPECT_EQ(pr.stats.replications, 2u);
+        EXPECT_EQ(pr.stats.seeds.size(), 2u);
+        EXPECT_EQ(pr.stats.degenerate, 0u);
+        EXPECT_GT(pr.stats.delivered_gbps.mean, 0.0);
+        EXPECT_GT(pr.stats.mean_latency_us.mean, 0.0);
+    }
+    // Offering more load delivers at least as much traffic.
+    EXPECT_GE(results[1].stats.delivered_gbps.mean,
+              results[0].stats.delivered_gbps.mean - 1e-9);
+}
+
+TEST(Sweep, ResultsSerializeToJson)
+{
+    const auto spec = sweep_spec_from_json(
+        io::Json::parse(sample_sweep_spec(tiny_scenario())));
+    const auto results = build_sweep(spec).run(spec.options);
+    const io::Json doc = sweep_results_json(results);
+    ASSERT_TRUE(doc.is_object());
+    const auto& points = doc.at("points").as_array();
+    ASSERT_EQ(points.size(), 2u);
+    for (const auto& p : points) {
+        EXPECT_TRUE(p.contains("label"));
+        EXPECT_TRUE(p.contains("seeds"));
+        EXPECT_TRUE(p.at("delivered_gbps").contains("ci95"));
+        // uint64 seeds travel as hex strings, not lossy doubles.
+        EXPECT_TRUE(p.at("seeds").as_array().at(0).is_string());
+    }
+    // Round-trips through the parser.
+    const io::Json reparsed = io::Json::parse(doc.dump());
+    EXPECT_EQ(reparsed.at("points").as_array().size(), 2u);
+}
+
+} // namespace
+} // namespace lognic::runner

@@ -1,0 +1,96 @@
+#include "lognic/runner/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace lognic::runner {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.size(), 3u);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, TasksMaySubmitTasks)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&] {
+        ++count;
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&count] { ++count; });
+    });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 11);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns)
+{
+    ThreadPool pool(2);
+    pool.wait_idle(); // no tasks: must not hang
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        std::vector<std::atomic<int>> hits(257);
+        parallel_for(hits.size(), threads,
+                     [&](std::size_t i) { ++hits[i]; });
+        for (const auto& h : hits)
+            EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ParallelFor, SerialPathRunsInOrderOnCaller)
+{
+    std::vector<std::size_t> order;
+    const auto caller = std::this_thread::get_id();
+    bool same_thread = true;
+    parallel_for(8, 1, [&](std::size_t i) {
+        order.push_back(i);
+        same_thread = same_thread && std::this_thread::get_id() == caller;
+    });
+    std::vector<std::size_t> expected(8);
+    std::iota(expected.begin(), expected.end(), std::size_t{0});
+    EXPECT_EQ(order, expected);
+    EXPECT_TRUE(same_thread);
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop)
+{
+    parallel_for(0, 4, [](std::size_t) { FAIL() << "body ran"; });
+}
+
+TEST(ParallelFor, RethrowsFirstException)
+{
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        EXPECT_THROW(
+            parallel_for(64, threads,
+                         [](std::size_t i) {
+                             if (i == 5)
+                                 throw std::runtime_error("boom");
+                         }),
+            std::runtime_error);
+    }
+}
+
+TEST(ParallelFor, MoreThreadsThanWorkIsFine)
+{
+    std::vector<std::atomic<int>> hits(3);
+    parallel_for(hits.size(), 16, [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+} // namespace
+} // namespace lognic::runner

@@ -1,6 +1,10 @@
 #include "lognic/sim/event_queue.hpp"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <utility>
 #include <vector>
 
 namespace lognic::sim {
@@ -71,6 +75,75 @@ TEST(EventQueue, NowAdvancesToEventTime)
     q.schedule_at(2.5, [&] { seen = q.now(); });
     q.run_until(10.0);
     EXPECT_DOUBLE_EQ(seen, 2.5);
+}
+
+/// Counts copies of itself; a move costs nothing.
+struct CopyTracker {
+    int* copies;
+    explicit CopyTracker(int* c) : copies(c) {}
+    CopyTracker(const CopyTracker& o) : copies(o.copies) { ++*copies; }
+    CopyTracker(CopyTracker&& o) noexcept : copies(o.copies) {}
+    CopyTracker& operator=(const CopyTracker& o)
+    {
+        copies = o.copies;
+        ++*copies;
+        return *this;
+    }
+    CopyTracker& operator=(CopyTracker&& o) noexcept
+    {
+        copies = o.copies;
+        return *this;
+    }
+};
+
+TEST(EventQueue, DispatchNeverCopiesActions)
+{
+    // Regression: the old priority_queue-based loop copied every Event
+    // (including its std::function state) off the heap per dispatch. The
+    // binary heap moves events out, so captured state is copied only while
+    // the closure is converted to std::function at schedule time.
+    EventQueue q;
+    int copies = 0;
+    int ran = 0;
+    for (int i = 0; i < 64; ++i) {
+        CopyTracker t(&copies);
+        q.schedule_at(static_cast<double>(i % 7),
+                      [t = std::move(t), &ran] {
+                          ++ran;
+                          (void)t;
+                      });
+    }
+    const int copies_after_scheduling = copies;
+    q.run_until(100.0);
+    EXPECT_EQ(ran, 64);
+    EXPECT_EQ(copies, copies_after_scheduling)
+        << "dispatch loop copied captured state";
+}
+
+TEST(EventQueue, HeapStressMatchesSortedOrder)
+{
+    // Many events with random times (and deliberate duplicates) must run
+    // in exact (time, seq) order — the determinism contract every seeded
+    // replication relies on.
+    EventQueue q;
+    std::mt19937_64 rng(7);
+    std::uniform_int_distribution<int> coarse(0, 49);
+    std::vector<std::pair<double, int>> expected;
+    std::vector<std::pair<double, int>> actual;
+    for (int i = 0; i < 2000; ++i) {
+        const double when = static_cast<double>(coarse(rng)) * 0.125;
+        expected.emplace_back(when, i);
+        q.schedule_at(when, [&actual, when, i] {
+            actual.emplace_back(when, i);
+        });
+    }
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                     });
+    q.run_until(1000.0);
+    EXPECT_EQ(actual, expected);
+    EXPECT_EQ(q.executed(), 2000u);
 }
 
 } // namespace

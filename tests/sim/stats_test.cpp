@@ -11,11 +11,24 @@ TEST(LatencyRecorder, MeanAndQuantiles)
     for (double us : {1.0, 2.0, 3.0, 4.0, 5.0})
         r.record(1.0, Seconds::from_micros(us));
     EXPECT_EQ(r.count(), 5u);
-    EXPECT_NEAR(r.mean().micros(), 3.0, 1e-12);
-    EXPECT_NEAR(r.p50().micros(), 3.0, 1e-12);
-    EXPECT_NEAR(r.quantile(1.0).micros(), 5.0, 1e-12);
-    EXPECT_NEAR(r.quantile(0.0).micros(), 1.0, 1e-12);
-    EXPECT_NEAR(r.max().micros(), 5.0, 1e-12);
+    EXPECT_NEAR(r.mean()->micros(), 3.0, 1e-12);
+    EXPECT_NEAR(r.p50()->micros(), 3.0, 1e-12);
+    EXPECT_NEAR(r.quantile(1.0)->micros(), 5.0, 1e-12);
+    EXPECT_NEAR(r.quantile(0.0)->micros(), 1.0, 1e-12);
+    EXPECT_NEAR(r.max()->micros(), 5.0, 1e-12);
+}
+
+TEST(LatencyRecorder, NearestRankQuantiles)
+{
+    // Nearest rank: value at 1-based rank max(1, ceil(q * n)).
+    LatencyRecorder r;
+    for (int us = 1; us <= 10; ++us)
+        r.record(1.0, Seconds::from_micros(static_cast<double>(us)));
+    EXPECT_NEAR(r.quantile(0.0)->micros(), 1.0, 1e-12);  // rank 1 (min)
+    EXPECT_NEAR(r.quantile(0.5)->micros(), 5.0, 1e-12);  // ceil(5) = 5
+    EXPECT_NEAR(r.quantile(0.99)->micros(), 10.0, 1e-12); // ceil(9.9) = 10
+    EXPECT_NEAR(r.quantile(1.0)->micros(), 10.0, 1e-12); // rank n (max)
+    EXPECT_NEAR(r.quantile(0.41)->micros(), 5.0, 1e-12); // ceil(4.1) = 5
 }
 
 TEST(LatencyRecorder, WarmupSamplesDropped)
@@ -24,14 +37,28 @@ TEST(LatencyRecorder, WarmupSamplesDropped)
     r.record(5.0, Seconds::from_micros(100.0));  // during warmup
     r.record(15.0, Seconds::from_micros(2.0));
     EXPECT_EQ(r.count(), 1u);
-    EXPECT_NEAR(r.mean().micros(), 2.0, 1e-12);
+    EXPECT_NEAR(r.mean()->micros(), 2.0, 1e-12);
 }
 
-TEST(LatencyRecorder, EmptyIsZero)
+TEST(LatencyRecorder, WarmupBoundaryInstantIsExcluded)
+{
+    // Regression: completions at exactly warmup_end belong to the warmup —
+    // the measurement window is (warmup_end, horizon], matching the
+    // simulator's occupancy accounting.
+    LatencyRecorder r(10.0);
+    r.record(10.0, Seconds::from_micros(100.0)); // exactly at the boundary
+    EXPECT_EQ(r.count(), 0u);
+    r.record(10.0 + 1e-9, Seconds::from_micros(3.0)); // just past it
+    EXPECT_EQ(r.count(), 1u);
+}
+
+TEST(LatencyRecorder, EmptyIsNullopt)
 {
     const LatencyRecorder r;
-    EXPECT_DOUBLE_EQ(r.mean().seconds(), 0.0);
-    EXPECT_DOUBLE_EQ(r.p99().seconds(), 0.0);
+    EXPECT_FALSE(r.mean().has_value());
+    EXPECT_FALSE(r.p99().has_value());
+    EXPECT_FALSE(r.quantile(0.0).has_value());
+    EXPECT_FALSE(r.max().has_value());
 }
 
 TEST(LatencyRecorder, QuantileRangeChecked)
@@ -47,9 +74,9 @@ TEST(LatencyRecorder, RecordingAfterQuantileKeepsSorted)
     LatencyRecorder r;
     r.record(1.0, Seconds::from_micros(5.0));
     r.record(1.0, Seconds::from_micros(1.0));
-    EXPECT_NEAR(r.p50().micros(), 1.0, 1e-12);
+    EXPECT_NEAR(r.p50()->micros(), 1.0, 1e-12);
     r.record(1.0, Seconds::from_micros(0.5));
-    EXPECT_NEAR(r.quantile(0.0).micros(), 0.5, 1e-12);
+    EXPECT_NEAR(r.quantile(0.0)->micros(), 0.5, 1e-12);
 }
 
 TEST(ThroughputMeter, RatesOverMeasurementWindow)
@@ -63,6 +90,15 @@ TEST(ThroughputMeter, RatesOverMeasurementWindow)
     EXPECT_NEAR(m.rate(3.0).per_sec(), 1.0, 1e-12);
     EXPECT_EQ(m.requests(), 2u);
     EXPECT_DOUBLE_EQ(m.total().bytes(), 2500.0);
+}
+
+TEST(ThroughputMeter, WarmupBoundaryInstantIsExcluded)
+{
+    ThroughputMeter m(1.0);
+    m.record(1.0, Bytes{1000.0}); // exactly at the boundary: warmup
+    EXPECT_EQ(m.requests(), 0u);
+    m.record(1.0 + 1e-9, Bytes{1000.0});
+    EXPECT_EQ(m.requests(), 1u);
 }
 
 TEST(ThroughputMeter, DegenerateWindowIsZero)

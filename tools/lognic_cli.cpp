@@ -5,11 +5,15 @@
  * JSON documents; see `lognic example` for a starting point.
  *
  *   lognic example                      print a sample scenario JSON
+ *   lognic example sweep                print a sample sweep-spec JSON
  *   lognic estimate <scenario.json>     model throughput/latency report
  *   lognic simulate <scenario.json> [seconds] [seed]
  *                                       packet-level simulation
+ *   lognic sweep <spec.json>            parallel replicated sweep (the
+ *                                       document carries a "sweep" object;
+ *                                       emits per-point JSON results)
  *   lognic sweep <scenario.json> <gbps> [gbps...]
- *                                       rate sweep (capacity/latency/p99)
+ *                                       analytic rate sweep
  *   lognic dot <scenario.json>          Graphviz export of the graph
  */
 #include <cstdio>
@@ -22,6 +26,7 @@
 #include "lognic/core/reporting.hpp"
 #include "lognic/core/sensitivity.hpp"
 #include "lognic/io/serialize.hpp"
+#include "lognic/runner/sweep.hpp"
 #include "lognic/sim/nic_simulator.hpp"
 
 using namespace lognic;
@@ -33,24 +38,33 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: lognic <command> [args]\n"
-                 "  example                       print a sample scenario\n"
+                 "  example [sweep]               print a sample scenario "
+                 "(or sweep spec)\n"
                  "  estimate <scenario.json>      analytical report\n"
                  "  simulate <scenario.json> [seconds] [seed]\n"
+                 "  sweep    <spec.json>          replicated parallel sweep "
+                 "(JSON out)\n"
                  "  sweep    <scenario.json> <gbps> [gbps...]\n"
                  "  sensitivity <scenario.json>   parameter elasticities\n"
                  "  dot      <scenario.json>      Graphviz export\n");
     return 2;
 }
 
-io::Scenario
-load(const std::string& path)
+std::string
+read_file(const std::string& path)
 {
     std::ifstream in(path);
     if (!in)
         throw std::runtime_error("cannot open '" + path + "'");
     std::ostringstream buf;
     buf << in.rdbuf();
-    return io::load_scenario(buf.str());
+    return buf.str();
+}
+
+io::Scenario
+load(const std::string& path)
+{
+    return io::load_scenario(read_file(path));
 }
 
 io::Scenario
@@ -134,6 +148,19 @@ cmd_simulate(const io::Scenario& sc, double seconds, std::uint64_t seed)
     return 0;
 }
 
+/// Spec-driven sweep: grid x replications fanned over a thread pool,
+/// per-point aggregates (mean / stddev / 95% CI) emitted as JSON.
+int
+cmd_sweep_spec(const io::Json& doc)
+{
+    const auto spec = runner::sweep_spec_from_json(doc);
+    const auto sweep = runner::build_sweep(spec);
+    const auto results = sweep.run(spec.options);
+    std::fputs(runner::sweep_results_json(results).dump().c_str(), stdout);
+    std::printf("\n");
+    return 0;
+}
+
 int
 cmd_sweep(const io::Scenario& sc, int argc, char** argv)
 {
@@ -168,13 +195,31 @@ main(int argc, char** argv)
     const std::string command = argv[1];
     try {
         if (command == "example") {
-            std::fputs(io::save_scenario(sample_scenario()).c_str(),
-                       stdout);
+            if (argc > 2 && std::string(argv[2]) == "sweep") {
+                std::fputs(
+                    runner::sample_sweep_spec(sample_scenario()).c_str(),
+                    stdout);
+            } else {
+                std::fputs(io::save_scenario(sample_scenario()).c_str(),
+                           stdout);
+            }
             std::printf("\n");
             return 0;
         }
         if (argc < 3)
             return usage();
+        if (command == "sweep") {
+            // A document carrying a "sweep" object is a spec for the
+            // parallel runner; a bare scenario keeps the legacy analytic
+            // rate sweep.
+            const io::Json doc = io::Json::parse(read_file(argv[2]));
+            if (doc.is_object() && doc.contains("sweep"))
+                return cmd_sweep_spec(doc);
+            if (argc < 4)
+                return usage();
+            return cmd_sweep(io::scenario_from_json(doc), argc - 3,
+                             argv + 3);
+        }
         const io::Scenario sc = load(argv[2]);
         if (command == "estimate")
             return cmd_estimate(sc);
@@ -188,11 +233,6 @@ main(int argc, char** argv)
                 return 2;
             }
             return cmd_simulate(sc, seconds, seed);
-        }
-        if (command == "sweep") {
-            if (argc < 4)
-                return usage();
-            return cmd_sweep(sc, argc - 3, argv + 3);
         }
         if (command == "sensitivity") {
             const auto results =
