@@ -14,6 +14,7 @@
 #include "lognic/core/model.hpp"
 #include "lognic/core/optimizer.hpp"
 #include "lognic/io/serialize.hpp"
+#include "lognic/obs/trace.hpp"
 #include "lognic/runner/replicator.hpp"
 #include "lognic/runner/seed.hpp"
 #include "lognic/sim/nic_simulator.hpp"
@@ -122,6 +123,32 @@ BM_SimulatorMillisecond(benchmark::State& state)
     }
 }
 BENCHMARK(BM_SimulatorMillisecond);
+
+/**
+ * The observability overhead contract, measured: BM_SimulatorMillisecond
+ * above is the tracing-disabled baseline (TraceOptions.sink == nullptr,
+ * the default — the hot path pays one null-pointer test per hook).
+ * The variants below attach a ChromeTraceWriter with full sampling and
+ * with every-64th-packet sampling; comparing them against the baseline
+ * quantifies the opt-in cost. The disabled path must stay within 2% of
+ * the pre-observability simulator.
+ */
+void
+BM_SimulatorMillisecondTraced(benchmark::State& state)
+{
+    const auto sample = static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        obs::ChromeTraceWriter writer;
+        sim::SimOptions opts;
+        opts.duration = 0.001;
+        opts.trace.sink = &writer;
+        opts.trace.sample_every = sample;
+        benchmark::DoNotOptimize(
+            sim::simulate(kScenario.hw, kScenario.graph, kTraffic, opts));
+        benchmark::DoNotOptimize(writer.event_count());
+    }
+}
+BENCHMARK(BM_SimulatorMillisecondTraced)->Arg(1)->Arg(64);
 
 void
 BM_SeedDerivation(benchmark::State& state)

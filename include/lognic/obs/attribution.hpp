@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Bottleneck attribution: rank the simulator's per-vertex measurements,
+ * line them up against the analytical model's per-vertex operating points,
+ * and report where (and by how much) the two disagree.
+ *
+ * This is the paper's case-study workflow (§4) as a library call: every
+ * figure is a hunt for the vertex whose min() term binds, and model
+ * validation is the claim that the analytical ρ and the measured
+ * utilization tell the same story. The report makes that comparison a
+ * first-class artifact instead of something eyeballed across two printouts.
+ */
+#ifndef LOGNIC_OBS_ATTRIBUTION_HPP_
+#define LOGNIC_OBS_ATTRIBUTION_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lognic/core/execution_graph.hpp"
+#include "lognic/core/hardware_model.hpp"
+#include "lognic/core/model.hpp"
+#include "lognic/core/traffic_profile.hpp"
+#include "lognic/io/json.hpp"
+#include "lognic/obs/metrics.hpp"
+
+namespace lognic::obs {
+
+/// One vertex as measured by a simulator.
+struct VertexObservation {
+    std::string name;
+    double utilization{0.0};   ///< fraction of (engine x time) serving
+    double mean_occupancy{0.0}; ///< time-averaged queue + in-service
+    std::uint64_t served{0};
+    std::uint64_t dropped{0};
+};
+
+/// Measured vs. modeled operating point of one vertex.
+struct VertexDelta {
+    std::string name;
+    double sim_utilization{0.0};
+    /// The model's offered load ρ for the vertex, capped at 1 (a vertex
+    /// cannot be more than fully busy; ρ > 1 means the model predicts
+    /// saturation, which the sim measures as utilization ≈ 1).
+    double model_utilization{0.0};
+    double delta{0.0}; ///< sim - model
+};
+
+/// Top-k bottleneck ranking plus the per-vertex model-vs-sim comparison.
+struct BottleneckReport {
+    /// Vertices by descending utilization (mean wait breaks ties), at most
+    /// the requested k.
+    std::vector<VertexObservation> top;
+    /// Every matched vertex, by descending |delta|.
+    std::vector<VertexDelta> deltas;
+};
+
+/**
+ * The model's per-vertex utilization (ρ from Eq. 11, capped at 1) for each
+ * non-passthrough vertex, in graph vertex order.
+ *
+ * Precondition: the graph validates against @p hw.
+ */
+std::vector<VertexObservation>
+model_vertex_utilization(const core::ExecutionGraph& graph,
+                         const core::HardwareModel& hw,
+                         const core::TrafficProfile& traffic);
+
+/**
+ * Build the report: rank @p sim by utilization, and join against
+ * @p model by vertex name for the delta table. Vertices present on only
+ * one side are skipped in `deltas`.
+ */
+BottleneckReport attribute(const std::vector<VertexObservation>& sim,
+                           const std::vector<VertexObservation>& model,
+                           std::size_t top_k = 3);
+
+/// Aligned-text rendering of a report.
+std::string render(const BottleneckReport& report);
+
+io::Json to_json(const BottleneckReport& report);
+
+/**
+ * Publish an analytical-model estimate into @p registry: capacity /
+ * achieved throughput, mean and per-class p99 latency, and the maximum
+ * drop probability — the model-side mirror of the simulators' snapshots.
+ */
+void publish_report(const core::Report& report, MetricsRegistry& registry);
+
+} // namespace lognic::obs
+
+#endif // LOGNIC_OBS_ATTRIBUTION_HPP_

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Structured metrics: counters, gauges, and fixed-bucket histograms that
+ * the simulators and the analytical model's reporting layer publish into.
+ *
+ * A MetricsRegistry is the mutable collection an instrumented component
+ * writes while running; a MetricsSnapshot is the immutable, name-keyed
+ * export it hands back to callers. Snapshots aggregate across replications
+ * with fixed semantics: counters and histogram buckets sum, gauges
+ * average. Names are dot-separated paths ("vertex.crypto.utilization") so
+ * downstream tooling can group by prefix.
+ *
+ * Registries are deterministic containers (std::map, stable iteration) —
+ * snapshot JSON is byte-identical across runs and thread counts for a
+ * deterministic simulation.
+ */
+#ifndef LOGNIC_OBS_METRICS_HPP_
+#define LOGNIC_OBS_METRICS_HPP_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lognic/io/json.hpp"
+
+namespace lognic::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+  public:
+    void add(std::uint64_t delta = 1) { value_ += delta; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_{0};
+};
+
+/// Last-write-wins scalar measurement.
+class Gauge {
+  public:
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+  private:
+    double value_{0.0};
+};
+
+/**
+ * Fixed-bucket histogram: bucket i counts samples <= bounds[i]; one
+ * implicit overflow bucket counts the rest. Bounds are set at creation
+ * and never change, so bucket-wise aggregation across replications is
+ * well-defined.
+ */
+class Histogram {
+  public:
+    /// @p upper_bounds must be non-empty and strictly increasing.
+    /// @throws std::invalid_argument otherwise.
+    explicit Histogram(std::vector<double> upper_bounds);
+
+    void record(double sample);
+
+    const std::vector<double>& bounds() const { return bounds_; }
+    /// bounds().size() + 1 entries; the last is the overflow bucket.
+    const std::vector<std::uint64_t>& counts() const { return counts_; }
+    std::uint64_t total() const { return total_; }
+    double sum() const { return sum_; }
+    double mean() const;
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_{0};
+    double sum_{0.0};
+};
+
+/// Immutable export of one Histogram.
+struct HistogramSnapshot {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t total{0};
+    double sum{0.0};
+};
+
+/// Immutable, name-keyed export of a registry (or an aggregate of many).
+struct MetricsSnapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+
+    bool empty() const
+    {
+        return counters.empty() && gauges.empty() && histograms.empty();
+    }
+
+    /// Counter value or 0 when absent.
+    std::uint64_t counter_or_zero(const std::string& name) const;
+    /// Gauge value or @p fallback when absent.
+    double gauge_or(const std::string& name, double fallback = 0.0) const;
+
+    io::Json to_json() const;
+};
+
+/**
+ * Aggregate replication snapshots: counters and histogram buckets sum,
+ * gauges average over the snapshots that carry them. Histograms with
+ * mismatched bounds throw (they are not comparable).
+ */
+MetricsSnapshot aggregate(const std::vector<MetricsSnapshot>& snapshots);
+
+/// The mutable collection an instrumented component publishes into.
+class MetricsRegistry {
+  public:
+    /// Find-or-create by name; references stay valid for the registry's
+    /// lifetime (node-based map storage).
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    /// @p upper_bounds is used only on first creation; later lookups with
+    /// different bounds throw std::invalid_argument.
+    Histogram& histogram(const std::string& name,
+                         std::vector<double> upper_bounds);
+
+    MetricsSnapshot snapshot() const;
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace lognic::obs
+
+#endif // LOGNIC_OBS_METRICS_HPP_

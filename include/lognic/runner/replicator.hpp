@@ -51,6 +51,12 @@ struct ReplicationResult {
     Summary p50_latency_us;
     Summary p99_latency_us;
     Summary drop_rate;
+    /**
+     * Aggregate of every replication's structured snapshot: counters and
+     * histogram buckets summed, gauges averaged (obs::aggregate
+     * semantics). Empty when the per-replication snapshots were empty.
+     */
+    obs::MetricsSnapshot metrics;
 };
 
 class Replicator {

@@ -34,6 +34,9 @@
 #include "lognic/core/execution_graph.hpp"
 #include "lognic/core/hardware_model.hpp"
 #include "lognic/core/traffic_profile.hpp"
+#include "lognic/obs/attribution.hpp"
+#include "lognic/obs/metrics.hpp"
+#include "lognic/obs/trace.hpp"
 #include "lognic/sim/event_queue.hpp"
 #include "lognic/sim/random.hpp"
 #include "lognic/sim/stats.hpp"
@@ -69,6 +72,14 @@ struct SimOptions {
     bool poisson_arrivals{true};
     /// Optional burst modulation (requires poisson_arrivals).
     BurstModel burst;
+    /**
+     * Observability: attach a TraceSink to record packet lifecycle spans
+     * and per-vertex counter tracks. Default-off; with no sink the
+     * simulator's hot path pays a null-pointer test and nothing else, and
+     * results are bit-identical to an untraced run (tracing never draws
+     * from the RNG).
+     */
+    obs::TraceOptions trace{};
 };
 
 /// Per-vertex measurement (IP and rate-limiter vertices only).
@@ -90,17 +101,37 @@ struct SimResult {
     Seconds mean_latency{0.0};
     Seconds p50_latency{0.0};
     Seconds p99_latency{0.0};
+    /// Packets generated over the whole run, warmup included (the offered
+    /// load; kept lifetime-wide so callers can sanity-check the generator).
     std::uint64_t generated{0};
     std::uint64_t completed{0};
+    /**
+     * Drops inside the measurement window (warmup_end, horizon] — the same
+     * convention completions use. `drop_rate` divides these by the
+     * arrivals in the same window, so it is an unbiased estimate of the
+     * steady-state drop probability even at short horizons; it is NOT
+     * dropped / generated (those span different windows).
+     */
     std::uint64_t dropped{0};
     double drop_rate{0.0};
     /// Per-vertex breakdown; the most utilized vertex is the measured
     /// bottleneck (the sim-side counterpart of the model's min() term).
     std::vector<VertexStats> vertex_stats;
+    /**
+     * Structured snapshot of every measurement above (and a latency
+     * histogram the scalar fields cannot carry): "sim.*" counters/gauges
+     * plus "vertex.<name>.*" series. The scalar fields remain as the
+     * quick-access view; the snapshot is what the runner aggregates
+     * across replications and what tooling serializes.
+     */
+    obs::MetricsSnapshot metrics;
 
     /// The vertex with the highest utilization; empty stats if none.
     const VertexStats& busiest() const;
 };
+
+/// The per-vertex measurements as attribution observations.
+std::vector<obs::VertexObservation> observations(const SimResult& result);
 
 class NicSimulator {
   public:

@@ -7,8 +7,10 @@
 #ifndef LOGNIC_SIM_RANDOM_HPP_
 #define LOGNIC_SIM_RANDOM_HPP_
 
+#include <cmath>
 #include <cstdint>
 #include <random>
+#include <stdexcept>
 #include <vector>
 
 namespace lognic::sim {
@@ -31,26 +33,58 @@ class Rng {
 
     /**
      * Positive sample with the given mean and squared coefficient of
-     * variation: 0 = deterministic, 1 = exponential, otherwise gamma with
-     * shape 1/scv.
+     * variation: 0 = deterministic, otherwise gamma with shape 1/scv
+     * (shape 1, i.e. scv = 1, is exactly the exponential distribution).
+     *
+     * Every scv > 0 goes through the same gamma sampler: an exact-compare
+     * special case for scv == 1 would draw from a different engine stream
+     * than scv = 1 ± epsilon and make sweep results discontinuous across
+     * the exponential point.
      */
     double with_scv(double mean, double scv)
     {
         if (scv <= 0.0)
             return mean;
-        if (scv == 1.0)
-            return exponential(mean);
         const double shape = 1.0 / scv;
         return std::gamma_distribution<double>(shape, mean / shape)(
             engine_);
     }
 
-    /// Index sampled from (unnormalized, non-negative) weights.
+    /**
+     * Index sampled from (unnormalized, non-negative, finite) weights via
+     * a manual CDF walk — one uniform draw, no allocation (this sits on
+     * the per-packet steering hot path).
+     *
+     * @throws std::invalid_argument on empty, all-zero, negative, or
+     * non-finite weights (std::discrete_distribution makes those UB).
+     */
     std::size_t weighted_index(const std::vector<double>& weights)
     {
-        std::discrete_distribution<std::size_t> d(weights.begin(),
-                                                  weights.end());
-        return d(engine_);
+        double total = 0.0;
+        for (double w : weights) {
+            if (!(w >= 0.0) || !std::isfinite(w))
+                throw std::invalid_argument(
+                    "Rng::weighted_index: weights must be finite and "
+                    "non-negative");
+            total += w;
+        }
+        if (weights.empty() || total <= 0.0)
+            throw std::invalid_argument(
+                "Rng::weighted_index: need at least one positive weight");
+        double u = uniform() * total;
+        std::size_t last_positive = 0;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            if (weights[i] <= 0.0)
+                continue;
+            last_positive = i;
+            u -= weights[i];
+            if (u < 0.0)
+                return i;
+        }
+        // Floating-point accumulation can leave u barely non-negative
+        // after the last subtraction; attribute the sliver to the final
+        // positive-weight bucket.
+        return last_positive;
     }
 
     /// Bernoulli with probability @p p of true.

@@ -57,6 +57,34 @@ class LatencyRecorder {
     mutable bool sorted_{false};
 };
 
+/**
+ * Counts events inside the measurement window (warmup_end, horizon] —
+ * the same half-open convention every other recorder uses. Used for drop
+ * and offered-load accounting so drop_rate compares drops and arrivals
+ * over the *same* window (counting warmup drops while discarding warmup
+ * completions biases drop_rate high at short horizons).
+ */
+class WindowedCounter {
+  public:
+    explicit WindowedCounter(SimTime warmup_end = 0.0)
+        : warmup_end_(warmup_end)
+    {
+    }
+
+    /// Count the event iff it falls after the warmup cut.
+    void record(SimTime t)
+    {
+        if (t > warmup_end_)
+            ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+
+  private:
+    SimTime warmup_end_;
+    std::uint64_t count_{0};
+};
+
 /// Counts delivered bytes/requests after warmup; yields rates.
 class ThroughputMeter {
   public:

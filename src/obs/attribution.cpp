@@ -1,0 +1,163 @@
+#include "lognic/obs/attribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+
+#include "lognic/core/vertex_analysis.hpp"
+
+namespace lognic::obs {
+
+namespace {
+
+std::string
+format_line(const char* fmt, ...)
+{
+    char buf[160];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, args);
+    va_end(args);
+    return buf;
+}
+
+io::Json
+to_json(const VertexObservation& v)
+{
+    io::JsonObject o;
+    o.emplace("name", io::Json(v.name));
+    o.emplace("utilization", io::Json(v.utilization));
+    o.emplace("mean_occupancy", io::Json(v.mean_occupancy));
+    o.emplace("served", io::Json(static_cast<double>(v.served)));
+    o.emplace("dropped", io::Json(static_cast<double>(v.dropped)));
+    return io::Json(std::move(o));
+}
+
+} // namespace
+
+std::vector<VertexObservation>
+model_vertex_utilization(const core::ExecutionGraph& graph,
+                         const core::HardwareModel& hw,
+                         const core::TrafficProfile& traffic)
+{
+    std::vector<VertexObservation> out;
+    for (core::VertexId v = 0; v < graph.vertex_count(); ++v) {
+        const core::VertexAnalysis va =
+            core::analyze_vertex(graph, hw, v, traffic);
+        if (va.passthrough)
+            continue;
+        VertexObservation obs;
+        obs.name = graph.vertex(v).name;
+        obs.utilization = std::min(va.rho, 1.0);
+        out.push_back(std::move(obs));
+    }
+    return out;
+}
+
+BottleneckReport
+attribute(const std::vector<VertexObservation>& sim,
+          const std::vector<VertexObservation>& model, std::size_t top_k)
+{
+    BottleneckReport report;
+    report.top = sim;
+    std::stable_sort(report.top.begin(), report.top.end(),
+                     [](const VertexObservation& a,
+                        const VertexObservation& b) {
+                         if (a.utilization != b.utilization)
+                             return a.utilization > b.utilization;
+                         return a.mean_occupancy > b.mean_occupancy;
+                     });
+    if (report.top.size() > top_k)
+        report.top.resize(top_k);
+
+    std::map<std::string, double> model_util;
+    for (const auto& m : model)
+        model_util.emplace(m.name, m.utilization);
+    for (const auto& s : sim) {
+        const auto it = model_util.find(s.name);
+        if (it == model_util.end())
+            continue;
+        VertexDelta d;
+        d.name = s.name;
+        d.sim_utilization = s.utilization;
+        d.model_utilization = it->second;
+        d.delta = s.utilization - it->second;
+        report.deltas.push_back(std::move(d));
+    }
+    std::stable_sort(report.deltas.begin(), report.deltas.end(),
+                     [](const VertexDelta& a, const VertexDelta& b) {
+                         return std::abs(a.delta) > std::abs(b.delta);
+                     });
+    return report;
+}
+
+std::string
+render(const BottleneckReport& report)
+{
+    std::string out;
+    out += format_line("%-4s %-16s %10s %10s %10s %10s\n", "rank", "vertex",
+                       "util", "occupancy", "served", "dropped");
+    std::size_t rank = 1;
+    for (const auto& v : report.top) {
+        out += format_line("%-4zu %-16s %10.3f %10.2f %10llu %10llu\n",
+                           rank++, v.name.c_str(), v.utilization,
+                           v.mean_occupancy,
+                           static_cast<unsigned long long>(v.served),
+                           static_cast<unsigned long long>(v.dropped));
+    }
+    if (!report.deltas.empty()) {
+        out += format_line("%-21s %10s %10s %10s\n", "model-vs-sim",
+                           "sim", "model", "delta");
+        for (const auto& d : report.deltas) {
+            out += format_line("%-21s %10.3f %10.3f %+10.3f\n",
+                               d.name.c_str(), d.sim_utilization,
+                               d.model_utilization, d.delta);
+        }
+    }
+    return out;
+}
+
+io::Json
+to_json(const BottleneckReport& report)
+{
+    io::JsonArray top;
+    for (const auto& v : report.top)
+        top.push_back(to_json(v));
+    io::JsonArray deltas;
+    for (const auto& d : report.deltas) {
+        io::JsonObject o;
+        o.emplace("name", io::Json(d.name));
+        o.emplace("sim_utilization", io::Json(d.sim_utilization));
+        o.emplace("model_utilization", io::Json(d.model_utilization));
+        o.emplace("delta", io::Json(d.delta));
+        deltas.emplace_back(std::move(o));
+    }
+    io::JsonObject o;
+    o.emplace("top", io::Json(std::move(top)));
+    o.emplace("deltas", io::Json(std::move(deltas)));
+    return io::Json(std::move(o));
+}
+
+void
+publish_report(const core::Report& report, MetricsRegistry& registry)
+{
+    registry.gauge("model.capacity_gbps")
+        .set(report.throughput.capacity.gbps());
+    registry.gauge("model.achieved_gbps")
+        .set(report.throughput.achieved.gbps());
+    registry.gauge("model.mean_latency_us").set(report.latency.mean.micros());
+    registry.gauge("model.max_drop_probability")
+        .set(report.latency.max_drop_probability);
+    for (std::size_t c = 0; c < report.latency.per_class.size(); ++c) {
+        const auto& cls = report.latency.per_class[c];
+        const std::string prefix =
+            "model.class." + std::to_string(c) + ".";
+        registry.gauge(prefix + "p99_us").set(cls.p99.micros());
+        registry.gauge(prefix + "goodput_gbps").set(cls.goodput.gbps());
+    }
+    registry.counter("model.estimates").add();
+}
+
+} // namespace lognic::obs

@@ -1,0 +1,161 @@
+#include "lognic/obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace lognic::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds))
+{
+    if (bounds_.empty())
+        throw std::invalid_argument("Histogram: bounds must be non-empty");
+    if (!std::is_sorted(bounds_.begin(), bounds_.end())
+        || std::adjacent_find(bounds_.begin(), bounds_.end())
+            != bounds_.end())
+        throw std::invalid_argument(
+            "Histogram: bounds must be strictly increasing");
+    counts_.assign(bounds_.size() + 1, 0);
+}
+
+void
+Histogram::record(double sample)
+{
+    const auto it =
+        std::lower_bound(bounds_.begin(), bounds_.end(), sample);
+    ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+    ++total_;
+    sum_ += sample;
+}
+
+double
+Histogram::mean() const
+{
+    return total_ > 0 ? sum_ / static_cast<double>(total_) : 0.0;
+}
+
+std::uint64_t
+MetricsSnapshot::counter_or_zero(const std::string& name) const
+{
+    const auto it = counters.find(name);
+    return it != counters.end() ? it->second : 0;
+}
+
+double
+MetricsSnapshot::gauge_or(const std::string& name, double fallback) const
+{
+    const auto it = gauges.find(name);
+    return it != gauges.end() ? it->second : fallback;
+}
+
+io::Json
+MetricsSnapshot::to_json() const
+{
+    io::JsonObject counters_json;
+    for (const auto& [name, value] : counters)
+        counters_json.emplace(name,
+                              io::Json(static_cast<double>(value)));
+    io::JsonObject gauges_json;
+    for (const auto& [name, value] : gauges)
+        gauges_json.emplace(name, io::Json(value));
+    io::JsonObject hists_json;
+    for (const auto& [name, h] : histograms) {
+        io::JsonArray bounds;
+        for (double b : h.bounds)
+            bounds.emplace_back(b);
+        io::JsonArray counts;
+        for (std::uint64_t c : h.counts)
+            counts.emplace_back(static_cast<double>(c));
+        io::JsonObject hist;
+        hist.emplace("bounds", io::Json(std::move(bounds)));
+        hist.emplace("counts", io::Json(std::move(counts)));
+        hist.emplace("total", io::Json(static_cast<double>(h.total)));
+        hist.emplace("sum", io::Json(h.sum));
+        hists_json.emplace(name, io::Json(std::move(hist)));
+    }
+    io::JsonObject o;
+    o.emplace("counters", io::Json(std::move(counters_json)));
+    o.emplace("gauges", io::Json(std::move(gauges_json)));
+    o.emplace("histograms", io::Json(std::move(hists_json)));
+    return io::Json(std::move(o));
+}
+
+MetricsSnapshot
+aggregate(const std::vector<MetricsSnapshot>& snapshots)
+{
+    MetricsSnapshot out;
+    std::map<std::string, std::pair<double, std::size_t>> gauge_sums;
+    for (const auto& s : snapshots) {
+        for (const auto& [name, value] : s.counters)
+            out.counters[name] += value;
+        for (const auto& [name, value] : s.gauges) {
+            auto& [sum, n] = gauge_sums[name];
+            sum += value;
+            ++n;
+        }
+        for (const auto& [name, h] : s.histograms) {
+            auto [it, inserted] = out.histograms.emplace(name, h);
+            if (inserted)
+                continue;
+            HistogramSnapshot& acc = it->second;
+            if (acc.bounds != h.bounds)
+                throw std::invalid_argument(
+                    "aggregate: histogram '" + name
+                    + "' has mismatched bounds across snapshots");
+            for (std::size_t i = 0; i < acc.counts.size(); ++i)
+                acc.counts[i] += h.counts[i];
+            acc.total += h.total;
+            acc.sum += h.sum;
+        }
+    }
+    for (const auto& [name, sum_n] : gauge_sums)
+        out.gauges[name] = sum_n.first / static_cast<double>(sum_n.second);
+    return out;
+}
+
+Counter&
+MetricsRegistry::counter(const std::string& name)
+{
+    return counters_[name];
+}
+
+Gauge&
+MetricsRegistry::gauge(const std::string& name)
+{
+    return gauges_[name];
+}
+
+Histogram&
+MetricsRegistry::histogram(const std::string& name,
+                           std::vector<double> upper_bounds)
+{
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        return histograms_
+            .emplace(name, Histogram(std::move(upper_bounds)))
+            .first->second;
+    }
+    if (it->second.bounds() != upper_bounds)
+        throw std::invalid_argument(
+            "MetricsRegistry: histogram '" + name
+            + "' already exists with different bounds");
+    return it->second;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot s;
+    for (const auto& [name, c] : counters_)
+        s.counters.emplace(name, c.value());
+    for (const auto& [name, g] : gauges_)
+        s.gauges.emplace(name, g.value());
+    for (const auto& [name, h] : histograms_)
+        s.histograms.emplace(
+            name, HistogramSnapshot{h.bounds(), h.counts(), h.total(),
+                                    h.sum()});
+    return s;
+}
+
+} // namespace lognic::obs

@@ -1,0 +1,165 @@
+#include "lognic/obs/trace.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace lognic::obs {
+
+namespace {
+
+constexpr double kProcessId = 1.0;
+
+std::string
+hex_id(std::uint64_t id)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(id));
+    return buf;
+}
+
+} // namespace
+
+TrackId
+ChromeTraceWriter::register_track(const std::string& name)
+{
+    tracks_.push_back(name);
+    return static_cast<TrackId>(tracks_.size() - 1);
+}
+
+void
+ChromeTraceWriter::span(TrackId track, const std::string& name, Seconds start,
+                        Seconds duration)
+{
+    events_.push_back(Event{Phase::kComplete, track, name, start.micros(),
+                            duration.micros(), 0.0, 0});
+}
+
+void
+ChromeTraceWriter::counter(TrackId track, const std::string& series,
+                           Seconds t, double value)
+{
+    events_.push_back(
+        Event{Phase::kCounter, track, series, t.micros(), 0.0, value, 0});
+}
+
+void
+ChromeTraceWriter::instant(TrackId track, const std::string& name, Seconds t)
+{
+    events_.push_back(
+        Event{Phase::kInstant, track, name, t.micros(), 0.0, 0.0, 0});
+}
+
+void
+ChromeTraceWriter::async_begin(std::uint64_t id, const std::string& name,
+                               Seconds t)
+{
+    events_.push_back(
+        Event{Phase::kAsyncBegin, 0, name, t.micros(), 0.0, 0.0, id});
+}
+
+void
+ChromeTraceWriter::async_end(std::uint64_t id, const std::string& name,
+                             Seconds t)
+{
+    events_.push_back(
+        Event{Phase::kAsyncEnd, 0, name, t.micros(), 0.0, 0.0, id});
+}
+
+io::Json
+ChromeTraceWriter::json() const
+{
+    io::JsonArray events;
+    events.reserve(events_.size() + tracks_.size() + 1);
+
+    // Metadata first: name the process and every registered track, so
+    // Perfetto shows "crypto" rather than "Thread 3".
+    {
+        io::JsonObject meta;
+        meta.emplace("name", io::Json("process_name"));
+        meta.emplace("ph", io::Json("M"));
+        meta.emplace("pid", io::Json(kProcessId));
+        meta.emplace("tid", io::Json(0.0));
+        io::JsonObject args;
+        args.emplace("name", io::Json("lognic-sim"));
+        meta.emplace("args", io::Json(std::move(args)));
+        events.emplace_back(std::move(meta));
+    }
+    for (std::size_t t = 0; t < tracks_.size(); ++t) {
+        io::JsonObject meta;
+        meta.emplace("name", io::Json("thread_name"));
+        meta.emplace("ph", io::Json("M"));
+        meta.emplace("pid", io::Json(kProcessId));
+        meta.emplace("tid", io::Json(static_cast<double>(t)));
+        io::JsonObject args;
+        args.emplace("name", io::Json(tracks_[t]));
+        meta.emplace("args", io::Json(std::move(args)));
+        events.emplace_back(std::move(meta));
+    }
+
+    for (const Event& e : events_) {
+        io::JsonObject o;
+        o.emplace("name", io::Json(e.name));
+        o.emplace("pid", io::Json(kProcessId));
+        o.emplace("ts", io::Json(e.ts_us));
+        switch (e.phase) {
+        case Phase::kComplete:
+            o.emplace("ph", io::Json("X"));
+            o.emplace("cat", io::Json("sim"));
+            o.emplace("tid", io::Json(static_cast<double>(e.track)));
+            o.emplace("dur", io::Json(e.dur_us));
+            break;
+        case Phase::kCounter: {
+            o.emplace("ph", io::Json("C"));
+            o.emplace("tid", io::Json(static_cast<double>(e.track)));
+            // Counters are keyed by (pid, name): prefix the track name so
+            // each vertex gets its own counter track.
+            o["name"] = io::Json(
+                (e.track < tracks_.size() ? tracks_[e.track] + "." : "")
+                + e.name);
+            io::JsonObject args;
+            args.emplace(e.name, io::Json(e.value));
+            o.emplace("args", io::Json(std::move(args)));
+            break;
+        }
+        case Phase::kInstant:
+            o.emplace("ph", io::Json("i"));
+            o.emplace("cat", io::Json("sim"));
+            o.emplace("tid", io::Json(static_cast<double>(e.track)));
+            o.emplace("s", io::Json("t")); // thread-scoped instant
+            break;
+        case Phase::kAsyncBegin:
+        case Phase::kAsyncEnd:
+            o.emplace("ph", io::Json(e.phase == Phase::kAsyncBegin ? "b"
+                                                                   : "e"));
+            o.emplace("cat", io::Json("pkt"));
+            o.emplace("tid", io::Json(0.0));
+            o.emplace("id", io::Json(hex_id(e.id)));
+            break;
+        }
+        events.emplace_back(std::move(o));
+    }
+
+    io::JsonObject doc;
+    doc.emplace("traceEvents", io::Json(std::move(events)));
+    doc.emplace("displayTimeUnit", io::Json("ms"));
+    return io::Json(std::move(doc));
+}
+
+std::string
+ChromeTraceWriter::dump(int indent) const
+{
+    return json().dump(indent);
+}
+
+void
+ChromeTraceWriter::write(std::ostream& out, int indent) const
+{
+    out << dump(indent) << '\n';
+    if (!out)
+        throw std::runtime_error("ChromeTraceWriter: write failed");
+}
+
+} // namespace lognic::obs

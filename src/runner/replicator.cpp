@@ -110,6 +110,14 @@ Replicator::aggregate(const std::vector<std::uint64_t>& seeds,
     agg.mean_latency_us = summarize(lat_mean);
     agg.p50_latency_us = summarize(lat_p50);
     agg.p99_latency_us = summarize(lat_p99);
+
+    std::vector<obs::MetricsSnapshot> snapshots;
+    for (const auto& r : results) {
+        if (!r.metrics.empty())
+            snapshots.push_back(r.metrics);
+    }
+    if (!snapshots.empty())
+        agg.metrics = obs::aggregate(snapshots);
     return agg;
 }
 

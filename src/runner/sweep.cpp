@@ -185,6 +185,10 @@ to_json(const PointResult& result)
     o.emplace("p50_latency_us", to_json(result.stats.p50_latency_us));
     o.emplace("p99_latency_us", to_json(result.stats.p99_latency_us));
     o.emplace("drop_rate", to_json(result.stats.drop_rate));
+    // Aggregated structured snapshot (counters summed, gauges averaged
+    // across replications); omitted when nothing was published.
+    if (!result.stats.metrics.empty())
+        o.emplace("metrics", result.stats.metrics.to_json());
     return io::Json(std::move(o));
 }
 

@@ -22,7 +22,25 @@ struct Packet {
     std::size_t class_index{0};
     Bytes app_size{Bytes{0.0}};
     SimTime created{0.0};
+    /// Arrival ordinal; drives trace sampling and async-span correlation.
+    std::uint64_t id{0};
+    /// Set when entering a vertex queue; used for traced wait spans.
+    SimTime enqueued{0.0};
+    /// True when this packet carries lifecycle spans (sampled).
+    bool traced{false};
 };
+
+/// Fixed latency-histogram buckets (microseconds, log-spaced). Fixed
+/// across runs so replication snapshots aggregate bucket-wise.
+const std::vector<double>&
+latency_bounds_us()
+{
+    static const std::vector<double> bounds{
+        1.0,    2.0,    5.0,    10.0,   20.0,    50.0,    100.0,
+        200.0,  500.0,  1000.0, 2000.0, 5000.0,  10000.0, 20000.0,
+        50000.0};
+    return bounds;
+}
 
 /// FIFO bandwidth server: transfers serialize, later ones wait.
 struct LinkServer {
@@ -64,8 +82,21 @@ struct NicSimulator::Impl {
     SimTime warmup_end;
     LatencyRecorder latencies;
     ThroughputMeter delivered;
+    /// Arrivals and drops inside the (warmup_end, horizon] window; their
+    /// ratio is the reported drop_rate (same window as completions).
+    WindowedCounter offered_in_window;
+    WindowedCounter drops_in_window;
+    obs::Histogram latency_hist{latency_bounds_us()};
     std::uint64_t generated{0};
-    std::uint64_t dropped{0};
+
+    // --- tracing (inert when trace.sink is null) ----------------------------
+    const obs::TraceOptions trace_opts;
+    struct VertexTracks {
+        obs::TrackId queue{0};               ///< counters, waits, drops
+        std::vector<obs::TrackId> engines;   ///< one lane per engine slot
+        std::vector<std::uint8_t> slot_busy; ///< traced-slot allocator
+    };
+    std::vector<VertexTracks> tracks;
 
     // --- static per-vertex/per-class tables ---------------------------------
 
@@ -116,7 +147,9 @@ struct NicSimulator::Impl {
         : hw(hw_in), graph(graph_in), traffic(traffic_in),
           options(options_in), rng(options_in.seed),
           warmup_end(options_in.duration * options_in.warmup_fraction),
-          latencies(warmup_end), delivered(warmup_end)
+          latencies(warmup_end), delivered(warmup_end),
+          offered_in_window(warmup_end), drops_in_window(warmup_end),
+          trace_opts(options_in.trace)
     {
         graph.validate(hw);
         if (options.duration <= 0.0)
@@ -132,6 +165,8 @@ struct NicSimulator::Impl {
 
         build_vertex_tables();
         build_arrival_tables();
+        if (trace_opts.sink != nullptr)
+            register_tracks();
 
         ingresses = graph.ingress_vertices();
         ingress_weights.assign(ingresses.size(), 0.0);
@@ -247,6 +282,51 @@ struct NicSimulator::Impl {
         }
     }
 
+    /// One queue track plus one lane per engine for every queueing vertex.
+    void
+    register_tracks()
+    {
+        obs::TraceSink& sink = *trace_opts.sink;
+        tracks.resize(vertices.size());
+        for (VertexId v = 0; v < graph.vertex_count(); ++v) {
+            const VertexState& st = vertices[v];
+            if (st.passthrough)
+                continue;
+            VertexTracks& vt = tracks[v];
+            const std::string& name = graph.vertex(v).name;
+            vt.queue = sink.register_track(name);
+            vt.engines.reserve(st.engines);
+            for (std::uint32_t e = 0; e < st.engines; ++e)
+                vt.engines.push_back(sink.register_track(
+                    name + "/e" + std::to_string(e)));
+            vt.slot_busy.assign(st.engines, 0);
+        }
+    }
+
+    /// Total requests queued at a vertex (all of its FIFOs).
+    static std::size_t
+    queued_total(const VertexState& st)
+    {
+        std::size_t queued = 0;
+        for (const auto& q : st.queues)
+            queued += q.size();
+        return queued;
+    }
+
+    /// Emit the vertex's queue-depth and busy-engine counter samples.
+    void
+    trace_counters(VertexId v, const VertexState& st)
+    {
+        if (trace_opts.sink == nullptr || !trace_opts.counters)
+            return;
+        const Seconds now{events.now()};
+        const VertexTracks& vt = tracks[v];
+        trace_opts.sink->counter(vt.queue, "queue_depth", now,
+                                 static_cast<double>(queued_total(st)));
+        trace_opts.sink->counter(vt.queue, "busy", now,
+                                 static_cast<double>(st.busy));
+    }
+
     /// Instantaneous arrival-rate multiplier under the burst model
     /// (deterministic ON/OFF cycle, Poisson within each phase).
     double
@@ -319,7 +399,13 @@ struct NicSimulator::Impl {
             }
             pkt.app_size = traffic.classes()[pkt.class_index].size;
             pkt.created = events.now();
+            pkt.id = generated;
+            pkt.traced = trace_opts.sampled(pkt.id);
             ++generated;
+            offered_in_window.record(events.now());
+            if (pkt.traced)
+                trace_opts.sink->async_begin(pkt.id, "pkt",
+                                             Seconds{events.now()});
             const std::size_t which = ingresses.size() > 1
                 ? rng.weighted_index(ingress_weights)
                 : 0;
@@ -337,6 +423,12 @@ struct NicSimulator::Impl {
             latencies.record(events.now(),
                              Seconds{events.now() - pkt.created});
             delivered.record(events.now(), pkt.app_size);
+            if (events.now() > warmup_end)
+                latency_hist.record(
+                    Seconds{events.now() - pkt.created}.micros());
+            if (pkt.traced)
+                trace_opts.sink->async_end(pkt.id, "pkt",
+                                           Seconds{events.now()});
             return;
         }
         // Pick the outgoing edge by delta weights.
@@ -394,8 +486,25 @@ struct NicSimulator::Impl {
         arrive(pkt, e.to, eid);
     }
 
+    /// A queue overflow at vertex @p v: account it (measurement window
+    /// only — see WindowedCounter) and close the packet's trace spans.
     void
-    arrive(const Packet& pkt, VertexId v, EdgeId via)
+    drop(const Packet& pkt, VertexId v, VertexState& st)
+    {
+        drops_in_window.record(events.now());
+        if (events.now() > warmup_end)
+            ++st.vertex_dropped;
+        if (trace_opts.sink != nullptr) {
+            trace_opts.sink->instant(tracks[v].queue, "drop",
+                                     Seconds{events.now()});
+            if (pkt.traced)
+                trace_opts.sink->async_end(pkt.id, "pkt",
+                                           Seconds{events.now()});
+        }
+    }
+
+    void
+    arrive(Packet pkt, VertexId v, EdgeId via)
     {
         VertexState& st = vertices[v];
         if (st.passthrough) {
@@ -413,18 +522,18 @@ struct NicSimulator::Impl {
             // Shared FIFO: the whole capacity N bounds queue + service.
             std::size_t queued = st.queues[0].size();
             if (queued + st.busy >= st.capacity) {
-                ++dropped;
-                ++st.vertex_dropped;
+                drop(pkt, v, st);
                 return;
             }
         } else if (st.queues[qi].size() >= st.per_queue_capacity) {
             // Per-input queue full: only this input's share overflows.
-            ++dropped;
-            ++st.vertex_dropped;
+            drop(pkt, v, st);
             return;
         }
         touch(st);
+        pkt.enqueued = events.now();
         st.queues[qi].push_back(pkt);
+        trace_counters(v, st);
         try_dispatch(v);
     }
 
@@ -456,11 +565,33 @@ struct NicSimulator::Impl {
             const double service = options.exponential_service
                 ? rng.with_scv(mean, st.service_scv)
                 : mean;
-            events.schedule_in(service, [this, pkt, v] {
+            std::size_t slot = 0;
+            if (pkt.traced) {
+                trace_opts.sink->span(
+                    tracks[v].queue, "wait", Seconds{pkt.enqueued},
+                    Seconds{events.now() - pkt.enqueued});
+                // Lowest free engine lane; traced in-service packets never
+                // exceed the engine count, so a lane is always free.
+                auto& lanes = tracks[v].slot_busy;
+                while (slot + 1 < lanes.size() && lanes[slot])
+                    ++slot;
+                lanes[slot] = 1;
+            }
+            trace_counters(v, st);
+            const SimTime start = events.now();
+            events.schedule_in(service, [this, pkt, v, slot, start,
+                                         service] {
                 VertexState& s2 = vertices[v];
                 touch(s2);
                 --s2.busy;
                 ++s2.served;
+                if (pkt.traced) {
+                    trace_opts.sink->span(tracks[v].engines[slot], "serve",
+                                          Seconds{start},
+                                          Seconds{service});
+                    tracks[v].slot_busy[slot] = 0;
+                }
+                trace_counters(v, s2);
                 try_dispatch(v);
                 depart(pkt, v);
             });
@@ -495,9 +626,14 @@ NicSimulator::run()
     r.p99_latency = s.latencies.p99().value_or(Seconds{0.0});
     r.generated = s.generated;
     r.completed = s.delivered.requests();
-    r.dropped = s.dropped;
-    r.drop_rate = s.generated > 0
-        ? static_cast<double>(s.dropped) / static_cast<double>(s.generated)
+    // Drop accounting follows the (warmup_end, horizon] measurement
+    // window, the same convention completions use: the rate is windowed
+    // drops over windowed arrivals, an unbiased blocking-probability
+    // estimate even at short horizons.
+    const std::uint64_t offered = s.offered_in_window.count();
+    r.dropped = s.drops_in_window.count();
+    r.drop_rate = offered > 0
+        ? static_cast<double>(r.dropped) / static_cast<double>(offered)
         : 0.0;
 
     // Close out the per-vertex accounting at the horizon.
@@ -518,7 +654,48 @@ NicSimulator::run()
         vs.dropped = st.vertex_dropped;
         r.vertex_stats.push_back(std::move(vs));
     }
+
+    // Publish the structured snapshot mirroring (and extending) the
+    // scalar fields; this is what the runner aggregates.
+    obs::MetricsRegistry reg;
+    reg.counter("sim.generated").add(r.generated);
+    reg.counter("sim.offered").add(offered);
+    reg.counter("sim.completed").add(r.completed);
+    reg.counter("sim.dropped").add(r.dropped);
+    reg.gauge("sim.delivered_gbps").set(r.delivered.gbps());
+    reg.gauge("sim.delivered_mops").set(r.delivered_ops.mops());
+    reg.gauge("sim.drop_rate").set(r.drop_rate);
+    reg.gauge("sim.mean_latency_us").set(r.mean_latency.micros());
+    reg.gauge("sim.p50_latency_us").set(r.p50_latency.micros());
+    reg.gauge("sim.p99_latency_us").set(r.p99_latency.micros());
+    reg.histogram("sim.latency_us", latency_bounds_us()) = s.latency_hist;
+    for (const VertexStats& vs : r.vertex_stats) {
+        reg.counter("vertex." + vs.name + ".served").add(vs.served);
+        reg.counter("vertex." + vs.name + ".dropped").add(vs.dropped);
+        reg.gauge("vertex." + vs.name + ".utilization")
+            .set(vs.utilization);
+        reg.gauge("vertex." + vs.name + ".occupancy")
+            .set(vs.mean_occupancy);
+    }
+    r.metrics = reg.snapshot();
     return r;
+}
+
+std::vector<obs::VertexObservation>
+observations(const SimResult& result)
+{
+    std::vector<obs::VertexObservation> out;
+    out.reserve(result.vertex_stats.size());
+    for (const VertexStats& vs : result.vertex_stats) {
+        obs::VertexObservation o;
+        o.name = vs.name;
+        o.utilization = vs.utilization;
+        o.mean_occupancy = vs.mean_occupancy;
+        o.served = vs.served;
+        o.dropped = vs.dropped;
+        out.push_back(std::move(o));
+    }
+    return out;
 }
 
 SimResult

@@ -14,6 +14,8 @@ struct Packet {
     SimTime created{0.0};
     std::size_t chain{0};
     std::size_t stage{0}; ///< index into the chain's unit list
+    std::uint64_t id{0};
+    bool traced{false};
 };
 
 struct UnitState {
@@ -21,7 +23,24 @@ struct UnitState {
     std::uint32_t busy{0};
     std::deque<Packet> pending; ///< held at the central scheduler
     std::deque<Packet> buffer;  ///< on-unit, waiting for an engine
+    // Measurement (window only):
+    std::uint64_t served{0};
+    std::uint64_t unit_dropped{0};
+    double area_busy{0.0}; ///< integral of busy engines over time
+    SimTime last_change{0.0};
 };
+
+/// Same log-spaced microsecond buckets the NIC simulator publishes, so
+/// panic and nic latency histograms aggregate side by side.
+const std::vector<double>&
+panic_latency_bounds_us()
+{
+    static const std::vector<double> bounds{
+        1.0,    2.0,    5.0,    10.0,   20.0,    50.0,    100.0,
+        200.0,  500.0,  1000.0, 2000.0, 5000.0,  10000.0, 20000.0,
+        50000.0};
+    return bounds;
+}
 
 struct PanicSim {
     const PanicConfig& config;
@@ -33,8 +52,17 @@ struct PanicSim {
     SimTime warmup_end;
     LatencyRecorder latencies;
     ThroughputMeter delivered;
+    /// Arrivals and scheduler drops inside (warmup_end, horizon]; their
+    /// ratio is the reported drop_rate (same window as completions).
+    WindowedCounter offered_in_window;
+    WindowedCounter drops_in_window;
+    obs::Histogram latency_hist{panic_latency_bounds_us()};
     std::uint64_t generated{0};
-    std::uint64_t dropped{0};
+
+    // Tracing (inert when trace_opts.sink is null): one track per unit
+    // carrying pending/credit counters, serve spans, and drop instants.
+    const obs::TraceOptions trace_opts;
+    std::vector<obs::TrackId> unit_tracks;
 
     std::vector<UnitState> units;
     std::vector<double> chain_weights;
@@ -53,7 +81,9 @@ struct PanicSim {
              const SimOptions& opts)
         : config(cfg), traffic(tp), options(opts), rng(opts.seed),
           warmup_end(opts.duration * opts.warmup_fraction),
-          latencies(warmup_end), delivered(warmup_end)
+          latencies(warmup_end), delivered(warmup_end),
+          offered_in_window(warmup_end), drops_in_window(warmup_end),
+          trace_opts(opts.trace)
     {
         if (config.units.empty() || config.chains.empty())
             throw std::invalid_argument("simulate_panic: empty config");
@@ -82,6 +112,46 @@ struct PanicSim {
             total_pps += pps;
         }
         fabric_ports.resize(config.units.size() + 1); // +1: the TX port
+        if (trace_opts.sink != nullptr) {
+            unit_tracks.reserve(config.units.size());
+            for (std::size_t u = 0; u < config.units.size(); ++u) {
+                const std::string& name = config.units[u].name;
+                unit_tracks.push_back(trace_opts.sink->register_track(
+                    name.empty() ? "unit" + std::to_string(u) : name));
+            }
+        }
+    }
+
+    /// Accumulate a unit's busy-engine area up to the current time.
+    void
+    touch(UnitState& st)
+    {
+        const SimTime now = events.now();
+        if (now <= warmup_end) {
+            st.last_change = warmup_end;
+            return;
+        }
+        const SimTime from = std::max(st.last_change, warmup_end);
+        if (now > from)
+            st.area_busy += (now - from) * static_cast<double>(st.busy);
+        st.last_change = now;
+    }
+
+    /// Emit the unit's scheduler/credit counter samples.
+    void
+    trace_counters(std::size_t u)
+    {
+        if (trace_opts.sink == nullptr || !trace_opts.counters)
+            return;
+        const UnitState& st = units[u];
+        const Seconds now{events.now()};
+        const obs::TrackId t = unit_tracks[u];
+        trace_opts.sink->counter(t, "pending", now,
+                                 static_cast<double>(st.pending.size()));
+        trace_opts.sink->counter(t, "credits_free", now,
+                                 static_cast<double>(st.credits_free));
+        trace_opts.sink->counter(t, "busy", now,
+                                 static_cast<double>(st.busy));
     }
 
     SimTime
@@ -107,7 +177,13 @@ struct PanicSim {
             pkt.size = traffic.classes()[pkt.class_index].size;
             pkt.created = events.now();
             pkt.chain = rng.weighted_index(chain_weights);
+            pkt.id = generated;
+            pkt.traced = trace_opts.sampled(pkt.id);
             ++generated;
+            offered_in_window.record(events.now());
+            if (pkt.traced)
+                trace_opts.sink->async_begin(pkt.id, "pkt",
+                                             Seconds{events.now()});
             // RMT parse, then hand the packet to the scheduler.
             events.schedule_in(config.rmt_latency.seconds(),
                                [this, pkt] { enqueue_at_scheduler(pkt); });
@@ -123,10 +199,21 @@ struct PanicSim {
             && units[u].pending.size() >= config.scheduler_queue_capacity) {
             // The central packet buffer is full: shed new arrivals.
             // Mid-chain packets are never shed (they already own buffering).
-            ++dropped;
+            // Counted in the measurement window only — see WindowedCounter.
+            drops_in_window.record(events.now());
+            if (events.now() > warmup_end)
+                ++units[u].unit_dropped;
+            if (trace_opts.sink != nullptr) {
+                trace_opts.sink->instant(unit_tracks[u], "drop",
+                                         Seconds{events.now()});
+                if (pkt.traced)
+                    trace_opts.sink->async_end(pkt.id, "pkt",
+                                               Seconds{events.now()});
+            }
             return;
         }
         units[u].pending.push_back(pkt);
+        trace_counters(u);
         try_dispatch(u);
     }
 
@@ -138,6 +225,7 @@ struct PanicSim {
             const Packet pkt = st.pending.front();
             st.pending.pop_front();
             --st.credits_free;
+            trace_counters(u);
             const SimTime arrive = fabric_transfer(events.now(), pkt.size, u);
             events.schedule_at(arrive, [this, pkt, u] {
                 units[u].buffer.push_back(pkt);
@@ -154,17 +242,28 @@ struct PanicSim {
         while (st.busy < spec.parallelism && !st.buffer.empty()) {
             const Packet pkt = st.buffer.front();
             st.buffer.pop_front();
+            touch(st);
             ++st.busy;
+            trace_counters(u);
             const double mean = spec.service.service_time(pkt.size).seconds();
             const double service = options.exponential_service
                 ? rng.exponential(mean)
                 : mean;
-            events.schedule_in(service, [this, pkt, u] {
-                --units[u].busy;
+            const SimTime start = events.now();
+            events.schedule_in(service, [this, pkt, u, start, service] {
+                UnitState& s2 = units[u];
+                touch(s2);
+                --s2.busy;
+                ++s2.served;
+                if (pkt.traced)
+                    trace_opts.sink->span(unit_tracks[u], "serve",
+                                          Seconds{start}, Seconds{service});
+                trace_counters(u);
                 try_serve(u);
                 // Credit returns to the scheduler after one fabric hop.
                 events.schedule_in(config.hop_latency.seconds(), [this, u] {
                     ++units[u].credits_free;
+                    trace_counters(u);
                     try_dispatch(u);
                 });
                 advance(pkt);
@@ -186,6 +285,12 @@ struct PanicSim {
         events.schedule_at(out, [this, pkt] {
             latencies.record(events.now(), Seconds{events.now() - pkt.created});
             delivered.record(events.now(), pkt.size);
+            if (events.now() > warmup_end)
+                latency_hist.record(
+                    Seconds{events.now() - pkt.created}.micros());
+            if (pkt.traced)
+                trace_opts.sink->async_end(pkt.id, "pkt",
+                                           Seconds{events.now()});
         });
     }
 };
@@ -208,11 +313,50 @@ simulate_panic(const PanicConfig& config, const core::TrafficProfile& traffic,
     r.p99_latency = sim.latencies.p99().value_or(Seconds{0.0});
     r.generated = sim.generated;
     r.completed = sim.delivered.requests();
-    r.dropped = sim.dropped;
-    r.drop_rate = sim.generated > 0
-        ? static_cast<double>(sim.dropped)
-            / static_cast<double>(sim.generated)
+    // Windowed drop accounting — same (warmup_end, horizon] convention as
+    // completions, so drop_rate is an unbiased blocking estimate.
+    const std::uint64_t offered = sim.offered_in_window.count();
+    r.dropped = sim.drops_in_window.count();
+    r.drop_rate = offered > 0
+        ? static_cast<double>(r.dropped) / static_cast<double>(offered)
         : 0.0;
+
+    const double window = options.duration - sim.warmup_end;
+    for (std::size_t u = 0; u < sim.units.size(); ++u) {
+        UnitState& st = sim.units[u];
+        sim.touch(st);
+        VertexStats vs;
+        vs.name = config.units[u].name.empty()
+            ? "unit" + std::to_string(u)
+            : config.units[u].name;
+        if (window > 0.0)
+            vs.utilization = st.area_busy
+                / (window
+                   * static_cast<double>(config.units[u].parallelism));
+        vs.served = st.served;
+        vs.dropped = st.unit_dropped;
+        r.vertex_stats.push_back(std::move(vs));
+    }
+
+    obs::MetricsRegistry reg;
+    reg.counter("sim.generated").add(r.generated);
+    reg.counter("sim.offered").add(offered);
+    reg.counter("sim.completed").add(r.completed);
+    reg.counter("sim.dropped").add(r.dropped);
+    reg.gauge("sim.delivered_gbps").set(r.delivered.gbps());
+    reg.gauge("sim.delivered_mops").set(r.delivered_ops.mops());
+    reg.gauge("sim.drop_rate").set(r.drop_rate);
+    reg.gauge("sim.mean_latency_us").set(r.mean_latency.micros());
+    reg.gauge("sim.p50_latency_us").set(r.p50_latency.micros());
+    reg.gauge("sim.p99_latency_us").set(r.p99_latency.micros());
+    reg.histogram("sim.latency_us", panic_latency_bounds_us()) =
+        sim.latency_hist;
+    for (const VertexStats& vs : r.vertex_stats) {
+        reg.counter("unit." + vs.name + ".served").add(vs.served);
+        reg.counter("unit." + vs.name + ".dropped").add(vs.dropped);
+        reg.gauge("unit." + vs.name + ".utilization").set(vs.utilization);
+    }
+    r.metrics = reg.snapshot();
     return r;
 }
 

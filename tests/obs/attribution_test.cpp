@@ -1,0 +1,128 @@
+#include "lognic/obs/attribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "lognic/core/model.hpp"
+#include "lognic/sim/nic_simulator.hpp"
+
+namespace lognic::obs {
+namespace {
+
+using test::mtu_traffic;
+using test::small_nic;
+using test::two_stage_graph;
+
+VertexObservation
+obs_of(std::string name, double util, double occ = 0.0)
+{
+    VertexObservation v;
+    v.name = std::move(name);
+    v.utilization = util;
+    v.mean_occupancy = occ;
+    return v;
+}
+
+TEST(Attribute, RanksByUtilizationWithOccupancyTiebreak)
+{
+    const std::vector<VertexObservation> sim{
+        obs_of("a", 0.3, 1.0), obs_of("b", 0.9, 0.5),
+        obs_of("c", 0.9, 2.0), obs_of("d", 0.1, 0.0)};
+    const auto report = attribute(sim, {}, 3);
+    ASSERT_EQ(report.top.size(), 3u);
+    EXPECT_EQ(report.top[0].name, "c"); // 0.9, higher occupancy
+    EXPECT_EQ(report.top[1].name, "b");
+    EXPECT_EQ(report.top[2].name, "a");
+    EXPECT_TRUE(report.deltas.empty()); // no model side to join
+}
+
+TEST(Attribute, DeltasJoinByNameAndSortByMagnitude)
+{
+    const std::vector<VertexObservation> sim{
+        obs_of("a", 0.50), obs_of("b", 0.80), obs_of("unmatched", 0.2)};
+    const std::vector<VertexObservation> model{
+        obs_of("a", 0.52), obs_of("b", 0.70), obs_of("model-only", 0.9)};
+    const auto report = attribute(sim, model);
+    ASSERT_EQ(report.deltas.size(), 2u);
+    EXPECT_EQ(report.deltas[0].name, "b"); // |0.10| > |0.02|
+    EXPECT_NEAR(report.deltas[0].delta, 0.10, 1e-12);
+    EXPECT_NEAR(report.deltas[1].delta, -0.02, 1e-12);
+}
+
+TEST(Attribute, RenderAndJsonCarryBothSections)
+{
+    const auto report = attribute({obs_of("crypto", 0.75)},
+                                  {obs_of("crypto", 0.80)});
+    const std::string text = render(report);
+    EXPECT_NE(text.find("crypto"), std::string::npos);
+    EXPECT_NE(text.find("model-vs-sim"), std::string::npos);
+
+    const io::Json j = to_json(report);
+    ASSERT_EQ(j.at("top").as_array().size(), 1u);
+    ASSERT_EQ(j.at("deltas").as_array().size(), 1u);
+    EXPECT_NEAR(j.at("deltas").as_array()[0].at("delta").as_number(),
+                -0.05, 1e-12);
+}
+
+TEST(ModelVertexUtilization, MatchesSimulatedUtilization)
+{
+    // The whole point of the report: the model's ρ and the measured
+    // utilization must tell the same story on an uncongested scenario.
+    const auto hw = small_nic();
+    const auto g = two_stage_graph(hw);
+    const auto traffic = mtu_traffic(8.0);
+
+    const auto model = model_vertex_utilization(g, hw, traffic);
+    ASSERT_EQ(model.size(), 2u); // cores + accel, passthroughs skipped
+
+    sim::SimOptions o;
+    o.duration = 0.02;
+    o.seed = 5;
+    const auto res = sim::simulate(hw, g, traffic, o);
+    const auto report = attribute(sim::observations(res), model);
+    ASSERT_EQ(report.deltas.size(), 2u);
+    for (const auto& d : report.deltas) {
+        EXPECT_GT(d.model_utilization, 0.0);
+        EXPECT_NEAR(d.delta, 0.0, 0.05)
+            << d.name << ": sim " << d.sim_utilization << " vs model "
+            << d.model_utilization;
+    }
+}
+
+TEST(ModelVertexUtilization, CapsRhoAtSaturation)
+{
+    // Overloaded vertex: ρ > 1 must be reported as 1 (a vertex cannot be
+    // more than fully busy).
+    const auto hw = small_nic(Bandwidth::from_gbps(1000.0));
+    core::VertexParams p;
+    p.parallelism = 1;
+    const auto g = test::single_stage_graph(hw, p);
+    const auto model = model_vertex_utilization(g, hw, mtu_traffic(100.0));
+    ASSERT_EQ(model.size(), 1u);
+    EXPECT_DOUBLE_EQ(model[0].utilization, 1.0);
+}
+
+TEST(PublishReport, ExportsModelEstimateAsMetrics)
+{
+    const auto hw = small_nic();
+    const auto g = two_stage_graph(hw);
+    const core::Model model(hw);
+    const core::Report rep = model.estimate(g, mtu_traffic(8.0));
+
+    MetricsRegistry reg;
+    publish_report(rep, reg);
+    const MetricsSnapshot s = reg.snapshot();
+    EXPECT_EQ(s.counter_or_zero("model.estimates"), 1u);
+    EXPECT_DOUBLE_EQ(s.gauge_or("model.capacity_gbps"),
+                     rep.throughput.capacity.gbps());
+    EXPECT_DOUBLE_EQ(s.gauge_or("model.mean_latency_us"),
+                     rep.latency.mean.micros());
+    EXPECT_DOUBLE_EQ(s.gauge_or("model.class.0.p99_us"),
+                     rep.latency.per_class.at(0).p99.micros());
+    // A second publish accumulates the counter, refreshes the gauges.
+    publish_report(rep, reg);
+    EXPECT_EQ(reg.snapshot().counter_or_zero("model.estimates"), 2u);
+}
+
+} // namespace
+} // namespace lognic::obs

@@ -1,0 +1,146 @@
+#include "lognic/obs/metrics.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace lognic::obs {
+namespace {
+
+TEST(Histogram, BucketsSamplesAtUpperBoundsInclusive)
+{
+    Histogram h({1.0, 10.0, 100.0});
+    h.record(0.5);   // <= 1
+    h.record(1.0);   // <= 1 (bound is inclusive)
+    h.record(5.0);   // <= 10
+    h.record(100.0); // <= 100
+    h.record(250.0); // overflow
+    ASSERT_EQ(h.counts().size(), 4u);
+    EXPECT_EQ(h.counts()[0], 2u);
+    EXPECT_EQ(h.counts()[1], 1u);
+    EXPECT_EQ(h.counts()[2], 1u);
+    EXPECT_EQ(h.counts()[3], 1u);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_NEAR(h.mean(), (0.5 + 1.0 + 5.0 + 100.0 + 250.0) / 5.0, 1e-12);
+}
+
+TEST(Histogram, RejectsMalformedBounds)
+{
+    EXPECT_THROW(Histogram({}), std::invalid_argument);
+    EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+    EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, FindOrCreateSemantics)
+{
+    MetricsRegistry reg;
+    reg.counter("a").add();
+    reg.counter("a").add(2);
+    EXPECT_EQ(reg.counter("a").value(), 3u);
+
+    reg.gauge("g").set(1.5);
+    reg.gauge("g").set(2.5); // last write wins
+    EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 2.5);
+
+    reg.histogram("h", {1.0, 2.0}).record(0.5);
+    reg.histogram("h", {1.0, 2.0}).record(1.5); // same bounds: same hist
+    EXPECT_EQ(reg.histogram("h", {1.0, 2.0}).total(), 2u);
+    EXPECT_THROW(reg.histogram("h", {1.0, 3.0}), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, SnapshotExportsEverything)
+{
+    MetricsRegistry reg;
+    reg.counter("c").add(7);
+    reg.gauge("g").set(0.25);
+    reg.histogram("h", {10.0}).record(3.0);
+    const MetricsSnapshot s = reg.snapshot();
+    EXPECT_FALSE(s.empty());
+    EXPECT_EQ(s.counter_or_zero("c"), 7u);
+    EXPECT_EQ(s.counter_or_zero("missing"), 0u);
+    EXPECT_DOUBLE_EQ(s.gauge_or("g"), 0.25);
+    EXPECT_DOUBLE_EQ(s.gauge_or("missing", -1.0), -1.0);
+    ASSERT_EQ(s.histograms.count("h"), 1u);
+    EXPECT_EQ(s.histograms.at("h").total, 1u);
+}
+
+TEST(MetricsAggregate, CountersSumGaugesAverage)
+{
+    MetricsRegistry a;
+    a.counter("n").add(10);
+    a.gauge("util").set(0.2);
+    MetricsRegistry b;
+    b.counter("n").add(30);
+    b.gauge("util").set(0.6);
+    b.counter("only_b").add(1);
+
+    const MetricsSnapshot agg =
+        aggregate({a.snapshot(), b.snapshot()});
+    EXPECT_EQ(agg.counter_or_zero("n"), 40u);
+    EXPECT_EQ(agg.counter_or_zero("only_b"), 1u);
+    // Gauges average over the snapshots that carry them.
+    EXPECT_DOUBLE_EQ(agg.gauge_or("util"), 0.4);
+}
+
+TEST(MetricsAggregate, HistogramBucketsSumBucketwise)
+{
+    MetricsRegistry a;
+    a.histogram("lat", {1.0, 2.0}).record(0.5);
+    MetricsRegistry b;
+    b.histogram("lat", {1.0, 2.0}).record(0.7);
+    b.histogram("lat", {1.0, 2.0}).record(5.0);
+
+    const MetricsSnapshot agg = aggregate({a.snapshot(), b.snapshot()});
+    const HistogramSnapshot& h = agg.histograms.at("lat");
+    EXPECT_EQ(h.counts[0], 2u);
+    EXPECT_EQ(h.counts[2], 1u); // overflow bucket
+    EXPECT_EQ(h.total, 3u);
+    EXPECT_NEAR(h.sum, 6.2, 1e-12);
+}
+
+TEST(MetricsAggregate, MismatchedHistogramBoundsThrow)
+{
+    MetricsRegistry a;
+    a.histogram("lat", {1.0, 2.0}).record(0.5);
+    MetricsRegistry b;
+    b.histogram("lat", {1.0, 3.0}).record(0.5);
+    EXPECT_THROW(aggregate({a.snapshot(), b.snapshot()}),
+                 std::invalid_argument);
+}
+
+TEST(MetricsAggregate, EmptyInputYieldsEmptySnapshot)
+{
+    EXPECT_TRUE(aggregate({}).empty());
+    EXPECT_TRUE(MetricsSnapshot{}.empty());
+}
+
+TEST(MetricsSnapshot, JsonCarriesAllSections)
+{
+    MetricsRegistry reg;
+    reg.counter("sim.dropped").add(4);
+    reg.gauge("sim.drop_rate").set(0.04);
+    reg.histogram("sim.latency_us", {1.0, 10.0}).record(2.0);
+    const io::Json j = reg.snapshot().to_json();
+    ASSERT_TRUE(j.is_object());
+    EXPECT_DOUBLE_EQ(j.at("counters").at("sim.dropped").as_number(), 4.0);
+    EXPECT_DOUBLE_EQ(j.at("gauges").at("sim.drop_rate").as_number(), 0.04);
+    const io::Json& h = j.at("histograms").at("sim.latency_us");
+    EXPECT_EQ(h.at("bounds").as_array().size(), 2u);
+    EXPECT_EQ(h.at("counts").as_array().size(), 3u);
+    EXPECT_DOUBLE_EQ(h.at("total").as_number(), 1.0);
+}
+
+TEST(MetricsSnapshot, JsonIsDeterministic)
+{
+    // std::map storage: identical insert orders or not, identical dump.
+    MetricsRegistry a;
+    a.counter("z").add(1);
+    a.counter("a").add(2);
+    MetricsRegistry b;
+    b.counter("a").add(2);
+    b.counter("z").add(1);
+    EXPECT_EQ(a.snapshot().to_json().dump(), b.snapshot().to_json().dump());
+}
+
+} // namespace
+} // namespace lognic::obs

@@ -96,6 +96,35 @@ TEST(Replicator, DegenerateReplicationsExcludedFromLatency)
     EXPECT_NEAR(agg.delivered_gbps.mean, 20.0 / 3.0, 1e-12);
 }
 
+TEST(Replicator, AggregatesMetricsSnapshots)
+{
+    // Counters sum, gauges average across replications; empty snapshots
+    // (e.g. from a fake or legacy result) simply don't contribute.
+    std::vector<std::uint64_t> seeds{1, 2, 3};
+    std::vector<sim::SimResult> results{
+        fake_result(10.0, 8.0, 100),
+        fake_result(12.0, 9.0, 120),
+        fake_result(0.0, 0.0, 0),
+    };
+    obs::MetricsRegistry r0;
+    r0.counter("sim.dropped").add(5);
+    r0.gauge("sim.drop_rate").set(0.05);
+    results[0].metrics = r0.snapshot();
+    obs::MetricsRegistry r1;
+    r1.counter("sim.dropped").add(7);
+    r1.gauge("sim.drop_rate").set(0.07);
+    results[1].metrics = r1.snapshot();
+
+    const auto agg = Replicator::aggregate(seeds, results);
+    EXPECT_EQ(agg.metrics.counter_or_zero("sim.dropped"), 12u);
+    EXPECT_DOUBLE_EQ(agg.metrics.gauge_or("sim.drop_rate"), 0.06);
+
+    // All-empty snapshots yield an empty aggregate.
+    const auto none =
+        Replicator::aggregate({9}, {fake_result(1.0, 1.0, 10)});
+    EXPECT_TRUE(none.metrics.empty());
+}
+
 TEST(Replicator, RunResultsIndependentOfThreadCount)
 {
     const Replicator rep(8, 99);

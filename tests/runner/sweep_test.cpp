@@ -82,6 +82,12 @@ TEST(Sweep, ResultsSerializeToJson)
         EXPECT_TRUE(p.at("delivered_gbps").contains("ci95"));
         // uint64 seeds travel as hex strings, not lossy doubles.
         EXPECT_TRUE(p.at("seeds").as_array().at(0).is_string());
+        // The aggregated metrics snapshot rides along: replication-summed
+        // counters and the cross-replication latency histogram.
+        ASSERT_TRUE(p.contains("metrics"));
+        const io::Json& m = p.at("metrics");
+        EXPECT_GT(m.at("counters").at("sim.completed").as_number(), 0.0);
+        EXPECT_TRUE(m.at("histograms").contains("sim.latency_us"));
     }
     // Round-trips through the parser.
     const io::Json reparsed = io::Json::parse(doc.dump());

@@ -57,6 +57,36 @@ TEST(NicSimulator, DropsUnderOverload)
     EXPECT_NEAR(res.delivered.gbps(), 8.7, 1.0);
 }
 
+TEST(NicSimulator, DropAccountingFollowsMeasurementWindow)
+{
+    // Regression: drops used to be counted over the whole run while
+    // completions were windowed, biasing drop_rate high. Both now follow
+    // the (warmup_end, horizon] convention.
+    const auto hw = small_nic(Bandwidth::from_gbps(1000.0));
+    core::VertexParams p;
+    p.parallelism = 1;
+    p.queue_capacity = 4;
+    const auto g = single_stage_graph(hw, p);
+
+    // Warmup covering the whole run: heavy overload, yet zero *reported*
+    // drops — every drop happened inside the warmup.
+    SimOptions all_warmup = quick();
+    all_warmup.warmup_fraction = 1.0;
+    const auto warm = simulate(hw, g, mtu_traffic(40.0), all_warmup);
+    EXPECT_GT(warm.generated, 0u);
+    EXPECT_EQ(warm.dropped, 0u);
+    EXPECT_DOUBLE_EQ(warm.drop_rate, 0.0);
+
+    // The same scenario with a normal warmup reports plenty of drops, and
+    // the windowed rate stays a valid probability.
+    const auto res = simulate(hw, g, mtu_traffic(40.0), quick());
+    EXPECT_GT(res.dropped, 0u);
+    EXPECT_GT(res.drop_rate, 0.5);
+    EXPECT_LE(res.drop_rate, 1.0);
+    // Windowed drops can never exceed lifetime generated.
+    EXPECT_LT(res.dropped, res.generated);
+}
+
 TEST(NicSimulator, ReproducibleForSameSeed)
 {
     const auto hw = small_nic();

@@ -79,6 +79,36 @@ TEST(LatencyRecorder, RecordingAfterQuantileKeepsSorted)
     EXPECT_NEAR(r.quantile(0.0)->micros(), 0.5, 1e-12);
 }
 
+TEST(LatencyRecorder, SingleSampleQuantiles)
+{
+    // n = 1: rank max(1, ceil(q)) is 1 for every q in [0, 1] — the lone
+    // sample is simultaneously min, median, and max.
+    LatencyRecorder r;
+    r.record(1.0, Seconds::from_micros(7.0));
+    EXPECT_NEAR(r.quantile(0.0)->micros(), 7.0, 1e-12);
+    EXPECT_NEAR(r.quantile(0.5)->micros(), 7.0, 1e-12);
+    EXPECT_NEAR(r.quantile(1.0)->micros(), 7.0, 1e-12);
+}
+
+TEST(WindowedCounter, CountsOnlyInsideMeasurementWindow)
+{
+    WindowedCounter c(10.0);
+    c.record(5.0);  // warmup
+    c.record(10.0); // exactly at the boundary: still warmup
+    EXPECT_EQ(c.count(), 0u);
+    c.record(10.0 + 1e-9);
+    c.record(20.0);
+    EXPECT_EQ(c.count(), 2u);
+}
+
+TEST(WindowedCounter, ZeroWarmupCountsEverythingPositive)
+{
+    WindowedCounter c;
+    c.record(0.0); // the boundary itself is excluded even at warmup 0
+    c.record(1e-12);
+    EXPECT_EQ(c.count(), 1u);
+}
+
 TEST(ThroughputMeter, RatesOverMeasurementWindow)
 {
     ThroughputMeter m(1.0);

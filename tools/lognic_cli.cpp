@@ -6,6 +6,8 @@
  *
  *   lognic example                      print a sample scenario JSON
  *   lognic example sweep                print a sample sweep-spec JSON
+ *   lognic example placement            print the fig13/14 NF-placement
+ *                                       scenario (LogNIC-opt at MTU)
  *   lognic estimate <scenario.json>     model throughput/latency report
  *   lognic simulate <scenario.json> [seconds] [seed]
  *                                       packet-level simulation
@@ -14,6 +16,12 @@
  *                                       emits per-point JSON results)
  *   lognic sweep <scenario.json> <gbps> [gbps...]
  *                                       analytic rate sweep
+ *   lognic trace <scenario.json> [--out trace.json] [--seconds s]
+ *                [--seed n] [--sample n]
+ *                                       traced simulation: Chrome
+ *                                       trace-event JSON (open in
+ *                                       ui.perfetto.dev) + bottleneck
+ *                                       attribution report
  *   lognic dot <scenario.json>          Graphviz export of the graph
  */
 #include <cstdio>
@@ -22,10 +30,13 @@
 #include <sstream>
 #include <string>
 
+#include "lognic/apps/nf_chain.hpp"
 #include "lognic/core/model.hpp"
 #include "lognic/core/reporting.hpp"
 #include "lognic/core/sensitivity.hpp"
 #include "lognic/io/serialize.hpp"
+#include "lognic/obs/attribution.hpp"
+#include "lognic/obs/trace.hpp"
 #include "lognic/runner/sweep.hpp"
 #include "lognic/sim/nic_simulator.hpp"
 
@@ -38,13 +49,19 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: lognic <command> [args]\n"
-                 "  example [sweep]               print a sample scenario "
-                 "(or sweep spec)\n"
+                 "  example [sweep|placement]     print a sample scenario "
+                 "(or sweep spec, or the\n"
+                 "                                fig13/14 NF-placement "
+                 "scenario)\n"
                  "  estimate <scenario.json>      analytical report\n"
                  "  simulate <scenario.json> [seconds] [seed]\n"
                  "  sweep    <spec.json>          replicated parallel sweep "
                  "(JSON out)\n"
                  "  sweep    <scenario.json> <gbps> [gbps...]\n"
+                 "  trace    <scenario.json> [--out trace.json] "
+                 "[--seconds s] [--seed n] [--sample n]\n"
+                 "                                traced simulation "
+                 "(Chrome trace-event JSON)\n"
                  "  sensitivity <scenario.json>   parameter elasticities\n"
                  "  dot      <scenario.json>      Graphviz export\n");
     return 2;
@@ -109,6 +126,26 @@ sample_scenario()
                             Bytes{1024.0}, Bandwidth::from_gbps(12.0))};
 }
 
+// The fig13/14 NF-placement scenario at MTU: the chain under the
+// placement LogNIC-opt picks for 1500 B packets, offered 80% of its
+// modelled capacity — the operating point bench/fig13_14_placement
+// evaluates and the one the EXPERIMENTS.md Perfetto walkthrough opens.
+io::Scenario
+placement_scenario()
+{
+    const Bytes mtu{1500.0};
+    const auto probe =
+        core::TrafficProfile::fixed(mtu, Bandwidth::from_gbps(50.0));
+    const auto placement = apps::lognic_opt_placement(probe);
+    auto sc = apps::make_nf_chain(placement);
+    const core::Model model(sc.hw);
+    const auto capacity = model.throughput(sc.graph, probe).capacity;
+    return io::Scenario{
+        std::move(sc.hw), std::move(sc.graph),
+        core::TrafficProfile::fixed(
+            mtu, Bandwidth::from_gbps(0.8 * capacity.gbps()))};
+}
+
 int
 cmd_estimate(const io::Scenario& sc)
 {
@@ -145,6 +182,70 @@ cmd_simulate(const io::Scenario& sc, double seconds, std::uint64_t seed)
                     static_cast<unsigned long long>(vs.served),
                     static_cast<unsigned long long>(vs.dropped));
     }
+    return 0;
+}
+
+/**
+ * Traced simulation: run the scenario with a ChromeTraceWriter attached,
+ * write the trace-event document (ui.perfetto.dev opens it directly), and
+ * print the bottleneck-attribution report comparing the measured per-vertex
+ * utilizations against the model's ρ.
+ */
+int
+cmd_trace(const io::Scenario& sc, int argc, char** argv)
+{
+    std::string out_path;
+    sim::SimOptions opts;
+    opts.duration = 0.005; // short horizon: traces grow with event count
+    std::uint64_t sample_every = 1;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--out" && has_value) {
+            out_path = argv[++i];
+        } else if (arg == "--seconds" && has_value) {
+            opts.duration = std::atof(argv[++i]);
+        } else if (arg == "--seed" && has_value) {
+            opts.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--sample" && has_value) {
+            sample_every =
+                static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else {
+            std::fprintf(stderr, "trace: bad argument '%s'\n", arg.c_str());
+            return 2;
+        }
+    }
+    if (opts.duration <= 0.0) {
+        std::fprintf(stderr, "bad duration\n");
+        return 2;
+    }
+
+    obs::ChromeTraceWriter writer;
+    opts.trace.sink = &writer;
+    opts.trace.sample_every = sample_every;
+    const auto res = sim::simulate(sc.hw, sc.graph, sc.traffic, opts);
+
+    if (out_path.empty()) {
+        std::fputs(writer.dump().c_str(), stdout);
+        std::printf("\n");
+    } else {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+            return 1;
+        }
+        writer.write(out);
+        std::fprintf(stderr,
+                     "wrote %zu trace events on %zu tracks to %s "
+                     "(open in https://ui.perfetto.dev)\n",
+                     writer.event_count(), writer.track_count(),
+                     out_path.c_str());
+    }
+
+    const auto model =
+        obs::model_vertex_utilization(sc.graph, sc.hw, sc.traffic);
+    const auto report = obs::attribute(sim::observations(res), model);
+    std::fputs(obs::render(report).c_str(), stderr);
     return 0;
 }
 
@@ -199,6 +300,9 @@ main(int argc, char** argv)
                 std::fputs(
                     runner::sample_sweep_spec(sample_scenario()).c_str(),
                     stdout);
+            } else if (argc > 2 && std::string(argv[2]) == "placement") {
+                std::fputs(io::save_scenario(placement_scenario()).c_str(),
+                           stdout);
             } else {
                 std::fputs(io::save_scenario(sample_scenario()).c_str(),
                            stdout);
@@ -223,6 +327,8 @@ main(int argc, char** argv)
         const io::Scenario sc = load(argv[2]);
         if (command == "estimate")
             return cmd_estimate(sc);
+        if (command == "trace")
+            return cmd_trace(sc, argc - 3, argv + 3);
         if (command == "simulate") {
             const double seconds = argc > 3 ? std::atof(argv[3]) : 0.05;
             const std::uint64_t seed = argc > 4
