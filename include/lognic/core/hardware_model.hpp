@@ -97,6 +97,12 @@ class HardwareModel {
     /// Dedicated bandwidth between two IPs, if characterized.
     std::optional<Bandwidth> ip_bandwidth(IpId a, IpId b) const;
 
+    /// Every characterized dedicated link as (a, b, bw), insertion order.
+    const std::vector<std::tuple<IpId, IpId, Bandwidth>>& ip_links() const
+    {
+        return ip_links_;
+    }
+
   private:
     std::string name_;
     Bandwidth interface_bw_;

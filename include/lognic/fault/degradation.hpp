@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Degraded-mode evaluation of the analytical LogNIC model.
+ *
+ * Two entry points:
+ *
+ *  - apply_faults_at(): replay a FaultPlan up to an instant t and bake the
+ *    surviving state into a fault-adjusted (hardware, graph) pair — fewer
+ *    engines (reduced D_vi), slower service (acceleration / factor),
+ *    reduced queue capacities, scaled shared-link bandwidths. The regular
+ *    Model then evaluates the degraded operating point with no special
+ *    cases.
+ *
+ *  - degradation_curve(): sweep "fraction of one vertex's engines lost"
+ *    from 0 to max_fraction and report the model's capacity / achieved
+ *    throughput / mean latency at each step — the graceful-degradation
+ *    curve operators read to see whether a device sheds load
+ *    proportionally or collapses. Validated against the faulted simulator
+ *    in tests/fault/degradation_test.cpp.
+ */
+#ifndef LOGNIC_FAULT_DEGRADATION_HPP_
+#define LOGNIC_FAULT_DEGRADATION_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lognic/core/execution_graph.hpp"
+#include "lognic/core/hardware_model.hpp"
+#include "lognic/core/traffic_profile.hpp"
+#include "lognic/fault/fault_plan.hpp"
+#include "lognic/io/json.hpp"
+
+namespace lognic::fault {
+
+/// One step of a graceful-degradation curve.
+struct DegradationPoint {
+    std::uint32_t engines_failed{0};
+    std::uint32_t engines_left{0};
+    double fraction_failed{0.0};
+    Bandwidth capacity{Bandwidth::from_gbps(0.0)};
+    Bandwidth achieved{Bandwidth::from_gbps(0.0)};
+    Seconds mean_latency{0.0};
+};
+
+struct DegradationCurve {
+    std::string vertex;
+    std::uint32_t base_engines{0};
+    std::vector<DegradationPoint> points;
+};
+
+/**
+ * Model throughput/latency vs. fraction of @p vertex's engines lost, one
+ * point per failed engine up to floor(base * max_fraction). The fully-
+ * failed point (zero engines left) reports zero capacity/throughput and
+ * is only emitted when max_fraction reaches 1.
+ *
+ * @throws std::invalid_argument when @p vertex is not an IP vertex of
+ * @p graph, or @p max_fraction is outside (0, 1].
+ */
+DegradationCurve degradation_curve(const core::HardwareModel& hw,
+                                   const core::ExecutionGraph& graph,
+                                   const core::TrafficProfile& traffic,
+                                   const std::string& vertex,
+                                   double max_fraction = 1.0);
+
+io::Json to_json(const DegradationCurve& curve);
+
+/// A fault-adjusted scenario (apply_faults_at output).
+struct FaultedScenario {
+    core::HardwareModel hw;
+    core::ExecutionGraph graph;
+};
+
+/**
+ * Replay @p plan's events with at <= @p t (durations honored) and return
+ * copies of @p hw / @p graph with the surviving fault state baked into
+ * the Table-2 parameters. A fully-failed vertex keeps one engine — the
+ * analytical queueing model cannot express a zero-server vertex — so
+ * callers that need the all-engines-lost point should special-case it
+ * (degradation_curve does).
+ *
+ * Unknown targets throw std::invalid_argument naming the target.
+ */
+FaultedScenario apply_faults_at(const FaultPlan& plan, double t,
+                                const core::HardwareModel& hw,
+                                const core::ExecutionGraph& graph);
+
+} // namespace lognic::fault
+
+#endif // LOGNIC_FAULT_DEGRADATION_HPP_

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "lognic/sim/nic_simulator.hpp"
@@ -59,6 +60,21 @@ struct ReplicationResult {
     obs::MetricsSnapshot metrics;
 };
 
+/// A replication whose simulation threw (see Replicator::run_guarded).
+struct FailedReplication {
+    std::size_t replication{0};
+    std::uint64_t seed{0};
+    std::string error;   ///< what() of the thrown exception
+};
+
+/// Guarded-run outcome: aggregates over the replications that completed,
+/// plus a structured record per replication that threw.
+struct GuardedReplication {
+    ReplicationResult stats;
+    std::vector<FailedReplication> failed;
+    bool complete() const { return failed.empty(); }
+};
+
 class Replicator {
   public:
     Replicator(std::size_t replications, std::uint64_t root_seed)
@@ -80,6 +96,15 @@ class Replicator {
      * each replication depends only on its derived seed.
      */
     ReplicationResult run(const SimFn& fn, std::size_t threads = 1) const;
+
+    /**
+     * Failure-isolating run: a replication whose fn(seed) throws becomes a
+     * FailedReplication record instead of aborting the batch; the
+     * survivors aggregate as usual (stats.seeds lists only them). Same
+     * thread-count-independence guarantee as run().
+     */
+    GuardedReplication run_guarded(const SimFn& fn,
+                                   std::size_t threads = 1) const;
 
     /// Aggregate pre-computed results (results[i] came from seeds[i]).
     static ReplicationResult aggregate(

@@ -15,6 +15,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -37,7 +38,13 @@ class ThreadPool {
     /// further tasks.
     void submit(std::function<void()> task);
 
-    /// Block until the queue is empty and every worker is idle.
+    /**
+     * Block until the queue is empty and every worker is idle. If any task
+     * threw since the last wait, the *first* such exception is rethrown
+     * here (and cleared) — a throw inside a worker never escapes the
+     * worker thread, so it cannot std::terminate the process. Later
+     * exceptions from the same batch are dropped.
+     */
     void wait_idle();
 
   private:
@@ -48,6 +55,7 @@ class ThreadPool {
     std::mutex mu_;
     std::condition_variable work_cv_;
     std::condition_variable idle_cv_;
+    std::exception_ptr first_error_;
     std::size_t active_{0};
     bool stop_{false};
 };

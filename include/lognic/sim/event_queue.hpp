@@ -24,6 +24,26 @@ namespace lognic::sim {
 /// Simulated time in seconds.
 using SimTime = double;
 
+/// Why a limited run_until() returned.
+enum class RunOutcome {
+    kDrained,     ///< the calendar emptied before the horizon
+    kHorizon,     ///< simulated time reached the horizon
+    kEventBudget, ///< RunLimits::max_events exhausted
+    kAborted,     ///< RunLimits::should_abort returned true
+};
+
+/**
+ * Watchdog limits for run_until. The event budget is deterministic (the
+ * same run always stops at the same event); should_abort is for
+ * wall-clock deadlines and is polled only every check_interval events to
+ * keep clock reads off the hot path.
+ */
+struct RunLimits {
+    std::uint64_t max_events{0}; ///< events per run_until call; 0 = unlimited
+    std::function<bool()> should_abort;
+    std::uint64_t check_interval{4096};
+};
+
 class EventQueue {
   public:
     using Action = std::function<void()>;
@@ -41,6 +61,13 @@ class EventQueue {
 
     /// Run events until the queue drains or simulated time passes @p horizon.
     void run_until(SimTime horizon);
+
+    /**
+     * run_until with a watchdog. On kEventBudget/kAborted, now() stays at
+     * the last executed event's time (it does NOT advance to the horizon),
+     * so callers can report how far the truncated run got.
+     */
+    RunOutcome run_until(SimTime horizon, const RunLimits& limits);
 
     /// Number of events executed so far.
     std::uint64_t executed() const { return executed_; }

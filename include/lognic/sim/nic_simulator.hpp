@@ -34,6 +34,7 @@
 #include "lognic/core/execution_graph.hpp"
 #include "lognic/core/hardware_model.hpp"
 #include "lognic/core/traffic_profile.hpp"
+#include "lognic/fault/fault_plan.hpp"
 #include "lognic/obs/attribution.hpp"
 #include "lognic/obs/metrics.hpp"
 #include "lognic/obs/trace.hpp"
@@ -59,6 +60,17 @@ struct BurstModel {
     double intensity{1.8};
 };
 
+/**
+ * Watchdog limits for a single run. The event budget is deterministic —
+ * the same configuration truncates at the same simulated instant on every
+ * machine — while the wall-clock deadline is a last-resort guard whose
+ * trigger point varies with host load. 0 disables either limit.
+ */
+struct WatchdogOptions {
+    std::uint64_t max_events{0};     ///< simulated-event budget (0 = off)
+    double wall_clock_seconds{0.0};  ///< host-time deadline (0 = off)
+};
+
 struct SimOptions {
     /// Simulated duration in seconds.
     SimTime duration{0.05};
@@ -73,6 +85,15 @@ struct SimOptions {
     /// Optional burst modulation (requires poisson_arrivals).
     BurstModel burst;
     /**
+     * Fault schedule replayed mid-run (engines offline, degraded links,
+     * drop bursts, ...). An empty plan is the default and is guaranteed
+     * bit-identical to a build without fault support: no extra RNG draws,
+     * no behavioral branches taken.
+     */
+    fault::FaultPlan faults;
+    /// Runaway-run protection; truncated runs return partial results.
+    WatchdogOptions watchdog;
+    /**
      * Observability: attach a TraceSink to record packet lifecycle spans
      * and per-vertex counter tracks. Default-off; with no sink the
      * simulator's hot path pays a null-pointer test and nothing else, and
@@ -81,6 +102,17 @@ struct SimOptions {
      */
     obs::TraceOptions trace{};
 };
+
+/**
+ * Check option invariants: duration > 0, warmup_fraction in [0, 1), a
+ * well-formed burst model (positive phases, intensity >= 1 and
+ * intensity * on/(on+off) <= 1, Poisson arrivals), a valid fault plan,
+ * non-negative watchdog limits.
+ *
+ * Called by the simulator constructors; also usable standalone to vet
+ * options parsed from user input. @throws std::invalid_argument.
+ */
+void validate(const SimOptions& options);
 
 /// Per-vertex measurement (IP and rate-limiter vertices only).
 struct VertexStats {
@@ -114,6 +146,26 @@ struct SimResult {
      */
     std::uint64_t dropped{0};
     double drop_rate{0.0};
+    /**
+     * Lifetime (whole-run) accounting, the terms of the packet-
+     * conservation invariant the simulator asserts at end of run:
+     *   generated == completed_total + dropped_total + in_flight.
+     * `in_flight` counts packets still inside the device when the run
+     * ended (mid-transfer, queued, or in service) — nonzero even for
+     * healthy runs, and large for truncated ones.
+     */
+    std::uint64_t completed_total{0};
+    std::uint64_t dropped_total{0};
+    std::uint64_t in_flight{0};
+    /**
+     * Watchdog outcome. A truncated run carries valid partial statistics
+     * normalized to `sim_time_reached` (not the requested duration);
+     * truncation_reason is "event_budget" or "wall_clock".
+     */
+    bool truncated{false};
+    std::string truncation_reason;
+    double sim_time_reached{0.0};
+    std::uint64_t events_executed{0};
     /// Per-vertex breakdown; the most utilized vertex is the measured
     /// bottleneck (the sim-side counterpart of the model's min() term).
     std::vector<VertexStats> vertex_stats;

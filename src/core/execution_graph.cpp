@@ -5,6 +5,7 @@
 #include <functional>
 #include <queue>
 #include <stdexcept>
+#include <string>
 
 namespace lognic::core {
 
@@ -84,10 +85,17 @@ ExecutionGraph::add_rate_limiter(const std::string& name, Bandwidth limit,
 EdgeId
 ExecutionGraph::add_edge(VertexId from, VertexId to, EdgeParams params)
 {
-    if (from >= vertices_.size() || to >= vertices_.size())
-        throw std::out_of_range("ExecutionGraph: bad vertex id for edge");
+    if (from >= vertices_.size() || to >= vertices_.size()) {
+        const VertexId bad = from >= vertices_.size() ? from : to;
+        throw std::out_of_range(
+            "ExecutionGraph '" + name_ + "': edge endpoint id "
+            + std::to_string(bad) + " does not exist (graph has "
+            + std::to_string(vertices_.size()) + " vertices)");
+    }
     if (from == to)
-        throw std::invalid_argument("ExecutionGraph: self-loop not allowed");
+        throw std::invalid_argument(
+            "ExecutionGraph '" + name_ + "': self-loop on vertex '"
+            + vertices_[from].name + "' not allowed");
     edges_.push_back(Edge{from, to, params});
     return static_cast<EdgeId>(edges_.size() - 1);
 }
@@ -96,7 +104,10 @@ const Vertex&
 ExecutionGraph::vertex(VertexId v) const
 {
     if (v >= vertices_.size())
-        throw std::out_of_range("ExecutionGraph: bad vertex id");
+        throw std::out_of_range(
+            "ExecutionGraph '" + name_ + "': no vertex with id "
+            + std::to_string(v) + " (graph has "
+            + std::to_string(vertices_.size()) + ")");
     return vertices_[v];
 }
 
@@ -104,7 +115,10 @@ Vertex&
 ExecutionGraph::vertex(VertexId v)
 {
     if (v >= vertices_.size())
-        throw std::out_of_range("ExecutionGraph: bad vertex id");
+        throw std::out_of_range(
+            "ExecutionGraph '" + name_ + "': no vertex with id "
+            + std::to_string(v) + " (graph has "
+            + std::to_string(vertices_.size()) + ")");
     return vertices_[v];
 }
 
@@ -112,7 +126,10 @@ const Edge&
 ExecutionGraph::edge(EdgeId e) const
 {
     if (e >= edges_.size())
-        throw std::out_of_range("ExecutionGraph: bad edge id");
+        throw std::out_of_range(
+            "ExecutionGraph '" + name_ + "': no edge with id "
+            + std::to_string(e) + " (graph has "
+            + std::to_string(edges_.size()) + ")");
     return edges_[e];
 }
 
@@ -120,7 +137,10 @@ Edge&
 ExecutionGraph::edge(EdgeId e)
 {
     if (e >= edges_.size())
-        throw std::out_of_range("ExecutionGraph: bad edge id");
+        throw std::out_of_range(
+            "ExecutionGraph '" + name_ + "': no edge with id "
+            + std::to_string(e) + " (graph has "
+            + std::to_string(edges_.size()) + ")");
     return edges_[e];
 }
 
@@ -235,11 +255,17 @@ ExecutionGraph::validate(const HardwareModel& hw) const
             "ExecutionGraph '" + name_ + "' vertex '" + v.name + "': ";
         if (v.kind == VertexKind::kIp) {
             if (v.ip >= hw.ip_count())
-                throw std::invalid_argument(where + "unknown hardware IP");
+                throw std::invalid_argument(
+                    where + "references IP id " + std::to_string(v.ip)
+                    + ", but hardware model '" + hw.name() + "' has only "
+                    + std::to_string(hw.ip_count()) + " IPs");
             const auto& spec = hw.ip(v.ip);
             if (v.params.parallelism > spec.max_engines)
                 throw std::invalid_argument(
-                    where + "parallelism exceeds the IP's engines");
+                    where + "parallelism "
+                    + std::to_string(v.params.parallelism)
+                    + " exceeds IP '" + spec.name + "' max_engines "
+                    + std::to_string(spec.max_engines));
             if (!(v.params.partition > 0.0) || v.params.partition > 1.0)
                 throw std::invalid_argument(
                     where + "partition must be in (0, 1]");

@@ -1,6 +1,7 @@
 #include "lognic/core/hardware_model.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <tuple>
 
 namespace lognic::core {
@@ -26,23 +27,30 @@ HardwareModel::HardwareModel(std::string name, Bandwidth interface_bw,
     : name_(std::move(name)), interface_bw_(interface_bw),
       memory_bw_(memory_bw), line_rate_(line_rate)
 {
-    if (interface_bw.bits_per_sec() <= 0.0
-        || memory_bw.bits_per_sec() <= 0.0 || line_rate.bits_per_sec() <= 0.0)
+    const char* bad = interface_bw.bits_per_sec() <= 0.0 ? "interface"
+        : memory_bw.bits_per_sec() <= 0.0                ? "memory"
+        : line_rate.bits_per_sec() <= 0.0                ? "line-rate"
+                                                         : nullptr;
+    if (bad)
         throw std::invalid_argument(
-            "HardwareModel: bandwidths must be positive");
+            "HardwareModel '" + name_ + "': " + bad
+            + " bandwidth must be positive");
 }
 
 IpId
 HardwareModel::add_ip(IpSpec spec)
 {
     if (spec.name.empty())
-        throw std::invalid_argument("HardwareModel: IP needs a name");
+        throw std::invalid_argument(
+            "HardwareModel '" + name_ + "': IP needs a name");
     if (spec.max_engines == 0)
         throw std::invalid_argument(
-            "HardwareModel: IP needs at least one engine");
+            "HardwareModel '" + name_ + "': IP '" + spec.name
+            + "' needs at least one engine");
     if (find_ip(spec.name))
         throw std::invalid_argument(
-            "HardwareModel: duplicate IP name '" + spec.name + "'");
+            "HardwareModel '" + name_ + "': duplicate IP name '"
+            + spec.name + "'");
     ips_.push_back(std::move(spec));
     return static_cast<IpId>(ips_.size() - 1);
 }
@@ -51,7 +59,10 @@ const IpSpec&
 HardwareModel::ip(IpId id) const
 {
     if (id >= ips_.size())
-        throw std::out_of_range("HardwareModel: bad IP id");
+        throw std::out_of_range(
+            "HardwareModel '" + name_ + "': no IP with id "
+            + std::to_string(id) + " (model has "
+            + std::to_string(ips_.size()) + ")");
     return ips_[id];
 }
 
@@ -68,11 +79,17 @@ HardwareModel::find_ip(const std::string& name) const
 void
 HardwareModel::set_ip_bandwidth(IpId a, IpId b, Bandwidth bw)
 {
-    if (a >= ips_.size() || b >= ips_.size())
-        throw std::out_of_range("HardwareModel: bad IP id for link");
+    if (a >= ips_.size() || b >= ips_.size()) {
+        const IpId missing = a >= ips_.size() ? a : b;
+        throw std::out_of_range(
+            "HardwareModel '" + name_ + "': link endpoint IP id "
+            + std::to_string(missing) + " does not exist (model has "
+            + std::to_string(ips_.size()) + " IPs)");
+    }
     if (bw.bits_per_sec() <= 0.0)
         throw std::invalid_argument(
-            "HardwareModel: link bandwidth must be positive");
+            "HardwareModel '" + name_ + "': link " + ips_[a].name + "<->"
+            + ips_[b].name + " bandwidth must be positive");
     ip_links_.emplace_back(a, b, bw);
 }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "lognic/runner/seed.hpp"
 #include "lognic/runner/thread_pool.hpp"
@@ -77,6 +79,42 @@ Replicator::run(const SimFn& fn, std::size_t threads) const
         results[i] = fn(reps_seeds[i]);
     });
     return aggregate(reps_seeds, results);
+}
+
+GuardedReplication
+Replicator::run_guarded(const SimFn& fn, std::size_t threads) const
+{
+    if (replications_ == 0)
+        throw std::invalid_argument("Replicator: zero replications");
+    const auto reps_seeds = seeds();
+    std::vector<sim::SimResult> results(replications_);
+    std::vector<std::string> errors(replications_);
+    std::vector<char> ok(replications_, 0);
+    parallel_for(replications_, threads, [&](std::size_t i) {
+        try {
+            results[i] = fn(reps_seeds[i]);
+            ok[i] = 1;
+        } catch (const std::exception& e) {
+            errors[i] = e.what();
+        } catch (...) {
+            errors[i] = "unknown exception";
+        }
+    });
+
+    GuardedReplication out;
+    std::vector<std::uint64_t> good_seeds;
+    std::vector<sim::SimResult> good_results;
+    for (std::size_t i = 0; i < replications_; ++i) {
+        if (ok[i]) {
+            good_seeds.push_back(reps_seeds[i]);
+            good_results.push_back(std::move(results[i]));
+        } else {
+            out.failed.push_back(
+                FailedReplication{i, reps_seeds[i], std::move(errors[i])});
+        }
+    }
+    out.stats = aggregate(good_seeds, good_results);
+    return out;
 }
 
 ReplicationResult

@@ -1,6 +1,7 @@
 #include "lognic/runner/sweep.hpp"
 
 #include <cstdio>
+#include <exception>
 #include <stdexcept>
 #include <utility>
 
@@ -47,6 +48,119 @@ hex_seed(std::uint64_t seed)
     return buf;
 }
 
+/// One (point, replication) slot of a guarded campaign.
+struct TaskOutcome {
+    sim::SimResult result;
+    bool ok{false};
+    std::uint64_t seed{0};     ///< seed of the last attempt made
+    std::size_t attempts{0};
+    std::string error;         ///< what() of the last failed attempt
+    std::exception_ptr eptr;
+};
+
+struct GuardedOutcome {
+    SweepReport report;
+    /// Failure of the lowest (point, replication) — what run() rethrows.
+    std::exception_ptr first_error;
+};
+
+GuardedOutcome
+run_guarded_impl(const std::vector<SweepPoint>& points,
+                 const SweepOptions& options)
+{
+    const std::size_t reps = options.replications > 0
+        ? options.replications
+        : 1;
+    const std::size_t npoints = points.size();
+    std::vector<std::vector<TaskOutcome>> raw(
+        npoints, std::vector<TaskOutcome>(reps));
+
+    // One task per (point, replication): replications of a slow point can
+    // run alongside other points, and every outcome — including the retry
+    // chain — is a pure function of the flattened index, never of the
+    // executing thread or of other points' fates.
+    parallel_for(npoints * reps, options.threads, [&](std::size_t task) {
+        const std::size_t p = task / reps;
+        const std::size_t r = task % reps;
+        const SweepPoint& pt = points[p];
+        TaskOutcome& out = raw[p][r];
+        const std::uint64_t seed0 =
+            derive_seed(derive_seed(options.root_seed, p), r);
+        for (std::size_t attempt = 0; attempt <= options.max_retries;
+             ++attempt) {
+            // Attempt 0 keeps the classic seed (so an empty retry budget
+            // reproduces historical results bit-for-bit); attempt k draws
+            // a fresh-but-deterministic derived seed.
+            out.seed = attempt == 0 ? seed0 : derive_seed(seed0, attempt);
+            out.attempts = attempt + 1;
+            sim::SimOptions so = pt.options;
+            so.seed = out.seed;
+            try {
+                out.result = sim::simulate(pt.hw, pt.graph, pt.traffic, so);
+                out.ok = true;
+                return;
+            } catch (const std::exception& e) {
+                out.error = e.what();
+                out.eptr = std::current_exception();
+            } catch (...) {
+                out.error = "unknown exception";
+                out.eptr = std::current_exception();
+            }
+        }
+    });
+
+    GuardedOutcome out;
+    for (std::size_t p = 0; p < npoints; ++p) {
+        const TaskOutcome* fail = nullptr;
+        std::size_t fail_r = 0;
+        for (std::size_t r = 0; r < reps; ++r) {
+            if (!raw[p][r].ok) {
+                fail = &raw[p][r];
+                fail_r = r;
+                break;
+            }
+        }
+        if (fail) {
+            FailedPoint f;
+            f.index = p;
+            f.label = points[p].label;
+            f.replication = fail_r;
+            f.seed = fail->seed;
+            f.attempts = fail->attempts;
+            f.error = fail->error;
+            out.report.failed.push_back(std::move(f));
+            if (!out.first_error)
+                out.first_error = fail->eptr;
+            continue;
+        }
+        std::vector<std::uint64_t> seeds;
+        std::vector<sim::SimResult> results;
+        seeds.reserve(reps);
+        results.reserve(reps);
+        for (std::size_t r = 0; r < reps; ++r) {
+            TaskOutcome& t = raw[p][r];
+            if (t.result.truncated) {
+                TruncationRecord tr;
+                tr.index = p;
+                tr.label = points[p].label;
+                tr.replication = r;
+                tr.seed = t.seed;
+                tr.reason = t.result.truncation_reason;
+                tr.sim_time_reached = t.result.sim_time_reached;
+                out.report.truncated.push_back(std::move(tr));
+            }
+            seeds.push_back(t.seed);
+            results.push_back(std::move(t.result));
+        }
+        PointResult pr;
+        pr.index = p;
+        pr.label = points[p].label;
+        pr.stats = Replicator::aggregate(seeds, results);
+        out.report.results.push_back(std::move(pr));
+    }
+    return out;
+}
+
 } // namespace
 
 std::size_t
@@ -59,40 +173,16 @@ Sweep::add(SweepPoint point)
 std::vector<PointResult>
 Sweep::run(const SweepOptions& options) const
 {
-    const std::size_t reps = options.replications > 0
-        ? options.replications
-        : 1;
-    const std::size_t npoints = points_.size();
-    std::vector<std::vector<sim::SimResult>> raw(
-        npoints, std::vector<sim::SimResult>(reps));
+    GuardedOutcome out = run_guarded_impl(points_, options);
+    if (out.first_error)
+        std::rethrow_exception(out.first_error);
+    return std::move(out.report.results);
+}
 
-    // One task per (point, replication): replications of a slow point can
-    // run alongside other points, and the seed is a pure function of the
-    // flattened index — never of the executing thread.
-    parallel_for(npoints * reps, options.threads, [&](std::size_t task) {
-        const std::size_t p = task / reps;
-        const std::size_t r = task % reps;
-        const SweepPoint& pt = points_[p];
-        sim::SimOptions so = pt.options;
-        so.seed = derive_seed(derive_seed(options.root_seed, p), r);
-        raw[p][r] = sim::simulate(pt.hw, pt.graph, pt.traffic, so);
-    });
-
-    std::vector<PointResult> out;
-    out.reserve(npoints);
-    for (std::size_t p = 0; p < npoints; ++p) {
-        const std::uint64_t point_root = derive_seed(options.root_seed, p);
-        std::vector<std::uint64_t> seeds;
-        seeds.reserve(reps);
-        for (std::size_t r = 0; r < reps; ++r)
-            seeds.push_back(derive_seed(point_root, r));
-        PointResult pr;
-        pr.index = p;
-        pr.label = points_[p].label;
-        pr.stats = Replicator::aggregate(seeds, raw[p]);
-        out.push_back(std::move(pr));
-    }
-    return out;
+SweepReport
+Sweep::run_guarded(const SweepOptions& options) const
+{
+    return run_guarded_impl(points_, options).report;
 }
 
 SweepSpec
@@ -125,6 +215,18 @@ sweep_spec_from_json(const io::Json& doc)
     spec.sim.duration = sw.number_or("duration", spec.sim.duration);
     spec.sim.warmup_fraction =
         sw.number_or("warmup_fraction", spec.sim.warmup_fraction);
+    const double retries = sw.number_or("max_retries", 0.0);
+    const double max_events = sw.number_or("max_sim_events", 0.0);
+    const double deadline = sw.number_or("deadline_seconds", 0.0);
+    if (retries < 0.0 || max_events < 0.0 || deadline < 0.0)
+        throw std::runtime_error(
+            "sweep spec: max_retries/max_sim_events/deadline_seconds "
+            "must be >= 0");
+    spec.options.max_retries = static_cast<std::size_t>(retries);
+    spec.sim.watchdog.max_events = static_cast<std::uint64_t>(max_events);
+    spec.sim.watchdog.wall_clock_seconds = deadline;
+    if (sw.contains("faults"))
+        spec.sim.faults = fault::fault_plan_from_json(sw.at("faults"));
     if (spec.options.replications == 0)
         throw std::runtime_error("sweep spec: replications must be >= 1");
     if (spec.sim.duration <= 0.0)
@@ -200,6 +302,50 @@ sweep_results_json(const std::vector<PointResult>& results)
         points.push_back(to_json(r));
     io::JsonObject o;
     o.emplace("points", io::Json(std::move(points)));
+    return io::Json(std::move(o));
+}
+
+io::Json
+to_json(const FailedPoint& failure)
+{
+    io::JsonObject o;
+    o.emplace("index", io::Json(static_cast<double>(failure.index)));
+    o.emplace("label", io::Json(failure.label));
+    o.emplace("replication",
+              io::Json(static_cast<double>(failure.replication)));
+    o.emplace("seed", io::Json(hex_seed(failure.seed)));
+    o.emplace("attempts", io::Json(static_cast<double>(failure.attempts)));
+    o.emplace("error", io::Json(failure.error));
+    return io::Json(std::move(o));
+}
+
+io::Json
+to_json(const TruncationRecord& record)
+{
+    io::JsonObject o;
+    o.emplace("index", io::Json(static_cast<double>(record.index)));
+    o.emplace("label", io::Json(record.label));
+    o.emplace("replication",
+              io::Json(static_cast<double>(record.replication)));
+    o.emplace("seed", io::Json(hex_seed(record.seed)));
+    o.emplace("reason", io::Json(record.reason));
+    o.emplace("sim_time_reached", io::Json(record.sim_time_reached));
+    return io::Json(std::move(o));
+}
+
+io::Json
+to_json(const SweepReport& report)
+{
+    io::JsonObject o = sweep_results_json(report.results).as_object();
+    io::JsonArray failed;
+    for (const auto& f : report.failed)
+        failed.push_back(to_json(f));
+    io::JsonArray truncated;
+    for (const auto& t : report.truncated)
+        truncated.push_back(to_json(t));
+    o.emplace("failed", io::Json(std::move(failed)));
+    o.emplace("truncated", io::Json(std::move(truncated)));
+    o.emplace("complete", io::Json(report.complete()));
     return io::Json(std::move(o));
 }
 

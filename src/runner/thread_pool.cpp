@@ -45,6 +45,8 @@ ThreadPool::wait_idle()
 {
     std::unique_lock<std::mutex> lock(mu_);
     idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    if (first_error_)
+        std::rethrow_exception(std::exchange(first_error_, nullptr));
 }
 
 void
@@ -59,8 +61,15 @@ ThreadPool::worker_loop()
         queue_.pop_front();
         ++active_;
         lock.unlock();
-        task();
+        std::exception_ptr error;
+        try {
+            task();
+        } catch (...) {
+            error = std::current_exception();
+        }
         lock.lock();
+        if (error && !first_error_)
+            first_error_ = error;
         --active_;
         if (queue_.empty() && active_ == 0)
             idle_cv_.notify_all();

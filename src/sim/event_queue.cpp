@@ -1,5 +1,6 @@
 #include "lognic/sim/event_queue.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -68,6 +69,31 @@ EventQueue::run_until(SimTime horizon)
     }
     if (now_ < horizon)
         now_ = horizon;
+}
+
+RunOutcome
+EventQueue::run_until(SimTime horizon, const RunLimits& limits)
+{
+    const std::uint64_t interval = std::max<std::uint64_t>(
+        limits.check_interval, 1);
+    std::uint64_t dispatched = 0;
+    while (!events_.empty() && events_.front().when <= horizon) {
+        if (limits.max_events != 0 && dispatched >= limits.max_events)
+            return RunOutcome::kEventBudget;
+        if (limits.should_abort && dispatched % interval == 0
+            && limits.should_abort())
+            return RunOutcome::kAborted;
+        Event ev = pop_top();
+        now_ = ev.when;
+        ++executed_;
+        ++dispatched;
+        ev.action();
+    }
+    const RunOutcome outcome =
+        events_.empty() ? RunOutcome::kDrained : RunOutcome::kHorizon;
+    if (now_ < horizon)
+        now_ = horizon;
+    return outcome;
 }
 
 } // namespace lognic::sim

@@ -1,8 +1,10 @@
 #include "lognic/sim/nic_simulator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace lognic::sim {
 
@@ -46,18 +48,56 @@ latency_bounds_us()
 struct LinkServer {
     Bandwidth bw{Bandwidth::from_gbps(0.0)};
     SimTime free_at{0.0};
+    /// Fault-injected bandwidth multiplier in (0, 1]; 1.0 = healthy. Only
+    /// transfers *starting* after a degrade event are reshaped — a
+    /// transfer already on the wire keeps its committed completion time.
+    double factor{1.0};
 
     /// Returns the completion time of a transfer of @p payload starting not
     /// earlier than @p now.
     SimTime occupy(SimTime now, Bytes payload)
     {
         const SimTime start = std::max(now, free_at);
-        free_at = start + (payload / bw).seconds();
+        free_at = start + (payload / (bw * factor)).seconds();
         return free_at;
     }
 };
 
+/// Cause slots for the lifetime drop accounting.
+enum DropCause : int {
+    kDropOverflow = 0,   ///< finite queue was full
+    kDropBurstLoss = 1,  ///< fault-injected transient drop burst
+    kDropEngineFail = 2, ///< in-service request lost to an engine failure
+};
+
 } // namespace
+
+void
+validate(const SimOptions& options)
+{
+    if (options.duration <= 0.0)
+        throw std::invalid_argument("NicSimulator: duration must be > 0");
+    if (!(options.warmup_fraction >= 0.0) || options.warmup_fraction >= 1.0)
+        throw std::invalid_argument(
+            "NicSimulator: warmup_fraction must be in [0, 1), got "
+            + std::to_string(options.warmup_fraction));
+    if (options.burst.enabled) {
+        if (!options.poisson_arrivals)
+            throw std::invalid_argument(
+                "NicSimulator: bursts require Poisson arrivals");
+        const double on = options.burst.on.seconds();
+        const double off = options.burst.off.seconds();
+        if (on <= 0.0 || off <= 0.0 || options.burst.intensity < 1.0)
+            throw std::invalid_argument(
+                "NicSimulator: malformed burst model");
+        const double p_on = on / (on + off);
+        if (options.burst.intensity * p_on > 1.0 + 1e-12)
+            throw std::invalid_argument(
+                "NicSimulator: burst intensity exceeds the mean "
+                "(intensity * on-fraction must be <= 1)");
+    }
+    options.faults.validate();
+}
 
 const VertexStats&
 SimResult::busiest() const
@@ -89,6 +129,36 @@ struct NicSimulator::Impl {
     obs::Histogram latency_hist{latency_bounds_us()};
     std::uint64_t generated{0};
 
+    // --- lifetime conservation accounting -----------------------------------
+    // generated == completed_total + sum(dropped_cause) + in_transit
+    //              + queued + busy, asserted at end of run.
+    std::uint64_t completed_total{0};
+    std::uint64_t dropped_cause[3]{0, 0, 0};
+    /// Packets between vertices: in an overhead delay or a link transfer.
+    std::uint64_t in_transit{0};
+
+    // --- fault injection (inert when the plan is empty) ---------------------
+    const bool faults_active;
+    /// Monotonic id for in-service requests, so a fault instant can
+    /// neutralize their already-scheduled completion events.
+    std::uint64_t next_serial{0};
+    std::unordered_set<std::uint64_t> killed;
+    struct ScheduledFault {
+        double at{0.0};
+        fault::FaultKind kind{fault::FaultKind::kEngineFail};
+        bool inverse{false}; ///< auto-generated end of a `duration` window
+        int link{-1};        ///< 0 = interface, 1 = memory, -1 = vertex
+        VertexId v{0};
+        std::uint32_t count{1};
+        double factor{1.0};
+        double probability{1.0};
+        std::uint32_t capacity{1};
+        std::string label; ///< "<kind>[/end]:<target>" for the trace
+    };
+    std::vector<ScheduledFault> scheduled_faults;
+    obs::TrackId fault_track{0};
+    std::uint64_t fault_events_applied{0};
+
     // --- tracing (inert when trace.sink is null) ----------------------------
     const obs::TraceOptions trace_opts;
     struct VertexTracks {
@@ -119,6 +189,27 @@ struct NicSimulator::Impl {
         /// Queue index for each in-edge id (all 0 for the shared FIFO).
         std::vector<std::pair<EdgeId, std::size_t>> queue_of_edge;
         std::uint32_t busy{0};
+        // Dynamic fault state (defaults = healthy; untouched when the
+        // plan is empty, so the fault-free fast path is unchanged):
+        std::uint32_t engines_offline{0};
+        double slow_factor{1.0};       ///< service-time multiplier (>= 1)
+        double drop_prob{0.0};         ///< active drop-burst probability
+        std::uint32_t capacity_override{0}; ///< 0 = use static capacity
+        /// In-service requests, tracked only while a fault plan is active
+        /// so a fail-stop can requeue/drop them (swap-removed: order is
+        /// arbitrary but deterministic).
+        struct InService {
+            std::uint64_t serial{0};
+            Packet pkt;
+            std::size_t qi{0};
+            std::size_t slot{0};
+        };
+        std::vector<InService> in_service;
+
+        std::uint32_t available() const
+        {
+            return engines_offline >= engines ? 0u : engines - engines_offline;
+        }
         // Measurement (accumulated after warmup):
         double area_busy{0.0};     ///< integral of busy engines over time
         double area_occupancy{0.0}; ///< integral of (queue + busy)
@@ -149,11 +240,11 @@ struct NicSimulator::Impl {
           warmup_end(options_in.duration * options_in.warmup_fraction),
           latencies(warmup_end), delivered(warmup_end),
           offered_in_window(warmup_end), drops_in_window(warmup_end),
+          faults_active(!options_in.faults.empty()),
           trace_opts(options_in.trace)
     {
         graph.validate(hw);
-        if (options.duration <= 0.0)
-            throw std::invalid_argument("NicSimulator: duration must be > 0");
+        sim::validate(options);
 
         interface_link.bw = hw.interface_bandwidth();
         memory_link.bw = hw.memory_bandwidth();
@@ -165,6 +256,8 @@ struct NicSimulator::Impl {
 
         build_vertex_tables();
         build_arrival_tables();
+        if (faults_active)
+            resolve_faults();
         if (trace_opts.sink != nullptr)
             register_tracks();
 
@@ -264,22 +357,158 @@ struct NicSimulator::Impl {
         }
         if (total_pps <= 0.0)
             throw std::invalid_argument("NicSimulator: zero arrival rate");
+        // Burst-model invariants are checked by validate(SimOptions) at
+        // construction, before any tables are built.
+    }
 
-        if (options.burst.enabled) {
-            if (!options.poisson_arrivals)
-                throw std::invalid_argument(
-                    "NicSimulator: bursts require Poisson arrivals");
-            const double on = options.burst.on.seconds();
-            const double off = options.burst.off.seconds();
-            if (on <= 0.0 || off <= 0.0 || options.burst.intensity < 1.0)
-                throw std::invalid_argument(
-                    "NicSimulator: malformed burst model");
-            const double p_on = on / (on + off);
-            if (options.burst.intensity * p_on > 1.0 + 1e-12)
-                throw std::invalid_argument(
-                    "NicSimulator: burst intensity exceeds the mean "
-                    "(intensity * on-fraction must be <= 1)");
+    /**
+     * Resolve every fault target to a vertex or shared link and expand
+     * `duration` windows into (apply, inverse) pairs clipped to the run.
+     * Unknown or unusable targets throw here, at construction — a typo in
+     * a plan should not surface as a silent no-op mid-campaign.
+     */
+    void
+    resolve_faults()
+    {
+        for (const fault::FaultEvent& ev : options.faults.sorted()) {
+            ScheduledFault f;
+            f.at = ev.at;
+            f.kind = ev.kind;
+            f.count = ev.count;
+            f.factor = ev.factor;
+            f.probability = ev.probability;
+            f.capacity = ev.capacity;
+            f.label = std::string(fault::to_string(ev.kind)) + ":" + ev.target;
+            if (ev.kind == fault::FaultKind::kLinkDegrade) {
+                if (ev.target == "interface") {
+                    f.link = 0;
+                } else if (ev.target == "memory") {
+                    f.link = 1;
+                } else {
+                    throw std::invalid_argument(
+                        "NicSimulator: link_degrade target '" + ev.target
+                        + "' must be 'interface' or 'memory'");
+                }
+            } else {
+                const auto vid = graph.find_vertex(ev.target);
+                if (!vid)
+                    throw std::invalid_argument(
+                        "NicSimulator: fault target '" + ev.target
+                        + "' is not a vertex of graph '" + graph.name()
+                        + "'");
+                if (vertices[*vid].passthrough)
+                    throw std::invalid_argument(
+                        "NicSimulator: fault target '" + ev.target
+                        + "' is an ingress/egress engine; only IP and "
+                          "rate-limiter vertices can fault");
+                f.v = *vid;
+            }
+            if (f.at > options.duration)
+                continue;
+            scheduled_faults.push_back(f);
+            if (ev.duration > 0.0 && ev.at + ev.duration <= options.duration) {
+                ScheduledFault inv = f;
+                inv.at = ev.at + ev.duration;
+                inv.inverse = true;
+                inv.label = std::string(fault::to_string(ev.kind)) + "/end:"
+                    + ev.target;
+                scheduled_faults.push_back(inv);
+            }
         }
+        std::stable_sort(scheduled_faults.begin(), scheduled_faults.end(),
+                         [](const ScheduledFault& a, const ScheduledFault& b) {
+                             return a.at < b.at;
+                         });
+    }
+
+    /// Schedule the resolved plan. Faults scheduled before the first
+    /// arrival sort ahead of same-instant packet events (FIFO tie-break),
+    /// so a fault "at t" is always in force for arrivals at t.
+    void
+    schedule_faults()
+    {
+        for (const ScheduledFault& f : scheduled_faults)
+            events.schedule_at(f.at, [this, &f] { apply_fault(f); });
+    }
+
+    void
+    apply_fault(const ScheduledFault& f)
+    {
+        ++fault_events_applied;
+        if (trace_opts.sink != nullptr)
+            trace_opts.sink->instant(fault_track, f.label,
+                                     Seconds{events.now()});
+        switch (f.kind) {
+          case fault::FaultKind::kLinkDegrade: {
+            LinkServer& link = f.link == 0 ? interface_link : memory_link;
+            link.factor = f.inverse ? 1.0 : f.factor;
+            break;
+          }
+          case fault::FaultKind::kEngineFail:
+            if (f.inverse)
+                recover_engines(f.v, f.count);
+            else
+                fail_engines(f.v, f.count);
+            break;
+          case fault::FaultKind::kEngineRecover:
+            if (f.inverse)
+                fail_engines(f.v, f.count);
+            else
+                recover_engines(f.v, f.count);
+            break;
+          case fault::FaultKind::kSlowdown:
+            vertices[f.v].slow_factor = f.inverse ? 1.0 : f.factor;
+            break;
+          case fault::FaultKind::kDropBurst:
+            vertices[f.v].drop_prob = f.inverse ? 0.0 : f.probability;
+            break;
+          case fault::FaultKind::kQueueCapacity:
+            vertices[f.v].capacity_override = f.inverse ? 0 : f.capacity;
+            break;
+        }
+    }
+
+    /**
+     * Take @p count engines of @p v offline. In-service requests that no
+     * longer have an engine are aborted at this instant: their scheduled
+     * completion is neutralized via the killed-serial set, and the request
+     * is either requeued at the head of its queue (the queue may
+     * transiently exceed capacity — the request never left the device) or
+     * dropped with cause engine_fail, per the plan's in-service policy.
+     */
+    void
+    fail_engines(VertexId v, std::uint32_t count)
+    {
+        VertexState& st = vertices[v];
+        touch(st);
+        st.engines_offline = std::min(st.engines, st.engines_offline + count);
+        while (st.busy > st.available()) {
+            VertexState::InService victim = std::move(st.in_service.back());
+            st.in_service.pop_back();
+            killed.insert(victim.serial);
+            --st.busy;
+            if (victim.pkt.traced)
+                tracks[v].slot_busy[victim.slot] = 0;
+            if (options.faults.in_service_policy
+                == fault::InServicePolicy::kRequeue) {
+                victim.pkt.enqueued = events.now();
+                st.queues[victim.qi].push_front(victim.pkt);
+            } else {
+                drop(victim.pkt, v, st, kDropEngineFail);
+            }
+        }
+        trace_counters(v, st);
+    }
+
+    void
+    recover_engines(VertexId v, std::uint32_t count)
+    {
+        VertexState& st = vertices[v];
+        touch(st);
+        st.engines_offline =
+            count >= st.engines_offline ? 0u : st.engines_offline - count;
+        trace_counters(v, st);
+        try_dispatch(v);
     }
 
     /// One queue track plus one lane per engine for every queueing vertex.
@@ -287,6 +516,8 @@ struct NicSimulator::Impl {
     register_tracks()
     {
         obs::TraceSink& sink = *trace_opts.sink;
+        if (faults_active)
+            fault_track = sink.register_track("faults");
         tracks.resize(vertices.size());
         for (VertexId v = 0; v < graph.vertex_count(); ++v) {
             const VertexState& st = vertices[v];
@@ -420,6 +651,7 @@ struct NicSimulator::Impl {
     {
         VertexState& st = vertices[v];
         if (st.out.empty()) { // egress
+            ++completed_total;
             latencies.record(events.now(),
                              Seconds{events.now() - pkt.created});
             delivered.record(events.now(), pkt.app_size);
@@ -431,6 +663,7 @@ struct NicSimulator::Impl {
                                            Seconds{events.now()});
             return;
         }
+        ++in_transit; // leaves v; in an overhead delay or link transfer
         // Pick the outgoing edge by delta weights.
         std::size_t pick = 0;
         if (st.out.size() > 1) {
@@ -486,11 +719,12 @@ struct NicSimulator::Impl {
         arrive(pkt, e.to, eid);
     }
 
-    /// A queue overflow at vertex @p v: account it (measurement window
-    /// only — see WindowedCounter) and close the packet's trace spans.
+    /// A packet loss at vertex @p v: account it by cause (lifetime) and in
+    /// the measurement window, and close the packet's trace spans.
     void
-    drop(const Packet& pkt, VertexId v, VertexState& st)
+    drop(const Packet& pkt, VertexId v, VertexState& st, DropCause cause)
     {
+        ++dropped_cause[cause];
         drops_in_window.record(events.now());
         if (events.now() > warmup_end)
             ++st.vertex_dropped;
@@ -506,9 +740,15 @@ struct NicSimulator::Impl {
     void
     arrive(Packet pkt, VertexId v, EdgeId via)
     {
+        --in_transit; // the inter-vertex hop that started in depart() ended
         VertexState& st = vertices[v];
         if (st.passthrough) {
             depart(pkt, v);
+            return;
+        }
+        if (faults_active && st.drop_prob > 0.0
+            && rng.uniform() < st.drop_prob) {
+            drop(pkt, v, st, kDropBurstLoss);
             return;
         }
         std::size_t qi = 0;
@@ -518,17 +758,28 @@ struct NicSimulator::Impl {
                 break;
             }
         }
+        // A fault-injected capacity override shrinks the whole vertex
+        // budget; per-input queues split the override the same way they
+        // split the static capacity.
+        const std::uint32_t cap =
+            st.capacity_override > 0 ? st.capacity_override : st.capacity;
         if (st.queues.size() == 1) {
             // Shared FIFO: the whole capacity N bounds queue + service.
             std::size_t queued = st.queues[0].size();
-            if (queued + st.busy >= st.capacity) {
-                drop(pkt, v, st);
+            if (queued + st.busy >= cap) {
+                drop(pkt, v, st, kDropOverflow);
                 return;
             }
-        } else if (st.queues[qi].size() >= st.per_queue_capacity) {
-            // Per-input queue full: only this input's share overflows.
-            drop(pkt, v, st);
-            return;
+        } else {
+            const std::uint32_t pq_cap = st.capacity_override > 0
+                ? std::max<std::uint32_t>(
+                      1, cap / static_cast<std::uint32_t>(st.queues.size()))
+                : st.per_queue_capacity;
+            if (st.queues[qi].size() >= pq_cap) {
+                // Per-input queue full: only this input's share overflows.
+                drop(pkt, v, st, kDropOverflow);
+                return;
+            }
         }
         touch(st);
         pkt.enqueued = events.now();
@@ -554,12 +805,15 @@ struct NicSimulator::Impl {
             return nullptr;
         };
         std::deque<Packet>* queue = nullptr;
-        while (st.busy < st.engines && (queue = next_queue()) != nullptr) {
+        while (st.busy < st.available() && (queue = next_queue()) != nullptr) {
             touch(st);
             const Packet pkt = queue->front();
             queue->pop_front();
             ++st.busy;
-            const double mean = st.service_mean[pkt.class_index];
+            // slow_factor is exactly 1.0 when no slowdown fault is in
+            // force, so the healthy path is bit-identical.
+            const double mean =
+                st.service_mean[pkt.class_index] * st.slow_factor;
             // exponential_service = false forces determinism everywhere;
             // otherwise each IP's own variability (SCV) governs.
             const double service = options.exponential_service
@@ -577,10 +831,33 @@ struct NicSimulator::Impl {
                     ++slot;
                 lanes[slot] = 1;
             }
+            std::uint64_t serial = 0;
+            if (faults_active) {
+                serial = next_serial++;
+                const auto qi =
+                    static_cast<std::size_t>(queue - st.queues.data());
+                st.in_service.push_back({serial, pkt, qi, slot});
+            }
             trace_counters(v, st);
             const SimTime start = events.now();
             events.schedule_in(service, [this, pkt, v, slot, start,
-                                         service] {
+                                         service, serial] {
+                if (faults_active) {
+                    // An engine failure may have aborted this request
+                    // after its completion was scheduled; the fault
+                    // instant already requeued/dropped it and fixed the
+                    // busy count, so the stale event must do nothing.
+                    if (killed.erase(serial) > 0)
+                        return;
+                    auto& isv = vertices[v].in_service;
+                    for (std::size_t i = 0; i < isv.size(); ++i) {
+                        if (isv[i].serial == serial) {
+                            isv[i] = std::move(isv.back());
+                            isv.pop_back();
+                            break;
+                        }
+                    }
+                }
                 VertexState& s2 = vertices[v];
                 touch(s2);
                 --s2.busy;
@@ -612,12 +889,37 @@ SimResult
 NicSimulator::run()
 {
     Impl& s = *impl_;
+    if (s.faults_active)
+        s.schedule_faults();
     s.schedule_next_arrival();
-    s.events.run_until(s.options.duration);
+
+    RunLimits limits;
+    limits.max_events = s.options.watchdog.max_events;
+    if (s.options.watchdog.wall_clock_seconds > 0.0) {
+        const auto deadline = std::chrono::steady_clock::now()
+            + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(
+                    s.options.watchdog.wall_clock_seconds));
+        limits.should_abort = [deadline] {
+            return std::chrono::steady_clock::now() >= deadline;
+        };
+    }
+    const RunOutcome outcome = s.events.run_until(s.options.duration, limits);
+    // When truncated, the clock stopped short of the horizon; every rate
+    // below normalizes to the time actually simulated.
+    const SimTime end = s.events.now();
 
     SimResult r;
-    r.delivered = s.delivered.bandwidth(s.options.duration);
-    r.delivered_ops = s.delivered.rate(s.options.duration);
+    r.truncated = outcome == RunOutcome::kEventBudget
+        || outcome == RunOutcome::kAborted;
+    if (outcome == RunOutcome::kEventBudget)
+        r.truncation_reason = "event_budget";
+    else if (outcome == RunOutcome::kAborted)
+        r.truncation_reason = "wall_clock";
+    r.sim_time_reached = end;
+    r.events_executed = s.events.executed();
+    r.delivered = s.delivered.bandwidth(end);
+    r.delivered_ops = s.delivered.rate(end);
     // Empty-set sentinel: a run that completed nothing after warmup keeps
     // 0.0 latencies; consumers must gate on `completed` (the runner's
     // Replicator counts such runs as degenerate and excludes them).
@@ -636,13 +938,15 @@ NicSimulator::run()
         ? static_cast<double>(r.dropped) / static_cast<double>(offered)
         : 0.0;
 
-    // Close out the per-vertex accounting at the horizon.
-    const double window = s.options.duration - s.warmup_end;
+    // Close out the per-vertex accounting at the (possibly truncated) end.
+    const double window = end - s.warmup_end;
+    std::uint64_t queued_or_busy = 0;
     for (core::VertexId v = 0; v < s.graph.vertex_count(); ++v) {
         auto& st = s.vertices[v];
         if (st.passthrough)
             continue;
         s.touch(st);
+        queued_or_busy += Impl::queued_total(st) + st.busy;
         VertexStats vs;
         vs.name = s.graph.vertex(v).name;
         if (window > 0.0) {
@@ -655,6 +959,21 @@ NicSimulator::run()
         r.vertex_stats.push_back(std::move(vs));
     }
 
+    // Packet conservation: every generated packet must be delivered,
+    // dropped, or still inside the device. A violation is a simulator bug
+    // (double-count or leak), never a property of the scenario — fail loud.
+    r.completed_total = s.completed_total;
+    r.dropped_total = s.dropped_cause[kDropOverflow]
+        + s.dropped_cause[kDropBurstLoss] + s.dropped_cause[kDropEngineFail];
+    r.in_flight = s.in_transit + queued_or_busy;
+    if (r.generated != r.completed_total + r.dropped_total + r.in_flight)
+        throw std::logic_error(
+            "NicSimulator: packet conservation violated: generated="
+            + std::to_string(r.generated) + " != completed="
+            + std::to_string(r.completed_total) + " + dropped="
+            + std::to_string(r.dropped_total) + " + in_flight="
+            + std::to_string(r.in_flight));
+
     // Publish the structured snapshot mirroring (and extending) the
     // scalar fields; this is what the runner aggregates.
     obs::MetricsRegistry reg;
@@ -662,6 +981,18 @@ NicSimulator::run()
     reg.counter("sim.offered").add(offered);
     reg.counter("sim.completed").add(r.completed);
     reg.counter("sim.dropped").add(r.dropped);
+    reg.counter("sim.completed_total").add(r.completed_total);
+    reg.counter("sim.dropped_total").add(r.dropped_total);
+    reg.counter("sim.dropped_by_cause.overflow")
+        .add(s.dropped_cause[kDropOverflow]);
+    reg.counter("sim.dropped_by_cause.burst")
+        .add(s.dropped_cause[kDropBurstLoss]);
+    reg.counter("sim.dropped_by_cause.engine_fail")
+        .add(s.dropped_cause[kDropEngineFail]);
+    reg.counter("sim.in_flight").add(r.in_flight);
+    reg.counter("sim.fault_events").add(s.fault_events_applied);
+    reg.counter("sim.events_executed").add(r.events_executed);
+    reg.gauge("sim.truncated").set(r.truncated ? 1.0 : 0.0);
     reg.gauge("sim.delivered_gbps").set(r.delivered.gbps());
     reg.gauge("sim.delivered_mops").set(r.delivered_ops.mops());
     reg.gauge("sim.drop_rate").set(r.drop_rate);

@@ -1,8 +1,10 @@
 #include "lognic/sim/panic.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace lognic::sim {
 
@@ -23,11 +25,30 @@ struct UnitState {
     std::uint32_t busy{0};
     std::deque<Packet> pending; ///< held at the central scheduler
     std::deque<Packet> buffer;  ///< on-unit, waiting for an engine
+    // Dynamic fault state (defaults = healthy):
+    std::uint32_t engines_offline{0};
+    double slow_factor{1.0};
+    double drop_prob{0.0};
+    std::uint32_t capacity_override{0}; ///< scheduler slots; 0 = config
+    /// In-service requests, tracked only while a fault plan is active.
+    struct InService {
+        std::uint64_t serial{0};
+        Packet pkt;
+    };
+    std::vector<InService> in_service;
     // Measurement (window only):
     std::uint64_t served{0};
     std::uint64_t unit_dropped{0};
     double area_busy{0.0}; ///< integral of busy engines over time
     SimTime last_change{0.0};
+};
+
+/// Cause slots for the lifetime drop accounting (same order as the NIC
+/// simulator publishes, so snapshots aggregate across simulators).
+enum PanicDropCause : int {
+    kPanicDropOverflow = 0,
+    kPanicDropBurst = 1,
+    kPanicDropEngineFail = 2,
 };
 
 /// Same log-spaced microsecond buckets the NIC simulator publishes, so
@@ -59,6 +80,32 @@ struct PanicSim {
     obs::Histogram latency_hist{panic_latency_bounds_us()};
     std::uint64_t generated{0};
 
+    // Lifetime conservation accounting (see the NIC simulator).
+    std::uint64_t completed_total{0};
+    std::uint64_t dropped_cause[3]{0, 0, 0};
+    std::uint64_t in_transit{0};
+
+    // Fault injection (inert when the plan is empty).
+    const bool faults_active;
+    std::uint64_t next_serial{0};
+    std::unordered_set<std::uint64_t> killed;
+    double fabric_factor{1.0};
+    struct ScheduledFault {
+        double at{0.0};
+        fault::FaultKind kind{fault::FaultKind::kEngineFail};
+        bool inverse{false};
+        bool fabric{false}; ///< link_degrade on the switching fabric
+        std::size_t unit{0};
+        std::uint32_t count{1};
+        double factor{1.0};
+        double probability{1.0};
+        std::uint32_t capacity{1};
+        std::string label;
+    };
+    std::vector<ScheduledFault> scheduled_faults;
+    obs::TrackId fault_track{0};
+    std::uint64_t fault_events_applied{0};
+
     // Tracing (inert when trace_opts.sink is null): one track per unit
     // carrying pending/credit counters, serve spans, and drop instants.
     const obs::TraceOptions trace_opts;
@@ -83,8 +130,9 @@ struct PanicSim {
           warmup_end(opts.duration * opts.warmup_fraction),
           latencies(warmup_end), delivered(warmup_end),
           offered_in_window(warmup_end), drops_in_window(warmup_end),
-          trace_opts(opts.trace)
+          faults_active(!opts.faults.empty()), trace_opts(opts.trace)
     {
+        validate(options);
         if (config.units.empty() || config.chains.empty())
             throw std::invalid_argument("simulate_panic: empty config");
         for (const auto& chain : config.chains) {
@@ -112,13 +160,183 @@ struct PanicSim {
             total_pps += pps;
         }
         fabric_ports.resize(config.units.size() + 1); // +1: the TX port
+        if (faults_active)
+            resolve_faults();
         if (trace_opts.sink != nullptr) {
+            if (faults_active)
+                fault_track = trace_opts.sink->register_track("faults");
             unit_tracks.reserve(config.units.size());
             for (std::size_t u = 0; u < config.units.size(); ++u) {
                 const std::string& name = config.units[u].name;
                 unit_tracks.push_back(trace_opts.sink->register_track(
                     name.empty() ? "unit" + std::to_string(u) : name));
             }
+        }
+    }
+
+    std::size_t
+    find_unit(const std::string& name) const
+    {
+        for (std::size_t u = 0; u < config.units.size(); ++u) {
+            const std::string& n = config.units[u].name;
+            if (n == name || (n.empty() && "unit" + std::to_string(u) == name))
+                return u;
+        }
+        throw std::invalid_argument(
+            "simulate_panic: fault target '" + name
+            + "' is not a PANIC unit (and not the reserved link 'fabric')");
+    }
+
+    void
+    resolve_faults()
+    {
+        for (const fault::FaultEvent& ev : options.faults.sorted()) {
+            ScheduledFault f;
+            f.at = ev.at;
+            f.kind = ev.kind;
+            f.count = ev.count;
+            f.factor = ev.factor;
+            f.probability = ev.probability;
+            f.capacity = ev.capacity;
+            f.label = std::string(fault::to_string(ev.kind)) + ":" + ev.target;
+            if (ev.kind == fault::FaultKind::kLinkDegrade) {
+                if (ev.target != "fabric")
+                    throw std::invalid_argument(
+                        "simulate_panic: link_degrade target '" + ev.target
+                        + "' must be 'fabric'");
+                f.fabric = true;
+            } else {
+                f.unit = find_unit(ev.target);
+            }
+            if (f.at > options.duration)
+                continue;
+            scheduled_faults.push_back(f);
+            if (ev.duration > 0.0 && ev.at + ev.duration <= options.duration) {
+                ScheduledFault inv = f;
+                inv.at = ev.at + ev.duration;
+                inv.inverse = true;
+                inv.label = std::string(fault::to_string(ev.kind)) + "/end:"
+                    + ev.target;
+                scheduled_faults.push_back(inv);
+            }
+        }
+        std::stable_sort(scheduled_faults.begin(), scheduled_faults.end(),
+                         [](const ScheduledFault& a, const ScheduledFault& b) {
+                             return a.at < b.at;
+                         });
+    }
+
+    void
+    schedule_faults()
+    {
+        for (const ScheduledFault& f : scheduled_faults)
+            events.schedule_at(f.at, [this, &f] { apply_fault(f); });
+    }
+
+    std::uint32_t
+    available(std::size_t u) const
+    {
+        const std::uint32_t par = config.units[u].parallelism;
+        return units[u].engines_offline >= par
+            ? 0u
+            : par - units[u].engines_offline;
+    }
+
+    void
+    apply_fault(const ScheduledFault& f)
+    {
+        ++fault_events_applied;
+        if (trace_opts.sink != nullptr)
+            trace_opts.sink->instant(fault_track, f.label,
+                                     Seconds{events.now()});
+        switch (f.kind) {
+          case fault::FaultKind::kLinkDegrade:
+            fabric_factor = f.inverse ? 1.0 : f.factor;
+            break;
+          case fault::FaultKind::kEngineFail:
+            if (f.inverse)
+                recover_engines(f.unit, f.count);
+            else
+                fail_engines(f.unit, f.count);
+            break;
+          case fault::FaultKind::kEngineRecover:
+            if (f.inverse)
+                fail_engines(f.unit, f.count);
+            else
+                recover_engines(f.unit, f.count);
+            break;
+          case fault::FaultKind::kSlowdown:
+            units[f.unit].slow_factor = f.inverse ? 1.0 : f.factor;
+            break;
+          case fault::FaultKind::kDropBurst:
+            units[f.unit].drop_prob = f.inverse ? 0.0 : f.probability;
+            break;
+          case fault::FaultKind::kQueueCapacity:
+            units[f.unit].capacity_override = f.inverse ? 0 : f.capacity;
+            break;
+        }
+    }
+
+    /**
+     * Take engines of unit @p u offline, aborting in-service requests
+     * that lost their engine. Requeued requests go back to the head of
+     * the unit buffer and keep their credit (buffered packets own
+     * credits); dropped ones return the credit after the usual one-hop
+     * delay, exactly like a served packet would.
+     */
+    void
+    fail_engines(std::size_t u, std::uint32_t count)
+    {
+        UnitState& st = units[u];
+        touch(st);
+        st.engines_offline = std::min(config.units[u].parallelism,
+                                      st.engines_offline + count);
+        while (st.busy > available(u)) {
+            UnitState::InService victim = std::move(st.in_service.back());
+            st.in_service.pop_back();
+            killed.insert(victim.serial);
+            --st.busy;
+            if (options.faults.in_service_policy
+                == fault::InServicePolicy::kRequeue) {
+                st.buffer.push_front(victim.pkt);
+            } else {
+                drop_packet(victim.pkt, u, kPanicDropEngineFail);
+                events.schedule_in(config.hop_latency.seconds(), [this, u] {
+                    ++units[u].credits_free;
+                    trace_counters(u);
+                    try_dispatch(u);
+                });
+            }
+        }
+        trace_counters(u);
+    }
+
+    void
+    recover_engines(std::size_t u, std::uint32_t count)
+    {
+        UnitState& st = units[u];
+        touch(st);
+        st.engines_offline =
+            count >= st.engines_offline ? 0u : st.engines_offline - count;
+        trace_counters(u);
+        try_serve(u);
+    }
+
+    /// Account a lost packet (lifetime cause + measurement window) and
+    /// close its trace spans.
+    void
+    drop_packet(const Packet& pkt, std::size_t u, PanicDropCause cause)
+    {
+        ++dropped_cause[cause];
+        drops_in_window.record(events.now());
+        if (events.now() > warmup_end)
+            ++units[u].unit_dropped;
+        if (trace_opts.sink != nullptr) {
+            trace_opts.sink->instant(unit_tracks[u], "drop",
+                                     Seconds{events.now()});
+            if (pkt.traced)
+                trace_opts.sink->async_end(pkt.id, "pkt",
+                                           Seconds{events.now()});
         }
     }
 
@@ -159,7 +377,10 @@ struct PanicSim {
     {
         LinkFree& p = fabric_ports[port];
         const SimTime start = std::max(earliest, p.free_at);
-        p.free_at = start + (payload / config.fabric_bw).seconds();
+        // fabric_factor is exactly 1.0 unless a link_degrade fault is in
+        // force, keeping the healthy path bit-identical.
+        p.free_at =
+            start + (payload / (config.fabric_bw * fabric_factor)).seconds();
         return p.free_at + config.hop_latency.seconds();
     }
 
@@ -185,8 +406,11 @@ struct PanicSim {
                 trace_opts.sink->async_begin(pkt.id, "pkt",
                                              Seconds{events.now()});
             // RMT parse, then hand the packet to the scheduler.
-            events.schedule_in(config.rmt_latency.seconds(),
-                               [this, pkt] { enqueue_at_scheduler(pkt); });
+            ++in_transit;
+            events.schedule_in(config.rmt_latency.seconds(), [this, pkt] {
+                --in_transit;
+                enqueue_at_scheduler(pkt);
+            });
             schedule_next_arrival();
         });
     }
@@ -195,24 +419,22 @@ struct PanicSim {
     enqueue_at_scheduler(const Packet& pkt)
     {
         const std::size_t u = config.chains[pkt.chain].units[pkt.stage];
-        if (pkt.stage == 0
-            && units[u].pending.size() >= config.scheduler_queue_capacity) {
-            // The central packet buffer is full: shed new arrivals.
-            // Mid-chain packets are never shed (they already own buffering).
-            // Counted in the measurement window only — see WindowedCounter.
-            drops_in_window.record(events.now());
-            if (events.now() > warmup_end)
-                ++units[u].unit_dropped;
-            if (trace_opts.sink != nullptr) {
-                trace_opts.sink->instant(unit_tracks[u], "drop",
-                                         Seconds{events.now()});
-                if (pkt.traced)
-                    trace_opts.sink->async_end(pkt.id, "pkt",
-                                               Seconds{events.now()});
-            }
+        UnitState& st = units[u];
+        if (faults_active && st.drop_prob > 0.0
+            && rng.uniform() < st.drop_prob) {
+            drop_packet(pkt, u, kPanicDropBurst);
             return;
         }
-        units[u].pending.push_back(pkt);
+        const std::uint32_t cap = st.capacity_override > 0
+            ? st.capacity_override
+            : config.scheduler_queue_capacity;
+        if (pkt.stage == 0 && st.pending.size() >= cap) {
+            // The central packet buffer is full: shed new arrivals.
+            // Mid-chain packets are never shed (they already own buffering).
+            drop_packet(pkt, u, kPanicDropOverflow);
+            return;
+        }
+        st.pending.push_back(pkt);
         trace_counters(u);
         try_dispatch(u);
     }
@@ -226,8 +448,10 @@ struct PanicSim {
             st.pending.pop_front();
             --st.credits_free;
             trace_counters(u);
+            ++in_transit;
             const SimTime arrive = fabric_transfer(events.now(), pkt.size, u);
             events.schedule_at(arrive, [this, pkt, u] {
+                --in_transit;
                 units[u].buffer.push_back(pkt);
                 try_serve(u);
             });
@@ -239,18 +463,40 @@ struct PanicSim {
     {
         UnitState& st = units[u];
         const PanicUnit& spec = config.units[u];
-        while (st.busy < spec.parallelism && !st.buffer.empty()) {
+        while (st.busy < available(u) && !st.buffer.empty()) {
             const Packet pkt = st.buffer.front();
             st.buffer.pop_front();
             touch(st);
             ++st.busy;
             trace_counters(u);
-            const double mean = spec.service.service_time(pkt.size).seconds();
+            const double mean = spec.service.service_time(pkt.size).seconds()
+                * st.slow_factor;
             const double service = options.exponential_service
                 ? rng.exponential(mean)
                 : mean;
+            std::uint64_t serial = 0;
+            if (faults_active) {
+                serial = next_serial++;
+                st.in_service.push_back({serial, pkt});
+            }
             const SimTime start = events.now();
-            events.schedule_in(service, [this, pkt, u, start, service] {
+            events.schedule_in(service, [this, pkt, u, start, service,
+                                         serial] {
+                if (faults_active) {
+                    // Neutralized by an engine failure after scheduling:
+                    // the fault instant already requeued/dropped the
+                    // request and fixed busy/credits.
+                    if (killed.erase(serial) > 0)
+                        return;
+                    auto& isv = units[u].in_service;
+                    for (std::size_t i = 0; i < isv.size(); ++i) {
+                        if (isv[i].serial == serial) {
+                            isv[i] = std::move(isv.back());
+                            isv.pop_back();
+                            break;
+                        }
+                    }
+                }
                 UnitState& s2 = units[u];
                 touch(s2);
                 --s2.busy;
@@ -280,9 +526,12 @@ struct PanicSim {
             return;
         }
         // Egress: one last fabric traversal to the TX pipeline.
+        ++in_transit;
         const SimTime out =
             fabric_transfer(events.now(), pkt.size, config.units.size());
         events.schedule_at(out, [this, pkt] {
+            --in_transit;
+            ++completed_total;
             latencies.record(events.now(), Seconds{events.now() - pkt.created});
             delivered.record(events.now(), pkt.size);
             if (events.now() > warmup_end)
@@ -302,12 +551,35 @@ simulate_panic(const PanicConfig& config, const core::TrafficProfile& traffic,
                SimOptions options)
 {
     PanicSim sim(config, traffic, options);
+    if (sim.faults_active)
+        sim.schedule_faults();
     sim.schedule_next_arrival();
-    sim.events.run_until(options.duration);
+
+    RunLimits limits;
+    limits.max_events = options.watchdog.max_events;
+    if (options.watchdog.wall_clock_seconds > 0.0) {
+        const auto deadline = std::chrono::steady_clock::now()
+            + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(
+                    options.watchdog.wall_clock_seconds));
+        limits.should_abort = [deadline] {
+            return std::chrono::steady_clock::now() >= deadline;
+        };
+    }
+    const RunOutcome outcome = sim.events.run_until(options.duration, limits);
+    const SimTime end = sim.events.now();
 
     SimResult r;
-    r.delivered = sim.delivered.bandwidth(options.duration);
-    r.delivered_ops = sim.delivered.rate(options.duration);
+    r.truncated = outcome == RunOutcome::kEventBudget
+        || outcome == RunOutcome::kAborted;
+    if (outcome == RunOutcome::kEventBudget)
+        r.truncation_reason = "event_budget";
+    else if (outcome == RunOutcome::kAborted)
+        r.truncation_reason = "wall_clock";
+    r.sim_time_reached = end;
+    r.events_executed = sim.events.executed();
+    r.delivered = sim.delivered.bandwidth(end);
+    r.delivered_ops = sim.delivered.rate(end);
     r.mean_latency = sim.latencies.mean().value_or(Seconds{0.0});
     r.p50_latency = sim.latencies.p50().value_or(Seconds{0.0});
     r.p99_latency = sim.latencies.p99().value_or(Seconds{0.0});
@@ -321,10 +593,12 @@ simulate_panic(const PanicConfig& config, const core::TrafficProfile& traffic,
         ? static_cast<double>(r.dropped) / static_cast<double>(offered)
         : 0.0;
 
-    const double window = options.duration - sim.warmup_end;
+    const double window = end - sim.warmup_end;
+    std::uint64_t queued_or_busy = 0;
     for (std::size_t u = 0; u < sim.units.size(); ++u) {
         UnitState& st = sim.units[u];
         sim.touch(st);
+        queued_or_busy += st.pending.size() + st.buffer.size() + st.busy;
         VertexStats vs;
         vs.name = config.units[u].name.empty()
             ? "unit" + std::to_string(u)
@@ -338,11 +612,38 @@ simulate_panic(const PanicConfig& config, const core::TrafficProfile& traffic,
         r.vertex_stats.push_back(std::move(vs));
     }
 
+    // Packet conservation (see NicSimulator::run): every generated packet
+    // is delivered, dropped, or still inside the device.
+    r.completed_total = sim.completed_total;
+    r.dropped_total = sim.dropped_cause[kPanicDropOverflow]
+        + sim.dropped_cause[kPanicDropBurst]
+        + sim.dropped_cause[kPanicDropEngineFail];
+    r.in_flight = sim.in_transit + queued_or_busy;
+    if (r.generated != r.completed_total + r.dropped_total + r.in_flight)
+        throw std::logic_error(
+            "simulate_panic: packet conservation violated: generated="
+            + std::to_string(r.generated) + " != completed="
+            + std::to_string(r.completed_total) + " + dropped="
+            + std::to_string(r.dropped_total) + " + in_flight="
+            + std::to_string(r.in_flight));
+
     obs::MetricsRegistry reg;
     reg.counter("sim.generated").add(r.generated);
     reg.counter("sim.offered").add(offered);
     reg.counter("sim.completed").add(r.completed);
     reg.counter("sim.dropped").add(r.dropped);
+    reg.counter("sim.completed_total").add(r.completed_total);
+    reg.counter("sim.dropped_total").add(r.dropped_total);
+    reg.counter("sim.dropped_by_cause.overflow")
+        .add(sim.dropped_cause[kPanicDropOverflow]);
+    reg.counter("sim.dropped_by_cause.burst")
+        .add(sim.dropped_cause[kPanicDropBurst]);
+    reg.counter("sim.dropped_by_cause.engine_fail")
+        .add(sim.dropped_cause[kPanicDropEngineFail]);
+    reg.counter("sim.in_flight").add(r.in_flight);
+    reg.counter("sim.fault_events").add(sim.fault_events_applied);
+    reg.counter("sim.events_executed").add(r.events_executed);
+    reg.gauge("sim.truncated").set(r.truncated ? 1.0 : 0.0);
     reg.gauge("sim.delivered_gbps").set(r.delivered.gbps());
     reg.gauge("sim.delivered_mops").set(r.delivered_ops.mops());
     reg.gauge("sim.drop_rate").set(r.drop_rate);

@@ -129,6 +129,105 @@ TEST(ExecutionGraph, ValidateChecksParameterRanges)
     }
 }
 
+TEST(ExecutionGraph, ValidationErrorsNameTheOffender)
+{
+    const HardwareModel hw = toy_hw();
+    // Parallelism violations name the graph, the vertex, the bad value,
+    // and the IP's limit — a sweep over many generated graphs needs the
+    // message alone to identify the culprit.
+    {
+        ExecutionGraph g = chain_graph(hw);
+        g.vertex(*g.find_vertex("work")).params.parallelism = 99;
+        try {
+            g.validate(hw);
+            FAIL() << "expected invalid_argument";
+        } catch (const std::invalid_argument& e) {
+            const std::string what = e.what();
+            EXPECT_NE(what.find("chain"), std::string::npos) << what;
+            EXPECT_NE(what.find("work"), std::string::npos) << what;
+            EXPECT_NE(what.find("99"), std::string::npos) << what;
+            EXPECT_NE(what.find("cores"), std::string::npos) << what;
+            EXPECT_NE(what.find("8"), std::string::npos) << what;
+        }
+    }
+    // Dangling IP references name the hardware model and its IP count.
+    {
+        ExecutionGraph g("dangling");
+        const auto in = g.add_ingress();
+        const auto out = g.add_egress();
+        const auto v = g.add_ip_vertex("phantom", 7);
+        g.add_edge(in, v);
+        g.add_edge(v, out);
+        try {
+            g.validate(hw);
+            FAIL() << "expected invalid_argument";
+        } catch (const std::invalid_argument& e) {
+            const std::string what = e.what();
+            EXPECT_NE(what.find("phantom"), std::string::npos) << what;
+            EXPECT_NE(what.find("toy"), std::string::npos) << what;
+            EXPECT_NE(what.find("7"), std::string::npos) << what;
+        }
+    }
+    // Accessor and edge errors carry the graph name and the bad id.
+    {
+        ExecutionGraph g("lookup");
+        g.add_ingress();
+        try {
+            g.vertex(42);
+            FAIL() << "expected out_of_range";
+        } catch (const std::out_of_range& e) {
+            const std::string what = e.what();
+            EXPECT_NE(what.find("lookup"), std::string::npos) << what;
+            EXPECT_NE(what.find("42"), std::string::npos) << what;
+        }
+    }
+}
+
+TEST(HardwareModel, ErrorsNameTheModelAndTheIp)
+{
+    // Which of the three constructor bandwidths was bad is in the message.
+    try {
+        HardwareModel bad("half-built", Bandwidth::from_gbps(100.0),
+                          Bandwidth::from_gbps(0.0),
+                          Bandwidth::from_gbps(25.0));
+        FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("half-built"), std::string::npos) << what;
+        EXPECT_NE(what.find("memory"), std::string::npos) << what;
+    }
+
+    HardwareModel hw = toy_hw();
+    IpSpec dup;
+    dup.name = "cores";
+    dup.max_engines = 1;
+    try {
+        hw.add_ip(dup);
+        FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("toy"), std::string::npos) << what;
+        EXPECT_NE(what.find("cores"), std::string::npos) << what;
+    }
+
+    try {
+        hw.ip(9);
+        FAIL() << "expected out_of_range";
+    } catch (const std::out_of_range& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("toy"), std::string::npos) << what;
+        EXPECT_NE(what.find("9"), std::string::npos) << what;
+    }
+
+    try {
+        hw.set_ip_bandwidth(0, 5, Bandwidth::from_gbps(10.0));
+        FAIL() << "expected out_of_range";
+    } catch (const std::out_of_range& e) {
+        EXPECT_NE(std::string(e.what()).find("5"), std::string::npos)
+            << e.what();
+    }
+}
+
 TEST(ExecutionGraph, TopologicalOrderRespectsEdges)
 {
     const HardwareModel hw = toy_hw();

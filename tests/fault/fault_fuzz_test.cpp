@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Fault-injection fuzzing: random layered graphs x random fault plans.
+ * Whatever the schedule throws at the simulator, three invariants must
+ * hold — no crash, packet conservation, and bit-identical reruns for the
+ * same seed — and a faulted sweep must not depend on its thread count.
+ */
+#include <gtest/gtest.h>
+#include <random>
+
+#include "lognic/fault/fault_plan.hpp"
+#include "lognic/runner/sweep.hpp"
+#include "lognic/sim/nic_simulator.hpp"
+
+namespace lognic {
+namespace {
+
+struct RandomScenario {
+    core::HardwareModel hw;
+    core::ExecutionGraph graph;
+    core::TrafficProfile traffic;
+    std::vector<std::string> ip_vertices;
+};
+
+/// A slimmed-down version of the integration suite's layered-DAG
+/// generator: random hardware, 1-2 layers of 1-3 IP vertices with
+/// delta-weighted fanout, random fixed-size traffic.
+RandomScenario
+generate(std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    auto uniform = [&](double lo, double hi) {
+        return std::uniform_real_distribution<double>(lo, hi)(rng);
+    };
+    auto pick = [&](int lo, int hi) {
+        return std::uniform_int_distribution<int>(lo, hi)(rng);
+    };
+
+    core::HardwareModel hw("fuzz", Bandwidth::from_gbps(uniform(50, 200)),
+                           Bandwidth::from_gbps(uniform(40, 150)),
+                           Bandwidth::from_gbps(uniform(20, 100)));
+    const int n_ips = pick(2, 3);
+    for (int i = 0; i < n_ips; ++i) {
+        core::IpSpec spec;
+        spec.name = "ip" + std::to_string(i);
+        spec.kind = i == 0 ? core::IpKind::kCpuCores
+                           : core::IpKind::kAccelerator;
+        spec.roofline = core::ExtendedRoofline(
+            core::ServiceModel{
+                Seconds::from_micros(uniform(0.2, 2.0)),
+                Bandwidth::from_gigabytes_per_sec(uniform(1.0, 8.0))},
+            {});
+        spec.max_engines = static_cast<std::uint32_t>(pick(2, 8));
+        spec.default_queue_capacity =
+            static_cast<std::uint32_t>(pick(8, 64));
+        hw.add_ip(spec);
+    }
+
+    core::ExecutionGraph g("fuzz-" + std::to_string(seed));
+    const auto ingress = g.add_ingress();
+    const auto egress = g.add_egress();
+    std::vector<std::string> names;
+
+    std::vector<core::VertexId> prev{ingress};
+    std::vector<double> prev_share{1.0};
+    const int layers = pick(1, 2);
+    for (int layer = 0; layer < layers; ++layer) {
+        const int width = pick(1, 3);
+        std::vector<core::VertexId> cur;
+        std::vector<double> cur_share;
+        std::vector<double> weights(static_cast<std::size_t>(width));
+        double wsum = 0.0;
+        for (auto& w : weights) {
+            w = uniform(0.2, 1.0);
+            wsum += w;
+        }
+        for (int i = 0; i < width; ++i) {
+            const core::IpId ip =
+                static_cast<core::IpId>(pick(0, n_ips - 1));
+            core::VertexParams params;
+            params.parallelism = static_cast<std::uint32_t>(
+                pick(1, static_cast<int>(hw.ip(ip).max_engines)));
+            const std::string name =
+                "L" + std::to_string(layer) + "v" + std::to_string(i);
+            cur.push_back(g.add_ip_vertex(name, ip, params));
+            cur_share.push_back(0.0);
+            names.push_back(name);
+        }
+        for (std::size_t u = 0; u < prev.size(); ++u) {
+            for (int i = 0; i < width; ++i) {
+                const double delta =
+                    prev_share[u] * weights[static_cast<std::size_t>(i)]
+                    / wsum;
+                if (delta <= 1e-6)
+                    continue;
+                g.add_edge(prev[u], cur[static_cast<std::size_t>(i)],
+                           core::EdgeParams{delta, 0.0, 0.0, {}});
+                cur_share[static_cast<std::size_t>(i)] += delta;
+            }
+        }
+        prev = cur;
+        prev_share = cur_share;
+    }
+    for (std::size_t u = 0; u < prev.size(); ++u)
+        g.add_edge(prev[u], egress,
+                   core::EdgeParams{prev_share[u], 0.0, 0.0, {}});
+
+    const auto traffic = core::TrafficProfile::fixed(
+        Bytes{uniform(200.0, 1500.0)},
+        Bandwidth::from_gbps(uniform(1.0, 30.0)));
+    return RandomScenario{std::move(hw), std::move(g), traffic,
+                          std::move(names)};
+}
+
+/// A dense random fault schedule over the scenario's IP vertices, plus a
+/// deterministic shared-link degradation so link faults get fuzzed too.
+fault::FaultPlan
+make_plan(const RandomScenario& sc, std::uint64_t seed, double horizon)
+{
+    fault::RandomFaultConfig cfg;
+    cfg.horizon = horizon;
+    cfg.mtbf = horizon / 4.0;
+    cfg.mttr = horizon / 8.0;
+    cfg.max_engines_per_fault = 2;
+    auto plan = fault::random_fault_plan(seed, sc.ip_vertices, cfg);
+
+    fault::FaultEvent degrade;
+    degrade.at = horizon / 3.0;
+    degrade.kind = fault::FaultKind::kLinkDegrade;
+    degrade.target = seed % 2 == 0 ? "memory" : "interface";
+    degrade.factor = 0.6;
+    degrade.duration = horizon / 4.0;
+    plan.events.push_back(degrade);
+    if (seed % 3 == 0)
+        plan.in_service_policy = fault::InServicePolicy::kDrop;
+    return plan;
+}
+
+void
+expect_identical(const sim::SimResult& a, const sim::SimResult& b)
+{
+    EXPECT_EQ(a.generated, b.generated);
+    EXPECT_EQ(a.completed_total, b.completed_total);
+    EXPECT_EQ(a.dropped_total, b.dropped_total);
+    EXPECT_EQ(a.in_flight, b.in_flight);
+    EXPECT_EQ(a.delivered.gbps(), b.delivered.gbps());
+    EXPECT_EQ(a.mean_latency.seconds(), b.mean_latency.seconds());
+    EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+class FaultFuzz : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FaultFuzz, RandomPlanOnRandomGraphConservesAndReplays)
+{
+    const std::uint64_t seed = GetParam();
+    const RandomScenario sc = generate(seed);
+    ASSERT_NO_THROW(sc.graph.validate(sc.hw));
+
+    sim::SimOptions opts;
+    opts.duration = 0.02;
+    opts.seed = seed * 13 + 5;
+    opts.faults = make_plan(sc, seed, opts.duration);
+
+    // No crash: the simulator itself asserts packet conservation at end of
+    // run (it throws std::logic_error on violation), so a clean return
+    // already covers the invariant; re-check it from the reported terms.
+    sim::SimResult res;
+    ASSERT_NO_THROW(res = sim::simulate(sc.hw, sc.graph, sc.traffic, opts));
+    EXPECT_EQ(res.generated,
+              res.completed_total + res.dropped_total + res.in_flight);
+    EXPECT_GT(res.generated, 0u);
+
+    // Same seed, same everything.
+    const auto again = sim::simulate(sc.hw, sc.graph, sc.traffic, opts);
+    expect_identical(res, again);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzz,
+                         testing::Range<std::uint64_t>(1, 13));
+
+// Acceptance criterion: a faulted sweep is bit-identical for a fixed root
+// seed regardless of how many worker threads execute it.
+TEST(FaultFuzzSweep, FaultedSweepIsThreadCountInvariant)
+{
+    runner::Sweep sweep;
+    for (std::uint64_t s = 1; s <= 3; ++s) {
+        const RandomScenario sc = generate(s);
+        runner::SweepPoint pt{sc.graph.name(), sc.hw, sc.graph, sc.traffic,
+                              {}};
+        pt.options.duration = 0.01;
+        pt.options.faults = make_plan(sc, s, pt.options.duration);
+        if (s == 2)
+            pt.options.watchdog.max_events = 4000; // force a truncation
+        sweep.add(pt);
+    }
+
+    runner::SweepOptions base;
+    base.replications = 2;
+    base.root_seed = 99;
+
+    std::vector<runner::SweepReport> reports;
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4},
+                                std::size_t{8}}) {
+        runner::SweepOptions so = base;
+        so.threads = threads;
+        reports.push_back(sweep.run_guarded(so));
+    }
+
+    const auto& ref = reports.front();
+    EXPECT_TRUE(ref.failed.empty());
+    ASSERT_EQ(ref.results.size(), 3u);
+    for (std::size_t r = 1; r < reports.size(); ++r) {
+        const auto& other = reports[r];
+        ASSERT_EQ(other.results.size(), ref.results.size());
+        for (std::size_t i = 0; i < ref.results.size(); ++i) {
+            EXPECT_EQ(other.results[i].label, ref.results[i].label);
+            EXPECT_EQ(other.results[i].stats.seeds, ref.results[i].stats.seeds);
+            EXPECT_EQ(other.results[i].stats.delivered_gbps.mean,
+                      ref.results[i].stats.delivered_gbps.mean);
+            EXPECT_EQ(other.results[i].stats.mean_latency_us.mean,
+                      ref.results[i].stats.mean_latency_us.mean);
+            EXPECT_EQ(other.results[i].stats.drop_rate.mean,
+                      ref.results[i].stats.drop_rate.mean);
+        }
+        ASSERT_EQ(other.truncated.size(), ref.truncated.size());
+        for (std::size_t i = 0; i < ref.truncated.size(); ++i) {
+            EXPECT_EQ(other.truncated[i].index, ref.truncated[i].index);
+            EXPECT_EQ(other.truncated[i].reason, ref.truncated[i].reason);
+            EXPECT_EQ(other.truncated[i].sim_time_reached,
+                      ref.truncated[i].sim_time_reached);
+        }
+        EXPECT_EQ(other.failed.size(), ref.failed.size());
+    }
+}
+
+} // namespace
+} // namespace lognic

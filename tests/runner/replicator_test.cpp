@@ -143,6 +143,47 @@ TEST(Replicator, RunResultsIndependentOfThreadCount)
                      parallel.mean_latency_us.mean);
 }
 
+TEST(Replicator, RunGuardedIsolatesThrowingReplications)
+{
+    const Replicator rep(4, 7);
+    const auto seeds = rep.seeds();
+    auto fn = [&seeds](std::uint64_t seed) -> sim::SimResult {
+        if (seed == seeds[1])
+            throw std::runtime_error("replication exploded");
+        return fake_result(10.0, 5.0, 100);
+    };
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        const auto out = rep.run_guarded(fn, threads);
+        EXPECT_FALSE(out.complete());
+        ASSERT_EQ(out.failed.size(), 1u);
+        EXPECT_EQ(out.failed[0].replication, 1u);
+        EXPECT_EQ(out.failed[0].seed, seeds[1]);
+        EXPECT_NE(out.failed[0].error.find("exploded"), std::string::npos);
+        // Survivors aggregate as a 3-replication batch.
+        EXPECT_EQ(out.stats.replications, 3u);
+        ASSERT_EQ(out.stats.seeds.size(), 3u);
+        EXPECT_EQ(out.stats.seeds[0], seeds[0]);
+        EXPECT_EQ(out.stats.seeds[1], seeds[2]);
+        EXPECT_DOUBLE_EQ(out.stats.delivered_gbps.mean, 10.0);
+    }
+    // The unguarded entry point fails fast on the same function.
+    EXPECT_THROW(rep.run(fn), std::runtime_error);
+}
+
+TEST(Replicator, RunGuardedWithNoFailuresMatchesRun)
+{
+    const Replicator rep(3, 5);
+    auto fn = [](std::uint64_t seed) {
+        return fake_result(static_cast<double>(seed % 11), 4.0, 10);
+    };
+    const auto guarded = rep.run_guarded(fn, 2);
+    const auto plain = rep.run(fn, 2);
+    EXPECT_TRUE(guarded.complete());
+    EXPECT_EQ(guarded.stats.seeds, plain.seeds);
+    EXPECT_DOUBLE_EQ(guarded.stats.delivered_gbps.mean,
+                     plain.delivered_gbps.mean);
+}
+
 TEST(Replicator, ZeroReplicationsThrows)
 {
     const Replicator rep(0, 1);

@@ -4,6 +4,7 @@
 
 #include "lognic/apps/inline_accel.hpp"
 #include "lognic/io/serialize.hpp"
+#include "../test_helpers.hpp"
 
 namespace lognic::runner {
 namespace {
@@ -92,6 +93,183 @@ TEST(Sweep, ResultsSerializeToJson)
     // Round-trips through the parser.
     const io::Json reparsed = io::Json::parse(doc.dump());
     EXPECT_EQ(reparsed.at("points").as_array().size(), 2u);
+}
+
+/// Four points: two healthy, one whose simulator construction throws
+/// (impossible parallelism), one the event-budget watchdog truncates.
+Sweep
+mixed_health_sweep()
+{
+    const auto hw = test::small_nic();
+    Sweep sweep;
+    for (int i = 0; i < 4; ++i) {
+        SweepPoint pt{"p" + std::to_string(i), hw,
+                      test::single_stage_graph(hw),
+                      test::mtu_traffic(4.0 + i), {}};
+        pt.options.duration = 0.004;
+        if (i == 1)
+            pt.graph.vertex(*pt.graph.find_vertex("cores"))
+                .params.parallelism = 99; // > max_engines: throws
+        if (i == 2) {
+            pt.options.watchdog.max_events = 1500; // truncates mid-run
+            // No warmup, so the partial window still measures something.
+            pt.options.warmup_fraction = 0.0;
+        }
+        sweep.add(pt);
+    }
+    return sweep;
+}
+
+// The acceptance scenario: a campaign with one throwing and one
+// watchdog-limited point completes, returns results for every point that
+// produced data, and reports exactly one FailedPoint and exactly one
+// TruncationRecord — identically for any thread count.
+TEST(SweepGuarded, IsolatesFailuresAndTruncations)
+{
+    const Sweep sweep = mixed_health_sweep();
+    SweepOptions so;
+    so.replications = 1;
+    so.max_retries = 1;
+
+    std::vector<SweepReport> reports;
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4},
+                                std::size_t{8}}) {
+        so.threads = threads;
+        reports.push_back(sweep.run_guarded(so));
+    }
+
+    const SweepReport& rep = reports.front();
+    EXPECT_FALSE(rep.complete());
+
+    ASSERT_EQ(rep.failed.size(), 1u);
+    EXPECT_EQ(rep.failed[0].index, 1u);
+    EXPECT_EQ(rep.failed[0].label, "p1");
+    EXPECT_EQ(rep.failed[0].attempts, 2u); // initial + 1 retry
+    EXPECT_FALSE(rep.failed[0].error.empty());
+
+    ASSERT_EQ(rep.truncated.size(), 1u);
+    EXPECT_EQ(rep.truncated[0].index, 2u);
+    EXPECT_EQ(rep.truncated[0].label, "p2");
+    EXPECT_EQ(rep.truncated[0].reason, "event_budget");
+    EXPECT_GT(rep.truncated[0].sim_time_reached, 0.0);
+    EXPECT_LT(rep.truncated[0].sim_time_reached, 0.004);
+
+    // The failed point is excluded; the truncated one still yields (partial)
+    // aggregates alongside the two healthy points.
+    ASSERT_EQ(rep.results.size(), 3u);
+    EXPECT_EQ(rep.results[0].label, "p0");
+    EXPECT_EQ(rep.results[1].label, "p2");
+    EXPECT_EQ(rep.results[2].label, "p3");
+    for (const auto& pr : rep.results)
+        EXPECT_GT(pr.stats.delivered_gbps.mean, 0.0);
+
+    // Bit-identical across thread counts.
+    for (std::size_t r = 1; r < reports.size(); ++r) {
+        const SweepReport& other = reports[r];
+        ASSERT_EQ(other.results.size(), rep.results.size());
+        for (std::size_t i = 0; i < rep.results.size(); ++i) {
+            EXPECT_EQ(other.results[i].label, rep.results[i].label);
+            EXPECT_EQ(other.results[i].stats.seeds,
+                      rep.results[i].stats.seeds);
+            EXPECT_EQ(other.results[i].stats.delivered_gbps.mean,
+                      rep.results[i].stats.delivered_gbps.mean);
+        }
+        ASSERT_EQ(other.failed.size(), 1u);
+        EXPECT_EQ(other.failed[0].seed, rep.failed[0].seed);
+        ASSERT_EQ(other.truncated.size(), 1u);
+        EXPECT_EQ(other.truncated[0].sim_time_reached,
+                  rep.truncated[0].sim_time_reached);
+    }
+}
+
+TEST(SweepGuarded, RunFailsFastOnTheSameCampaign)
+{
+    const Sweep sweep = mixed_health_sweep();
+    SweepOptions so;
+    so.threads = 2;
+    // run() is the fail-fast view: the underlying validation error
+    // resurfaces unchanged instead of being converted to a record.
+    EXPECT_THROW(sweep.run(so), std::invalid_argument);
+}
+
+TEST(SweepGuarded, RetriesRederiveSeedsDeterministically)
+{
+    // A healthy sweep must produce identical results whether or not retry
+    // budget exists (attempt 0 always keeps the classic derived seed).
+    const auto spec = sweep_spec_from_json(
+        io::Json::parse(sample_sweep_spec(tiny_scenario())));
+    const auto sweep = build_sweep(spec);
+    SweepOptions with_retries = spec.options;
+    with_retries.max_retries = 3;
+    const auto a = sweep.run_guarded(spec.options);
+    const auto b = sweep.run_guarded(with_retries);
+    EXPECT_TRUE(a.complete());
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (std::size_t i = 0; i < a.results.size(); ++i) {
+        EXPECT_EQ(a.results[i].stats.seeds, b.results[i].stats.seeds);
+        EXPECT_EQ(a.results[i].stats.delivered_gbps.mean,
+                  b.results[i].stats.delivered_gbps.mean);
+    }
+}
+
+TEST(SweepGuarded, ReportSerializesToJson)
+{
+    const Sweep sweep = mixed_health_sweep();
+    SweepOptions so;
+    so.threads = 2;
+    const auto report = sweep.run_guarded(so);
+    const io::Json doc = to_json(report);
+
+    // Consumers of the unguarded format keep working: same "points" array.
+    ASSERT_TRUE(doc.is_object());
+    EXPECT_EQ(doc.at("points").as_array().size(), report.results.size());
+    EXPECT_FALSE(doc.at("complete").as_bool());
+
+    const auto& failed = doc.at("failed").as_array();
+    ASSERT_EQ(failed.size(), 1u);
+    EXPECT_EQ(failed[0].at("label").as_string(), "p1");
+    EXPECT_DOUBLE_EQ(failed[0].at("attempts").as_number(), 1.0);
+    EXPECT_TRUE(failed[0].at("seed").is_string()); // hex, not lossy double
+    EXPECT_FALSE(failed[0].at("error").as_string().empty());
+
+    const auto& truncated = doc.at("truncated").as_array();
+    ASSERT_EQ(truncated.size(), 1u);
+    EXPECT_EQ(truncated[0].at("reason").as_string(), "event_budget");
+    EXPECT_GT(truncated[0].at("sim_time_reached").as_number(), 0.0);
+
+    // Round-trips through the parser.
+    const io::Json reparsed = io::Json::parse(doc.dump());
+    EXPECT_EQ(reparsed.at("failed").as_array().size(), 1u);
+}
+
+TEST(SweepSpec, ParsesGuardRailKnobs)
+{
+    auto base = tiny_scenario();
+    io::Json doc = io::Json::parse(sample_sweep_spec(base));
+    io::JsonObject root = doc.as_object();
+    io::JsonObject sw = root.at("sweep").as_object();
+    sw.emplace("max_retries", io::Json(2.0));
+    sw.emplace("max_sim_events", io::Json(50000.0));
+    sw.emplace("deadline_seconds", io::Json(10.0));
+    sw.emplace("faults", io::Json::parse(
+        R"([{"at": 0.001, "kind": "slowdown", "target": "cores",
+             "factor": 2.0}])"));
+    root["sweep"] = io::Json(std::move(sw));
+
+    const auto spec = sweep_spec_from_json(io::Json(std::move(root)));
+    EXPECT_EQ(spec.options.max_retries, 2u);
+    EXPECT_EQ(spec.sim.watchdog.max_events, 50000u);
+    EXPECT_DOUBLE_EQ(spec.sim.watchdog.wall_clock_seconds, 10.0);
+    ASSERT_EQ(spec.sim.faults.events.size(), 1u);
+    EXPECT_EQ(spec.sim.faults.events[0].target, "cores");
+
+    // Negative guard-rail values are rejected.
+    io::JsonObject bad_sw = doc.at("sweep").as_object();
+    bad_sw.emplace("max_retries", io::Json(-1.0));
+    io::JsonObject bad_root = doc.as_object();
+    bad_root["sweep"] = io::Json(std::move(bad_sw));
+    EXPECT_THROW(sweep_spec_from_json(io::Json(std::move(bad_root))),
+                 std::runtime_error);
 }
 
 } // namespace

@@ -84,6 +84,33 @@ TEST(ParallelFor, RethrowsFirstException)
     }
 }
 
+TEST(ThreadPool, WaitIdleRethrowsTaskExceptionAndPoolStaysUsable)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("task blew up"); });
+    try {
+        pool.wait_idle();
+        FAIL() << "expected runtime_error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "task blew up");
+    }
+    // The stored exception was consumed; the pool keeps working.
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, OnlyFirstExceptionSurvivesABatch)
+{
+    ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i)
+        pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+    // Later exceptions from the same batch were dropped, not queued up.
+    pool.wait_idle();
+}
+
 TEST(ParallelFor, MoreThreadsThanWorkIsFine)
 {
     std::vector<std::atomic<int>> hits(3);

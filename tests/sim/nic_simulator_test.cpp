@@ -42,6 +42,12 @@ TEST(NicSimulator, ConservesPackets)
     // in `completed`, so use an inequality.
     EXPECT_LE(res.completed + res.dropped, res.generated);
     EXPECT_GT(res.completed, 0u);
+    // The lifetime counters satisfy conservation *exactly* (the simulator
+    // itself throws on violation; pin the identity here too).
+    EXPECT_EQ(res.generated,
+              res.completed_total + res.dropped_total + res.in_flight);
+    EXPECT_GE(res.completed_total, res.completed);
+    EXPECT_FALSE(res.truncated);
 }
 
 TEST(NicSimulator, DropsUnderOverload)
@@ -68,14 +74,17 @@ TEST(NicSimulator, DropAccountingFollowsMeasurementWindow)
     p.queue_capacity = 4;
     const auto g = single_stage_graph(hw, p);
 
-    // Warmup covering the whole run: heavy overload, yet zero *reported*
-    // drops — every drop happened inside the warmup.
+    // Warmup covering almost the whole run: heavy overload, yet the
+    // *reported* (windowed) drops are a sliver of the lifetime drops the
+    // cause counters see — nearly every drop happened inside the warmup.
+    // (warmup_fraction = 1.0 is rejected at construction these days.)
     SimOptions all_warmup = quick();
-    all_warmup.warmup_fraction = 1.0;
+    all_warmup.warmup_fraction = 0.99;
     const auto warm = simulate(hw, g, mtu_traffic(40.0), all_warmup);
     EXPECT_GT(warm.generated, 0u);
-    EXPECT_EQ(warm.dropped, 0u);
-    EXPECT_DOUBLE_EQ(warm.drop_rate, 0.0);
+    EXPECT_GT(warm.dropped_total, 0u);
+    EXPECT_LT(warm.dropped, warm.dropped_total / 10);
+    EXPECT_LE(warm.drop_rate, 1.0);
 
     // The same scenario with a normal warmup reports plenty of drops, and
     // the windowed rate stays a valid probability.
@@ -213,6 +222,42 @@ TEST(NicSimulator, InvalidConfigThrows)
     broken.add_ingress();
     EXPECT_THROW(NicSimulator(hw, broken, mtu_traffic(1.0), quick()),
                  std::invalid_argument);
+}
+
+TEST(NicSimulator, ValidatesWarmupFractionRange)
+{
+    const auto hw = small_nic();
+    const auto g = single_stage_graph(hw);
+    for (double wf : {1.0, 1.5, -0.1}) {
+        SimOptions bad = quick();
+        bad.warmup_fraction = wf;
+        EXPECT_THROW(NicSimulator(hw, g, mtu_traffic(1.0), bad),
+                     std::invalid_argument)
+            << "warmup_fraction = " << wf;
+    }
+    // The boundary values inside [0, 1) are accepted.
+    SimOptions zero = quick();
+    zero.warmup_fraction = 0.0;
+    EXPECT_NO_THROW(NicSimulator(hw, g, mtu_traffic(1.0), zero));
+}
+
+TEST(NicSimulator, EventBudgetTruncatesDeterministically)
+{
+    const auto hw = small_nic();
+    const auto g = single_stage_graph(hw);
+    SimOptions o = quick();
+    o.watchdog.max_events = 5000;
+    const auto a = simulate(hw, g, mtu_traffic(10.0), o);
+    EXPECT_TRUE(a.truncated);
+    EXPECT_EQ(a.truncation_reason, "event_budget");
+    EXPECT_LT(a.sim_time_reached, o.duration);
+    // Conservation holds mid-run too: everything not yet out is in flight.
+    EXPECT_EQ(a.generated,
+              a.completed_total + a.dropped_total + a.in_flight);
+    // The budget cut is at a deterministic simulated instant.
+    const auto b = simulate(hw, g, mtu_traffic(10.0), o);
+    EXPECT_DOUBLE_EQ(a.sim_time_reached, b.sim_time_reached);
+    EXPECT_EQ(a.generated, b.generated);
 }
 
 } // namespace

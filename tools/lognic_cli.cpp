@@ -6,6 +6,7 @@
  *
  *   lognic example                      print a sample scenario JSON
  *   lognic example sweep                print a sample sweep-spec JSON
+ *   lognic example faults               print a sample fault-plan JSON
  *   lognic example placement            print the fig13/14 NF-placement
  *                                       scenario (LogNIC-opt at MTU)
  *   lognic estimate <scenario.json>     model throughput/latency report
@@ -22,6 +23,13 @@
  *                                       trace-event JSON (open in
  *                                       ui.perfetto.dev) + bottleneck
  *                                       attribution report
+ *   lognic faults <scenario.json> <plan.json> [--seconds s] [--seed n]
+ *                 [--curve vertex]
+ *                                       fault-injected simulation: replay a
+ *                                       fault plan mid-run, report delivery
+ *                                       and cause-labeled drops; --curve
+ *                                       prints the analytical graceful-
+ *                                       degradation curve for a vertex
  *   lognic dot <scenario.json>          Graphviz export of the graph
  */
 #include <cstdio>
@@ -32,6 +40,8 @@
 
 #include "lognic/apps/nf_chain.hpp"
 #include "lognic/core/model.hpp"
+#include "lognic/fault/degradation.hpp"
+#include "lognic/fault/fault_plan.hpp"
 #include "lognic/core/reporting.hpp"
 #include "lognic/core/sensitivity.hpp"
 #include "lognic/io/serialize.hpp"
@@ -62,6 +72,10 @@ usage()
                  "[--seconds s] [--seed n] [--sample n]\n"
                  "                                traced simulation "
                  "(Chrome trace-event JSON)\n"
+                 "  faults   <scenario.json> <plan.json> [--seconds s] "
+                 "[--seed n] [--curve vertex]\n"
+                 "                                fault-injected simulation "
+                 "(cause-labeled drops)\n"
                  "  sensitivity <scenario.json>   parameter elasticities\n"
                  "  dot      <scenario.json>      Graphviz export\n");
     return 2;
@@ -250,15 +264,108 @@ cmd_trace(const io::Scenario& sc, int argc, char** argv)
 }
 
 /// Spec-driven sweep: grid x replications fanned over a thread pool,
-/// per-point aggregates (mean / stddev / 95% CI) emitted as JSON.
+/// per-point aggregates (mean / stddev / 95% CI) emitted as JSON. Runs
+/// guarded: a point that throws or trips the watchdog becomes a record in
+/// the "failed"/"truncated" arrays instead of killing the campaign (exit
+/// status 1 flags an incomplete sweep).
 int
 cmd_sweep_spec(const io::Json& doc)
 {
     const auto spec = runner::sweep_spec_from_json(doc);
     const auto sweep = runner::build_sweep(spec);
-    const auto results = sweep.run(spec.options);
-    std::fputs(runner::sweep_results_json(results).dump().c_str(), stdout);
+    const auto report = sweep.run_guarded(spec.options);
+    std::fputs(runner::to_json(report).dump().c_str(), stdout);
     std::printf("\n");
+    for (const auto& f : report.failed)
+        std::fprintf(stderr, "lognic: point %zu (%s) failed after %zu "
+                             "attempt(s): %s\n",
+                     f.index, f.label.c_str(), f.attempts,
+                     f.error.c_str());
+    for (const auto& t : report.truncated)
+        std::fprintf(stderr, "lognic: point %zu (%s) replication %zu "
+                             "truncated (%s) at t=%.6fs\n",
+                     t.index, t.label.c_str(), t.replication,
+                     t.reason.c_str(), t.sim_time_reached);
+    return report.failed.empty() ? 0 : 1;
+}
+
+/**
+ * Fault-injected simulation: replay a fault plan against a scenario and
+ * report delivery plus cause-labeled drop accounting; with --curve, also
+ * print the analytical graceful-degradation curve for one vertex
+ * (model-side counterpart of killing engines mid-run).
+ */
+int
+cmd_faults(const io::Scenario& sc, const std::string& plan_path, int argc,
+           char** argv)
+{
+    sim::SimOptions opts;
+    opts.duration = 0.02;
+    std::string curve_vertex;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--seconds" && has_value) {
+            opts.duration = std::atof(argv[++i]);
+        } else if (arg == "--seed" && has_value) {
+            opts.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--curve" && has_value) {
+            curve_vertex = argv[++i];
+        } else {
+            std::fprintf(stderr, "faults: bad argument '%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+    if (opts.duration <= 0.0) {
+        std::fprintf(stderr, "bad duration\n");
+        return 2;
+    }
+    opts.faults =
+        fault::fault_plan_from_json(io::Json::parse(read_file(plan_path)));
+
+    const auto res = sim::simulate(sc.hw, sc.graph, sc.traffic, opts);
+    std::printf("faulted simulation: %.3fs, %zu fault event(s)\n",
+                opts.duration, opts.faults.events.size());
+    std::printf("  delivered    : %.3f Gbps (%.3f Mops)\n",
+                res.delivered.gbps(), res.delivered_ops.mops());
+    std::printf("  latency      : mean %.3f us, p50 %.3f, p99 %.3f\n",
+                res.mean_latency.micros(), res.p50_latency.micros(),
+                res.p99_latency.micros());
+    std::printf("  conservation : generated %llu = completed %llu + "
+                "dropped %llu + in-flight %llu\n",
+                static_cast<unsigned long long>(res.generated),
+                static_cast<unsigned long long>(res.completed_total),
+                static_cast<unsigned long long>(res.dropped_total),
+                static_cast<unsigned long long>(res.in_flight));
+    const auto& counters = res.metrics.counters;
+    for (const char* key : {"sim.dropped_by_cause.overflow",
+                            "sim.dropped_by_cause.burst",
+                            "sim.dropped_by_cause.engine_fail"}) {
+        const auto it = counters.find(key);
+        if (it != counters.end())
+            std::printf("  %-28s %llu\n", key,
+                        static_cast<unsigned long long>(it->second));
+    }
+    if (res.truncated)
+        std::printf("  TRUNCATED (%s) at t=%.6fs\n",
+                    res.truncation_reason.c_str(), res.sim_time_reached);
+
+    if (!curve_vertex.empty()) {
+        const auto curve = fault::degradation_curve(sc.hw, sc.graph,
+                                                    sc.traffic,
+                                                    curve_vertex);
+        std::printf("\ngraceful degradation of '%s' (analytical):\n",
+                    curve.vertex.c_str());
+        std::printf("%8s %10s %12s %12s %12s\n", "failed", "fraction",
+                    "capacity", "achieved", "mean(us)");
+        for (const auto& pt : curve.points) {
+            std::printf("%8u %9.0f%% %11.2fG %11.2fG %12.3f\n",
+                        pt.engines_failed, 100.0 * pt.fraction_failed,
+                        pt.capacity.gbps(), pt.achieved.gbps(),
+                        pt.mean_latency.micros());
+        }
+    }
     return 0;
 }
 
@@ -300,6 +407,8 @@ main(int argc, char** argv)
                 std::fputs(
                     runner::sample_sweep_spec(sample_scenario()).c_str(),
                     stdout);
+            } else if (argc > 2 && std::string(argv[2]) == "faults") {
+                std::fputs(fault::sample_fault_plan().c_str(), stdout);
             } else if (argc > 2 && std::string(argv[2]) == "placement") {
                 std::fputs(io::save_scenario(placement_scenario()).c_str(),
                            stdout);
@@ -323,6 +432,11 @@ main(int argc, char** argv)
                 return usage();
             return cmd_sweep(io::scenario_from_json(doc), argc - 3,
                              argv + 3);
+        }
+        if (command == "faults") {
+            if (argc < 4)
+                return usage();
+            return cmd_faults(load(argv[2]), argv[3], argc - 4, argv + 4);
         }
         const io::Scenario sc = load(argv[2]);
         if (command == "estimate")
