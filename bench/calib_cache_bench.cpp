@@ -1,0 +1,138 @@
+/**
+ * @file
+ * google-benchmark microbenchmark of the calibration eval cache: how much
+ * does LRU memoization save when a solver revisits parameter points?
+ *
+ * Every loss evaluation is one analytical-model solve per observation, and
+ * real fits revisit points constantly (finite-difference probes repeat
+ * across backtracking, multi-start fits re-probe clamped corners, the
+ * calibrator re-reads the incumbent). The workload below replays a
+ * solver-like access pattern — a small working set visited many times —
+ * against the raw residual function and against CachedResiduals. CI runs
+ * this binary with --benchmark_out=BENCH_calib.json and archives the
+ * result, so cached-vs-uncached regressions show up in the artifacts.
+ */
+#include <benchmark/benchmark.h>
+
+#include "lognic/apps/inline_accel.hpp"
+#include "lognic/calib/cache.hpp"
+#include "lognic/calib/calibrator.hpp"
+#include "lognic/calib/loss.hpp"
+
+using namespace lognic;
+
+namespace {
+
+/// A LiquidIO MD5 calibration problem with an analytically synthesized
+/// dataset (predictions of the true catalog over a rate grid) — no DES,
+/// so the benchmark isolates model-solve cost.
+struct Problem {
+    calib::ParameterSpace space;
+    calib::Dataset data;
+    solver::VectorFn residuals;
+};
+
+Problem
+make_problem()
+{
+    const auto sc =
+        apps::make_inline_accel(devices::LiquidIoKernel::kMd5, 16);
+    const calib::Candidate truth{sc.hw, {sc.graph}};
+
+    calib::Dataset data;
+    for (double gbps : {2.0, 4.0, 8.0, 12.0, 16.0, 20.0}) {
+        for (double size : {256.0, 1024.0}) {
+            calib::Observation obs;
+            obs.traffic = core::TrafficProfile::fixed(
+                Bytes{size}, Bandwidth::from_gbps(gbps));
+            const calib::Prediction pred = calib::predict(truth, obs);
+            obs.throughput = pred.throughput;
+            obs.mean_latency = pred.mean_latency;
+            data.add(std::move(obs));
+        }
+    }
+
+    calib::ParameterSpace space(truth);
+    space.add("ip.md5.fixed_cost_us");
+    space.add("ip.cores-md5.fixed_cost_us");
+
+    calib::LossOptions loss;
+    loss.latency_weight = 0.25;
+    solver::VectorFn fn = calib::make_residual_fn(space, data, loss);
+    return Problem{std::move(space), std::move(data), std::move(fn)};
+}
+
+/// Solver-like access pattern: 8 distinct points, each visited 16 times.
+std::vector<solver::Vector>
+access_pattern(const calib::ParameterSpace& space)
+{
+    const solver::Vector x0 = space.initial();
+    std::vector<solver::Vector> points;
+    for (int k = 0; k < 8; ++k) {
+        solver::Vector x = x0;
+        x[0] *= 1.0 + 0.05 * k;
+        x[1] *= 1.0 - 0.03 * k;
+        points.push_back(std::move(x));
+    }
+    std::vector<solver::Vector> sequence;
+    for (int rep = 0; rep < 16; ++rep)
+        for (const auto& p : points)
+            sequence.push_back(p);
+    return sequence;
+}
+
+void
+BM_LossEvaluationUncached(benchmark::State& state)
+{
+    const Problem problem = make_problem();
+    const auto sequence = access_pattern(problem.space);
+    for (auto _ : state) {
+        for (const auto& x : sequence)
+            benchmark::DoNotOptimize(problem.residuals(x));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations())
+                            * static_cast<std::int64_t>(sequence.size()));
+}
+BENCHMARK(BM_LossEvaluationUncached);
+
+void
+BM_LossEvaluationCached(benchmark::State& state)
+{
+    const Problem problem = make_problem();
+    const auto sequence = access_pattern(problem.space);
+    for (auto _ : state) {
+        // Fresh cache per iteration: the measured cost includes the 8
+        // compulsory misses, exactly as a fit would pay them.
+        calib::CachedResiduals cached(problem.residuals, 1024);
+        for (const auto& x : sequence)
+            benchmark::DoNotOptimize(cached(x));
+        benchmark::DoNotOptimize(cached.stats().hits);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations())
+                            * static_cast<std::int64_t>(sequence.size()));
+}
+BENCHMARK(BM_LossEvaluationCached);
+
+/// The full engine on the same problem — the end-to-end number the two
+/// microbenchmarks above explain.
+void
+BM_FitResiduals(benchmark::State& state)
+{
+    const Problem problem = make_problem();
+    calib::FitProblem fit;
+    fit.residuals = problem.residuals;
+    fit.x0 = problem.space.initial();
+    fit.x0[0] *= 1.5; // start away from the optimum
+    fit.bounds = problem.space.bounds();
+    fit.scales = problem.space.scales();
+    calib::FitOptions opts;
+    opts.starts = 2;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(calib::fit_residuals(fit, opts));
+    }
+}
+BENCHMARK(BM_FitResiduals);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * LRU memoization for loss evaluations.
+ *
+ * Every loss evaluation is a full analytical-model solve per observation,
+ * and the solvers revisit points: multi-start fits re-probe shared
+ * corners after bound clamping, the calibrator re-evaluates the incumbent
+ * for reporting, and finite-difference probes repeat across backtracking.
+ * An EvalCache memoizes residual vectors keyed on the *bit pattern* of
+ * the parameter vector — exact, no tolerance games — with LRU eviction.
+ *
+ * Caches are deliberately not thread-safe: the calibrator gives each
+ * multi-start worker its own cache so hit/miss counts (and therefore
+ * reports) stay bit-identical for any thread count.
+ */
+#ifndef LOGNIC_CALIB_CACHE_HPP_
+#define LOGNIC_CALIB_CACHE_HPP_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "lognic/solver/objective.hpp"
+
+namespace lognic::calib {
+
+/// Bit-exact string key of a parameter vector.
+std::string cache_key(const solver::Vector& x);
+
+class EvalCache {
+  public:
+    /// @throws std::invalid_argument when capacity is zero.
+    explicit EvalCache(std::size_t capacity);
+
+    struct Stats {
+        std::uint64_t hits{0};
+        std::uint64_t misses{0};
+        std::uint64_t evictions{0};
+    };
+
+    /// Cached value for @p x, refreshing its recency; nullopt on a miss.
+    std::optional<solver::Vector> lookup(const solver::Vector& x);
+    /// Insert (no-op if present), evicting the least-recent entry at
+    /// capacity.
+    void insert(const solver::Vector& x, solver::Vector value);
+
+    const Stats& stats() const { return stats_; }
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    struct Entry {
+        std::string key;
+        solver::Vector value;
+    };
+
+    std::size_t capacity_;
+    std::list<Entry> entries_; ///< front = most recent
+    std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+    Stats stats_;
+};
+
+/**
+ * A residual function wrapped with memoization. Tracks how many
+ * evaluations actually reached the underlying function (the model
+ * solves) versus were served from cache, and records the running-best
+ * loss after each underlying evaluation — the convergence trace the
+ * calibrator publishes.
+ */
+class CachedResiduals {
+  public:
+    CachedResiduals(solver::VectorFn fn, std::size_t capacity);
+
+    solver::Vector operator()(const solver::Vector& x);
+
+    const EvalCache::Stats& stats() const { return cache_.stats(); }
+    /// Evaluations that reached the underlying function.
+    std::uint64_t underlying_evaluations() const { return underlying_; }
+    /// Total requests (cache hits + underlying evaluations).
+    std::uint64_t requests() const { return requests_; }
+    /// Running best 0.5*||r||^2 after each *underlying* evaluation that
+    /// improved on the incumbent: a monotone convergence trace.
+    const std::vector<double>& convergence() const { return convergence_; }
+
+  private:
+    solver::VectorFn fn_;
+    EvalCache cache_;
+    std::uint64_t underlying_{0};
+    std::uint64_t requests_{0};
+    double best_{0.0};
+    bool has_best_{false};
+    std::vector<double> convergence_;
+};
+
+} // namespace lognic::calib
+
+#endif // LOGNIC_CALIB_CACHE_HPP_

@@ -78,11 +78,18 @@ class HardwareModel {
     Bandwidth line_rate() const { return line_rate_; }
     /// Override the port speed (e.g. for memory-fed microbenchmarks).
     void set_line_rate(Bandwidth rate) { line_rate_ = rate; }
+    /// Override BW_INTF / BW_MEM (calibration fits these as free
+    /// variables; see lognic::calib::ParameterSpace).
+    void set_interface_bandwidth(Bandwidth bw) { interface_bw_ = bw; }
+    void set_memory_bandwidth(Bandwidth bw) { memory_bw_ = bw; }
 
     /// Register an IP block; returns its id.
     IpId add_ip(IpSpec spec);
 
     const IpSpec& ip(IpId id) const;
+    /// Mutable access to a registered IP (catalog calibration rewrites
+    /// roofline parameters in place).
+    IpSpec& ip(IpId id);
     std::size_t ip_count() const { return ips_.size(); }
 
     /// Find an IP by name; std::nullopt when absent.

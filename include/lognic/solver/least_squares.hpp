@@ -2,16 +2,29 @@
  * @file
  * Levenberg-Marquardt nonlinear least squares.
  *
- * Used for the paper's SSD calibration methodology (S4.3, S4.7): fit a small
- * parametric latency/throughput curve to observed (io-depth, latency,
- * throughput) samples and extract LogNIC IP parameters from the fit.
+ * Used for the paper's SSD calibration methodology (S4.3, S4.7) and as the
+ * default backend of the `lognic::calib` subsystem: fit a small parametric
+ * latency/throughput predictor to observed samples and extract LogNIC
+ * parameters from the fit.
  */
 #ifndef LOGNIC_SOLVER_LEAST_SQUARES_HPP_
 #define LOGNIC_SOLVER_LEAST_SQUARES_HPP_
 
+#include <stdexcept>
+
 #include "lognic/solver/objective.hpp"
 
 namespace lognic::solver {
+
+/// Why a Levenberg-Marquardt run stopped.
+enum class LsTermination {
+    kGradientTolerance, ///< converged: gradient below tolerance
+    kStepTolerance,     ///< converged: accepted step below tolerance
+    kStalled,           ///< no descent step found (damping saturated)
+    kIterationLimit,    ///< budget exhausted before any tolerance was met
+};
+
+const char* to_string(LsTermination reason);
 
 struct LeastSquaresOptions {
     std::size_t max_iterations{200};
@@ -19,11 +32,47 @@ struct LeastSquaresOptions {
     double step_tolerance{1e-12};
     double initial_damping{1e-3};
     Bounds bounds{};
+    /**
+     * Finite-difference Jacobian step, *relative to each parameter's
+     * magnitude*: h_i = relative_step * max(|x_i|, scale_i). Parameters
+     * spanning wildly different scales (bandwidths in bits/s next to
+     * service times in seconds) each get a proportionate perturbation
+     * instead of one absolute step.
+     */
+    double relative_step{1e-6};
+    /**
+     * Per-dimension typical magnitudes (the scale_i floor above), used
+     * where a parameter sits at or near zero. Empty: a uniform floor of
+     * 1e-8 per dimension.
+     */
+    Vector scales{};
+    /**
+     * When true, a run that ends without meeting a convergence tolerance
+     * (kStalled or kIterationLimit) throws NonConvergenceError carrying
+     * the full partial result instead of returning it.
+     */
+    bool throw_on_failure{false};
 };
 
 /// Result of a fit; value is the final sum of squared residuals.
 struct LeastSquaresResult : SolveResult {
     Vector residuals; ///< residual vector at the solution
+    LsTermination termination{LsTermination::kIterationLimit};
+};
+
+/**
+ * Structured non-convergence report: thrown (when opted into) instead of
+ * silently handing back the last iterate. Carries the partial result so
+ * callers can still inspect or resume from it.
+ */
+class NonConvergenceError : public std::runtime_error {
+  public:
+    explicit NonConvergenceError(LeastSquaresResult partial);
+
+    const LeastSquaresResult& partial() const { return partial_; }
+
+  private:
+    LeastSquaresResult partial_;
 };
 
 /**
@@ -31,6 +80,7 @@ struct LeastSquaresResult : SolveResult {
  *
  * @param residual_fn Residual vector r(x); its length must not vary with x.
  * @param x0 Initial parameter guess.
+ * @throws NonConvergenceError per LeastSquaresOptions::throw_on_failure.
  */
 LeastSquaresResult levenberg_marquardt(const VectorFn& residual_fn, Vector x0,
                                        const LeastSquaresOptions& opts = {});

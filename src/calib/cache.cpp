@@ -1,0 +1,78 @@
+#include "lognic/calib/cache.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace lognic::calib {
+
+std::string
+cache_key(const solver::Vector& x)
+{
+    std::string key;
+    key.resize(x.size() * sizeof(double));
+    if (!x.empty())
+        std::memcpy(key.data(), x.data(), key.size());
+    return key;
+}
+
+EvalCache::EvalCache(std::size_t capacity) : capacity_(capacity)
+{
+    if (capacity_ == 0)
+        throw std::invalid_argument("EvalCache: capacity must be > 0");
+}
+
+std::optional<solver::Vector>
+EvalCache::lookup(const solver::Vector& x)
+{
+    const auto it = index_.find(cache_key(x));
+    if (it == index_.end()) {
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    ++stats_.hits;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return it->second->value;
+}
+
+void
+EvalCache::insert(const solver::Vector& x, solver::Vector value)
+{
+    std::string key = cache_key(x);
+    if (index_.count(key) != 0)
+        return;
+    entries_.push_front(Entry{key, std::move(value)});
+    index_.emplace(std::move(key), entries_.begin());
+    if (entries_.size() > capacity_) {
+        index_.erase(entries_.back().key);
+        entries_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+CachedResiduals::CachedResiduals(solver::VectorFn fn, std::size_t capacity)
+    : fn_(std::move(fn)), cache_(capacity)
+{
+}
+
+solver::Vector
+CachedResiduals::operator()(const solver::Vector& x)
+{
+    ++requests_;
+    if (auto hit = cache_.lookup(x))
+        return *std::move(hit);
+    solver::Vector r = fn_(x);
+    ++underlying_;
+    double loss = 0.0;
+    for (double v : r)
+        loss += 0.5 * v * v;
+    if (!has_best_ || loss < best_) {
+        best_ = loss;
+        has_best_ = true;
+        convergence_.push_back(loss);
+    }
+    cache_.insert(x, r);
+    return r;
+}
+
+} // namespace lognic::calib

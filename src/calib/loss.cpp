@@ -1,0 +1,178 @@
+#include "lognic/calib/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lognic::calib {
+
+const char*
+to_string(ResidualKind kind)
+{
+    switch (kind) {
+    case ResidualKind::kRelative:
+        return "relative";
+    case ResidualKind::kAbsolute:
+        return "absolute";
+    }
+    return "unknown";
+}
+
+ResidualKind
+residual_kind_from_string(const std::string& name)
+{
+    if (name == "relative")
+        return ResidualKind::kRelative;
+    if (name == "absolute")
+        return ResidualKind::kAbsolute;
+    throw std::invalid_argument("calib: unknown residual kind '" + name
+                                + "'");
+}
+
+io::Json
+to_json(const LossOptions& loss)
+{
+    io::Json j;
+    j.set("throughput_weight", loss.throughput_weight);
+    j.set("latency_weight", loss.latency_weight);
+    j.set("p99_weight", loss.p99_weight);
+    j.set("kind", to_string(loss.kind));
+    j.set("huber_delta", loss.huber_delta);
+    return j;
+}
+
+LossOptions
+loss_from_json(const io::Json& j)
+{
+    LossOptions loss;
+    loss.throughput_weight = j.number_or("throughput_weight", 1.0);
+    loss.latency_weight = j.number_or("latency_weight", 1.0);
+    loss.p99_weight = j.number_or("p99_weight", 0.0);
+    if (j.contains("kind"))
+        loss.kind = residual_kind_from_string(j.at("kind").as_string());
+    loss.huber_delta = j.number_or("huber_delta", 0.0);
+    if (loss.throughput_weight < 0.0 || loss.latency_weight < 0.0
+        || loss.p99_weight < 0.0 || loss.huber_delta < 0.0)
+        throw std::runtime_error("calib loss: negative weight or delta");
+    if (loss.throughput_weight == 0.0 && loss.latency_weight == 0.0
+        && loss.p99_weight == 0.0)
+        throw std::runtime_error("calib loss: all components disabled");
+    return loss;
+}
+
+std::size_t
+components_per_observation(const LossOptions& loss)
+{
+    std::size_t n = 0;
+    if (loss.throughput_weight > 0.0)
+        ++n;
+    if (loss.latency_weight > 0.0)
+        ++n;
+    if (loss.p99_weight > 0.0)
+        ++n;
+    return n;
+}
+
+double
+huberize(double r, double delta)
+{
+    if (delta <= 0.0)
+        return r;
+    const double z = r / delta;
+    const double mag =
+        delta * std::sqrt(2.0 * (std::sqrt(1.0 + z * z) - 1.0));
+    return std::copysign(mag, r);
+}
+
+Prediction
+predict(const Candidate& candidate, const Observation& obs)
+{
+    const core::ExecutionGraph& graph =
+        candidate.graphs.at(obs.graph_index);
+    const core::Model model(candidate.hw);
+    const core::Report rep = model.estimate(graph, obs.traffic);
+    Prediction pred;
+    // "Achieved" is the apples-to-apples counterpart of the simulator's
+    // delivered bandwidth (capacity-clipped offered goodput).
+    pred.throughput = rep.throughput.achieved;
+    pred.mean_latency = rep.latency.mean;
+    pred.p99_latency = rep.latency.per_class.empty()
+        ? Seconds{0.0}
+        : rep.latency.per_class.front().p99;
+    return pred;
+}
+
+namespace {
+
+double
+component(ResidualKind kind, double pred, double observed)
+{
+    if (kind == ResidualKind::kAbsolute)
+        return pred - observed;
+    if (observed == 0.0)
+        throw std::invalid_argument(
+            "calib loss: relative residual against a zero observation");
+    return (pred - observed) / observed;
+}
+
+} // namespace
+
+void
+append_residuals(const LossOptions& loss, const Observation& obs,
+                 const Prediction& pred, solver::Vector& out)
+{
+    const double w = std::sqrt(obs.weight);
+    if (loss.throughput_weight > 0.0) {
+        out.push_back(w * loss.throughput_weight
+                      * huberize(component(loss.kind,
+                                           pred.throughput.gbps(),
+                                           obs.throughput.gbps()),
+                                 loss.huber_delta));
+    }
+    if (loss.latency_weight > 0.0) {
+        out.push_back(w * loss.latency_weight
+                      * huberize(component(loss.kind,
+                                           pred.mean_latency.micros(),
+                                           obs.mean_latency.micros()),
+                                 loss.huber_delta));
+    }
+    if (loss.p99_weight > 0.0) {
+        out.push_back(w * loss.p99_weight
+                      * huberize(component(loss.kind,
+                                           pred.p99_latency.micros(),
+                                           obs.p99_latency.micros()),
+                                 loss.huber_delta));
+    }
+}
+
+solver::VectorFn
+make_residual_fn(const ParameterSpace& space, const Dataset& data,
+                 const LossOptions& loss)
+{
+    if (data.empty())
+        throw std::invalid_argument(
+            "calib: cannot build residuals over an empty dataset");
+    if (components_per_observation(loss) == 0)
+        throw std::invalid_argument(
+            "calib: loss has no active components");
+    // The lambda owns copies: evaluations may outlive the caller's frame
+    // and run on worker threads.
+    return [space, data, loss](const solver::Vector& x) {
+        const Candidate candidate = space.apply(x);
+        solver::Vector r;
+        r.reserve(data.size() * components_per_observation(loss));
+        for (const auto& obs : data.observations())
+            append_residuals(loss, obs, predict(candidate, obs), r);
+        return r;
+    };
+}
+
+double
+total_loss(const solver::Vector& residuals)
+{
+    double s = 0.0;
+    for (double v : residuals)
+        s += v * v;
+    return 0.5 * s;
+}
+
+} // namespace lognic::calib

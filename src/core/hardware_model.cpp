@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <string>
 #include <tuple>
+#include <utility>
 
 namespace lognic::core {
 
@@ -64,6 +65,12 @@ HardwareModel::ip(IpId id) const
             + std::to_string(id) + " (model has "
             + std::to_string(ips_.size()) + ")");
     return ips_[id];
+}
+
+IpSpec&
+HardwareModel::ip(IpId id)
+{
+    return const_cast<IpSpec&>(std::as_const(*this).ip(id));
 }
 
 std::optional<IpId>

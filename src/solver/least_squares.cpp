@@ -16,7 +16,64 @@ sum_squares(const Vector& r)
     return 0.5 * s;
 }
 
+/**
+ * Scale-aware forward-difference Jacobian: column i is perturbed by
+ * h_i = rel_step * max(|x_i|, scale_i), so parameters of very different
+ * magnitudes (Gbps next to microseconds) are each probed proportionately.
+ * The perturbation flips to a backward difference when the forward probe
+ * would leave the feasible box, keeping every evaluation in-bounds.
+ */
+Matrix
+scaled_jacobian(const VectorFn& f, const Vector& x, const Vector& f0,
+                const LeastSquaresOptions& opts)
+{
+    Matrix j(f0.size(), x.size());
+    Vector probe = x;
+    for (std::size_t c = 0; c < x.size(); ++c) {
+        const double floor =
+            c < opts.scales.size() ? std::abs(opts.scales[c]) : 1e-8;
+        double h = opts.relative_step * std::max(std::abs(x[c]), floor);
+        if (c < opts.bounds.upper.size()
+            && x[c] + h > opts.bounds.upper[c]
+            && (c >= opts.bounds.lower.size()
+                || x[c] - h >= opts.bounds.lower[c]))
+            h = -h;
+        probe[c] = x[c] + h;
+        const Vector fp = f(probe);
+        probe[c] = x[c];
+        for (std::size_t r = 0; r < f0.size(); ++r)
+            j(r, c) = (fp[r] - f0[r]) / h;
+    }
+    return j;
+}
+
 } // namespace
+
+const char*
+to_string(LsTermination reason)
+{
+    switch (reason) {
+    case LsTermination::kGradientTolerance:
+        return "gradient below tolerance";
+    case LsTermination::kStepTolerance:
+        return "step below tolerance";
+    case LsTermination::kStalled:
+        return "stalled: no descent step found (damping saturated)";
+    case LsTermination::kIterationLimit:
+        return "iteration limit reached";
+    }
+    return "unknown";
+}
+
+NonConvergenceError::NonConvergenceError(LeastSquaresResult partial)
+    : std::runtime_error(std::string("levenberg_marquardt did not converge: ")
+                         + to_string(partial.termination) + " after "
+                         + std::to_string(partial.iterations)
+                         + " iteration(s), cost "
+                         + std::to_string(partial.value)),
+      partial_(std::move(partial))
+{
+}
 
 LeastSquaresResult
 levenberg_marquardt(const VectorFn& residual_fn, Vector x0,
@@ -30,12 +87,13 @@ levenberg_marquardt(const VectorFn& residual_fn, Vector x0,
     double cost = sum_squares(r);
     double damping = opts.initial_damping;
     std::size_t evals = 1;
+    result.termination = LsTermination::kIterationLimit;
 
     for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
         result.iterations = iter + 1;
 
-        const Matrix j = numerical_jacobian(residual_fn, x);
-        evals += n + 1;
+        const Matrix j = scaled_jacobian(residual_fn, x, r, opts);
+        evals += n;
         const Matrix jt = j.transposed();
         Matrix jtj = jt * j;
         const Vector g = jt * r; // gradient of 0.5||r||^2
@@ -45,7 +103,7 @@ levenberg_marquardt(const VectorFn& residual_fn, Vector x0,
             g_inf = std::max(g_inf, std::abs(v));
         if (g_inf < opts.gradient_tolerance) {
             result.converged = true;
-            result.message = "gradient below tolerance";
+            result.termination = LsTermination::kGradientTolerance;
             break;
         }
 
@@ -79,15 +137,18 @@ levenberg_marquardt(const VectorFn& residual_fn, Vector x0,
                 stepped = true;
                 if (step < opts.step_tolerance) {
                     result.converged = true;
-                    result.message = "step below tolerance";
+                    result.termination = LsTermination::kStepTolerance;
                 }
             } else {
                 damping *= 10.0;
             }
         }
         if (!stepped) {
-            result.converged = true;
-            result.message = "damping saturated";
+            // Damping saturated without a descent step: the iterate may
+            // still be useful (often it sits in a flat valley), but this
+            // is *not* a met tolerance — report it as such instead of
+            // dressing it up as convergence.
+            result.termination = LsTermination::kStalled;
             break;
         }
         if (result.converged)
@@ -98,8 +159,9 @@ levenberg_marquardt(const VectorFn& residual_fn, Vector x0,
     result.value = cost;
     result.residuals = std::move(r);
     result.evaluations = evals;
-    if (result.message.empty())
-        result.message = "iteration limit reached";
+    result.message = to_string(result.termination);
+    if (!result.converged && opts.throw_on_failure)
+        throw NonConvergenceError(std::move(result));
     return result;
 }
 

@@ -4,8 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "lognic/calib/calibrator.hpp"
 #include "lognic/queueing/mm1n.hpp"
-#include "lognic/solver/least_squares.hpp"
 
 namespace lognic::ssd {
 
@@ -91,7 +91,12 @@ calibrate(const std::vector<SsdGroundTruth::Sample>& samples, Bytes block)
     const double c0 = 8.0;
     const double s0 = std::max(1e-7, c0 / (max_rate / 0.95));
 
-    auto residuals = [&](const solver::Vector& x) {
+    // Stage 1 delegates to the generic calib engine: same LM backend as
+    // before, plus bounded multi-start (guards against the occasional bad
+    // knee-derived initial guess) and eval memoization. The channel count
+    // is continuous here.
+    calib::FitProblem problem;
+    problem.residuals = [samples](const solver::Vector& x) {
         const double s = x[0];
         const double c = x[1];
         const double base = x[2];
@@ -105,32 +110,58 @@ calibrate(const std::vector<SsdGroundTruth::Sample>& samples, Bytes block)
         }
         return r;
     };
+    problem.x0 = {s0, c0, base0};
+    problem.bounds.lower = {1e-7, 1.0, 0.0};
+    problem.bounds.upper = {1.0, 64.0, 1.0};
 
-    solver::LeastSquaresOptions opts;
-    opts.bounds.lower = {1e-7, 1.0, 0.0};
-    opts.bounds.upper = {1.0, 64.0, 1.0};
-    const auto fit =
-        solver::levenberg_marquardt(residuals, {s0, c0, base0}, opts);
+    calib::FitOptions options;
+    options.backend = calib::Backend::kLeastSquares;
+    options.starts = 3;
+    const calib::FitOutcome fit = calib::fit_residuals(problem, options);
+
+    // Stage 2: predict_latency runs at an *integer* channel count, so
+    // refit (s, base) with c pinned at the rounded value — rounding c
+    // alone would corrupt the knee, since (c, s) are only identified
+    // jointly through c / s.
+    const double c_int = std::max(1.0, std::floor(fit.x[1] + 0.5));
+    calib::FitProblem restricted;
+    restricted.residuals = [samples, c_int](const solver::Vector& x) {
+        solver::Vector r(samples.size());
+        for (std::size_t i = 0; i < samples.size(); ++i) {
+            const double pred =
+                predict(x[0], c_int, x[1], samples[i].offered.per_sec());
+            r[i] = (pred - samples[i].latency.seconds())
+                / samples[i].latency.seconds();
+        }
+        return r;
+    };
+    // Preserve the well-determined knee c / s across the rounding.
+    restricted.x0 = {fit.x[0] * c_int / fit.x[1], fit.x[2]};
+    restricted.bounds.lower = {1e-7, 0.0};
+    restricted.bounds.upper = {1.0, 1.0};
+    calib::FitOptions polish = options;
+    polish.starts = 1;
+    const calib::FitOutcome refit =
+        calib::fit_residuals(restricted, polish);
 
     CalibratedSsd out;
-    out.service_time = Seconds{fit.x[0]};
-    out.parallelism = static_cast<std::uint32_t>(
-        std::max(1.0, std::floor(fit.x[1] + 0.5)));
-    out.base_latency = Seconds{fit.x[2]};
+    out.service_time = Seconds{refit.x[0]};
+    out.parallelism = static_cast<std::uint32_t>(c_int);
+    out.base_latency = Seconds{refit.x[1]};
 
     double sse = 0.0;
     for (std::size_t i = 0; i < samples.size(); ++i) {
-        const double pred = predict(fit.x[0], fit.x[1], fit.x[2],
+        const double pred = predict(refit.x[0], c_int, refit.x[1],
                                     samples[i].offered.per_sec());
         const double err = pred - samples[i].latency.seconds();
         sse += err * err;
     }
     out.fit_rmse = std::sqrt(sse / static_cast<double>(samples.size()));
-    // Capacity uses the *continuous* channel-count estimate: (c, s) are
-    // only identified jointly through c / s (the knee), so rounding c
-    // first would corrupt the best-determined quantity.
+    // Capacity uses stage 1's *continuous* channel-count estimate: c / s
+    // is the best-determined quantity of the fit, and rounding would
+    // perturb it.
     out.capacity = Bandwidth::from_bytes_per_sec(
-        fit.x[1] * block.bytes() / out.service_time.seconds());
+        fit.x[1] * block.bytes() / fit.x[0]);
     return out;
 }
 

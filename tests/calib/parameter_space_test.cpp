@@ -1,0 +1,128 @@
+/**
+ * @file
+ * ParameterSpace: path grammar, default bounds, apply/extract symmetry,
+ * and the error taxonomy for malformed parameter definitions.
+ */
+#include <gtest/gtest.h>
+
+#include "lognic/apps/inline_accel.hpp"
+#include "lognic/calib/parameter_space.hpp"
+
+namespace lognic::calib {
+namespace {
+
+Candidate
+crc_candidate()
+{
+    const auto sc =
+        apps::make_inline_accel(devices::LiquidIoKernel::kCrc, 4);
+    return Candidate{sc.hw, {sc.graph}};
+}
+
+TEST(CalibParameterSpace, HardwarePathsReadTheCatalog)
+{
+    ParameterSpace space(crc_candidate());
+    space.add("interface_gbps");
+    space.add("memory_gbps");
+    space.add("line_rate_gbps");
+    space.add("ip.crc.fixed_cost_us");
+    space.add("ip.cores-crc.byte_rate_gbps");
+    space.add("ip.crc.ceiling.cmi.gbps");
+
+    const solver::Vector x = space.initial();
+    ASSERT_EQ(x.size(), 6u);
+    EXPECT_NEAR(x[0], 40.0, 1e-9); // I/O interconnect
+    EXPECT_NEAR(x[1], 50.0, 1e-9); // CMI
+    EXPECT_NEAR(x[2], 25.0, 1e-9); // 25 GbE
+    EXPECT_NEAR(x[3], 1.0 / 2.8, 1e-6); // 2.8 Mops CRC engine
+    EXPECT_NEAR(x[5], 50.0, 1e-9); // the CMI feed ceiling
+}
+
+TEST(CalibParameterSpace, DefaultBoundsBracketTheBaseValue)
+{
+    ParameterSpace space(crc_candidate());
+    space.add("memory_gbps");
+    const solver::Bounds b = space.bounds();
+    ASSERT_EQ(b.lower.size(), 1u);
+    EXPECT_NEAR(b.lower[0], 50.0 / 8.0, 1e-9);
+    EXPECT_NEAR(b.upper[0], 50.0 * 8.0, 1e-9);
+}
+
+TEST(CalibParameterSpace, ApplyAndExtractAreInverses)
+{
+    ParameterSpace space(crc_candidate());
+    space.add("ip.crc.fixed_cost_us");
+    space.add("memory_gbps");
+    space.add("graph.0.vertex.nic-cores.overhead_us", 0.0, 5.0);
+
+    const solver::Vector x{0.75, 33.0, 1.25};
+    const Candidate applied = space.apply(x);
+    const solver::Vector back = space.extract(applied);
+    ASSERT_EQ(back.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(back[i], x[i], 1e-9) << space.parameter(i).name;
+
+    // apply() must not disturb the stored base.
+    EXPECT_NEAR(space.initial()[1], 50.0, 1e-9);
+    // The mutation is visible in the candidate's catalog itself.
+    EXPECT_NEAR(applied.hw.memory_bandwidth().gbps(), 33.0, 1e-9);
+}
+
+TEST(CalibParameterSpace, ScalesNeverCollapseToZero)
+{
+    ParameterSpace space(crc_candidate());
+    space.add("graph.0.vertex.nic-cores.overhead_us", 0.0, 5.0);
+    const solver::Vector s = space.scales();
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_GT(s[0], 0.0); // base overhead is 0; the span keeps scale alive
+}
+
+TEST(CalibParameterSpace, FindLocatesParametersByName)
+{
+    ParameterSpace space(crc_candidate());
+    space.add("memory_gbps");
+    space.add("interface_gbps");
+    ASSERT_TRUE(space.find("interface_gbps").has_value());
+    EXPECT_EQ(*space.find("interface_gbps"), 1u);
+    EXPECT_FALSE(space.find("line_rate_gbps").has_value());
+}
+
+TEST(CalibParameterSpace, RejectsMalformedDefinitions)
+{
+    ParameterSpace space(crc_candidate());
+    // Unknown paths, at every level of the grammar.
+    EXPECT_THROW(space.add("bogus"), std::invalid_argument);
+    EXPECT_THROW(space.add("ip.nosuch.fixed_cost_us"),
+                 std::invalid_argument);
+    EXPECT_THROW(space.add("ip.crc.nosuch_field"), std::invalid_argument);
+    EXPECT_THROW(space.add("ip.crc.ceiling.nosuch.gbps"),
+                 std::invalid_argument);
+    EXPECT_THROW(space.add("graph.7.vertex.nic-cores.overhead_us"),
+                 std::invalid_argument);
+    EXPECT_THROW(space.add("graph.0.vertex.nosuch.overhead_us"),
+                 std::invalid_argument);
+
+    // Duplicates.
+    space.add("memory_gbps");
+    EXPECT_THROW(space.add("memory_gbps"), std::invalid_argument);
+
+    // Default bounds around a zero base would collapse.
+    EXPECT_THROW(space.add("graph.0.vertex.nic-cores.overhead_us"),
+                 std::invalid_argument);
+
+    // Inverted or negative explicit bounds.
+    EXPECT_THROW(space.add("interface_gbps", 50.0, 10.0),
+                 std::invalid_argument);
+    EXPECT_THROW(space.add("interface_gbps", -5.0, 10.0),
+                 std::invalid_argument);
+}
+
+TEST(CalibParameterSpace, ApplyRejectsSizeMismatch)
+{
+    ParameterSpace space(crc_candidate());
+    space.add("memory_gbps");
+    EXPECT_THROW(space.apply({1.0, 2.0}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace lognic::calib

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Solver edge cases the calibration subsystem leans on: rank-deficient
+ * Jacobians, scale-aware finite-difference steps, bound-respecting probes,
+ * structured non-convergence, and bound-clipped Nelder-Mead starts.
+ */
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "lognic/solver/least_squares.hpp"
+#include "lognic/solver/nelder_mead.hpp"
+
+namespace lognic::solver {
+namespace {
+
+TEST(LevenbergMarquardtEdge, RankDeficientJacobianStillDescends)
+{
+    // Residuals depend only on p0 + p1: the Jacobian has rank 1 and
+    // J^T J is singular. The Marquardt damping must keep the normal
+    // equations solvable and the iterate finite.
+    const VectorFn residuals = [](const Vector& p) {
+        const double s = p[0] + p[1];
+        return Vector{s - 4.0, 2.0 * (s - 4.0), -0.5 * (s - 4.0)};
+    };
+    const auto fit = levenberg_marquardt(residuals, {0.0, 0.0});
+    ASSERT_EQ(fit.x.size(), 2u);
+    EXPECT_TRUE(std::isfinite(fit.x[0]));
+    EXPECT_TRUE(std::isfinite(fit.x[1]));
+    EXPECT_NEAR(fit.x[0] + fit.x[1], 4.0, 1e-6);
+    EXPECT_LT(fit.value, 1e-10);
+}
+
+TEST(LevenbergMarquardtEdge, ScaleAwareStepsHandleMixedMagnitudes)
+{
+    // A bandwidth-sized parameter (~1e9) next to a latency-sized one
+    // (~1e-6): one absolute FD step cannot probe both, per-dimension
+    // relative steps can.
+    const VectorFn residuals = [](const Vector& p) {
+        return Vector{(p[0] - 2.0e9) / 1.0e9, (p[1] - 3.0e-6) / 1.0e-6};
+    };
+    LeastSquaresOptions opts;
+    opts.scales = {1.0e9, 1.0e-6};
+    // Normalizing residuals by 1e9 shrinks the gradient too; tighten the
+    // tolerance so the test measures FD-step accuracy, not the stop rule.
+    opts.gradient_tolerance = 1e-16;
+    const auto fit = levenberg_marquardt(residuals, {1.0e8, 1.0e-7}, opts);
+    EXPECT_NEAR(fit.x[0] / 2.0e9, 1.0, 1e-6);
+    EXPECT_NEAR(fit.x[1] / 3.0e-6, 1.0, 1e-6);
+}
+
+TEST(LevenbergMarquardtEdge, ScalesFloorCoversZeroInitialGuess)
+{
+    // |x_i| = 0 at the start: without the scale floor the FD step would
+    // collapse to the 1e-8 default; with an explicit scale it stays
+    // proportionate and the fit still lands.
+    const VectorFn residuals = [](const Vector& p) {
+        return Vector{(p[0] - 5.0e8) / 1.0e9};
+    };
+    LeastSquaresOptions opts;
+    opts.scales = {1.0e9};
+    opts.gradient_tolerance = 1e-16;
+    const auto fit = levenberg_marquardt(residuals, {0.0}, opts);
+    EXPECT_NEAR(fit.x[0] / 5.0e8, 1.0, 1e-6);
+}
+
+TEST(LevenbergMarquardtEdge, JacobianProbesStayInsideTheBox)
+{
+    // Start pinned to the upper bound: the forward FD probe would leave
+    // the box, so the implementation must flip to a backward difference.
+    // The residual function records any out-of-box evaluation.
+    const double ub = 4.0;
+    bool escaped = false;
+    const VectorFn residuals = [&](const Vector& p) {
+        if (p[0] > ub * (1.0 + 1e-12))
+            escaped = true;
+        return Vector{p[0] - 2.0};
+    };
+    LeastSquaresOptions opts;
+    opts.bounds.lower = {0.0};
+    opts.bounds.upper = {ub};
+    const auto fit = levenberg_marquardt(residuals, {ub}, opts);
+    EXPECT_FALSE(escaped);
+    EXPECT_NEAR(fit.x[0], 2.0, 1e-6);
+}
+
+TEST(LevenbergMarquardtEdge, IterationLimitIsNotConverged)
+{
+    // Rosenbrock residuals need far more than 2 iterations.
+    const VectorFn residuals = [](const Vector& p) {
+        return Vector{10.0 * (p[1] - p[0] * p[0]), 1.0 - p[0]};
+    };
+    LeastSquaresOptions opts;
+    opts.max_iterations = 2;
+    const auto fit = levenberg_marquardt(residuals, {-1.2, 1.0}, opts);
+    EXPECT_FALSE(fit.converged);
+    EXPECT_EQ(fit.termination, LsTermination::kIterationLimit);
+    EXPECT_EQ(fit.iterations, 2u);
+}
+
+TEST(LevenbergMarquardtEdge, ThrowOnFailureCarriesPartialResult)
+{
+    const VectorFn residuals = [](const Vector& p) {
+        return Vector{10.0 * (p[1] - p[0] * p[0]), 1.0 - p[0]};
+    };
+    const Vector x0{-1.2, 1.0};
+    const double initial_cost = [&] {
+        const Vector r = residuals(x0);
+        return 0.5 * (r[0] * r[0] + r[1] * r[1]);
+    }();
+
+    LeastSquaresOptions opts;
+    opts.max_iterations = 2;
+    opts.throw_on_failure = true;
+    try {
+        levenberg_marquardt(residuals, x0, opts);
+        FAIL() << "expected NonConvergenceError";
+    } catch (const NonConvergenceError& e) {
+        // The partial result must be a usable iterate, not a husk: the
+        // caller can inspect it or resume the fit from it.
+        EXPECT_EQ(e.partial().termination, LsTermination::kIterationLimit);
+        EXPECT_EQ(e.partial().iterations, 2u);
+        ASSERT_EQ(e.partial().x.size(), 2u);
+        EXPECT_TRUE(std::isfinite(e.partial().value));
+        EXPECT_LT(e.partial().value, initial_cost);
+        EXPECT_EQ(e.partial().residuals.size(), 2u);
+        EXPECT_NE(std::string(e.what()).find("did not converge"),
+                  std::string::npos);
+    }
+}
+
+TEST(LevenbergMarquardtEdge, ConvergedRunDoesNotThrow)
+{
+    const VectorFn residuals = [](const Vector& p) {
+        return Vector{p[0] - 3.0};
+    };
+    LeastSquaresOptions opts;
+    opts.throw_on_failure = true;
+    const auto fit = levenberg_marquardt(residuals, {0.0}, opts);
+    EXPECT_TRUE(fit.converged);
+    EXPECT_NEAR(fit.x[0], 3.0, 1e-8);
+}
+
+TEST(LevenbergMarquardtEdge, TerminationReasonsHaveDistinctNames)
+{
+    const LsTermination all[] = {
+        LsTermination::kGradientTolerance,
+        LsTermination::kStepTolerance,
+        LsTermination::kStalled,
+        LsTermination::kIterationLimit,
+    };
+    for (std::size_t i = 0; i < 4; ++i) {
+        ASSERT_NE(to_string(all[i]), nullptr);
+        EXPECT_NE(std::string(to_string(all[i])), "");
+        for (std::size_t j = i + 1; j < 4; ++j)
+            EXPECT_NE(std::string(to_string(all[i])),
+                      std::string(to_string(all[j])));
+    }
+}
+
+TEST(LevenbergMarquardtEdge, RecoversGroundTruthFromNoisyData)
+{
+    // y = 5 exp(-0.7 x) + 1 with deterministic "measurement noise",
+    // fitted under bounds — the shape of a real calibration problem.
+    const std::vector<double> xs{0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0};
+    const std::vector<double> noise{0.02, -0.03, 0.01,  0.02,
+                                    -0.02, 0.03, -0.01, 0.02};
+    const VectorFn residuals = [&](const Vector& p) {
+        Vector r(xs.size());
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            const double truth =
+                5.0 * std::exp(-0.7 * xs[i]) + 1.0 + noise[i];
+            r[i] = p[0] * std::exp(-p[1] * xs[i]) + p[2] - truth;
+        }
+        return r;
+    };
+    LeastSquaresOptions opts;
+    opts.bounds.lower = {0.1, 0.01, 0.0};
+    opts.bounds.upper = {50.0, 10.0, 10.0};
+    const auto fit = levenberg_marquardt(residuals, {1.0, 0.1, 0.0}, opts);
+    EXPECT_NEAR(fit.x[0], 5.0, 0.25);
+    EXPECT_NEAR(fit.x[1], 0.7, 0.05);
+    EXPECT_NEAR(fit.x[2], 1.0, 0.10);
+}
+
+TEST(NelderMeadEdge, OutOfBoxStartIsClampedBeforeEvaluation)
+{
+    // Start far outside the box; every evaluation must stay inside it.
+    bool escaped = false;
+    const Bounds box{{0.0, 0.0}, {1.0, 1.0}};
+    const ObjectiveFn f = [&](const Vector& p) {
+        if (!box.contains(p))
+            escaped = true;
+        const double a = p[0] - 0.3;
+        const double b = p[1] - 0.6;
+        return a * a + b * b;
+    };
+    NelderMeadOptions opts;
+    opts.bounds = box;
+    const auto fit = nelder_mead(f, {25.0, -7.0}, opts);
+    EXPECT_FALSE(escaped);
+    EXPECT_NEAR(fit.x[0], 0.3, 1e-4);
+    EXPECT_NEAR(fit.x[1], 0.6, 1e-4);
+}
+
+TEST(NelderMeadEdge, CornerStartBuildsFeasibleSimplexAndConverges)
+{
+    // Starting exactly on the box corner, the default simplex construction
+    // would step outside; the flipped construction must stay feasible and
+    // still reach an interior optimum.
+    bool escaped = false;
+    const Bounds box{{0.0, 0.0}, {1.0, 1.0}};
+    const ObjectiveFn f = [&](const Vector& p) {
+        if (!box.contains(p))
+            escaped = true;
+        const double a = p[0] - 0.5;
+        const double b = p[1] - 0.25;
+        return a * a + 2.0 * b * b;
+    };
+    NelderMeadOptions opts;
+    opts.bounds = box;
+    const auto fit = nelder_mead(f, {1.0, 1.0}, opts);
+    EXPECT_FALSE(escaped);
+    EXPECT_NEAR(fit.x[0], 0.5, 1e-4);
+    EXPECT_NEAR(fit.x[1], 0.25, 1e-4);
+}
+
+TEST(NelderMeadEdge, BoundaryOptimumIsReached)
+{
+    // The unconstrained minimum sits outside the box; the clipped search
+    // must settle on the box face nearest to it.
+    const Bounds box{{0.0}, {4.0}};
+    const ObjectiveFn f = [](const Vector& p) {
+        const double d = p[0] - 10.0;
+        return d * d;
+    };
+    NelderMeadOptions opts;
+    opts.bounds = box;
+    const auto fit = nelder_mead(f, {1.0}, opts);
+    EXPECT_NEAR(fit.x[0], 4.0, 1e-4);
+}
+
+} // namespace
+} // namespace lognic::solver

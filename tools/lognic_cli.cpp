@@ -7,6 +7,7 @@
  *   lognic example                      print a sample scenario JSON
  *   lognic example sweep                print a sample sweep-spec JSON
  *   lognic example faults               print a sample fault-plan JSON
+ *   lognic example calib                print a sample calibration-spec JSON
  *   lognic example placement            print the fig13/14 NF-placement
  *                                       scenario (LogNIC-opt at MTU)
  *   lognic estimate <scenario.json>     model throughput/latency report
@@ -30,6 +31,10 @@
  *                                       and cause-labeled drops; --curve
  *                                       prints the analytical graceful-
  *                                       degradation curve for a vertex
+ *   lognic calibrate <spec.json> [--out report.json] [--threads n]
+ *                                       fit catalog parameters to a
+ *                                       measured or DES-generated dataset;
+ *                                       emits a CalibrationReport JSON
  *   lognic dot <scenario.json>          Graphviz export of the graph
  */
 #include <cstdio>
@@ -39,6 +44,7 @@
 #include <string>
 
 #include "lognic/apps/nf_chain.hpp"
+#include "lognic/calib/spec.hpp"
 #include "lognic/core/model.hpp"
 #include "lognic/fault/degradation.hpp"
 #include "lognic/fault/fault_plan.hpp"
@@ -77,6 +83,11 @@ usage()
                  "                                fault-injected simulation "
                  "(cause-labeled drops)\n"
                  "  sensitivity <scenario.json>   parameter elasticities\n"
+                 "  calibrate <spec.json> [--out report.json] [--threads n]\n"
+                 "                                fit catalog parameters to "
+                 "a dataset; emits a\n"
+                 "                                CalibrationReport JSON "
+                 "(see `lognic example calib`)\n"
                  "  dot      <scenario.json>      Graphviz export\n");
     return 2;
 }
@@ -369,6 +380,62 @@ cmd_faults(const io::Scenario& sc, const std::string& plan_path, int argc,
     return 0;
 }
 
+/**
+ * Spec-driven calibration: parse the document (running the DES data
+ * synthesis when the spec carries "generate"), fit, print the
+ * human-readable summary to stderr, and emit the CalibrationReport JSON
+ * (the artifact CI schema-checks) to --out or stdout. Exits nonzero only
+ * when the calibration fails outright (every start threw, bad spec);
+ * a fit that merely stalled short of a tolerance still reports — the
+ * report's "converged"/"message" fields carry that verdict.
+ */
+int
+cmd_calibrate(const io::Json& doc, int argc, char** argv)
+{
+    std::string out_path;
+    std::size_t threads_override = 0;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--out" && has_value) {
+            out_path = argv[++i];
+        } else if (arg == "--threads" && has_value) {
+            threads_override =
+                static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else {
+            std::fprintf(stderr, "calibrate: bad argument '%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    calib::CalibSpec spec = calib::calib_spec_from_json(doc);
+    if (threads_override > 0)
+        spec.options.fit.threads = threads_override;
+
+    const calib::Calibrator calibrator(std::move(spec.space),
+                                       std::move(spec.data),
+                                       spec.options);
+    const auto report = calibrator.fit();
+    std::fputs(calib::render(report).c_str(), stderr);
+
+    const std::string json = calib::to_json(report).dump();
+    if (out_path.empty()) {
+        std::fputs(json.c_str(), stdout);
+        std::printf("\n");
+    } else {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+            return 1;
+        }
+        out << json << "\n";
+        std::fprintf(stderr, "wrote calibration report to %s\n",
+                     out_path.c_str());
+    }
+    return 0;
+}
+
 int
 cmd_sweep(const io::Scenario& sc, int argc, char** argv)
 {
@@ -409,6 +476,10 @@ main(int argc, char** argv)
                     stdout);
             } else if (argc > 2 && std::string(argv[2]) == "faults") {
                 std::fputs(fault::sample_fault_plan().c_str(), stdout);
+            } else if (argc > 2 && std::string(argv[2]) == "calib") {
+                std::fputs(
+                    calib::sample_calib_spec(sample_scenario()).c_str(),
+                    stdout);
             } else if (argc > 2 && std::string(argv[2]) == "placement") {
                 std::fputs(io::save_scenario(placement_scenario()).c_str(),
                            stdout);
@@ -437,6 +508,10 @@ main(int argc, char** argv)
             if (argc < 4)
                 return usage();
             return cmd_faults(load(argv[2]), argv[3], argc - 4, argv + 4);
+        }
+        if (command == "calibrate") {
+            return cmd_calibrate(io::Json::parse(read_file(argv[2])),
+                                 argc - 3, argv + 3);
         }
         const io::Scenario sc = load(argv[2]);
         if (command == "estimate")
