@@ -2,22 +2,38 @@
  * @file
  * Discrete-event simulation kernel.
  *
- * A minimal calendar: schedule closures at absolute simulated times and run
- * until a horizon. Ties are broken by insertion order (FIFO), which keeps
- * component behaviour deterministic for a fixed seed.
+ * A minimal calendar: schedule callables at absolute simulated times and
+ * run until a horizon. Ties are broken by insertion order (FIFO), which
+ * keeps component behaviour deterministic for a fixed seed.
  *
- * The calendar is a hand-rolled binary min-heap over a std::vector rather
- * than std::priority_queue: top() of the standard adaptor is const, so the
- * dispatch loop would have to *copy* every Event (and its std::function
- * action) off the heap. The explicit heap moves events out instead, keeping
- * the hot loop allocation- and copy-free per dispatch.
+ * Hot-path memory model (see DESIGN.md §10): the calendar is built to be
+ * allocation-free in steady state.
+ *
+ *  - Actions are `InlineAction`s — typed, small-buffer-optimized callables
+ *    stored inline in the event record. `schedule_at` never touches the
+ *    heap (closures that would not fit inline fail to compile).
+ *  - Event records are trivially copyable, so the hand-rolled binary
+ *    min-heap sifts them as raw bytes. Sifting uses hole insertion: the
+ *    displaced slot travels down (or up) as a hole and the moving event is
+ *    written exactly once, instead of one three-way `std::swap` of full
+ *    Event structs per level.
+ *  - The heap's backing vector only ever grows; once a run reaches its
+ *    high-water event population, scheduling is pointer-bump cheap.
+ *
+ * The (when, seq) strict total order makes dispatch order independent of
+ * the heap's internal layout, so these optimizations are bit-identical to
+ * the previous representation by construction — the determinism test
+ * suite is the oracle.
  */
 #ifndef LOGNIC_SIM_EVENT_QUEUE_HPP_
 #define LOGNIC_SIM_EVENT_QUEUE_HPP_
 
 #include <cstdint>
 #include <functional>
+#include <type_traits>
 #include <vector>
+
+#include "lognic/sim/inline_action.hpp"
 
 namespace lognic::sim {
 
@@ -36,7 +52,8 @@ enum class RunOutcome {
  * Watchdog limits for run_until. The event budget is deterministic (the
  * same run always stops at the same event); should_abort is for
  * wall-clock deadlines and is polled only every check_interval events to
- * keep clock reads off the hot path.
+ * keep clock reads off the hot path. (should_abort stays a std::function:
+ * it is cold configuration state, not an event.)
  */
 struct RunLimits {
     std::uint64_t max_events{0}; ///< events per run_until call; 0 = unlimited
@@ -46,7 +63,8 @@ struct RunLimits {
 
 class EventQueue {
   public:
-    using Action = std::function<void()>;
+    /// Inline typed action; converting from a closure is allocation-free.
+    using Action = InlineAction;
 
     SimTime now() const { return now_; }
 
@@ -56,7 +74,7 @@ class EventQueue {
     /// Schedule @p action @p delay seconds from now.
     void schedule_in(SimTime delay, Action action)
     {
-        schedule_at(now_ + delay, std::move(action));
+        schedule_at(now_ + delay, action);
     }
 
     /// Run events until the queue drains or simulated time passes @p horizon.
@@ -80,6 +98,8 @@ class EventQueue {
         std::uint64_t seq; ///< FIFO tie-break
         Action action;
     };
+    static_assert(std::is_trivially_copyable_v<Event>,
+                  "Event must sift as raw bytes");
 
     /// Strict (time, seq) ordering: the heap's min is the next event.
     static bool earlier(const Event& a, const Event& b)
@@ -89,9 +109,7 @@ class EventQueue {
         return a.seq < b.seq;
     }
 
-    void sift_up(std::size_t i);
-    void sift_down(std::size_t i);
-    /// Remove and return the minimum; moves, never copies, the action.
+    /// Remove and return the minimum (hole-insertion sift-down).
     Event pop_top();
 
     std::vector<Event> events_; ///< binary min-heap by (when, seq)

@@ -5,13 +5,15 @@
  *
  * Warmup convention (applied uniformly across the sim): the measurement
  * window is the half-open interval (warmup_end, horizon] — a completion at
- * exactly `warmup_end` still belongs to the warmup and is discarded. The
- * per-vertex area accounting in the simulator uses the same boundary.
+ * exactly `warmup_end` still belongs to the warmup and is discarded, while
+ * one at exactly `horizon` is counted. The per-vertex area accounting in
+ * the simulator uses the same boundaries.
  */
 #ifndef LOGNIC_SIM_STATS_HPP_
 #define LOGNIC_SIM_STATS_HPP_
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <vector>
 
@@ -23,6 +25,22 @@ namespace lognic::sim {
 /**
  * Collects per-request latencies; samples at or before the warmup cut are
  * dropped.
+ *
+ * Threading contract — record, seal, then read:
+ *
+ *  1. a single writer calls record() while the simulation runs;
+ *  2. that writer calls seal() exactly when recording is done — the one
+ *     place the sample buffer is sorted;
+ *  3. after seal(), every accessor is a pure const read, safe to call
+ *     concurrently from any number of threads (replication aggregators
+ *     read p50/p99 of finished runs in parallel).
+ *
+ * quantile()/p50()/p99()/max() on an unsealed, non-empty recorder throw
+ * std::logic_error rather than sorting behind a `const` facade — the
+ * lazy-sort-under-const scheme this replaces was a data race the moment
+ * two readers touched the same recorder. mean() and count() do not need
+ * sorted data and work in either phase. record() after seal() reopens the
+ * write phase (and requires a new seal() before ordered reads).
  *
  * Empty-set behaviour is explicit: every statistic returns `std::nullopt`
  * when no sample survived the warmup trim. Callers that aggregate across
@@ -38,6 +56,14 @@ class LatencyRecorder {
 
     void record(SimTime completion_time, Seconds latency);
 
+    /**
+     * End the write phase: sort the samples once. Idempotent. After this,
+     * all accessors are thread-safe const reads until the next record().
+     */
+    void seal();
+
+    bool sealed() const { return sorted_; }
+
     std::size_t count() const { return samples_.size(); }
     std::optional<Seconds> mean() const;
     /**
@@ -45,16 +71,19 @@ class LatencyRecorder {
      * the value at 1-based rank max(1, ceil(q * n)). q = 0 is therefore
      * defined as the minimum (rank 1) and q = 1 as the maximum (rank n).
      * @throws std::invalid_argument when q is outside [0, 1].
+     * @throws std::logic_error when samples exist but seal() has not been
+     *         called since the last record().
      */
     std::optional<Seconds> quantile(double q) const;
     std::optional<Seconds> p50() const { return quantile(0.50); }
     std::optional<Seconds> p99() const { return quantile(0.99); }
+    /// @throws std::logic_error on an unsealed, non-empty recorder.
     std::optional<Seconds> max() const;
 
   private:
     SimTime warmup_end_;
-    mutable std::vector<double> samples_; ///< seconds; sorted lazily
-    mutable bool sorted_{false};
+    std::vector<double> samples_; ///< seconds; sorted by seal()
+    bool sorted_{false};
 };
 
 /**
@@ -63,18 +92,25 @@ class LatencyRecorder {
  * and offered-load accounting so drop_rate compares drops and arrivals
  * over the *same* window (counting warmup drops while discarding warmup
  * completions biases drop_rate high at short horizons).
+ *
+ * Both window edges are enforced: an event at or before `warmup_end` or
+ * after `horizon` is ignored, so drain-time completions past the horizon
+ * cannot inflate drop/offered-load accounting. The horizon defaults to
+ * +infinity for callers that only need the warmup cut.
  */
 class WindowedCounter {
   public:
-    explicit WindowedCounter(SimTime warmup_end = 0.0)
-        : warmup_end_(warmup_end)
+    explicit WindowedCounter(
+        SimTime warmup_end = 0.0,
+        SimTime horizon = std::numeric_limits<SimTime>::infinity())
+        : warmup_end_(warmup_end), horizon_(horizon)
     {
     }
 
-    /// Count the event iff it falls after the warmup cut.
+    /// Count the event iff it falls inside (warmup_end, horizon].
     void record(SimTime t)
     {
-        if (t > warmup_end_)
+        if (t > warmup_end_ && t <= horizon_)
             ++count_;
     }
 
@@ -82,6 +118,7 @@ class WindowedCounter {
 
   private:
     SimTime warmup_end_;
+    SimTime horizon_;
     std::uint64_t count_{0};
 };
 
@@ -98,9 +135,14 @@ class ThroughputMeter {
     std::uint64_t requests() const { return requests_; }
     Bytes total() const { return Bytes{bytes_}; }
 
-    /// Delivered bandwidth over (warmup_end, measure_end].
+    /**
+     * Delivered bandwidth over (warmup_end, measure_end]. A zero-width or
+     * inverted window (measure_end <= warmup_end, e.g. a run truncated
+     * inside its warmup) yields a safe 0 rate, never inf/NaN — nothing can
+     * have been recorded in such a window, so 0 is also the honest value.
+     */
     Bandwidth bandwidth(SimTime measure_end) const;
-    /// Delivered request rate over the same window.
+    /// Delivered request rate over the same window; same zero-window rule.
     OpsRate rate(SimTime measure_end) const;
 
   private:

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <utility>
 
 namespace lognic::sim {
 
@@ -11,50 +10,46 @@ EventQueue::schedule_at(SimTime when, Action action)
 {
     if (when < now_)
         throw std::invalid_argument("EventQueue: scheduling into the past");
-    events_.push_back(Event{when, next_seq_++, std::move(action)});
-    sift_up(events_.size() - 1);
-}
-
-void
-EventQueue::sift_up(std::size_t i)
-{
-    while (i > 0) {
-        const std::size_t parent = (i - 1) / 2;
-        if (!earlier(events_[i], events_[parent]))
+    const Event ev{when, next_seq_++, action};
+    // Hole-insertion sift-up: append a slot, move parents down into the
+    // hole while they sort later than the new event, write the event once.
+    events_.push_back(ev);
+    std::size_t hole = events_.size() - 1;
+    while (hole > 0) {
+        const std::size_t parent = (hole - 1) / 2;
+        if (!earlier(ev, events_[parent]))
             break;
-        std::swap(events_[i], events_[parent]);
-        i = parent;
+        events_[hole] = events_[parent];
+        hole = parent;
     }
-}
-
-void
-EventQueue::sift_down(std::size_t i)
-{
-    const std::size_t n = events_.size();
-    for (;;) {
-        std::size_t smallest = i;
-        const std::size_t left = 2 * i + 1;
-        const std::size_t right = 2 * i + 2;
-        if (left < n && earlier(events_[left], events_[smallest]))
-            smallest = left;
-        if (right < n && earlier(events_[right], events_[smallest]))
-            smallest = right;
-        if (smallest == i)
-            return;
-        std::swap(events_[i], events_[smallest]);
-        i = smallest;
-    }
+    events_[hole] = ev;
 }
 
 EventQueue::Event
 EventQueue::pop_top()
 {
-    Event top = std::move(events_.front());
-    if (events_.size() > 1)
-        events_.front() = std::move(events_.back());
+    const Event top = events_.front();
+    const Event last = events_.back();
     events_.pop_back();
-    if (!events_.empty())
-        sift_down(0);
+    if (!events_.empty()) {
+        // Hole-insertion sift-down: the root hole descends toward the
+        // smaller child until `last` fits, then `last` is written once.
+        const std::size_t n = events_.size();
+        std::size_t hole = 0;
+        for (;;) {
+            std::size_t child = 2 * hole + 1;
+            if (child >= n)
+                break;
+            const std::size_t right = child + 1;
+            if (right < n && earlier(events_[right], events_[child]))
+                child = right;
+            if (!earlier(events_[child], last))
+                break;
+            events_[hole] = events_[child];
+            hole = child;
+        }
+        events_[hole] = last;
+    }
     return top;
 }
 

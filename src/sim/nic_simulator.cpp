@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "lognic/sim/packet_slab.hpp"
+
 namespace lognic::sim {
 
 namespace {
@@ -19,7 +21,9 @@ using core::Vertex;
 using core::VertexId;
 using core::VertexKind;
 
-/// A packet in flight.
+/// A packet in flight. Owned by the simulator's packet slab: allocated at
+/// arrival, recycled at delivery or drop; events and queues hold `Packet*`
+/// (stable for the whole flight), never copies.
 struct Packet {
     std::size_t class_index{0};
     Bytes app_size{Bytes{0.0}};
@@ -127,6 +131,9 @@ struct NicSimulator::Impl {
     WindowedCounter offered_in_window;
     WindowedCounter drops_in_window;
     obs::Histogram latency_hist{latency_bounds_us()};
+    /// In-flight packet records; recycled rather than heap-allocated per
+    /// arrival (see packet_slab.hpp for the determinism argument).
+    Slab<Packet> packet_slab;
     std::uint64_t generated{0};
 
     // --- lifetime conservation accounting -----------------------------------
@@ -182,8 +189,8 @@ struct NicSimulator::Impl {
         Seconds overhead{0.0};
         // Queueing structure: one FIFO by default; one FIFO per in-edge
         // (round-robin served, split capacity) when the vertex asks for
-        // per-input queues (Figure 2b).
-        std::vector<std::deque<Packet>> queues;
+        // per-input queues (Figure 2b). Queued packets are slab handles.
+        std::vector<std::deque<Packet*>> queues;
         std::uint32_t per_queue_capacity{1};
         std::size_t rr_cursor{0};
         /// Queue index for each in-edge id (all 0 for the shared FIFO).
@@ -200,7 +207,7 @@ struct NicSimulator::Impl {
         /// arbitrary but deterministic).
         struct InService {
             std::uint64_t serial{0};
-            Packet pkt;
+            Packet* pkt{nullptr};
             std::size_t qi{0};
             std::size_t slot{0};
         };
@@ -239,7 +246,8 @@ struct NicSimulator::Impl {
           options(options_in), rng(options_in.seed),
           warmup_end(options_in.duration * options_in.warmup_fraction),
           latencies(warmup_end), delivered(warmup_end),
-          offered_in_window(warmup_end), drops_in_window(warmup_end),
+          offered_in_window(warmup_end, options_in.duration),
+          drops_in_window(warmup_end, options_in.duration),
           faults_active(!options_in.faults.empty()),
           trace_opts(options_in.trace)
     {
@@ -483,15 +491,15 @@ struct NicSimulator::Impl {
         touch(st);
         st.engines_offline = std::min(st.engines, st.engines_offline + count);
         while (st.busy > st.available()) {
-            VertexState::InService victim = std::move(st.in_service.back());
+            const VertexState::InService victim = st.in_service.back();
             st.in_service.pop_back();
             killed.insert(victim.serial);
             --st.busy;
-            if (victim.pkt.traced)
+            if (victim.pkt->traced)
                 tracks[v].slot_busy[victim.slot] = 0;
             if (options.faults.in_service_policy
                 == fault::InServicePolicy::kRequeue) {
-                victim.pkt.enqueued = events.now();
+                victim.pkt->enqueued = events.now();
                 st.queues[victim.qi].push_front(victim.pkt);
             } else {
                 drop(victim.pkt, v, st, kDropEngineFail);
@@ -620,22 +628,22 @@ struct NicSimulator::Impl {
                 schedule_next_arrival(); // thinned out
                 return;
             }
-            Packet pkt;
+            Packet* pkt = packet_slab.acquire();
             if (trace != nullptr) {
-                pkt.class_index =
+                pkt->class_index =
                     trace_class[trace_pos % trace_class.size()];
                 ++trace_pos;
             } else {
-                pkt.class_index = rng.weighted_index(class_pps_weight);
+                pkt->class_index = rng.weighted_index(class_pps_weight);
             }
-            pkt.app_size = traffic.classes()[pkt.class_index].size;
-            pkt.created = events.now();
-            pkt.id = generated;
-            pkt.traced = trace_opts.sampled(pkt.id);
+            pkt->app_size = traffic.classes()[pkt->class_index].size;
+            pkt->created = events.now();
+            pkt->id = generated;
+            pkt->traced = trace_opts.sampled(pkt->id);
             ++generated;
             offered_in_window.record(events.now());
-            if (pkt.traced)
-                trace_opts.sink->async_begin(pkt.id, "pkt",
+            if (pkt->traced)
+                trace_opts.sink->async_begin(pkt->id, "pkt",
                                              Seconds{events.now()});
             const std::size_t which = ingresses.size() > 1
                 ? rng.weighted_index(ingress_weights)
@@ -645,22 +653,24 @@ struct NicSimulator::Impl {
         });
     }
 
-    /// The packet finished at @p v (or passed through); move it on.
+    /// The packet finished at @p v (or passed through); move it on. At
+    /// egress the slab slot is recycled once the record is measured.
     void
-    depart(const Packet& pkt, VertexId v)
+    depart(Packet* pkt, VertexId v)
     {
         VertexState& st = vertices[v];
         if (st.out.empty()) { // egress
             ++completed_total;
             latencies.record(events.now(),
-                             Seconds{events.now() - pkt.created});
-            delivered.record(events.now(), pkt.app_size);
+                             Seconds{events.now() - pkt->created});
+            delivered.record(events.now(), pkt->app_size);
             if (events.now() > warmup_end)
                 latency_hist.record(
-                    Seconds{events.now() - pkt.created}.micros());
-            if (pkt.traced)
-                trace_opts.sink->async_end(pkt.id, "pkt",
+                    Seconds{events.now() - pkt->created}.micros());
+            if (pkt->traced)
+                trace_opts.sink->async_end(pkt->id, "pkt",
                                            Seconds{events.now()});
+            packet_slab.release(pkt);
             return;
         }
         ++in_transit; // leaves v; in an overhead delay or link transfer
@@ -691,10 +701,10 @@ struct NicSimulator::Impl {
     /// Run transfer stage @p stage (0 = interface, 1 = memory,
     /// 2 = dedicated link) of edge @p eid, then deliver.
     void
-    transfer_stage(const Packet& pkt, EdgeId eid, int stage)
+    transfer_stage(Packet* pkt, EdgeId eid, int stage)
     {
         const Edge& e = graph.edge(eid);
-        const Bytes g_in = traffic.granularity(pkt.class_index);
+        const Bytes g_in = traffic.granularity(pkt->class_index);
         for (; stage < 3; ++stage) {
             LinkServer* link = nullptr;
             Bytes payload{0.0};
@@ -720,9 +730,10 @@ struct NicSimulator::Impl {
     }
 
     /// A packet loss at vertex @p v: account it by cause (lifetime) and in
-    /// the measurement window, and close the packet's trace spans.
+    /// the measurement window, close the packet's trace spans, and recycle
+    /// the slab slot (the caller's pointer is dead after this).
     void
-    drop(const Packet& pkt, VertexId v, VertexState& st, DropCause cause)
+    drop(Packet* pkt, VertexId v, VertexState& st, DropCause cause)
     {
         ++dropped_cause[cause];
         drops_in_window.record(events.now());
@@ -731,14 +742,15 @@ struct NicSimulator::Impl {
         if (trace_opts.sink != nullptr) {
             trace_opts.sink->instant(tracks[v].queue, "drop",
                                      Seconds{events.now()});
-            if (pkt.traced)
-                trace_opts.sink->async_end(pkt.id, "pkt",
+            if (pkt->traced)
+                trace_opts.sink->async_end(pkt->id, "pkt",
                                            Seconds{events.now()});
         }
+        packet_slab.release(pkt);
     }
 
     void
-    arrive(Packet pkt, VertexId v, EdgeId via)
+    arrive(Packet* pkt, VertexId v, EdgeId via)
     {
         --in_transit; // the inter-vertex hop that started in depart() ended
         VertexState& st = vertices[v];
@@ -782,7 +794,7 @@ struct NicSimulator::Impl {
             }
         }
         touch(st);
-        pkt.enqueued = events.now();
+        pkt->enqueued = events.now();
         st.queues[qi].push_back(pkt);
         trace_counters(v, st);
         try_dispatch(v);
@@ -792,7 +804,7 @@ struct NicSimulator::Impl {
     try_dispatch(VertexId v)
     {
         VertexState& st = vertices[v];
-        auto next_queue = [&st]() -> std::deque<Packet>* {
+        auto next_queue = [&st]() -> std::deque<Packet*>* {
             // Round-robin scan starting after the last served queue.
             for (std::size_t i = 0; i < st.queues.size(); ++i) {
                 const std::size_t q =
@@ -804,26 +816,26 @@ struct NicSimulator::Impl {
             }
             return nullptr;
         };
-        std::deque<Packet>* queue = nullptr;
+        std::deque<Packet*>* queue = nullptr;
         while (st.busy < st.available() && (queue = next_queue()) != nullptr) {
             touch(st);
-            const Packet pkt = queue->front();
+            Packet* pkt = queue->front();
             queue->pop_front();
             ++st.busy;
             // slow_factor is exactly 1.0 when no slowdown fault is in
             // force, so the healthy path is bit-identical.
             const double mean =
-                st.service_mean[pkt.class_index] * st.slow_factor;
+                st.service_mean[pkt->class_index] * st.slow_factor;
             // exponential_service = false forces determinism everywhere;
             // otherwise each IP's own variability (SCV) governs.
             const double service = options.exponential_service
                 ? rng.with_scv(mean, st.service_scv)
                 : mean;
             std::size_t slot = 0;
-            if (pkt.traced) {
+            if (pkt->traced) {
                 trace_opts.sink->span(
-                    tracks[v].queue, "wait", Seconds{pkt.enqueued},
-                    Seconds{events.now() - pkt.enqueued});
+                    tracks[v].queue, "wait", Seconds{pkt->enqueued},
+                    Seconds{events.now() - pkt->enqueued});
                 // Lowest free engine lane; traced in-service packets never
                 // exceed the engine count, so a lane is always free.
                 auto& lanes = tracks[v].slot_busy;
@@ -862,7 +874,7 @@ struct NicSimulator::Impl {
                 touch(s2);
                 --s2.busy;
                 ++s2.served;
-                if (pkt.traced) {
+                if (pkt->traced) {
                     trace_opts.sink->span(tracks[v].engines[slot], "serve",
                                           Seconds{start},
                                           Seconds{service});
@@ -920,6 +932,9 @@ NicSimulator::run()
     r.events_executed = s.events.executed();
     r.delivered = s.delivered.bandwidth(end);
     r.delivered_ops = s.delivered.rate(end);
+    // The single-writer phase is over: seal the recorder (one sort), after
+    // which quantile reads are const and thread-safe.
+    s.latencies.seal();
     // Empty-set sentinel: a run that completed nothing after warmup keeps
     // 0.0 latencies; consumers must gate on `completed` (the runner's
     // Replicator counts such runs as degenerate and excludes them).

@@ -6,10 +6,13 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "lognic/sim/packet_slab.hpp"
+
 namespace lognic::sim {
 
 namespace {
 
+/// Slab-owned in-flight record; queues and events hold stable `Packet*`.
 struct Packet {
     std::size_t class_index{0};
     Bytes size{Bytes{0.0}};
@@ -23,8 +26,8 @@ struct Packet {
 struct UnitState {
     std::uint32_t credits_free{0};
     std::uint32_t busy{0};
-    std::deque<Packet> pending; ///< held at the central scheduler
-    std::deque<Packet> buffer;  ///< on-unit, waiting for an engine
+    std::deque<Packet*> pending; ///< held at the central scheduler
+    std::deque<Packet*> buffer;  ///< on-unit, waiting for an engine
     // Dynamic fault state (defaults = healthy):
     std::uint32_t engines_offline{0};
     double slow_factor{1.0};
@@ -33,7 +36,7 @@ struct UnitState {
     /// In-service requests, tracked only while a fault plan is active.
     struct InService {
         std::uint64_t serial{0};
-        Packet pkt;
+        Packet* pkt{nullptr};
     };
     std::vector<InService> in_service;
     // Measurement (window only):
@@ -78,6 +81,9 @@ struct PanicSim {
     WindowedCounter offered_in_window;
     WindowedCounter drops_in_window;
     obs::Histogram latency_hist{panic_latency_bounds_us()};
+    /// In-flight packet records, recycled instead of per-arrival heap
+    /// allocation (see packet_slab.hpp).
+    Slab<Packet> packet_slab;
     std::uint64_t generated{0};
 
     // Lifetime conservation accounting (see the NIC simulator).
@@ -129,7 +135,8 @@ struct PanicSim {
         : config(cfg), traffic(tp), options(opts), rng(opts.seed),
           warmup_end(opts.duration * opts.warmup_fraction),
           latencies(warmup_end), delivered(warmup_end),
-          offered_in_window(warmup_end), drops_in_window(warmup_end),
+          offered_in_window(warmup_end, opts.duration),
+          drops_in_window(warmup_end, opts.duration),
           faults_active(!opts.faults.empty()), trace_opts(opts.trace)
     {
         validate(options);
@@ -292,7 +299,7 @@ struct PanicSim {
         st.engines_offline = std::min(config.units[u].parallelism,
                                       st.engines_offline + count);
         while (st.busy > available(u)) {
-            UnitState::InService victim = std::move(st.in_service.back());
+            const UnitState::InService victim = st.in_service.back();
             st.in_service.pop_back();
             killed.insert(victim.serial);
             --st.busy;
@@ -322,10 +329,11 @@ struct PanicSim {
         try_serve(u);
     }
 
-    /// Account a lost packet (lifetime cause + measurement window) and
-    /// close its trace spans.
+    /// Account a lost packet (lifetime cause + measurement window), close
+    /// its trace spans, and recycle the slab slot (the caller's pointer is
+    /// dead after this).
     void
-    drop_packet(const Packet& pkt, std::size_t u, PanicDropCause cause)
+    drop_packet(Packet* pkt, std::size_t u, PanicDropCause cause)
     {
         ++dropped_cause[cause];
         drops_in_window.record(events.now());
@@ -334,10 +342,11 @@ struct PanicSim {
         if (trace_opts.sink != nullptr) {
             trace_opts.sink->instant(unit_tracks[u], "drop",
                                      Seconds{events.now()});
-            if (pkt.traced)
-                trace_opts.sink->async_end(pkt.id, "pkt",
+            if (pkt->traced)
+                trace_opts.sink->async_end(pkt->id, "pkt",
                                            Seconds{events.now()});
         }
+        packet_slab.release(pkt);
     }
 
     /// Accumulate a unit's busy-engine area up to the current time.
@@ -393,17 +402,17 @@ struct PanicSim {
         events.schedule_in(gap, [this] {
             if (events.now() >= options.duration)
                 return;
-            Packet pkt;
-            pkt.class_index = rng.weighted_index(class_pps_weight);
-            pkt.size = traffic.classes()[pkt.class_index].size;
-            pkt.created = events.now();
-            pkt.chain = rng.weighted_index(chain_weights);
-            pkt.id = generated;
-            pkt.traced = trace_opts.sampled(pkt.id);
+            Packet* pkt = packet_slab.acquire();
+            pkt->class_index = rng.weighted_index(class_pps_weight);
+            pkt->size = traffic.classes()[pkt->class_index].size;
+            pkt->created = events.now();
+            pkt->chain = rng.weighted_index(chain_weights);
+            pkt->id = generated;
+            pkt->traced = trace_opts.sampled(pkt->id);
             ++generated;
             offered_in_window.record(events.now());
-            if (pkt.traced)
-                trace_opts.sink->async_begin(pkt.id, "pkt",
+            if (pkt->traced)
+                trace_opts.sink->async_begin(pkt->id, "pkt",
                                              Seconds{events.now()});
             // RMT parse, then hand the packet to the scheduler.
             ++in_transit;
@@ -416,9 +425,9 @@ struct PanicSim {
     }
 
     void
-    enqueue_at_scheduler(const Packet& pkt)
+    enqueue_at_scheduler(Packet* pkt)
     {
-        const std::size_t u = config.chains[pkt.chain].units[pkt.stage];
+        const std::size_t u = config.chains[pkt->chain].units[pkt->stage];
         UnitState& st = units[u];
         if (faults_active && st.drop_prob > 0.0
             && rng.uniform() < st.drop_prob) {
@@ -428,7 +437,7 @@ struct PanicSim {
         const std::uint32_t cap = st.capacity_override > 0
             ? st.capacity_override
             : config.scheduler_queue_capacity;
-        if (pkt.stage == 0 && st.pending.size() >= cap) {
+        if (pkt->stage == 0 && st.pending.size() >= cap) {
             // The central packet buffer is full: shed new arrivals.
             // Mid-chain packets are never shed (they already own buffering).
             drop_packet(pkt, u, kPanicDropOverflow);
@@ -444,12 +453,13 @@ struct PanicSim {
     {
         UnitState& st = units[u];
         while (st.credits_free > 0 && !st.pending.empty()) {
-            const Packet pkt = st.pending.front();
+            Packet* pkt = st.pending.front();
             st.pending.pop_front();
             --st.credits_free;
             trace_counters(u);
             ++in_transit;
-            const SimTime arrive = fabric_transfer(events.now(), pkt.size, u);
+            const SimTime arrive =
+                fabric_transfer(events.now(), pkt->size, u);
             events.schedule_at(arrive, [this, pkt, u] {
                 --in_transit;
                 units[u].buffer.push_back(pkt);
@@ -464,12 +474,13 @@ struct PanicSim {
         UnitState& st = units[u];
         const PanicUnit& spec = config.units[u];
         while (st.busy < available(u) && !st.buffer.empty()) {
-            const Packet pkt = st.buffer.front();
+            Packet* pkt = st.buffer.front();
             st.buffer.pop_front();
             touch(st);
             ++st.busy;
             trace_counters(u);
-            const double mean = spec.service.service_time(pkt.size).seconds()
+            const double mean =
+                spec.service.service_time(pkt->size).seconds()
                 * st.slow_factor;
             const double service = options.exponential_service
                 ? rng.exponential(mean)
@@ -501,7 +512,7 @@ struct PanicSim {
                 touch(s2);
                 --s2.busy;
                 ++s2.served;
-                if (pkt.traced)
+                if (pkt->traced)
                     trace_opts.sink->span(unit_tracks[u], "serve",
                                           Seconds{start}, Seconds{service});
                 trace_counters(u);
@@ -518,28 +529,31 @@ struct PanicSim {
     }
 
     void
-    advance(Packet pkt)
+    advance(Packet* pkt)
     {
-        ++pkt.stage;
-        if (pkt.stage < config.chains[pkt.chain].units.size()) {
+        ++pkt->stage;
+        if (pkt->stage < config.chains[pkt->chain].units.size()) {
             enqueue_at_scheduler(pkt);
             return;
         }
-        // Egress: one last fabric traversal to the TX pipeline.
+        // Egress: one last fabric traversal to the TX pipeline; the slab
+        // slot is recycled once the completion is measured.
         ++in_transit;
         const SimTime out =
-            fabric_transfer(events.now(), pkt.size, config.units.size());
+            fabric_transfer(events.now(), pkt->size, config.units.size());
         events.schedule_at(out, [this, pkt] {
             --in_transit;
             ++completed_total;
-            latencies.record(events.now(), Seconds{events.now() - pkt.created});
-            delivered.record(events.now(), pkt.size);
+            latencies.record(events.now(),
+                             Seconds{events.now() - pkt->created});
+            delivered.record(events.now(), pkt->size);
             if (events.now() > warmup_end)
                 latency_hist.record(
-                    Seconds{events.now() - pkt.created}.micros());
-            if (pkt.traced)
-                trace_opts.sink->async_end(pkt.id, "pkt",
+                    Seconds{events.now() - pkt->created}.micros());
+            if (pkt->traced)
+                trace_opts.sink->async_end(pkt->id, "pkt",
                                            Seconds{events.now()});
+            packet_slab.release(pkt);
         });
     }
 };
@@ -580,6 +594,8 @@ simulate_panic(const PanicConfig& config, const core::TrafficProfile& traffic,
     r.events_executed = sim.events.executed();
     r.delivered = sim.delivered.bandwidth(end);
     r.delivered_ops = sim.delivered.rate(end);
+    // Single-writer phase over: one sort, then race-free const reads.
+    sim.latencies.seal();
     r.mean_latency = sim.latencies.mean().value_or(Seconds{0.0});
     r.p50_latency = sim.latencies.p50().value_or(Seconds{0.0});
     r.p99_latency = sim.latencies.p99().value_or(Seconds{0.0});

@@ -17,6 +17,15 @@ LatencyRecorder::record(SimTime completion_time, Seconds latency)
     sorted_ = false;
 }
 
+void
+LatencyRecorder::seal()
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
 std::optional<Seconds>
 LatencyRecorder::mean() const
 {
@@ -35,10 +44,10 @@ LatencyRecorder::quantile(double q) const
         throw std::invalid_argument("LatencyRecorder: quantile out of range");
     if (samples_.empty())
         return std::nullopt;
-    if (!sorted_) {
-        std::sort(samples_.begin(), samples_.end());
-        sorted_ = true;
-    }
+    if (!sorted_)
+        throw std::logic_error(
+            "LatencyRecorder: seal() before quantile reads (sorting under "
+            "a const accessor was a data race for concurrent readers)");
     // Nearest rank: 1-based rank max(1, ceil(q * n)), clamped to n so
     // floating-point overshoot at q = 1 cannot index past the end.
     const auto n = samples_.size();
@@ -53,7 +62,10 @@ LatencyRecorder::max() const
 {
     if (samples_.empty())
         return std::nullopt;
-    return Seconds{*std::max_element(samples_.begin(), samples_.end())};
+    if (!sorted_)
+        throw std::logic_error(
+            "LatencyRecorder: seal() before ordered reads");
+    return Seconds{samples_.back()};
 }
 
 void
@@ -68,6 +80,8 @@ ThroughputMeter::record(SimTime completion_time, Bytes payload)
 Bandwidth
 ThroughputMeter::bandwidth(SimTime measure_end) const
 {
+    // Guard the divisor: measure_end <= warmup_end (zero-width or inverted
+    // window) must yield 0, not inf/NaN.
     const double window = measure_end - warmup_end_;
     if (window <= 0.0)
         return Bandwidth{0.0};

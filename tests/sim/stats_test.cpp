@@ -2,15 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
 namespace lognic::sim {
 namespace {
 
 TEST(LatencyRecorder, MeanAndQuantiles)
 {
     LatencyRecorder r;
-    for (double us : {1.0, 2.0, 3.0, 4.0, 5.0})
+    for (double us : {5.0, 1.0, 4.0, 2.0, 3.0})
         r.record(1.0, Seconds::from_micros(us));
-    EXPECT_EQ(r.count(), 5u);
+    r.seal();
     EXPECT_NEAR(r.mean()->micros(), 3.0, 1e-12);
     EXPECT_NEAR(r.p50()->micros(), 3.0, 1e-12);
     EXPECT_NEAR(r.quantile(1.0)->micros(), 5.0, 1e-12);
@@ -20,10 +24,11 @@ TEST(LatencyRecorder, MeanAndQuantiles)
 
 TEST(LatencyRecorder, NearestRankQuantiles)
 {
-    // Nearest rank: value at 1-based rank max(1, ceil(q * n)).
+    // 10 samples, 1..10 us.
     LatencyRecorder r;
-    for (int us = 1; us <= 10; ++us)
-        r.record(1.0, Seconds::from_micros(static_cast<double>(us)));
+    for (int i = 10; i >= 1; --i)
+        r.record(1.0, Seconds::from_micros(static_cast<double>(i)));
+    r.seal();
     EXPECT_NEAR(r.quantile(0.0)->micros(), 1.0, 1e-12);  // rank 1 (min)
     EXPECT_NEAR(r.quantile(0.5)->micros(), 5.0, 1e-12);  // ceil(5) = 5
     EXPECT_NEAR(r.quantile(0.99)->micros(), 10.0, 1e-12); // ceil(9.9) = 10
@@ -34,21 +39,21 @@ TEST(LatencyRecorder, NearestRankQuantiles)
 TEST(LatencyRecorder, WarmupSamplesDropped)
 {
     LatencyRecorder r(10.0);
-    r.record(5.0, Seconds::from_micros(100.0));  // during warmup
+    r.record(5.0, Seconds::from_micros(100.0)); // warmup, dropped
     r.record(15.0, Seconds::from_micros(2.0));
+    r.seal();
     EXPECT_EQ(r.count(), 1u);
     EXPECT_NEAR(r.mean()->micros(), 2.0, 1e-12);
 }
 
 TEST(LatencyRecorder, WarmupBoundaryInstantIsExcluded)
 {
-    // Regression: completions at exactly warmup_end belong to the warmup —
-    // the measurement window is (warmup_end, horizon], matching the
-    // simulator's occupancy accounting.
+    // The measurement window is the half-open (warmup_end, horizon]: a
+    // completion at exactly warmup_end still belongs to the warmup.
     LatencyRecorder r(10.0);
-    r.record(10.0, Seconds::from_micros(100.0)); // exactly at the boundary
+    r.record(10.0, Seconds::from_micros(1.0));
     EXPECT_EQ(r.count(), 0u);
-    r.record(10.0 + 1e-9, Seconds::from_micros(3.0)); // just past it
+    r.record(10.0 + 1e-9, Seconds::from_micros(1.0));
     EXPECT_EQ(r.count(), 1u);
 }
 
@@ -65,26 +70,57 @@ TEST(LatencyRecorder, QuantileRangeChecked)
 {
     LatencyRecorder r;
     r.record(1.0, Seconds::from_micros(1.0));
+    r.seal();
     EXPECT_THROW(r.quantile(1.5), std::invalid_argument);
     EXPECT_THROW(r.quantile(-0.1), std::invalid_argument);
 }
 
-TEST(LatencyRecorder, RecordingAfterQuantileKeepsSorted)
+TEST(LatencyRecorder, UnsealedOrderedReadsThrow)
+{
+    // The seal contract: quantile/max on a recorder with unsorted samples
+    // must refuse rather than sort behind a const accessor (that lazy
+    // sort was a data race for concurrent replication readers).
+    LatencyRecorder r;
+    r.record(1.0, Seconds::from_micros(2.0));
+    EXPECT_FALSE(r.sealed());
+    EXPECT_THROW(r.quantile(0.5), std::logic_error);
+    EXPECT_THROW(r.max(), std::logic_error);
+    // mean() and count() need no ordering and work in the write phase.
+    EXPECT_NEAR(r.mean()->micros(), 2.0, 1e-12);
+    EXPECT_EQ(r.count(), 1u);
+}
+
+TEST(LatencyRecorder, RecordingAfterSealRequiresReseal)
 {
     LatencyRecorder r;
-    r.record(1.0, Seconds::from_micros(5.0));
     r.record(1.0, Seconds::from_micros(1.0));
+    r.record(1.0, Seconds::from_micros(3.0));
+    r.seal();
     EXPECT_NEAR(r.p50()->micros(), 1.0, 1e-12);
-    r.record(1.0, Seconds::from_micros(0.5));
+    r.record(1.0, Seconds::from_micros(0.5)); // reopens the write phase
+    EXPECT_FALSE(r.sealed());
+    EXPECT_THROW(r.quantile(0.0), std::logic_error);
+    r.seal();
     EXPECT_NEAR(r.quantile(0.0)->micros(), 0.5, 1e-12);
+}
+
+TEST(LatencyRecorder, SealIsIdempotent)
+{
+    LatencyRecorder r;
+    r.record(1.0, Seconds::from_micros(4.0));
+    r.seal();
+    r.seal();
+    EXPECT_TRUE(r.sealed());
+    EXPECT_NEAR(r.p50()->micros(), 4.0, 1e-12);
 }
 
 TEST(LatencyRecorder, SingleSampleQuantiles)
 {
-    // n = 1: rank max(1, ceil(q)) is 1 for every q in [0, 1] — the lone
-    // sample is simultaneously min, median, and max.
+    // n = 1: every q collapses to the single sample (rank clamped to
+    // [1, 1]).
     LatencyRecorder r;
     r.record(1.0, Seconds::from_micros(7.0));
+    r.seal();
     EXPECT_NEAR(r.quantile(0.0)->micros(), 7.0, 1e-12);
     EXPECT_NEAR(r.quantile(0.5)->micros(), 7.0, 1e-12);
     EXPECT_NEAR(r.quantile(1.0)->micros(), 7.0, 1e-12);
@@ -106,6 +142,27 @@ TEST(WindowedCounter, ZeroWarmupCountsEverythingPositive)
     WindowedCounter c;
     c.record(0.0); // the boundary itself is excluded even at warmup 0
     c.record(1e-12);
+    EXPECT_EQ(c.count(), 1u);
+}
+
+TEST(WindowedCounter, UpperEdgeClampsToHorizon)
+{
+    // The documented window is (warmup_end, horizon]: an event at exactly
+    // the horizon counts, one past it (e.g. a drain-time completion after
+    // the run's nominal end) must not inflate the accounting.
+    WindowedCounter c(1.0, 10.0);
+    c.record(5.0);
+    c.record(10.0); // closed upper edge: counted
+    EXPECT_EQ(c.count(), 2u);
+    c.record(10.0 + 1e-9); // past the horizon: ignored
+    c.record(50.0);
+    EXPECT_EQ(c.count(), 2u);
+}
+
+TEST(WindowedCounter, DefaultHorizonIsUnbounded)
+{
+    WindowedCounter c(1.0);
+    c.record(std::numeric_limits<double>::max());
     EXPECT_EQ(c.count(), 1u);
 }
 
@@ -137,6 +194,28 @@ TEST(ThroughputMeter, DegenerateWindowIsZero)
     m.record(6.0, Bytes{100.0});
     EXPECT_DOUBLE_EQ(m.bandwidth(5.0).bits_per_sec(), 0.0);
     EXPECT_DOUBLE_EQ(m.rate(4.0).per_sec(), 0.0);
+}
+
+TEST(ThroughputMeter, ZeroWidthWindowNeverInfOrNan)
+{
+    // measure_end == warmup_end divides by zero without the guard; the
+    // rates must come back as finite zeros, never inf/NaN (a truncated
+    // run that died inside its warmup hits exactly this).
+    ThroughputMeter m(2.0);
+    m.record(3.0, Bytes{1e6});
+    const double bw = m.bandwidth(2.0).bits_per_sec();
+    const double ops = m.rate(2.0).per_sec();
+    EXPECT_TRUE(std::isfinite(bw));
+    EXPECT_TRUE(std::isfinite(ops));
+    EXPECT_DOUBLE_EQ(bw, 0.0);
+    EXPECT_DOUBLE_EQ(ops, 0.0);
+    // Inverted window (measure_end < warmup_end): same rule.
+    EXPECT_DOUBLE_EQ(m.bandwidth(0.0).bits_per_sec(), 0.0);
+    EXPECT_DOUBLE_EQ(m.rate(-1.0).per_sec(), 0.0);
+    // An empty meter with a zero-width window is 0/0 territory: still 0.
+    const ThroughputMeter empty(2.0);
+    EXPECT_DOUBLE_EQ(empty.bandwidth(2.0).bits_per_sec(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.rate(2.0).per_sec(), 0.0);
 }
 
 } // namespace
