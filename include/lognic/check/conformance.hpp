@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Differential comparators (lognic::check): the same scenario evaluated
+ * through the analytical model, the discrete-event simulator, and — where
+ * the topology degenerates to a single queue — the textbook closed forms,
+ * with agreement asserted within stated tolerances.
+ *
+ * Tolerance rationale (each comparator's violations carry the numbers):
+ *  - model vs DES: the model is a queueing-theory approximation of the
+ *    simulated system (M/M/1/N per vertex, independence across vertices),
+ *    so the bands are coarse — factor bands on latency, additive bands on
+ *    goodput — matching the validation envelopes the repository's
+ *    integration tests established empirically.
+ *  - DES vs closed form: on a degenerate topology the two describe the
+ *    *identical* stochastic system, so the bands are purely statistical
+ *    (finite-horizon estimator noise), much tighter than model bands.
+ *  - monotonicity: mean latency is non-decreasing in offered load for
+ *    these networks (each vertex's sojourn time grows with its arrival
+ *    rate, and saturation upstream can only hold downstream load
+ *    constant); the slack absorbs common-random-number residual noise.
+ */
+#ifndef LOGNIC_CHECK_CONFORMANCE_HPP_
+#define LOGNIC_CHECK_CONFORMANCE_HPP_
+
+#include <optional>
+#include <vector>
+
+#include "lognic/check/oracles.hpp"
+
+namespace lognic::check {
+
+struct ConformanceTolerances {
+    // --- analytical model vs DES -------------------------------------------
+    /// Delivered throughput may not exceed modelled capacity by more than
+    /// this (relative + absolute headroom for finite-horizon burstiness).
+    double capacity_rel{0.08};
+    double capacity_abs_gbps{0.3};
+    /// Delivered vs modelled achieved throughput (goodput tracking).
+    double goodput_rel{0.25};
+    double goodput_abs_gbps{0.4};
+    /// Simulated mean latency must lie in
+    /// [model / latency_factor_low, model * factor_high(rho)] (+abs).
+    /// Asymmetric because the model's per-vertex M/M/1/N treatment (one
+    /// merged server per vertex, per-class capacity partitioning) is
+    /// conservative for multi-engine vertices — the simulator's true
+    /// D-server queue can run well below the estimate, while overshooting
+    /// grows with load: near saturation the sojourn mean is dominated by
+    /// the queue tail, where the model's partitioned-queue approximation
+    /// undershoots and the DES estimator's variance blows up as
+    /// 1/(1-rho). The upper factor therefore scales with the highest
+    /// vertex utilization the run actually measured:
+    ///   factor_high(rho) = latency_factor_high
+    ///                      + latency_rho_gain * rho / (1 - min(rho, rho_knee))
+    /// (about 2.0x at rho = 0.3, 9.2x at rho = 0.95 with the defaults).
+    double latency_factor_high{1.6};
+    double latency_rho_gain{0.8};
+    double latency_rho_knee{0.9};
+    double latency_factor_low{6.0};
+    double latency_abs_us{1.0};
+    /// Simulated drop rate vs the model's implied drop fraction
+    /// (1 - achieved/offered); single-class scenarios only.
+    double drop_abs{0.05};
+    /// Minimum windowed completions before latency bands apply.
+    std::uint64_t min_completed{200};
+
+    // --- DES vs closed forms (degenerate single-queue topologies) ----------
+    // The relative bands look loose for "the identical stochastic system"
+    // because the time-average estimators mix slowly at high load: the
+    // occupancy autocorrelation time scales like E[S]/(1-rho)^2, so a
+    // 40 ms window at rho ~ 0.95 holds only a few hundred effectively
+    // independent samples and the sample mean sits within ~15% of the
+    // closed form at the few-sigma level. 20% keeps seeds reproducible
+    // while still catching structural errors (wrong N convention, wrong
+    // rho) which shift these statistics by O(1) factors.
+    double mm1n_occupancy_rel{0.20};
+    double mm1n_occupancy_abs{0.08};
+    double mm1n_drop_abs{0.02};
+    double mm1n_utilization_abs{0.04};
+    double mm1n_sojourn_rel{0.20};
+    double mg1_sojourn_rel{0.15};
+
+    // --- latency monotonicity in offered load ------------------------------
+    double monotonic_slack_rel{0.12};
+    double monotonic_slack_abs_us{1.0};
+};
+
+/// Model-vs-DES agreement for one (scenario, result) pair.
+std::vector<Violation>
+check_model_vs_sim(const io::Scenario& sc, const sim::SimResult& res,
+                   const ConformanceTolerances& tol = {});
+
+/**
+ * The single queue a degenerate scenario reduces to, when it does:
+ * exactly one IP vertex between ingress and egress, one engine, default
+ * (free) edges, zero overhead, one packet class, Poisson arrivals, no
+ * bursts, no faults, stochastic service. Then the DES is *exactly* an
+ * M/M/1/N queue (scv == 1) or an M/G/1 queue with gamma service
+ * (0 < scv < 1, compared only while blocking is negligible).
+ */
+struct SingleQueueView {
+    double lambda{0.0};  ///< request arrival rate, 1/s
+    double mu{0.0};      ///< service rate, 1/s
+    std::uint32_t capacity{1};
+    double scv{1.0};
+    std::string vertex;
+};
+
+std::optional<SingleQueueView>
+single_queue_view(const io::Scenario& sc, const sim::SimOptions& opts);
+
+/// Closed-form agreement; empty when the scenario is not degenerate.
+std::vector<Violation>
+check_closed_forms(const io::Scenario& sc, const sim::SimOptions& opts,
+                   const sim::SimResult& res,
+                   const ConformanceTolerances& tol = {});
+
+/**
+ * Run a three-point offered-load ladder (0.6x, 1.0x, 1.4x the profile's
+ * BW_in) with identical seeds and assert mean latency is non-decreasing
+ * within the slack. Runs its own simulations; @p sims_run (if non-null)
+ * is incremented per run for the harness's accounting.
+ */
+std::vector<Violation>
+check_latency_monotonicity(const io::Scenario& sc,
+                           const sim::SimOptions& opts,
+                           const ConformanceTolerances& tol = {},
+                           std::uint64_t* sims_run = nullptr);
+
+} // namespace lognic::check
+
+#endif // LOGNIC_CHECK_CONFORMANCE_HPP_

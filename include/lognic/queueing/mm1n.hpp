@@ -10,8 +10,11 @@
  * queue sheds load.
  *
  * The formulas here are exact, including at the rho == 1 singularity where
- * the textbook expressions are 0/0; we evaluate the analytic limits instead
- * of relying on floating-point cancellation.
+ * the textbook expressions are 0/0: every quantity — distribution moments
+ * and the Eq. 12 closed form alike — is evaluated through numerically
+ * stable direct sums in the ill-conditioned region around rho = 1, so mean
+ * occupancy, blocking probability, throughput, and queueing delay stay
+ * mutually consistent (Little's law) to machine precision across it.
  */
 #ifndef LOGNIC_QUEUEING_MM1N_HPP_
 #define LOGNIC_QUEUEING_MM1N_HPP_

@@ -68,8 +68,12 @@ class LatencyRecorder {
     std::optional<Seconds> mean() const;
     /**
      * Nearest-rank quantile on the sorted samples: for n samples, returns
-     * the value at 1-based rank max(1, ceil(q * n)). q = 0 is therefore
-     * defined as the minimum (rank 1) and q = 1 as the maximum (rank n).
+     * the value at 1-based rank max(1, ceil(q * n)). q = 0 and q = 1 are
+     * handled exactly as the minimum (rank 1) and maximum (rank n), and
+     * the interior rank computation snaps q * n values that floating
+     * point put one ulp past an exact integer back onto it (0.07 * 100
+     * must mean rank 7, not 8). With a single sample every q returns that
+     * sample.
      * @throws std::invalid_argument when q is outside [0, 1].
      * @throws std::logic_error when samples exist but seal() has not been
      *         called since the last record().

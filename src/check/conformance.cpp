@@ -1,0 +1,259 @@
+#include "lognic/check/conformance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lognic/core/model.hpp"
+#include "lognic/queueing/mg1.hpp"
+#include "lognic/queueing/mm1n.hpp"
+
+namespace lognic::check {
+
+namespace {
+
+void
+band(std::vector<Violation>& out, double measured, double expected,
+     double tolerance, const char* oracle, const std::string& subject,
+     const char* message)
+{
+    if (std::abs(measured - expected) <= tolerance)
+        return;
+    out.push_back(
+        Violation{oracle, subject, message, measured, expected, tolerance});
+}
+
+void
+upper(std::vector<Violation>& out, double measured, double limit,
+      const char* oracle, const std::string& subject, const char* message)
+{
+    if (measured <= limit)
+        return;
+    out.push_back(Violation{oracle, subject, message, measured, limit, 0.0});
+}
+
+} // namespace
+
+std::vector<Violation>
+check_model_vs_sim(const io::Scenario& sc, const sim::SimResult& res,
+                   const ConformanceTolerances& tol)
+{
+    std::vector<Violation> out;
+    const core::Model model(sc.hw);
+    const core::Report report = model.estimate(sc.graph, sc.traffic);
+
+    const double delivered = res.delivered.gbps();
+    const double capacity = report.throughput.capacity.gbps();
+    const double achieved = report.throughput.achieved.gbps();
+
+    upper(out, delivered,
+          capacity * (1.0 + tol.capacity_rel) + tol.capacity_abs_gbps,
+          "conformance.model.capacity", "",
+          "simulated goodput exceeds modelled capacity");
+    band(out, delivered, achieved,
+         tol.goodput_rel * achieved + tol.goodput_abs_gbps,
+         "conformance.model.goodput", "",
+         "simulated goodput diverges from modelled achieved throughput");
+
+    if (res.completed >= tol.min_completed) {
+        const double sim_us = res.mean_latency.micros();
+        const double model_us = report.latency.mean.micros();
+        // Load-aware upper factor (see ConformanceTolerances): the higher
+        // the busiest vertex ran, the further the DES sojourn mean may
+        // legitimately sit above the model's truncated-queue estimate.
+        double rho_hat = 0.0;
+        for (const auto& vs : res.vertex_stats)
+            rho_hat = std::max(rho_hat, vs.utilization);
+        const double factor_high = tol.latency_factor_high
+            + tol.latency_rho_gain * rho_hat
+                / (1.0 - std::min(rho_hat, tol.latency_rho_knee));
+        upper(out, sim_us, model_us * factor_high + tol.latency_abs_us,
+              "conformance.model.latency_high", "",
+              "simulated mean latency far above model estimate");
+        upper(out, model_us / tol.latency_factor_low - tol.latency_abs_us,
+              sim_us, "conformance.model.latency_low", "",
+              "simulated mean latency far below model estimate");
+    }
+
+    if (sc.traffic.classes().size() == 1) {
+        // For a single class the byte drop fraction equals the packet
+        // drop probability. The model predicts loss through two terms:
+        // the fluid excess over capacity (achieved/offered) and the
+        // finite-queue blocking the latency side computes per vertex —
+        // below capacity only the latter is non-zero, and real queues at
+        // rho ~ 0.9 do block a few percent.
+        const double admitted =
+            std::min(sc.traffic.ingress_bandwidth().gbps(),
+                     sc.hw.line_rate().gbps());
+        if (admitted > 0.0) {
+            const double fluid_drop =
+                std::max(0.0, 1.0 - achieved / admitted);
+            const double blocking =
+                std::min(1.0, report.latency.max_drop_probability);
+            const double model_drop = std::max(fluid_drop, blocking);
+            band(out, res.drop_rate, model_drop, tol.drop_abs,
+                 "conformance.model.drop", "",
+                 "simulated drop rate diverges from model prediction");
+        }
+    }
+    return out;
+}
+
+std::optional<SingleQueueView>
+single_queue_view(const io::Scenario& sc, const sim::SimOptions& opts)
+{
+    // Stochastic regime: Poisson arrivals, stochastic service, no bursts,
+    // no faults — the assumptions the closed forms are derived under.
+    if (!opts.poisson_arrivals || !opts.exponential_service
+        || opts.burst.enabled || !opts.faults.empty())
+        return std::nullopt;
+    if (sc.traffic.classes().size() != 1)
+        return std::nullopt;
+    if (sc.graph.vertex_count() != 3)
+        return std::nullopt;
+
+    std::optional<core::VertexId> ip_vertex;
+    for (core::VertexId v = 0; v < sc.graph.vertex_count(); ++v) {
+        const core::Vertex& vx = sc.graph.vertex(v);
+        switch (vx.kind) {
+          case core::VertexKind::kIngress:
+          case core::VertexKind::kEgress:
+            continue;
+          case core::VertexKind::kIp:
+            if (ip_vertex)
+                return std::nullopt;
+            ip_vertex = v;
+            continue;
+          default:
+            return std::nullopt;
+        }
+    }
+    if (!ip_vertex)
+        return std::nullopt;
+    const core::Vertex& vx = sc.graph.vertex(*ip_vertex);
+    // Zero-overhead vertex, free transfers on every edge: packets spend
+    // time nowhere but this queue.
+    if (vx.params.overhead.seconds() != 0.0)
+        return std::nullopt;
+    for (core::EdgeId e = 0; e < sc.graph.edge_count(); ++e) {
+        const core::EdgeParams& ep = sc.graph.edge(e).params;
+        if (ep.delta != 1.0 || ep.alpha != 0.0 || ep.beta != 0.0
+            || ep.dedicated_bw)
+            return std::nullopt;
+    }
+    const auto shape = resolve_shape(sc, *ip_vertex, true);
+    if (!shape || shape->engines != 1 || shape->queue_count != 1)
+        return std::nullopt;
+    if (shape->service_scv <= 0.0)
+        return std::nullopt; // M/D/1/N: not covered by these forms
+
+    SingleQueueView view;
+    view.vertex = vx.name;
+    view.mu = 1.0 / shape->service_mean;
+    view.capacity = shape->capacity;
+    view.scv = shape->service_scv;
+    const double admitted_bytes =
+        std::min(sc.traffic.ingress_bandwidth().bytes_per_sec(),
+                 sc.hw.line_rate().bytes_per_sec());
+    view.lambda = admitted_bytes / sc.traffic.classes()[0].size.bytes();
+    return view;
+}
+
+std::vector<Violation>
+check_closed_forms(const io::Scenario& sc, const sim::SimOptions& opts,
+                   const sim::SimResult& res,
+                   const ConformanceTolerances& tol)
+{
+    std::vector<Violation> out;
+    const auto view = single_queue_view(sc, opts);
+    if (!view)
+        return out;
+    const auto vs = std::find_if(
+        res.vertex_stats.begin(), res.vertex_stats.end(),
+        [&](const sim::VertexStats& s) { return s.name == view->vertex; });
+    if (vs == res.vertex_stats.end() || res.completed < tol.min_completed)
+        return out;
+    const double rho = view->lambda / view->mu;
+
+    if (view->scv == 1.0) {
+        // The simulated vertex IS an M/M/1/N queue: Poisson arrivals,
+        // exponential service, one server, capacity N including the one
+        // in service. All deviations are finite-horizon estimator noise.
+        const queueing::Mm1nQueue q(view->lambda, view->mu,
+                                    view->capacity);
+        band(out, vs->mean_occupancy, q.mean_in_system(),
+             tol.mm1n_occupancy_rel * q.mean_in_system()
+                 + tol.mm1n_occupancy_abs,
+             "conformance.mm1n.occupancy", view->vertex,
+             "simulated occupancy diverges from M/M/1/N mean");
+        band(out, vs->utilization, q.utilization(),
+             tol.mm1n_utilization_abs, "conformance.mm1n.utilization",
+             view->vertex,
+             "simulated utilization diverges from M/M/1/N 1 - P0");
+        band(out, res.drop_rate, q.blocking_probability(),
+             tol.mm1n_drop_abs, "conformance.mm1n.blocking",
+             view->vertex,
+             "simulated drop rate diverges from M/M/1/N blocking");
+        band(out, res.mean_latency.seconds(), q.mean_sojourn_time(),
+             tol.mm1n_sojourn_rel * q.mean_sojourn_time(),
+             "conformance.mm1n.sojourn", view->vertex,
+             "simulated mean latency diverges from M/M/1/N sojourn");
+    } else if (rho < 0.9 && view->capacity >= 64) {
+        // Gamma service with scv < 1: M/G/1 via Pollaczek-Khinchine.
+        // Valid only while blocking is negligible (deep queue, rho away
+        // from 1) — the generator enforces both for its M/G/1 draws; any
+        // other scenario is simply skipped rather than mis-compared.
+        const queueing::Mg1Queue q(view->lambda, 1.0 / view->mu,
+                                   view->scv);
+        band(out, res.mean_latency.seconds(), q.mean_sojourn_time(),
+             tol.mg1_sojourn_rel * q.mean_sojourn_time(),
+             "conformance.mg1.sojourn", view->vertex,
+             "simulated mean latency diverges from P-K sojourn");
+        band(out, vs->mean_occupancy, q.mean_in_system(),
+             tol.mm1n_occupancy_rel * q.mean_in_system()
+                 + tol.mm1n_occupancy_abs,
+             "conformance.mg1.occupancy", view->vertex,
+             "simulated occupancy diverges from M/G/1 mean");
+    }
+    return out;
+}
+
+std::vector<Violation>
+check_latency_monotonicity(const io::Scenario& sc,
+                           const sim::SimOptions& opts,
+                           const ConformanceTolerances& tol,
+                           std::uint64_t* sims_run)
+{
+    std::vector<Violation> out;
+    const double factors[] = {0.6, 1.0, 1.4};
+    double prev_us = -1.0;
+    double prev_factor = 0.0;
+    for (const double f : factors) {
+        core::TrafficProfile traffic = sc.traffic;
+        traffic.set_ingress_bandwidth(Bandwidth{
+            sc.traffic.ingress_bandwidth().bits_per_sec() * f});
+        const sim::SimResult r =
+            sim::simulate(sc.hw, sc.graph, traffic, opts);
+        if (sims_run)
+            ++*sims_run;
+        if (r.completed < tol.min_completed)
+            continue; // too few samples for the mean to be meaningful
+        const double us = r.mean_latency.micros();
+        if (prev_us >= 0.0) {
+            const double floor_us = prev_us
+                    * (1.0 - tol.monotonic_slack_rel)
+                - tol.monotonic_slack_abs_us;
+            if (us < floor_us)
+                out.push_back(Violation{
+                    "conformance.monotonic", sc.graph.name(),
+                    "mean latency decreased when offered load rose from "
+                        + std::to_string(prev_factor) + "x to "
+                        + std::to_string(f) + "x",
+                    us, prev_us, prev_us - floor_us});
+        }
+        prev_us = us;
+        prev_factor = f;
+    }
+    return out;
+}
+
+} // namespace lognic::check

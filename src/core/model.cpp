@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <map>
 #include <stdexcept>
+#include <utility>
 
 namespace lognic::core {
 
@@ -46,6 +49,36 @@ queue_partitioned_copy(const ExecutionGraph& graph, const HardwareModel& hw,
     return copy;
 }
 
+/**
+ * Combine per-class capacities into the mixed-traffic capacity.
+ *
+ * Every resource is shared by all classes at once, so one ingress byte of
+ * class i consumes 1 / limit_i of the resource per second; the mix
+ * saturates the resource at 1 / sum(w_i / limit_i) — the weighted
+ * *harmonic* mean of the per-class limits, taken per resource and then
+ * minimised across resources. (A weighted arithmetic mean of the
+ * per-class capacities overestimates: it describes classes that each get
+ * a dedicated slice of every resource, not classes interleaving on the
+ * same engines.)
+ */
+Bandwidth
+mixed_capacity(const std::vector<ThroughputEstimate>& per_class,
+               const std::vector<PacketClass>& classes)
+{
+    std::map<std::pair<TermKind, std::string>, double> inverse;
+    for (std::size_t i = 0; i < per_class.size(); ++i)
+        for (const ThroughputTerm& term : per_class[i].terms)
+            inverse[{term.kind, term.name}] +=
+                classes[i].weight / term.limit.bits_per_sec();
+    double min_limit = std::numeric_limits<double>::infinity();
+    for (const auto& [key, inv] : inverse)
+        if (inv > 0.0)
+            min_limit = std::min(min_limit, 1.0 / inv);
+    if (!std::isfinite(min_limit))
+        min_limit = 0.0;
+    return Bandwidth{min_limit};
+}
+
 } // namespace
 
 const ThroughputTerm&
@@ -77,11 +110,19 @@ Model::throughput(const ExecutionGraph& graph,
                   queue_partitioned_copy(graph, hw_, classes[i].weight), hw_,
                   cp)
             : estimate_throughput(graph, hw_, cp);
-        report.capacity += est.capacity * classes[i].weight;
         report.achieved += mixed
             ? est.achieved // per-class achieved already uses the BW share
             : est.achieved * classes[i].weight;
         report.per_class.push_back(est);
+    }
+    if (mixed) {
+        report.capacity = mixed_capacity(report.per_class, classes);
+        // The summed per-class goodputs each assumed the rest of the mix
+        // was absent; the shared resources cap the total at the mixed
+        // capacity.
+        report.achieved = std::min(report.achieved, report.capacity);
+    } else {
+        report.capacity = report.per_class[0].capacity;
     }
     return report;
 }

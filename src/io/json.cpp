@@ -394,6 +394,15 @@ Json::dump_to(std::string& out, int indent, int depth) const
         out += bool_ ? "true" : "false";
         break;
       case Type::kNumber: {
+        // RFC 8259 has no token for non-finite numbers; emitting bare
+        // inf/nan produced documents our own parser (and jq) rejected.
+        // null is the standard lossy encoding — readers using number_or()
+        // fall back to their defaults, which is the honest outcome for a
+        // statistic that was undefined in the first place.
+        if (!std::isfinite(number_)) {
+            out += "null";
+            break;
+        }
         char buf[32];
         if (number_ == std::floor(number_)
             && std::abs(number_) < 1e15) {

@@ -46,10 +46,20 @@ stable_sums(double rho, std::uint32_t n)
     return out;
 }
 
-/// Treat rho within this distance of 1 as the singular case of the Eq. 12
-/// closed form (within the window the analytic limit is more accurate than
-/// the cancelling expression).
-constexpr double kUnitRhoEps = 1e-6;
+/**
+ * Within this distance of rho = 1, evaluate Eq. 12 through the exact
+ * distribution sums instead of the cancelling textbook expression. The
+ * dominant term rho/(1-rho) carries an absolute error of about
+ * eps_machine/(1-rho)^2 while Q itself is O(N), so the cancelling form's
+ * relative error grows like eps/((1-rho)^2 N) — at |rho-1| = 1e-3 that is
+ * below 1e-9 for every N >= 1, and it degrades quadratically closer in
+ * (1e-4 relative by |rho-1| = 2e-6 for N = 2). The window must therefore
+ * cover the whole ill-conditioned region, not just the 0/0 point: an
+ * earlier 1e-6 window substituted the rho = 1 *limit* (N-1)/(2 mu) inside,
+ * which drifted from the exact occupancy/blocking/throughput quantities by
+ * O(eps N^2 / 12) and left the near-edge cancellation error unaddressed.
+ */
+constexpr double kUnitRhoEps = 1e-3;
 
 bool
 near_unit(double rho)
@@ -113,8 +123,18 @@ Mm1nQueue::paper_closed_form_delay() const
 {
     const double n = static_cast<double>(capacity_);
     if (near_unit(rho_)) {
-        // lim_{rho->1} rho/(1-rho) - N rho^N/(1-rho^N) = (N - 1) / 2.
-        return (n - 1.0) / (2.0 * mu_);
+        // Inside the window the two Eq. 12 terms cancel catastrophically,
+        // but Eq. 12 *is* Little's law applied to the M/M/1/N occupancy
+        // distribution — so evaluate the identical quantity through the
+        // same exact sums that mean_in_system()/blocking_probability()/
+        // throughput() use: Q = L / lambda_e - 1/mu with L = S1/S0 and
+        // lambda_e = mu * rho * (1 - e_N/S0). This keeps the closed form
+        // consistent with those three quantities to machine precision as
+        // rho crosses the window edge (including rho == 1 exactly, where
+        // the sums reduce to the textbook limit (N-1)/(2 mu)).
+        const StableSums sums = stable_sums(rho_, capacity_);
+        const double accepted = rho_ * (sums.s0 - sums.e_last);
+        return (1.0 / mu_) * (sums.s1 / accepted - 1.0);
     }
     // N rho^N / (1 - rho^N) overflows for rho > 1 with large N; the
     // reciprocal form N / (rho^-N - 1) is exact and stays finite (the

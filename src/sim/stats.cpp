@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace lognic::sim {
@@ -48,11 +49,25 @@ LatencyRecorder::quantile(double q) const
         throw std::logic_error(
             "LatencyRecorder: seal() before quantile reads (sorting under "
             "a const accessor was a data race for concurrent readers)");
-    // Nearest rank: 1-based rank max(1, ceil(q * n)), clamped to n so
-    // floating-point overshoot at q = 1 cannot index past the end.
+    // Nearest rank: 1-based rank max(1, ceil(q * n)). The extremes are
+    // handled exactly — q = 0 is the minimum and q = 1 the maximum by
+    // definition, not by trusting ceil(q * n) to land on 0 or n.
     const auto n = samples_.size();
-    auto rank = static_cast<std::size_t>(
-        std::ceil(q * static_cast<double>(n)));
+    if (q == 0.0)
+        return Seconds{samples_.front()};
+    if (q == 1.0)
+        return Seconds{samples_.back()};
+    // q * n computed in floating point can land one ulp above an exact
+    // integer (0.07 * 100 = 7.000000000000001), and ceil() turns that ulp
+    // into a whole off-by-one rank. Snap values within a few ulps of an
+    // integer back onto it before taking the ceiling.
+    const double scaled = q * static_cast<double>(n);
+    const double floor_s = std::floor(scaled);
+    const double snap =
+        4.0 * std::numeric_limits<double>::epsilon() * scaled;
+    const double rank_real =
+        (scaled - floor_s <= snap) ? floor_s : floor_s + 1.0;
+    auto rank = static_cast<std::size_t>(rank_real);
     rank = std::clamp<std::size_t>(rank, 1, n);
     return Seconds{samples_[rank - 1]};
 }

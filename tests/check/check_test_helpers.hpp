@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shared builders for lognic::check tests: hand-built scenarios whose
+ * queueing behaviour is known in closed form.
+ */
+#ifndef LOGNIC_TESTS_CHECK_TEST_HELPERS_HPP_
+#define LOGNIC_TESTS_CHECK_TEST_HELPERS_HPP_
+
+#include <utility>
+
+#include "lognic/core/model.hpp"
+#include "lognic/io/serialize.hpp"
+
+namespace lognic::test {
+
+/**
+ * ingress -> worker -> egress with one engine, zero overhead, and free
+ * edges: under Poisson arrivals and stochastic service the worker IS an
+ * M/M/1/N queue (scv == 1) or an M/G/1 queue (0 < scv < 1, deep queue).
+ * The arrival rate is set so rho = @p rho exactly.
+ */
+inline io::Scenario
+degenerate_scenario(double rho, double scv, std::uint32_t capacity,
+                    double size_bytes = 1024.0)
+{
+    core::HardwareModel hw("check-test-nic", Bandwidth::from_gbps(400.0),
+                           Bandwidth::from_gbps(300.0),
+                           Bandwidth::from_gbps(200.0));
+    core::IpSpec spec;
+    spec.name = "worker";
+    spec.kind = core::IpKind::kCpuCores;
+    spec.roofline = core::ExtendedRoofline(
+        core::ServiceModel{Seconds::from_micros(0.8),
+                           Bandwidth::from_gigabytes_per_sec(4.0)},
+        {});
+    spec.max_engines = 1;
+    spec.default_queue_capacity = capacity;
+    spec.service_scv = scv;
+    const core::IpId ip = hw.add_ip(spec);
+
+    core::ExecutionGraph g("degenerate");
+    const auto in = g.add_ingress();
+    core::VertexParams params;
+    params.parallelism = 1;
+    const auto v = g.add_ip_vertex("worker", ip, params);
+    const auto eg = g.add_egress();
+    g.add_edge(in, v);
+    g.add_edge(v, eg);
+
+    const double mean_service =
+        spec.roofline.engine().service_time(Bytes{size_bytes}).seconds();
+    const double lambda = rho / mean_service;
+    auto traffic = core::TrafficProfile::fixed(
+        Bytes{size_bytes},
+        Bandwidth::from_bytes_per_sec(lambda * size_bytes));
+    return io::Scenario{std::move(hw), std::move(g), std::move(traffic)};
+}
+
+/// ingress -> parse -> crypto -> egress, offered load pinned to
+/// @p rho x the model's mixed-traffic capacity.
+inline io::Scenario
+two_stage_scenario(double rho)
+{
+    core::HardwareModel hw("check-test-nic", Bandwidth::from_gbps(400.0),
+                           Bandwidth::from_gbps(300.0),
+                           Bandwidth::from_gbps(200.0));
+    core::IpSpec parse;
+    parse.name = "parse";
+    parse.kind = core::IpKind::kCpuCores;
+    parse.roofline = core::ExtendedRoofline(
+        core::ServiceModel{Seconds::from_micros(0.6),
+                           Bandwidth::from_gigabytes_per_sec(6.0)},
+        {});
+    parse.max_engines = 4;
+    parse.default_queue_capacity = 32;
+    const core::IpId p = hw.add_ip(parse);
+    core::IpSpec crypto;
+    crypto.name = "crypto";
+    crypto.kind = core::IpKind::kAccelerator;
+    crypto.roofline = core::ExtendedRoofline(
+        core::ServiceModel{Seconds::from_micros(1.2),
+                           Bandwidth::from_gigabytes_per_sec(3.0)},
+        {});
+    crypto.max_engines = 2;
+    crypto.default_queue_capacity = 48;
+    const core::IpId c = hw.add_ip(crypto);
+
+    core::ExecutionGraph g("two-stage");
+    const auto in = g.add_ingress();
+    const auto v0 = g.add_ip_vertex("parse", p, {});
+    const auto v1 = g.add_ip_vertex("crypto", c, {});
+    const auto eg = g.add_egress();
+    g.add_edge(in, v0);
+    g.add_edge(v0, v1);
+    g.add_edge(v1, eg);
+
+    auto traffic = core::TrafficProfile::mixed(
+        {{Bytes{256.0}, 0.3}, {Bytes{1500.0}, 0.7}},
+        Bandwidth::from_gbps(1.0));
+    const Bandwidth cap = core::Model(hw).throughput(g, traffic).capacity;
+    traffic.set_ingress_bandwidth(Bandwidth{cap.bits_per_sec() * rho});
+    return io::Scenario{std::move(hw), std::move(g), std::move(traffic)};
+}
+
+} // namespace lognic::test
+
+#endif // LOGNIC_TESTS_CHECK_TEST_HELPERS_HPP_

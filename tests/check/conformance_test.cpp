@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Differential conformance (satellite of the lognic::check harness): on
+ * degenerate topologies the DES must reproduce the textbook closed forms,
+ * and on general topologies it must stay inside the model's envelope.
+ *
+ * Tolerances mirror ConformanceTolerances' defaults and rationale: the
+ * degenerate DES *is* the closed-form system, so deviations are pure
+ * finite-horizon estimator noise — up to ~15% for slowly-mixing
+ * occupancy/sojourn averages at high rho, a few percent for utilization
+ * and blocking, with pinned seeds keeping every run reproducible.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "check_test_helpers.hpp"
+#include "lognic/check/conformance.hpp"
+#include "lognic/queueing/mg1.hpp"
+#include "lognic/queueing/mm1n.hpp"
+#include "lognic/sim/nic_simulator.hpp"
+
+namespace lognic::check {
+namespace {
+
+sim::SimOptions
+pinned_options(std::uint64_t seed)
+{
+    sim::SimOptions opts;
+    opts.duration = 0.05;
+    opts.warmup_fraction = 0.2;
+    opts.seed = seed;
+    return opts;
+}
+
+const sim::VertexStats&
+worker_stats(const sim::SimResult& res)
+{
+    const auto it = std::find_if(
+        res.vertex_stats.begin(), res.vertex_stats.end(),
+        [](const sim::VertexStats& s) { return s.name == "worker"; });
+    EXPECT_NE(it, res.vertex_stats.end());
+    return *it;
+}
+
+TEST(DegenerateEquivalence, PoissonExponentialMatchesMm1n)
+{
+    // One vertex, one engine, Poisson arrivals, exponential service,
+    // capacity 16, rho = 0.9: exactly an M/M/1/16 queue.
+    const double rho = 0.9;
+    const std::uint32_t capacity = 16;
+    const io::Scenario sc = test::degenerate_scenario(rho, 1.0, capacity);
+    const sim::SimOptions opts = pinned_options(20260808);
+    const sim::SimResult res =
+        sim::simulate(sc.hw, sc.graph, sc.traffic, opts);
+    ASSERT_FALSE(res.truncated);
+    ASSERT_GT(res.completed, 10000u);
+
+    const auto view = single_queue_view(sc, opts);
+    ASSERT_TRUE(view.has_value());
+    EXPECT_DOUBLE_EQ(view->scv, 1.0);
+    EXPECT_EQ(view->capacity, capacity);
+    EXPECT_NEAR(view->lambda / view->mu, rho, 1e-9);
+
+    const queueing::Mm1nQueue q(view->lambda, view->mu, capacity);
+    const auto& vs = worker_stats(res);
+    const ConformanceTolerances tol;
+    EXPECT_NEAR(vs.mean_occupancy, q.mean_in_system(),
+                tol.mm1n_occupancy_rel * q.mean_in_system()
+                    + tol.mm1n_occupancy_abs);
+    EXPECT_NEAR(vs.utilization, q.utilization(),
+                tol.mm1n_utilization_abs);
+    EXPECT_NEAR(res.drop_rate, q.blocking_probability(),
+                tol.mm1n_drop_abs);
+    EXPECT_NEAR(res.mean_latency.seconds(), q.mean_sojourn_time(),
+                tol.mm1n_sojourn_rel * q.mean_sojourn_time());
+
+    // The comparator agrees with the hand comparison above.
+    EXPECT_TRUE(check_closed_forms(sc, opts, res).empty());
+}
+
+TEST(DegenerateEquivalence, GammaServiceMatchesMg1Sojourn)
+{
+    // scv = 0.25 gamma service, deep queue (no blocking), rho = 0.6:
+    // Pollaczek-Khinchine applies.
+    const double rho = 0.6, scv = 0.25;
+    const io::Scenario sc = test::degenerate_scenario(rho, scv, 256);
+    const sim::SimOptions opts = pinned_options(31337);
+    const sim::SimResult res =
+        sim::simulate(sc.hw, sc.graph, sc.traffic, opts);
+    ASSERT_FALSE(res.truncated);
+    EXPECT_EQ(res.dropped_total, 0u); // deep queue: P-K preconditions hold
+
+    const auto view = single_queue_view(sc, opts);
+    ASSERT_TRUE(view.has_value());
+    EXPECT_DOUBLE_EQ(view->scv, scv);
+
+    const queueing::Mg1Queue q(view->lambda, 1.0 / view->mu, scv);
+    const ConformanceTolerances tol;
+    EXPECT_NEAR(res.mean_latency.seconds(), q.mean_sojourn_time(),
+                tol.mg1_sojourn_rel * q.mean_sojourn_time());
+    EXPECT_NEAR(worker_stats(res).mean_occupancy, q.mean_in_system(),
+                tol.mm1n_occupancy_rel * q.mean_in_system()
+                    + tol.mm1n_occupancy_abs);
+    EXPECT_TRUE(check_closed_forms(sc, opts, res).empty());
+}
+
+TEST(SingleQueueView, RejectsNonDegenerateShapes)
+{
+    const sim::SimOptions opts = pinned_options(1);
+    // Two IP vertices: not a single queue.
+    EXPECT_FALSE(
+        single_queue_view(test::two_stage_scenario(0.5), opts).has_value());
+    // Deterministic service (scv = 0): M/D/1/N is not covered.
+    EXPECT_FALSE(
+        single_queue_view(test::degenerate_scenario(0.5, 0.0, 32), opts)
+            .has_value());
+    // Deterministic arrivals break the Poisson assumption.
+    sim::SimOptions det = opts;
+    det.poisson_arrivals = false;
+    EXPECT_FALSE(
+        single_queue_view(test::degenerate_scenario(0.5, 1.0, 32), det)
+            .has_value());
+}
+
+TEST(ModelVsSim, DegenerateAndDagScenariosStayInEnvelope)
+{
+    const sim::SimOptions opts = pinned_options(77);
+    for (const io::Scenario& sc : {test::degenerate_scenario(0.7, 1.0, 32),
+                                   test::two_stage_scenario(0.6)}) {
+        const sim::SimResult res =
+            sim::simulate(sc.hw, sc.graph, sc.traffic, opts);
+        const auto vs = check_model_vs_sim(sc, res);
+        EXPECT_TRUE(vs.empty())
+            << sc.graph.name() << ": " << (vs.empty() ? "" : vs[0].message);
+    }
+}
+
+TEST(Monotonicity, LadderIsCleanOnHonestSystem)
+{
+    const io::Scenario sc = test::degenerate_scenario(0.6, 1.0, 32);
+    EXPECT_TRUE(
+        check_latency_monotonicity(sc, pinned_options(5)).empty());
+}
+
+TEST(Monotonicity, ImpossibleSlackProvesTheCheckIsWired)
+{
+    // A floor *above* the previous rung's latency cannot be met, so the
+    // oracle must fire — proving violations propagate out of the ladder.
+    const io::Scenario sc = test::degenerate_scenario(0.6, 1.0, 32);
+    ConformanceTolerances absurd;
+    absurd.monotonic_slack_rel = -10.0;
+    absurd.monotonic_slack_abs_us = 0.0;
+    std::uint64_t sims = 0;
+    const auto vs =
+        check_latency_monotonicity(sc, pinned_options(5), absurd, &sims);
+    EXPECT_FALSE(vs.empty());
+    EXPECT_EQ(sims, 3u);
+    EXPECT_EQ(vs[0].oracle, "conformance.monotonic");
+}
+
+} // namespace
+} // namespace lognic::check

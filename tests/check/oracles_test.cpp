@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Invariant oracles: silent on an honest simulation, loud on a tampered
+ * one. Each tamper test corrupts one field of a real SimResult and
+ * asserts the matching oracle (and only logic, not luck) flags it.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "check_test_helpers.hpp"
+#include "lognic/check/oracles.hpp"
+#include "lognic/sim/nic_simulator.hpp"
+
+namespace lognic::check {
+namespace {
+
+sim::SimOptions
+default_options()
+{
+    sim::SimOptions opts;
+    opts.duration = 0.02;
+    opts.warmup_fraction = 0.2;
+    opts.seed = 99;
+    return opts;
+}
+
+bool
+fired(const std::vector<Violation>& vs, const std::string& oracle)
+{
+    return std::any_of(vs.begin(), vs.end(), [&](const Violation& v) {
+        return v.oracle == oracle;
+    });
+}
+
+class OraclesTest : public ::testing::Test {
+  protected:
+    OraclesTest()
+        : scenario_(test::degenerate_scenario(0.7, 1.0, 32)),
+          opts_(default_options()),
+          result_(sim::simulate(scenario_.hw, scenario_.graph,
+                                scenario_.traffic, opts_))
+    {
+    }
+
+    io::Scenario scenario_;
+    sim::SimOptions opts_;
+    sim::SimResult result_;
+};
+
+TEST_F(OraclesTest, HonestRunHasNoViolations)
+{
+    const auto vs = check_invariants(scenario_, opts_, result_);
+    EXPECT_TRUE(vs.empty()) << vs.size() << " violations, first: "
+                            << (vs.empty() ? "" : vs[0].message);
+}
+
+TEST_F(OraclesTest, BrokenConservationIsFlagged)
+{
+    sim::SimResult bad = result_;
+    bad.completed_total += 17; // phantom packets out of nowhere
+    EXPECT_TRUE(fired(check_invariants(scenario_, opts_, bad),
+                      "invariant.conservation"));
+}
+
+TEST_F(OraclesTest, UtilizationAboveOneIsFlagged)
+{
+    sim::SimResult bad = result_;
+    ASSERT_FALSE(bad.vertex_stats.empty());
+    bad.vertex_stats[0].utilization = 1.25;
+    EXPECT_TRUE(
+        fired(check_invariants(scenario_, opts_, bad), "invariant.range"));
+}
+
+TEST_F(OraclesTest, NegativeLatencyIsFlagged)
+{
+    sim::SimResult bad = result_;
+    bad.mean_latency = Seconds{-1e-6};
+    EXPECT_TRUE(
+        fired(check_invariants(scenario_, opts_, bad), "invariant.range"));
+}
+
+TEST_F(OraclesTest, InconsistentDropRateIsFlagged)
+{
+    sim::SimResult bad = result_;
+    bad.drop_rate = 0.5; // run had (almost) no drops at rho = 0.7
+    EXPECT_TRUE(
+        fired(check_invariants(scenario_, opts_, bad), "invariant.window"));
+}
+
+TEST_F(OraclesTest, ScaledUtilizationBreaksLittlesLaw)
+{
+    sim::SimResult bad = result_;
+    const auto it = std::find_if(
+        bad.vertex_stats.begin(), bad.vertex_stats.end(),
+        [](const sim::VertexStats& s) { return s.name == "worker"; });
+    ASSERT_NE(it, bad.vertex_stats.end());
+    ASSERT_GE(it->served, InvariantTolerances{}.min_served);
+    it->utilization *= 0.5; // accounting bug: busy time halved
+    EXPECT_TRUE(
+        fired(check_invariants(scenario_, opts_, bad), "invariant.little"));
+}
+
+TEST_F(OraclesTest, MetricsDivergingFromScalarsIsFlagged)
+{
+    sim::SimResult bad = result_;
+    bad.completed += 100; // scalar view no longer matches the snapshot
+    EXPECT_TRUE(
+        fired(check_invariants(scenario_, opts_, bad), "invariant.metrics"));
+}
+
+TEST(ResolveShape, MirrorsSimulatorDefaults)
+{
+    // parallelism = 0 resolves to all engines; queue capacity 0 resolves
+    // to the IP default — the same rules NicSimulator applies.
+    io::Scenario sc = test::two_stage_scenario(0.5);
+    const auto parse = sc.graph.find_vertex("parse");
+    ASSERT_TRUE(parse.has_value());
+    const auto shape = resolve_shape(sc, *parse, true);
+    ASSERT_TRUE(shape.has_value());
+    EXPECT_EQ(shape->engines, 4u);
+    EXPECT_EQ(shape->capacity, 32u);
+    EXPECT_EQ(shape->queue_count, 1u);
+    EXPECT_FALSE(shape->rate_limiter);
+    EXPECT_GT(shape->service_mean, 0.0);
+}
+
+TEST(ResolveShape, ExplicitParamsWin)
+{
+    io::Scenario sc = test::degenerate_scenario(0.5, 1.0, 16);
+    const auto worker = sc.graph.find_vertex("worker");
+    ASSERT_TRUE(worker.has_value());
+    const auto shape = resolve_shape(sc, *worker, true);
+    ASSERT_TRUE(shape.has_value());
+    EXPECT_EQ(shape->engines, 1u); // parallelism = 1 beats max_engines
+    EXPECT_EQ(shape->capacity, 16u);
+    EXPECT_DOUBLE_EQ(shape->service_scv, 1.0);
+}
+
+} // namespace
+} // namespace lognic::check

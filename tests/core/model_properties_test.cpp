@@ -120,7 +120,7 @@ TEST(ModelProperties, CapacityLinearInPartition)
     }
 }
 
-TEST(ModelProperties, MixedCapacityIsWeightedCombination)
+TEST(ModelProperties, MixedCapacityIsHarmonicWeightedCombination)
 {
     const Model model(small_nic(Bandwidth::from_gbps(1000.0)));
     const auto g = single_stage_graph(model.hardware());
@@ -129,10 +129,19 @@ TEST(ModelProperties, MixedCapacityIsWeightedCombination)
             {{Bytes{64.0}, w64}, {Bytes{1500.0}, 1.0 - w64}},
             Bandwidth::from_gbps(10.0));
         const auto rep = model.throughput(g, mixed);
-        const double expected =
-            w64 * rep.per_class[0].capacity.bits_per_sec()
-            + (1.0 - w64) * rep.per_class[1].capacity.bits_per_sec();
-        EXPECT_NEAR(rep.capacity.bits_per_sec(), expected, 1.0) << w64;
+        // Single shared bottleneck: mixed capacity is the weighted
+        // harmonic mean of the per-class capacities (see Model test
+        // MixedTrafficCapacityIsHarmonicInClassCapacities). It must sit
+        // between the two class capacities and below the arithmetic mean
+        // the old aggregation used.
+        const double cap0 = rep.per_class[0].capacity.bits_per_sec();
+        const double cap1 = rep.per_class[1].capacity.bits_per_sec();
+        const double harmonic = 1.0 / (w64 / cap0 + (1.0 - w64) / cap1);
+        const double arithmetic = w64 * cap0 + (1.0 - w64) * cap1;
+        EXPECT_NEAR(rep.capacity.bits_per_sec(), harmonic, 1.0) << w64;
+        EXPECT_LT(rep.capacity.bits_per_sec(), arithmetic) << w64;
+        EXPECT_GE(rep.capacity.bits_per_sec(), std::min(cap0, cap1))
+            << w64;
     }
 }
 

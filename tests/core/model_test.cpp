@@ -23,7 +23,7 @@ TEST(Model, SingleClassMatchesDirectEstimates)
     EXPECT_DOUBLE_EQ(rep.latency.mean.seconds(), direct_l.mean.seconds());
 }
 
-TEST(Model, MixedTrafficWeightsThroughput)
+TEST(Model, MixedTrafficCapacityIsHarmonicInClassCapacities)
 {
     const Model model(small_nic(Bandwidth::from_gbps(1000.0)));
     const ExecutionGraph g = single_stage_graph(model.hardware());
@@ -32,8 +32,14 @@ TEST(Model, MixedTrafficWeightsThroughput)
         Bandwidth::from_gbps(10.0));
     const auto rep = model.throughput(g, mixed);
     ASSERT_EQ(rep.per_class.size(), 2u);
-    const double expected = 0.5 * rep.per_class[0].capacity.bits_per_sec()
-        + 0.5 * rep.per_class[1].capacity.bits_per_sec();
+    // Both classes bind on the same IP engine here, so the mixed capacity
+    // is the weighted harmonic mean of the per-class capacities: each
+    // ingress byte of class i costs 1/cap_i engine-seconds per second, so
+    // the engine saturates at 1 / sum(w_i / cap_i). The arithmetic mean
+    // would describe two dedicated engine slices and overestimate.
+    const double expected = 1.0
+        / (0.5 / rep.per_class[0].capacity.bits_per_sec()
+           + 0.5 / rep.per_class[1].capacity.bits_per_sec());
     EXPECT_NEAR(rep.capacity.bits_per_sec(), expected, 1.0);
 }
 

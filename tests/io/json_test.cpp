@@ -1,5 +1,7 @@
 #include "lognic/io/json.hpp"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace lognic::io {
@@ -117,6 +119,32 @@ TEST(Json, PreservesNumberPrecision)
     Json v;
     v.set("x", value);
     EXPECT_DOUBLE_EQ(Json::parse(v.dump()).at("x").as_number(), value);
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNullAndRoundTrip)
+{
+    // RFC 8259 has no token for inf/nan; the writer used to emit them
+    // bare, producing documents this very parser (and jq) rejected. They
+    // must serialize as null so any document built from runtime metrics
+    // stays machine-readable.
+    const double inf = std::numeric_limits<double>::infinity();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EQ(Json{inf}.dump(), "null");
+    EXPECT_EQ(Json{-inf}.dump(), "null");
+    EXPECT_EQ(Json{nan}.dump(), "null");
+
+    Json doc;
+    doc.set("ok", 1.5);
+    doc.set("undefined_stat", inf);
+    Json arr;
+    arr.push_back(Json{nan});
+    arr.push_back(Json{2.0});
+    doc.set("list", arr);
+    const Json back = Json::parse(doc.dump(2)); // must not throw
+    EXPECT_DOUBLE_EQ(back.at("ok").as_number(), 1.5);
+    EXPECT_EQ(back.at("undefined_stat").type(), Json::Type::kNull);
+    EXPECT_EQ(back.at("list").as_array()[0].type(), Json::Type::kNull);
+    EXPECT_DOUBLE_EQ(back.at("list").as_array()[1].as_number(), 2.0);
 }
 
 TEST(Json, CopyOnWriteIsolation)

@@ -73,6 +73,53 @@ TEST(Mm1nQueue, ContinuousAcrossUnitRho)
                 at_one.blocking_probability(), 1e-4);
 }
 
+TEST(Mm1nQueue, ClosedFormConsistentAcrossUnitRhoWindowSweep)
+{
+    // Sweep rho across [1 - 1e-5, 1 + 1e-5] and require the Eq. 12 closed
+    // form to track the exact Little's-law identity Q = L/lambda_e - 1/mu
+    // to 1e-9 relative everywhere, for shallow and deep queues alike.
+    // This fails before the near-unit-rho consistency fix two ways: the
+    // old 1e-6 window substituted the rho == 1 limit (N-1)/(2 mu) inside
+    // (error O(eps N^2 / 12), ~2e-5 relative at N = 256), and just
+    // outside it the cancelling textbook expression was ill-conditioned
+    // (~1e-6 relative at N = 2, rho = 1 - 1e-5).
+    const double mu = 2.0;
+    const double offsets[] = {-10.0, -5.0,  -2.0, -1.01, -0.99, -0.5,
+                              -0.25, 0.0,   0.25, 0.5,   0.99,  1.01,
+                              2.0,   5.0,   10.0};
+    for (std::uint32_t n : {2u, 8u, 64u, 256u}) {
+        for (double off : offsets) {
+            const double rho = 1.0 + 1e-6 * off;
+            const Mm1nQueue q(rho * mu, mu, n);
+            const double reference = q.mean_queueing_delay();
+            const double paper = q.paper_closed_form_delay();
+            EXPECT_NEAR(paper, reference, 1e-9 * std::abs(reference))
+                << "rho=1+" << off << "e-6 N=" << n;
+        }
+    }
+}
+
+TEST(Mm1nQueue, ClosedFormContinuousAtStableWindowEdge)
+{
+    // Crossing the stable-evaluation window edge (|rho - 1| = 1e-3) must
+    // not step: the explicit Eq. 12 form is well-conditioned again by
+    // there, so both branches agree to ~1e-9 relative.
+    // The straddle is +-1e-12 so the genuine slope of Q (about N^2/12 in
+    // rho) contributes under 1e-8 even at N = 256; anything beyond the
+    // tolerance would be a branch step, not the function's own change.
+    const double mu = 1.0;
+    for (std::uint32_t n : {2u, 16u, 256u}) {
+        for (double side : {-1.0, 1.0}) {
+            const Mm1nQueue inside(1.0 + side * (1e-3 - 1e-12), mu, n);
+            const Mm1nQueue outside(1.0 + side * (1e-3 + 1e-12), mu, n);
+            const double a = inside.paper_closed_form_delay();
+            const double b = outside.paper_closed_form_delay();
+            EXPECT_NEAR(a, b, 1e-7 * std::abs(a))
+                << "side=" << side << " N=" << n;
+        }
+    }
+}
+
 TEST(Mm1nQueue, ExtremeOverloadWithDeepQueueStaysFinite)
 {
     // Regression: rho^N overflows double for rho = 16, N = 256; the

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "lognic/runner/replicator.hpp"
+
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -124,6 +126,49 @@ TEST(LatencyRecorder, SingleSampleQuantiles)
     EXPECT_NEAR(r.quantile(0.0)->micros(), 7.0, 1e-12);
     EXPECT_NEAR(r.quantile(0.5)->micros(), 7.0, 1e-12);
     EXPECT_NEAR(r.quantile(1.0)->micros(), 7.0, 1e-12);
+}
+
+TEST(LatencyRecorder, InteriorRankNotInflatedByFloatingPointOvershoot)
+{
+    // Regression: 0.07 * 100 evaluates to 7.0000000000000009 in binary
+    // floating point, and ceil() turned that ulp into rank 8 — reporting
+    // the 8th of 100 samples for the 7th percentile. The rank computation
+    // must snap values a few ulps past an exact integer back onto it.
+    LatencyRecorder r;
+    for (int i = 100; i >= 1; --i)
+        r.record(1.0, Seconds::from_micros(static_cast<double>(i)));
+    r.seal();
+    // Every q here has q * 100 exactly integral in real arithmetic but
+    // one ulp high in floating point.
+    EXPECT_NEAR(r.quantile(0.07)->micros(), 7.0, 1e-12);
+    EXPECT_NEAR(r.quantile(0.14)->micros(), 14.0, 1e-12);
+    EXPECT_NEAR(r.quantile(0.28)->micros(), 28.0, 1e-12);
+    EXPECT_NEAR(r.quantile(0.55)->micros(), 55.0, 1e-12);
+    // Genuinely fractional q * n still rounds up (nearest-rank rule).
+    EXPECT_NEAR(r.quantile(0.075)->micros(), 8.0, 1e-12);
+    EXPECT_NEAR(r.quantile(0.551)->micros(), 56.0, 1e-12);
+}
+
+TEST(LatencyRecorder, SealedReadsAgreeWithReplicationAggregation)
+{
+    // The runner's replication path aggregates the simulator's sealed
+    // p50/p99 fields; a single replication's summary must reproduce the
+    // sealed reads exactly — in particular the single-sample case, where
+    // every quantile is that sample.
+    LatencyRecorder r;
+    r.record(1.0, Seconds::from_micros(42.0));
+    r.seal();
+    SimResult one;
+    one.completed = 1;
+    one.mean_latency = *r.mean();
+    one.p50_latency = *r.p50();
+    one.p99_latency = *r.p99();
+    const auto agg = runner::Replicator::aggregate(
+        std::vector<std::uint64_t>{7u}, std::vector<SimResult>{one});
+    ASSERT_EQ(agg.p50_latency_us.n, 1u);
+    EXPECT_DOUBLE_EQ(agg.p50_latency_us.mean, r.p50()->micros());
+    EXPECT_DOUBLE_EQ(agg.p99_latency_us.mean, r.p99()->micros());
+    EXPECT_DOUBLE_EQ(agg.p50_latency_us.mean, agg.p99_latency_us.mean);
 }
 
 TEST(WindowedCounter, CountsOnlyInsideMeasurementWindow)

@@ -35,16 +35,29 @@
  *                                       fit catalog parameters to a
  *                                       measured or DES-generated dataset;
  *                                       emits a CalibrationReport JSON
+ *   lognic check [--trials n] [--seed n] [--duration s]
+ *                [--corpus dir] [--out report.json]
+ *                [--no-monotonicity] [--no-minimize]
+ *                                       differential conformance harness:
+ *                                       randomized model/DES/closed-form
+ *                                       cross-validation plus golden-
+ *                                       corpus replay; emits a JSON
+ *                                       violation report, exit 1 on any
+ *                                       violation
  *   lognic dot <scenario.json>          Graphviz export of the graph
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "lognic/apps/nf_chain.hpp"
 #include "lognic/calib/spec.hpp"
+#include "lognic/check/harness.hpp"
 #include "lognic/core/model.hpp"
 #include "lognic/fault/degradation.hpp"
 #include "lognic/fault/fault_plan.hpp"
@@ -83,6 +96,13 @@ usage()
                  "                                fault-injected simulation "
                  "(cause-labeled drops)\n"
                  "  sensitivity <scenario.json>   parameter elasticities\n"
+                 "  check    [--trials n] [--seed n] [--duration s] "
+                 "[--corpus dir]\n"
+                 "           [--out report.json] [--no-monotonicity] "
+                 "[--no-minimize]\n"
+                 "                                differential conformance "
+                 "harness (JSON report;\n"
+                 "                                exit 1 on violations)\n"
                  "  calibrate <spec.json> [--out report.json] [--threads n]\n"
                  "                                fit catalog parameters to "
                  "a dataset; emits a\n"
@@ -272,6 +292,91 @@ cmd_trace(const io::Scenario& sc, int argc, char** argv)
     const auto report = obs::attribute(sim::observations(res), model);
     std::fputs(obs::render(report).c_str(), stderr);
     return 0;
+}
+
+/**
+ * The conformance harness: N randomized differential trials (optionally
+ * plus a golden-corpus replay), a JSON violation report on stdout or
+ * --out, exit 1 when any oracle fired. `--trials 0 --corpus dir` replays
+ * the corpus alone.
+ */
+int
+cmd_check(int argc, char** argv)
+{
+    check::CheckOptions copts;
+    std::string corpus_dir;
+    std::string out_path;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--trials" && has_value) {
+            copts.trials =
+                static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--seed" && has_value) {
+            copts.seed =
+                static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--duration" && has_value) {
+            copts.duration = std::atof(argv[++i]);
+        } else if (arg == "--corpus" && has_value) {
+            corpus_dir = argv[++i];
+        } else if (arg == "--out" && has_value) {
+            out_path = argv[++i];
+        } else if (arg == "--no-monotonicity") {
+            copts.monotonicity = false;
+        } else if (arg == "--no-minimize") {
+            copts.minimize = false;
+        } else {
+            std::fprintf(stderr, "check: bad argument '%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+    if (copts.duration <= 0.0) {
+        std::fprintf(stderr, "bad duration\n");
+        return 2;
+    }
+
+    check::CheckReport report;
+    if (!corpus_dir.empty()) {
+        std::vector<std::filesystem::path> files;
+        for (const auto& e :
+             std::filesystem::directory_iterator(corpus_dir))
+            if (e.path().extension() == ".json")
+                files.push_back(e.path());
+        // Directory iteration order is unspecified; sort for a
+        // deterministic report.
+        std::sort(files.begin(), files.end());
+        std::vector<check::CorpusEntry> entries;
+        entries.reserve(files.size());
+        for (const auto& f : files)
+            entries.push_back(check::corpus_entry_from_json(
+                io::Json::parse(read_file(f.string()))));
+        report = check::replay_corpus(entries, copts);
+    }
+    if (copts.trials > 0)
+        report = check::merge(std::move(report),
+                              check::run_trials(copts));
+
+    const std::string doc = check::to_json(report).dump(2);
+    if (out_path.empty()) {
+        std::fputs(doc.c_str(), stdout);
+        std::printf("\n");
+    } else {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+            return 1;
+        }
+        out << doc << "\n";
+    }
+    std::fprintf(stderr,
+                 "check: %llu trials + %llu corpus entries, %llu sims, "
+                 "%llu violations\n",
+                 static_cast<unsigned long long>(report.trials),
+                 static_cast<unsigned long long>(report.corpus_entries),
+                 static_cast<unsigned long long>(report.sims_run),
+                 static_cast<unsigned long long>(report.violations));
+    return report.violations == 0 ? 0 : 1;
 }
 
 /// Spec-driven sweep: grid x replications fanned over a thread pool,
@@ -490,6 +595,8 @@ main(int argc, char** argv)
             std::printf("\n");
             return 0;
         }
+        if (command == "check")
+            return cmd_check(argc - 2, argv + 2);
         if (argc < 3)
             return usage();
         if (command == "sweep") {
