@@ -22,6 +22,7 @@
 #define LOGNIC_CALIB_CALIBRATOR_HPP_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,27 @@ struct FitProblem {
     solver::Vector scales{};
 };
 
+/**
+ * Everything one start produced, in the form a checkpoint journal stores
+ * and a resumed fit replays: the public outcome plus the solution vector,
+ * residuals, and convergence trace the engine needs to pick a winner and
+ * build the report. A replayed start is indistinguishable from a re-run
+ * one — starts are pure in their index.
+ */
+struct StartRecord {
+    StartOutcome outcome;
+    solver::Vector x;
+    solver::Vector residuals;
+    std::vector<double> convergence;
+};
+
+/// Resume source: true + filled record when start @p k is journaled.
+using StartLookup = std::function<bool(std::size_t k, StartRecord& out)>;
+
+/// Completion sink: fired once per freshly-computed start (failed ones
+/// included), from the worker thread that ran it.
+using StartHook = std::function<void(std::size_t k, const StartRecord&)>;
+
 struct FitOptions {
     Backend backend{Backend::kLeastSquares};
     std::size_t starts{4};
@@ -64,6 +86,11 @@ struct FitOptions {
     std::uint64_t seed{42};
     std::size_t cache_capacity{4096};
     std::size_t max_iterations{200};
+    /// Checkpoint/resume seams (see lognic::ckpt). Inner fits (k-fold
+    /// cross-validation) always run with cleared hooks: only top-level
+    /// starts are checkpointable units.
+    StartLookup resume_lookup{};
+    StartHook on_start_complete{};
 };
 
 /// Engine outcome: the incumbent plus per-start records.

@@ -19,6 +19,7 @@
 #define LOGNIC_CHECK_HARNESS_HPP_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,41 @@
 #include "lognic/check/oracles.hpp"
 
 namespace lognic::check {
+
+/// Outcome of one failing trial or corpus entry.
+struct TrialFailure {
+    std::string name;
+    /// Generator seed (0 for corpus entries, which carry no generator).
+    std::uint64_t generator_seed{0};
+    bool single_queue{false};
+    std::vector<Violation> violations;
+    /// Self-contained reproducing spec (a CorpusEntry document), shrunk
+    /// when minimization found a smaller still-failing variant.
+    io::Json minimal_spec;
+};
+
+/**
+ * Everything one trial (or corpus entry) contributed to the report, in
+ * the form a checkpoint journal stores and a resumed run replays. Keys
+ * are stable strings — "trial:<index>" / "corpus:<name>" — so a resumed
+ * `lognic check` skips exactly the work already done and the merged
+ * report is byte-identical to an uninterrupted run.
+ */
+struct TrialOutcome {
+    bool single_queue{false};
+    std::uint64_t sims_run{0};    ///< simulations this unit executed
+    std::uint64_t violations{0};
+    bool failed{false};
+    TrialFailure failure;         ///< valid only when failed
+};
+
+/// Resume source: true + filled outcome when @p key is already journaled.
+using TrialLookup =
+    std::function<bool(const std::string& key, TrialOutcome& out)>;
+
+/// Completion sink: fired once per freshly-run trial/corpus entry.
+using TrialHook =
+    std::function<void(const std::string& key, const TrialOutcome&)>;
 
 struct CheckOptions {
     std::uint64_t trials{50};
@@ -41,6 +77,10 @@ struct CheckOptions {
     GeneratorConfig generator{};
     InvariantTolerances invariants{};
     ConformanceTolerances conformance{};
+    /// Checkpoint/resume seams (see lognic::ckpt). Hooks never change
+    /// what the harness computes, only whether a unit is re-run.
+    TrialLookup resume_lookup{};
+    TrialHook on_trial_complete{};
 };
 
 /**
@@ -58,18 +98,6 @@ struct CorpusEntry {
 
 io::Json to_json(const CorpusEntry& entry);
 CorpusEntry corpus_entry_from_json(const io::Json& j);
-
-/// Outcome of one failing trial or corpus entry.
-struct TrialFailure {
-    std::string name;
-    /// Generator seed (0 for corpus entries, which carry no generator).
-    std::uint64_t generator_seed{0};
-    bool single_queue{false};
-    std::vector<Violation> violations;
-    /// Self-contained reproducing spec (a CorpusEntry document), shrunk
-    /// when minimization found a smaller still-failing variant.
-    io::Json minimal_spec;
-};
 
 struct CheckReport {
     std::uint64_t trials{0};

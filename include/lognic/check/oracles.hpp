@@ -43,6 +43,12 @@ struct Violation {
 
 io::Json to_json(const Violation& v);
 
+/// Inverse of to_json(Violation) — checkpoint journals round-trip
+/// violations through JSON. Note the doubles travel as JSON numbers here;
+/// journals that need bit-exactness encode them separately (the ckpt
+/// journal stores hex bit patterns alongside).
+Violation violation_from_json(const io::Json& j);
+
 struct InvariantTolerances {
     /// Relative slack on identities that are exact up to floating point.
     double rel_eps{1e-9};

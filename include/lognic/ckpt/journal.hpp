@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Completed-work journals (lognic::ckpt): the payloads a checkpoint
+ * generation carries for sweep/replication campaigns, `lognic check`
+ * runs, and calibration fits.
+ *
+ * A journal is a keyed map of finished units of work — task index →
+ * runner::CompletedTask, "trial:<i>"/"corpus:<name>" → check::TrialOutcome,
+ * start index → calib::StartRecord — that round-trips through JSON
+ * *bit-exactly*: every double travels as the hex of its IEEE-754 bit
+ * pattern and every u64 as a hex string (see io/checkpoint.hpp for why the
+ * plain JSON number path cannot carry them). That bit-exactness is what
+ * lets a resumed run replay journaled outcomes verbatim and still produce
+ * a report byte-identical to an uninterrupted run.
+ *
+ * Journals are internally locked: the lookup_fn()/record_fn() adapters
+ * plug straight into the runner/check/calib hook seams, whose hooks fire
+ * from worker threads. record_fn() takes an optional `after` callback
+ * fired outside the journal lock (the supervisor hangs its periodic
+ * checkpoint there; calling to_json() from inside the lock would
+ * deadlock).
+ */
+#ifndef LOGNIC_CKPT_JOURNAL_HPP_
+#define LOGNIC_CKPT_JOURNAL_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "lognic/calib/calibrator.hpp"
+#include "lognic/check/harness.hpp"
+#include "lognic/io/json.hpp"
+#include "lognic/runner/replicator.hpp"
+#include "lognic/sim/nic_simulator.hpp"
+
+namespace lognic::ckpt {
+
+// --- bit-exact serialization of result types ----------------------------------
+
+/// MetricsSnapshot with hex-encoded values (counters, gauges, histogram
+/// bounds/counts/sum). Key order is the map's — deterministic.
+io::Json metrics_to_json(const obs::MetricsSnapshot& m);
+/// @throws std::runtime_error naming the offending field on bad input.
+obs::MetricsSnapshot metrics_from_json(const io::Json& j);
+
+/// Full-fidelity SimResult: every scalar, the per-vertex stats, and the
+/// structured metrics snapshot, all bit-exact through a dump/parse cycle.
+io::Json sim_result_to_json(const sim::SimResult& r);
+sim::SimResult sim_result_from_json(const io::Json& j);
+
+io::Json completed_task_to_json(const runner::CompletedTask& t);
+runner::CompletedTask completed_task_from_json(const io::Json& j);
+
+io::Json trial_outcome_to_json(const check::TrialOutcome& t);
+check::TrialOutcome trial_outcome_from_json(const io::Json& j);
+
+io::Json start_record_to_json(const calib::StartRecord& r);
+calib::StartRecord start_record_from_json(const io::Json& j);
+
+// --- journals -----------------------------------------------------------------
+
+/**
+ * Journal of completed sweep/replication tasks, keyed by task index
+ * (point * replications + replication). Thread-safe.
+ */
+class TaskJournal {
+public:
+    TaskJournal() = default;
+
+    /// {"tasks": [{"task": "<hex>", ...CompletedTask...}, ...]}
+    io::Json to_json() const;
+    /// Replace the contents from a journal document.
+    /// @throws std::runtime_error on malformed input.
+    void load_json(const io::Json& j);
+
+    std::size_t size() const;
+    /// Entries recorded as failures (ok == false).
+    std::size_t failed_count() const;
+    void record(std::size_t task, runner::CompletedTask done);
+    bool lookup(std::size_t task, runner::CompletedTask& out) const;
+    /// Drop failed entries so a retry round re-runs them; returns how many.
+    std::size_t erase_failed();
+
+    /// Adapter for SweepOptions::resume_lookup / ReplicatorHooks::lookup.
+    /// The journal must outlive the returned function.
+    runner::TaskLookup lookup_fn() const;
+    /// Adapter for the completion hook; @p after (may be empty) runs after
+    /// each record, outside the journal lock.
+    runner::TaskHook record_fn(std::function<void()> after = {});
+
+private:
+    mutable std::mutex mutex_;
+    std::map<std::size_t, runner::CompletedTask> tasks_;
+};
+
+/**
+ * Journal of completed `lognic check` units, keyed "trial:<index>" /
+ * "corpus:<name>". Thread-safe (the harness is currently serial, but the
+ * seam does not promise that).
+ */
+class CheckJournal {
+public:
+    CheckJournal() = default;
+
+    /// {"units": [{"key": "...", ...TrialOutcome...}, ...]}
+    io::Json to_json() const;
+    void load_json(const io::Json& j);
+
+    std::size_t size() const;
+    void record(const std::string& key, check::TrialOutcome done);
+    bool lookup(const std::string& key, check::TrialOutcome& out) const;
+
+    check::TrialLookup lookup_fn() const;
+    check::TrialHook record_fn(std::function<void()> after = {});
+
+private:
+    mutable std::mutex mutex_;
+    std::map<std::string, check::TrialOutcome> units_;
+};
+
+/**
+ * Journal of completed calibration starts, keyed by start index.
+ * Thread-safe; plugs into FitOptions::resume_lookup / on_start_complete
+ * (only top-level starts journal — fold fits run with cleared hooks).
+ */
+class FitJournal {
+public:
+    FitJournal() = default;
+
+    /// {"starts": [{"start": "<hex>", ...StartRecord...}, ...]}
+    io::Json to_json() const;
+    void load_json(const io::Json& j);
+
+    std::size_t size() const;
+    void record(std::size_t start, calib::StartRecord done);
+    bool lookup(std::size_t start, calib::StartRecord& out) const;
+
+    calib::StartLookup lookup_fn() const;
+    calib::StartHook record_fn(std::function<void()> after = {});
+
+private:
+    mutable std::mutex mutex_;
+    std::map<std::size_t, calib::StartRecord> starts_;
+};
+
+} // namespace lognic::ckpt
+
+#endif // LOGNIC_CKPT_JOURNAL_HPP_

@@ -67,6 +67,15 @@ class Histogram {
     double sum() const { return sum_; }
     double mean() const;
 
+    /**
+     * Replace the recorded contents wholesale (checkpoint restore); the
+     * bucket layout stays as constructed. @p sum is the running double
+     * sum, restored bit-exactly.
+     * @throws std::invalid_argument when counts.size() != bounds().size()+1.
+     */
+    void restore(std::vector<std::uint64_t> counts, std::uint64_t total,
+                 double sum);
+
   private:
     std::vector<double> bounds_;
     std::vector<std::uint64_t> counts_;

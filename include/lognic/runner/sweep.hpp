@@ -77,6 +77,17 @@ struct SweepOptions {
      * thread count and of which other points failed.
      */
     std::size_t max_retries{0};
+    /**
+     * Checkpoint/resume seams (see lognic::ckpt). Tasks are numbered
+     * point * replications + replication; a task satisfied by
+     * resume_lookup replays its journaled outcome instead of simulating,
+     * and every freshly-computed task (success or exhausted-retries
+     * failure) is reported through on_task_complete from the worker
+     * thread that ran it. Hooks never alter what the sweep computes —
+     * a resumed report is byte-identical to an uninterrupted one.
+     */
+    TaskLookup resume_lookup{};
+    TaskHook on_task_complete{};
 };
 
 struct PointResult {

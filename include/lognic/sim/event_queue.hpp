@@ -68,13 +68,16 @@ class EventQueue {
 
     SimTime now() const { return now_; }
 
-    /// Schedule @p action at absolute time @p when (>= now).
-    void schedule_at(SimTime when, Action action);
+    /// Schedule @p action at absolute time @p when (>= now). Returns the
+    /// sequence number assigned (the FIFO tie-break) — checkpointing
+    /// records it so a restored calendar replays the exact (when, seq)
+    /// dispatch order.
+    std::uint64_t schedule_at(SimTime when, Action action);
 
     /// Schedule @p action @p delay seconds from now.
-    void schedule_in(SimTime delay, Action action)
+    std::uint64_t schedule_in(SimTime delay, Action action)
     {
-        schedule_at(now_ + delay, action);
+        return schedule_at(now_ + delay, action);
     }
 
     /// Run events until the queue drains or simulated time passes @p horizon.
@@ -91,6 +94,35 @@ class EventQueue {
     std::uint64_t executed() const { return executed_; }
 
     bool empty() const { return events_.empty(); }
+
+    /// Pending-event count (for snapshot sanity checks).
+    std::size_t size() const { return events_.size(); }
+
+    /// Next sequence number to be assigned (checkpoint state).
+    std::uint64_t next_seq() const { return next_seq_; }
+
+    // --- snapshot restore (see lognic::ckpt) -----------------------------
+    //
+    // A calendar of InlineActions cannot be serialized directly (the
+    // closures hold raw pointers into the simulator); instead the owner
+    // records enough metadata to *reconstruct* each pending event and
+    // replays it here. restore_clock() first, then one restore_event()
+    // per pending event with its original (when, seq) pair: the heap's
+    // dispatch order depends only on (when, seq), so the restored run is
+    // bit-identical to the uninterrupted one.
+
+    /**
+     * Reset clock state on an empty calendar.
+     * @throws std::logic_error when events are pending.
+     */
+    void restore_clock(SimTime now, std::uint64_t next_seq,
+                       std::uint64_t executed);
+
+    /**
+     * Re-insert a pending event with its original sequence number.
+     * @throws std::logic_error on seq >= next_seq() or when < now().
+     */
+    void restore_event(SimTime when, std::uint64_t seq, Action action);
 
   private:
     struct Event {

@@ -35,6 +35,7 @@
 #include "lognic/core/hardware_model.hpp"
 #include "lognic/core/traffic_profile.hpp"
 #include "lognic/fault/fault_plan.hpp"
+#include "lognic/io/json.hpp"
 #include "lognic/obs/attribution.hpp"
 #include "lognic/obs/metrics.hpp"
 #include "lognic/obs/trace.hpp"
@@ -201,6 +202,52 @@ class NicSimulator {
 
     /// Run the full simulation and collect results. Call once.
     SimResult run();
+
+    // --- segmented (checkpointable) execution ----------------------------
+    //
+    // begin() / advance() / save_state() / load_state() / finalize() run
+    // the same simulation as run(), cut into event-budget segments with a
+    // serializable snapshot at every segment boundary. The segmentation is
+    // invisible to the results: the event budget is per-advance() call and
+    // dispatch order depends only on (when, seq), so
+    //
+    //     begin(); while (!advance(k)) {} finalize();
+    //
+    // is bit-identical to run() for every k — and so is any prefix run in
+    // one process, snapshotted, and resumed via load_state() in another.
+    //
+    // Restrictions (all throw): tracing must be off (trace spans are
+    // streamed out, not snapshotable), trace replay is unsupported, and
+    // the watchdog must be unset (segment budgets subsume it).
+
+    /// Start segmented execution. Call once, before any advance().
+    void begin();
+
+    /**
+     * Execute up to @p max_events events (> 0). Returns true when the run
+     * is finished (calendar drained or horizon reached) — after which
+     * finalize() collects the result.
+     */
+    bool advance(std::uint64_t max_events);
+
+    /**
+     * Serialize the complete mid-run state (clock, calendar, RNG, packet
+     * and vertex state, recorders) at the current event boundary. Doubles
+     * travel as hex bit patterns, so a dump → parse → load round-trip is
+     * bit-exact. Callable between begin()/advance() calls.
+     */
+    io::Json save_state() const;
+
+    /**
+     * Restore a snapshot into a *fresh* simulator built from the same
+     * (hw, graph, traffic, options). Replaces begin(): call advance()
+     * next. @throws std::runtime_error on a config-fingerprint mismatch
+     * or malformed snapshot, std::logic_error after begin()/run().
+     */
+    void load_state(const io::Json& snapshot);
+
+    /// Collect results after advance() returned true. Call once.
+    SimResult finalize();
 
   private:
     friend SimResult simulate_trace(const core::HardwareModel&,

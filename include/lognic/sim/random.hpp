@@ -10,7 +10,9 @@
 #include <cmath>
 #include <cstdint>
 #include <random>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace lognic::sim {
@@ -94,6 +96,28 @@ class Rng {
     }
 
     std::mt19937_64& engine() { return engine_; }
+
+    /**
+     * Exact engine state as text (the standard stream representation:
+     * 312 decimal words + position). Every distribution here is
+     * constructed fresh per draw, so the engine state IS the whole RNG
+     * state — restore_state() resumes the stream mid-run bit-exactly.
+     */
+    std::string save_state() const
+    {
+        std::ostringstream os;
+        os << engine_;
+        return os.str();
+    }
+
+    /// @throws std::runtime_error on malformed state text.
+    void restore_state(const std::string& state)
+    {
+        std::istringstream is(state);
+        is >> engine_;
+        if (is.fail())
+            throw std::runtime_error("Rng::restore_state: malformed state");
+    }
 
   private:
     std::mt19937_64 engine_;

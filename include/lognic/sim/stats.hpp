@@ -84,6 +84,19 @@ class LatencyRecorder {
     /// @throws std::logic_error on an unsealed, non-empty recorder.
     std::optional<Seconds> max() const;
 
+    /// Raw samples in their current order (insertion order before seal(),
+    /// sorted after). Checkpointing captures them pre-seal: mean() is a
+    /// float sum over this order, so a restored recorder must replay the
+    /// exact insertion order to stay bit-identical.
+    const std::vector<double>& samples() const { return samples_; }
+
+    /// Replace the recorder's state wholesale (checkpoint restore).
+    void restore(std::vector<double> samples, bool sealed)
+    {
+        samples_ = std::move(samples);
+        sorted_ = sealed;
+    }
+
   private:
     SimTime warmup_end_;
     std::vector<double> samples_; ///< seconds; sorted by seal()
@@ -120,6 +133,9 @@ class WindowedCounter {
 
     std::uint64_t count() const { return count_; }
 
+    /// Replace the count wholesale (checkpoint restore).
+    void restore(std::uint64_t count) { count_ = count; }
+
   private:
     SimTime warmup_end_;
     SimTime horizon_;
@@ -148,6 +164,14 @@ class ThroughputMeter {
     Bandwidth bandwidth(SimTime measure_end) const;
     /// Delivered request rate over the same window; same zero-window rule.
     OpsRate rate(SimTime measure_end) const;
+
+    /// Replace the totals wholesale (checkpoint restore). @p bytes is the
+    /// running double sum, restored bit-exactly.
+    void restore(double bytes, std::uint64_t requests)
+    {
+        bytes_ = bytes;
+        requests_ = requests;
+    }
 
   private:
     SimTime warmup_end_;

@@ -130,19 +130,12 @@ start_point(const FitProblem& problem, const solver::Vector& scales,
     return problem.bounds.clamp(std::move(x));
 }
 
-struct StartResult {
-    StartOutcome outcome;
-    solver::Vector x;
-    solver::Vector residuals;
-    std::vector<double> convergence;
-};
-
 /// Run one multi-start attempt (owns its cache; pure in its index).
-StartResult
+StartRecord
 run_start(const FitProblem& problem, const FitOptions& options,
           const solver::Vector& scales, std::size_t k)
 {
-    StartResult out;
+    StartRecord out;
     out.outcome.index = k;
     out.outcome.seed = runner::derive_seed(options.seed, k);
 
@@ -290,11 +283,16 @@ fit_residuals(const FitProblem& problem, const FitOptions& options)
     // every start owns its state, so the outcome is independent of the
     // thread count (run_guarded semantics: a throwing start becomes a
     // failed record, not a lost calibration).
-    std::vector<StartResult> results(options.starts);
+    std::vector<StartRecord> results(options.starts);
     runner::parallel_for(options.starts, options.threads,
                          [&](std::size_t k) {
+                             if (options.resume_lookup
+                                 && options.resume_lookup(k, results[k]))
+                                 return; // journaled: replay verbatim
                              results[k] =
                                  run_start(problem, options, scales, k);
+                             if (options.on_start_complete)
+                                 options.on_start_complete(k, results[k]);
                          });
 
     FitOutcome outcome;
@@ -304,7 +302,7 @@ fit_residuals(const FitProblem& problem, const FitOptions& options)
 
     // Winner: lowest loss among non-failed starts, ties to the lower
     // index (the std::min_element scan is left-biased).
-    const StartResult* best = nullptr;
+    const StartRecord* best = nullptr;
     for (const auto& r : results) {
         if (r.outcome.failed)
             continue;
@@ -577,10 +575,14 @@ Calibrator::fit(obs::MetricsRegistry* metrics) const
                     fp.scales = problem.scales;
                     FitOptions fopt = opts_.fit;
                     // The fold fit runs inside this parallel_for; its own
-                    // fan-out must stay serial.
+                    // fan-out must stay serial. Checkpoint hooks apply to
+                    // top-level starts only — a fold's inner starts must
+                    // never read or write the top-level journal.
                     fopt.threads = 1;
                     fopt.seed = runner::derive_seed(opts_.fit.seed,
                                                     10'000 + f);
+                    fopt.resume_lookup = {};
+                    fopt.on_start_complete = {};
                     const FitOutcome fold_fit =
                         fit_residuals(fp, fopt);
                     const Candidate fold_candidate =

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "lognic/io/checkpoint.hpp"
+
 namespace lognic::calib {
 
 namespace {
@@ -199,7 +201,9 @@ resolve(const Candidate& base, const std::string& path)
         && parts[4] == "overhead_us") {
         std::size_t graph = 0;
         try {
-            graph = static_cast<std::size_t>(std::stoul(parts[1]));
+            // Full-consumption parse: "12abc" is malformed, not 12.
+            graph = static_cast<std::size_t>(
+                io::parse_u64(parts[1], "parameter path \"" + path + "\""));
         } catch (const std::exception&) {
             bad_path(path, "graph index must be a number");
         }

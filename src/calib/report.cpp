@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "lognic/io/checkpoint.hpp"
+
 namespace lognic::calib {
 
 namespace {
@@ -25,7 +27,8 @@ seed_from_json(const io::Json& j, const std::string& key)
     const io::Json& v = j.at(key);
     if (v.is_number())
         return static_cast<std::uint64_t>(v.as_number());
-    return std::stoull(v.as_string(), nullptr, 0);
+    return io::parse_u64(v.as_string(),
+                         "calibration report field \"" + key + "\"");
 }
 
 io::Json

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "lognic/io/checkpoint.hpp"
+
 namespace lognic::calib {
 
 namespace {
@@ -15,7 +17,10 @@ seed_or(const io::Json& j, const std::string& key, std::uint64_t fallback)
     const io::Json& v = j.at(key);
     if (v.is_number())
         return static_cast<std::uint64_t>(v.as_number());
-    return std::stoull(v.as_string(), nullptr, 0);
+    // Strict parse naming the field: a typo'd "seed" must read as an
+    // error about "seed", not a bare std::invalid_argument.
+    return io::parse_u64(v.as_string(), "calibration spec field \"" + key
+                                            + "\"");
 }
 
 std::vector<double>

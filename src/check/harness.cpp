@@ -82,27 +82,56 @@ minimize_spec(const std::string& name, io::Scenario sc,
     return spec_json(name, sc, opts, monotonicity);
 }
 
+/// Run one trial/corpus unit to a self-contained outcome (the unit of
+/// checkpoint journaling).
+TrialOutcome
+run_one_outcome(const CheckOptions& copts, const std::string& name,
+                std::uint64_t generator_seed, bool single_queue,
+                const io::Scenario& sc, const sim::SimOptions& opts,
+                bool monotonicity)
+{
+    TrialOutcome out;
+    out.single_queue = single_queue;
+    std::vector<Violation> violations =
+        check_scenario(sc, opts, copts, monotonicity, &out.sims_run);
+    if (violations.empty())
+        return out;
+    out.violations = violations.size();
+    out.failed = true;
+    out.failure.name = name;
+    out.failure.generator_seed = generator_seed;
+    out.failure.single_queue = single_queue;
+    out.failure.minimal_spec = copts.minimize
+        ? minimize_spec(name, sc, opts, monotonicity, copts,
+                        &out.sims_run)
+        : spec_json(name, sc, opts, monotonicity);
+    out.failure.violations = std::move(violations);
+    return out;
+}
+
+/// Fold a unit's outcome — fresh or replayed — into the report.
+void
+apply_outcome(CheckReport& report, const TrialOutcome& out)
+{
+    report.sims_run += out.sims_run;
+    report.violations += out.violations;
+    if (out.failed)
+        report.failures.push_back(out.failure);
+}
+
 void
 run_one(CheckReport& report, const CheckOptions& copts,
-        const std::string& name, std::uint64_t generator_seed,
-        bool single_queue, const io::Scenario& sc,
-        const sim::SimOptions& opts, bool monotonicity)
+        const std::string& key, const std::string& name,
+        std::uint64_t generator_seed, bool single_queue,
+        const io::Scenario& sc, const sim::SimOptions& opts,
+        bool monotonicity)
 {
-    std::vector<Violation> violations =
-        check_scenario(sc, opts, copts, monotonicity, &report.sims_run);
-    if (violations.empty())
-        return;
-    report.violations += violations.size();
-    TrialFailure failure;
-    failure.name = name;
-    failure.generator_seed = generator_seed;
-    failure.single_queue = single_queue;
-    failure.minimal_spec = copts.minimize
-        ? minimize_spec(name, sc, opts, monotonicity, copts,
-                        &report.sims_run)
-        : spec_json(name, sc, opts, monotonicity);
-    failure.violations = std::move(violations);
-    report.failures.push_back(std::move(failure));
+    TrialOutcome out = run_one_outcome(copts, name, generator_seed,
+                                       single_queue, sc, opts,
+                                       monotonicity);
+    apply_outcome(report, out);
+    if (copts.on_trial_complete)
+        copts.on_trial_complete(key, out);
 }
 
 } // namespace
@@ -198,6 +227,20 @@ run_trials(const CheckOptions& copts)
 {
     CheckReport report;
     for (std::uint64_t i = 0; i < copts.trials; ++i) {
+        const std::string key = "trial:" + std::to_string(i);
+        if (copts.resume_lookup) {
+            TrialOutcome done;
+            if (copts.resume_lookup(key, done)) {
+                // Journaled outcome: replay without even regenerating
+                // the scenario — the outcome carries everything the
+                // report needs.
+                ++report.trials;
+                if (done.single_queue)
+                    ++report.single_queue_trials;
+                apply_outcome(report, done);
+                continue;
+            }
+        }
         const std::uint64_t trial_seed =
             runner::derive_seed(copts.seed, i);
         const GeneratedScenario gen =
@@ -211,8 +254,8 @@ run_trials(const CheckOptions& copts)
         // The simulation seed derives from the trial seed on a separate
         // index so scenario shape and sample path are independent draws.
         opts.seed = runner::derive_seed(trial_seed, 1);
-        run_one(report, copts, "trial-" + std::to_string(i), trial_seed,
-                gen.single_queue, gen.scenario, opts,
+        run_one(report, copts, key, "trial-" + std::to_string(i),
+                trial_seed, gen.single_queue, gen.scenario, opts,
                 copts.monotonicity);
     }
     return report;
@@ -225,7 +268,15 @@ replay_corpus(const std::vector<CorpusEntry>& entries,
     CheckReport report;
     for (const auto& entry : entries) {
         ++report.corpus_entries;
-        run_one(report, copts, entry.name, 0, false, entry.scenario,
+        const std::string key = "corpus:" + entry.name;
+        if (copts.resume_lookup) {
+            TrialOutcome done;
+            if (copts.resume_lookup(key, done)) {
+                apply_outcome(report, done);
+                continue;
+            }
+        }
+        run_one(report, copts, key, entry.name, 0, false, entry.scenario,
                 entry.options, entry.monotonicity);
     }
     return report;

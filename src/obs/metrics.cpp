@@ -35,6 +35,18 @@ Histogram::mean() const
     return total_ > 0 ? sum_ / static_cast<double>(total_) : 0.0;
 }
 
+void
+Histogram::restore(std::vector<std::uint64_t> counts, std::uint64_t total,
+                   double sum)
+{
+    if (counts.size() != bounds_.size() + 1)
+        throw std::invalid_argument(
+            "Histogram::restore: counts do not match bucket layout");
+    counts_ = std::move(counts);
+    total_ = total;
+    sum_ = sum;
+}
+
 std::uint64_t
 MetricsSnapshot::counter_or_zero(const std::string& name) const
 {

@@ -84,6 +84,20 @@ run_guarded_impl(const std::vector<SweepPoint>& points,
         const std::size_t r = task % reps;
         const SweepPoint& pt = points[p];
         TaskOutcome& out = raw[p][r];
+        if (options.resume_lookup) {
+            CompletedTask done;
+            if (options.resume_lookup(task, done)) {
+                // Journaled outcome (success or exhausted-retries failure):
+                // replay it verbatim. No simulation, no completion hook —
+                // the journal already has it.
+                out.ok = done.ok;
+                out.seed = done.seed;
+                out.attempts = done.attempts;
+                out.error = std::move(done.error);
+                out.result = std::move(done.result);
+                return;
+            }
+        }
         const std::uint64_t seed0 =
             derive_seed(derive_seed(options.root_seed, p), r);
         for (std::size_t attempt = 0; attempt <= options.max_retries;
@@ -98,7 +112,7 @@ run_guarded_impl(const std::vector<SweepPoint>& points,
             try {
                 out.result = sim::simulate(pt.hw, pt.graph, pt.traffic, so);
                 out.ok = true;
-                return;
+                break;
             } catch (const std::exception& e) {
                 out.error = e.what();
                 out.eptr = std::current_exception();
@@ -106,6 +120,16 @@ run_guarded_impl(const std::vector<SweepPoint>& points,
                 out.error = "unknown exception";
                 out.eptr = std::current_exception();
             }
+        }
+        if (options.on_task_complete) {
+            CompletedTask done;
+            done.ok = out.ok;
+            done.seed = out.seed;
+            done.attempts = out.attempts;
+            done.error = out.error;
+            if (done.ok)
+                done.result = out.result;
+            options.on_task_complete(task, done);
         }
     });
 
@@ -176,6 +200,10 @@ Sweep::run(const SweepOptions& options) const
     GuardedOutcome out = run_guarded_impl(points_, options);
     if (out.first_error)
         std::rethrow_exception(out.first_error);
+    // A failure replayed from a checkpoint journal carries no live
+    // exception; fail-fast still owes the caller a throw.
+    if (!out.report.failed.empty())
+        throw std::runtime_error(out.report.failed.front().error);
     return std::move(out.report.results);
 }
 

@@ -5,7 +5,7 @@
 
 namespace lognic::sim {
 
-void
+std::uint64_t
 EventQueue::schedule_at(SimTime when, Action action)
 {
     if (when < now_)
@@ -13,6 +13,41 @@ EventQueue::schedule_at(SimTime when, Action action)
     const Event ev{when, next_seq_++, action};
     // Hole-insertion sift-up: append a slot, move parents down into the
     // hole while they sort later than the new event, write the event once.
+    events_.push_back(ev);
+    std::size_t hole = events_.size() - 1;
+    while (hole > 0) {
+        const std::size_t parent = (hole - 1) / 2;
+        if (!earlier(ev, events_[parent]))
+            break;
+        events_[hole] = events_[parent];
+        hole = parent;
+    }
+    events_[hole] = ev;
+    return ev.seq;
+}
+
+void
+EventQueue::restore_clock(SimTime now, std::uint64_t next_seq,
+                          std::uint64_t executed)
+{
+    if (!events_.empty())
+        throw std::logic_error(
+            "EventQueue::restore_clock: calendar not empty");
+    now_ = now;
+    next_seq_ = next_seq;
+    executed_ = executed;
+}
+
+void
+EventQueue::restore_event(SimTime when, std::uint64_t seq, Action action)
+{
+    if (seq >= next_seq_)
+        throw std::logic_error(
+            "EventQueue::restore_event: seq from the future");
+    if (when < now_)
+        throw std::logic_error(
+            "EventQueue::restore_event: event before now");
+    const Event ev{when, seq, action};
     events_.push_back(ev);
     std::size_t hole = events_.size() - 1;
     while (hole > 0) {

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <map>
 #include <stdexcept>
 #include <unordered_set>
 
+#include "lognic/io/checkpoint.hpp"
 #include "lognic/sim/packet_slab.hpp"
 
 namespace lognic::sim {
@@ -34,6 +36,24 @@ struct Packet {
     SimTime enqueued{0.0};
     /// True when this packet carries lifecycle spans (sampled).
     bool traced{false};
+
+    // --- checkpoint tracking (written only when ckpt_track is on) ---------
+    // The calendar holds closures over this packet which cannot be
+    // serialized; these fields describe the packet's single pending event
+    // well enough to *reconstruct* it with its original (when, seq) pair.
+    /// 0 = none (queued / being measured), 1 = transfer stage, 2 = service
+    /// completion.
+    std::uint8_t pending_kind{0};
+    /// Next transfer stage to run (pending_kind 1).
+    std::uint8_t pending_stage{0};
+    EdgeId pending_edge{0};     ///< pending_kind 1
+    VertexId pending_vertex{0}; ///< pending_kind 2
+    std::size_t pending_slot{0};///< pending_kind 2 (traced lane; 0 here)
+    SimTime pending_when{0.0};
+    std::uint64_t pending_seq{0};
+    SimTime service_start{0.0}; ///< pending_kind 2
+    SimTime service_time{0.0};  ///< pending_kind 2
+    std::uint64_t serial{0};    ///< pending_kind 2, faults active only
 };
 
 /// Fixed latency-histogram buckets (microseconds, log-spaced). Fixed
@@ -240,6 +260,41 @@ struct NicSimulator::Impl {
     std::vector<std::size_t> trace_class; ///< profile class per position
     std::size_t trace_pos{0};
 
+    // --- segmented execution / checkpoint state -----------------------------
+    // All of this is inert for run(): ckpt_track stays false, so the hot
+    // path pays one predictable branch per scheduling site and nothing
+    // else, and run() results are bit-identical to a build without
+    // checkpoint support.
+    /// When true, every scheduling site records enough metadata to
+    /// reconstruct its pending event (set by begin()/load_state()).
+    bool ckpt_track{false};
+    bool started{false};
+    bool finalized{false};
+    /// Outcome of the last advance() segment; kEventBudget until a segment
+    /// actually finishes the run.
+    RunOutcome last_outcome{RunOutcome::kEventBudget};
+    /// The (at most one) pending arrival-generator event.
+    bool arrival_pending{false};
+    double arrival_peak{0.0};
+    SimTime arrival_when{0.0};
+    std::uint64_t arrival_seq{0};
+    /// Calendar seq of each upfront-scheduled fault event, index-aligned
+    /// with scheduled_faults; pending faults are [fault_events_applied,
+    /// size) because they dispatch in index order.
+    std::vector<std::uint64_t> fault_seqs;
+    /// Completion events neutralized by fail_engines(): still sitting in
+    /// the calendar as stale no-ops, so a restore must reconstruct them
+    /// (they consume an executed-count slot when they fire).
+    struct StaleEvent {
+        SimTime when{0.0};
+        std::uint64_t seq{0};
+        std::uint64_t serial{0};
+    };
+    std::vector<StaleEvent> stale_events;
+    /// Live packets by stable id; ordered so snapshots serialize packets
+    /// deterministically.
+    std::map<std::uint64_t, Packet*> live_packets;
+
     Impl(const HardwareModel& hw_in, const ExecutionGraph& graph_in,
          const TrafficProfile& traffic_in, SimOptions options_in)
         : hw(hw_in), graph(graph_in), traffic(traffic_in),
@@ -435,8 +490,12 @@ struct NicSimulator::Impl {
     void
     schedule_faults()
     {
-        for (const ScheduledFault& f : scheduled_faults)
-            events.schedule_at(f.at, [this, &f] { apply_fault(f); });
+        for (const ScheduledFault& f : scheduled_faults) {
+            const std::uint64_t seq =
+                events.schedule_at(f.at, [this, &f] { apply_fault(f); });
+            if (ckpt_track)
+                fault_seqs.push_back(seq);
+        }
     }
 
     void
@@ -494,6 +553,15 @@ struct NicSimulator::Impl {
             const VertexState::InService victim = st.in_service.back();
             st.in_service.pop_back();
             killed.insert(victim.serial);
+            if (ckpt_track) {
+                // The victim's completion event stays in the calendar as a
+                // stale no-op; remember its (when, seq) so a restored run
+                // can reconstruct it (it still burns an executed slot).
+                stale_events.push_back({victim.pkt->pending_when,
+                                        victim.pkt->pending_seq,
+                                        victim.serial});
+                victim.pkt->pending_kind = 0;
+            }
             --st.busy;
             if (victim.pkt->traced)
                 tracks[v].slot_busy[victim.slot] = 0;
@@ -619,38 +687,58 @@ struct NicSimulator::Impl {
         const double gap = options.poisson_arrivals
             ? rng.exponential(1.0 / peak)
             : 1.0 / total_pps;
-        events.schedule_in(gap, [this, peak] {
-            if (events.now() >= options.duration)
-                return;
-            if (options.burst.enabled
-                && rng.uniform()
-                    > rate_multiplier(events.now()) * total_pps / peak) {
-                schedule_next_arrival(); // thinned out
-                return;
-            }
-            Packet* pkt = packet_slab.acquire();
-            if (trace != nullptr) {
-                pkt->class_index =
-                    trace_class[trace_pos % trace_class.size()];
-                ++trace_pos;
-            } else {
-                pkt->class_index = rng.weighted_index(class_pps_weight);
-            }
-            pkt->app_size = traffic.classes()[pkt->class_index].size;
-            pkt->created = events.now();
-            pkt->id = generated;
-            pkt->traced = trace_opts.sampled(pkt->id);
-            ++generated;
-            offered_in_window.record(events.now());
-            if (pkt->traced)
-                trace_opts.sink->async_begin(pkt->id, "pkt",
-                                             Seconds{events.now()});
-            const std::size_t which = ingresses.size() > 1
-                ? rng.weighted_index(ingress_weights)
-                : 0;
-            depart(pkt, ingresses[which]);
-            schedule_next_arrival();
-        });
+        const std::uint64_t seq =
+            events.schedule_in(gap, [this, peak] { arrival_event(peak); });
+        if (ckpt_track) {
+            arrival_pending = true;
+            arrival_peak = peak;
+            arrival_when = events.now() + gap;
+            arrival_seq = seq;
+        }
+    }
+
+    /// Body of the arrival-generator event; factored out so a restored
+    /// snapshot can reconstruct the pending arrival with its original
+    /// (when, seq) pair.
+    void
+    arrival_event(double peak)
+    {
+        if (ckpt_track)
+            arrival_pending = false;
+        if (events.now() >= options.duration)
+            return;
+        if (options.burst.enabled
+            && rng.uniform()
+                > rate_multiplier(events.now()) * total_pps / peak) {
+            schedule_next_arrival(); // thinned out
+            return;
+        }
+        Packet* pkt = packet_slab.acquire();
+        if (trace != nullptr) {
+            pkt->class_index =
+                trace_class[trace_pos % trace_class.size()];
+            ++trace_pos;
+        } else {
+            pkt->class_index = rng.weighted_index(class_pps_weight);
+        }
+        pkt->app_size = traffic.classes()[pkt->class_index].size;
+        pkt->created = events.now();
+        pkt->id = generated;
+        pkt->traced = trace_opts.sampled(pkt->id);
+        ++generated;
+        if (ckpt_track) {
+            pkt->pending_kind = 0; // slab slots recycle; reset stale state
+            live_packets.emplace(pkt->id, pkt);
+        }
+        offered_in_window.record(events.now());
+        if (pkt->traced)
+            trace_opts.sink->async_begin(pkt->id, "pkt",
+                                         Seconds{events.now()});
+        const std::size_t which = ingresses.size() > 1
+            ? rng.weighted_index(ingress_weights)
+            : 0;
+        depart(pkt, ingresses[which]);
+        schedule_next_arrival();
     }
 
     /// The packet finished at @p v (or passed through); move it on. At
@@ -670,6 +758,8 @@ struct NicSimulator::Impl {
             if (pkt->traced)
                 trace_opts.sink->async_end(pkt->id, "pkt",
                                            Seconds{events.now()});
+            if (ckpt_track)
+                live_packets.erase(pkt->id);
             packet_slab.release(pkt);
             return;
         }
@@ -693,9 +783,17 @@ struct NicSimulator::Impl {
         // occupied *at the moment the packet reaches it* — reserving a
         // link for a future instant would block other packets' transfers
         // for the whole overhead duration.
-        events.schedule_in(st.overhead.seconds(), [this, pkt, eid] {
-            transfer_stage(pkt, eid, 0);
-        });
+        const std::uint64_t seq =
+            events.schedule_in(st.overhead.seconds(), [this, pkt, eid] {
+                transfer_stage(pkt, eid, 0);
+            });
+        if (ckpt_track) {
+            pkt->pending_kind = 1;
+            pkt->pending_stage = 0;
+            pkt->pending_edge = eid;
+            pkt->pending_when = events.now() + st.overhead.seconds();
+            pkt->pending_seq = seq;
+        }
     }
 
     /// Run transfer stage @p stage (0 = interface, 1 = memory,
@@ -720,9 +818,18 @@ struct NicSimulator::Impl {
             }
             if (link != nullptr) {
                 const SimTime end = link->occupy(events.now(), payload);
-                events.schedule_at(end, [this, pkt, eid, stage] {
-                    transfer_stage(pkt, eid, stage + 1);
-                });
+                const std::uint64_t seq =
+                    events.schedule_at(end, [this, pkt, eid, stage] {
+                        transfer_stage(pkt, eid, stage + 1);
+                    });
+                if (ckpt_track) {
+                    pkt->pending_kind = 1;
+                    pkt->pending_stage =
+                        static_cast<std::uint8_t>(stage + 1);
+                    pkt->pending_edge = eid;
+                    pkt->pending_when = end;
+                    pkt->pending_seq = seq;
+                }
                 return;
             }
         }
@@ -746,6 +853,8 @@ struct NicSimulator::Impl {
                 trace_opts.sink->async_end(pkt->id, "pkt",
                                            Seconds{events.now()});
         }
+        if (ckpt_track)
+            live_packets.erase(pkt->id);
         packet_slab.release(pkt);
     }
 
@@ -795,6 +904,8 @@ struct NicSimulator::Impl {
         }
         touch(st);
         pkt->enqueued = events.now();
+        if (ckpt_track)
+            pkt->pending_kind = 0; // the transfer event just fired; queued
         st.queues[qi].push_back(pkt);
         trace_counters(v, st);
         try_dispatch(v);
@@ -852,37 +963,704 @@ struct NicSimulator::Impl {
             }
             trace_counters(v, st);
             const SimTime start = events.now();
-            events.schedule_in(service, [this, pkt, v, slot, start,
-                                         service, serial] {
-                if (faults_active) {
-                    // An engine failure may have aborted this request
-                    // after its completion was scheduled; the fault
-                    // instant already requeued/dropped it and fixed the
-                    // busy count, so the stale event must do nothing.
-                    if (killed.erase(serial) > 0)
-                        return;
-                    auto& isv = vertices[v].in_service;
-                    for (std::size_t i = 0; i < isv.size(); ++i) {
-                        if (isv[i].serial == serial) {
-                            isv[i] = std::move(isv.back());
-                            isv.pop_back();
-                            break;
-                        }
+            const std::uint64_t seq = events.schedule_in(
+                service, [this, pkt, v, slot, start, service, serial] {
+                    complete_service(pkt, v, slot, start, service, serial);
+                });
+            if (ckpt_track) {
+                pkt->pending_kind = 2;
+                pkt->pending_vertex = v;
+                pkt->pending_slot = slot;
+                pkt->pending_when = start + service;
+                pkt->pending_seq = seq;
+                pkt->service_start = start;
+                pkt->service_time = service;
+                pkt->serial = serial;
+            }
+        }
+    }
+
+    /// Body of a service-completion event; factored out so a restored
+    /// snapshot can reconstruct pending completions with the values the
+    /// original closure captured.
+    void
+    complete_service(Packet* pkt, VertexId v, std::size_t slot, SimTime start,
+                     SimTime service, std::uint64_t serial)
+    {
+        if (faults_active) {
+            // An engine failure may have aborted this request after its
+            // completion was scheduled; the fault instant already
+            // requeued/dropped it and fixed the busy count, so the stale
+            // event must do nothing.
+            if (killed.erase(serial) > 0) {
+                if (ckpt_track)
+                    erase_stale(serial);
+                return;
+            }
+            auto& isv = vertices[v].in_service;
+            for (std::size_t i = 0; i < isv.size(); ++i) {
+                if (isv[i].serial == serial) {
+                    isv[i] = std::move(isv.back());
+                    isv.pop_back();
+                    break;
+                }
+            }
+        }
+        VertexState& s2 = vertices[v];
+        touch(s2);
+        --s2.busy;
+        ++s2.served;
+        if (pkt->traced) {
+            trace_opts.sink->span(tracks[v].engines[slot], "serve",
+                                  Seconds{start}, Seconds{service});
+            tracks[v].slot_busy[slot] = 0;
+        }
+        trace_counters(v, s2);
+        try_dispatch(v);
+        depart(pkt, v);
+    }
+
+    /// Forget the stale_events record for @p serial — its calendar event
+    /// just fired, so a future snapshot must not reconstruct it.
+    void
+    erase_stale(std::uint64_t serial)
+    {
+        for (std::size_t i = 0; i < stale_events.size(); ++i) {
+            if (stale_events[i].serial == serial) {
+                stale_events[i] = stale_events.back();
+                stale_events.pop_back();
+                return;
+            }
+        }
+    }
+
+    /// Guard shared by begin() and load_state(): segmented execution
+    /// cannot coexist with streaming traces (spans are written out, not
+    /// snapshotable), trace replay, or the watchdog (per-advance() budgets
+    /// subsume it, and a wall-clock abort would not be deterministic).
+    void
+    check_segmentable() const
+    {
+        if (trace_opts.sink != nullptr)
+            throw std::logic_error(
+                "NicSimulator: segmented execution requires tracing off");
+        if (trace != nullptr)
+            throw std::logic_error(
+                "NicSimulator: segmented execution does not support "
+                "trace replay");
+        if (options.watchdog.max_events != 0
+            || options.watchdog.wall_clock_seconds > 0.0)
+            throw std::logic_error(
+                "NicSimulator: segmented execution requires an unset "
+                "watchdog (advance() budgets subsume it)");
+    }
+
+    /// Build the SimResult from the end-of-run state. Shared by run() and
+    /// finalize() — reads members only, so how the run was driven (one
+    /// run_until or many advance() segments) cannot leak into the result.
+    SimResult
+    finalize_result(RunOutcome outcome)
+    {
+        // When truncated, the clock stopped short of the horizon; every
+        // rate below normalizes to the time actually simulated.
+        const SimTime end = events.now();
+
+        SimResult r;
+        r.truncated = outcome == RunOutcome::kEventBudget
+            || outcome == RunOutcome::kAborted;
+        if (outcome == RunOutcome::kEventBudget)
+            r.truncation_reason = "event_budget";
+        else if (outcome == RunOutcome::kAborted)
+            r.truncation_reason = "wall_clock";
+        r.sim_time_reached = end;
+        r.events_executed = events.executed();
+        r.delivered = delivered.bandwidth(end);
+        r.delivered_ops = delivered.rate(end);
+        // The single-writer phase is over: seal the recorder (one sort),
+        // after which quantile reads are const and thread-safe.
+        latencies.seal();
+        // Empty-set sentinel: a run that completed nothing after warmup
+        // keeps 0.0 latencies; consumers must gate on `completed` (the
+        // runner's Replicator counts such runs as degenerate and excludes
+        // them).
+        r.mean_latency = latencies.mean().value_or(Seconds{0.0});
+        r.p50_latency = latencies.p50().value_or(Seconds{0.0});
+        r.p99_latency = latencies.p99().value_or(Seconds{0.0});
+        r.generated = generated;
+        r.completed = delivered.requests();
+        // Drop accounting follows the (warmup_end, horizon] measurement
+        // window, the same convention completions use: the rate is
+        // windowed drops over windowed arrivals, an unbiased
+        // blocking-probability estimate even at short horizons.
+        const std::uint64_t offered = offered_in_window.count();
+        r.dropped = drops_in_window.count();
+        r.drop_rate = offered > 0
+            ? static_cast<double>(r.dropped) / static_cast<double>(offered)
+            : 0.0;
+
+        // Close out the per-vertex accounting at the (possibly truncated)
+        // end.
+        const double window = end - warmup_end;
+        std::uint64_t queued_or_busy = 0;
+        for (core::VertexId v = 0; v < graph.vertex_count(); ++v) {
+            auto& st = vertices[v];
+            if (st.passthrough)
+                continue;
+            touch(st);
+            queued_or_busy += queued_total(st) + st.busy;
+            VertexStats vs;
+            vs.name = graph.vertex(v).name;
+            if (window > 0.0) {
+                vs.utilization = st.area_busy
+                    / (window * static_cast<double>(st.engines));
+                vs.mean_occupancy = st.area_occupancy / window;
+            }
+            vs.served = st.served;
+            vs.dropped = st.vertex_dropped;
+            r.vertex_stats.push_back(std::move(vs));
+        }
+
+        // Packet conservation: every generated packet must be delivered,
+        // dropped, or still inside the device. A violation is a simulator
+        // bug (double-count or leak), never a property of the scenario —
+        // fail loud.
+        r.completed_total = completed_total;
+        r.dropped_total = dropped_cause[kDropOverflow]
+            + dropped_cause[kDropBurstLoss]
+            + dropped_cause[kDropEngineFail];
+        r.in_flight = in_transit + queued_or_busy;
+        if (r.generated != r.completed_total + r.dropped_total + r.in_flight)
+            throw std::logic_error(
+                "NicSimulator: packet conservation violated: generated="
+                + std::to_string(r.generated) + " != completed="
+                + std::to_string(r.completed_total) + " + dropped="
+                + std::to_string(r.dropped_total) + " + in_flight="
+                + std::to_string(r.in_flight));
+
+        // Publish the structured snapshot mirroring (and extending) the
+        // scalar fields; this is what the runner aggregates.
+        obs::MetricsRegistry reg;
+        reg.counter("sim.generated").add(r.generated);
+        reg.counter("sim.offered").add(offered);
+        reg.counter("sim.completed").add(r.completed);
+        reg.counter("sim.dropped").add(r.dropped);
+        reg.counter("sim.completed_total").add(r.completed_total);
+        reg.counter("sim.dropped_total").add(r.dropped_total);
+        reg.counter("sim.dropped_by_cause.overflow")
+            .add(dropped_cause[kDropOverflow]);
+        reg.counter("sim.dropped_by_cause.burst")
+            .add(dropped_cause[kDropBurstLoss]);
+        reg.counter("sim.dropped_by_cause.engine_fail")
+            .add(dropped_cause[kDropEngineFail]);
+        reg.counter("sim.in_flight").add(r.in_flight);
+        reg.counter("sim.fault_events").add(fault_events_applied);
+        reg.counter("sim.events_executed").add(r.events_executed);
+        reg.gauge("sim.truncated").set(r.truncated ? 1.0 : 0.0);
+        reg.gauge("sim.delivered_gbps").set(r.delivered.gbps());
+        reg.gauge("sim.delivered_mops").set(r.delivered_ops.mops());
+        reg.gauge("sim.drop_rate").set(r.drop_rate);
+        reg.gauge("sim.mean_latency_us").set(r.mean_latency.micros());
+        reg.gauge("sim.p50_latency_us").set(r.p50_latency.micros());
+        reg.gauge("sim.p99_latency_us").set(r.p99_latency.micros());
+        reg.histogram("sim.latency_us", latency_bounds_us()) = latency_hist;
+        for (const VertexStats& vs : r.vertex_stats) {
+            reg.counter("vertex." + vs.name + ".served").add(vs.served);
+            reg.counter("vertex." + vs.name + ".dropped").add(vs.dropped);
+            reg.gauge("vertex." + vs.name + ".utilization")
+                .set(vs.utilization);
+            reg.gauge("vertex." + vs.name + ".occupancy")
+                .set(vs.mean_occupancy);
+        }
+        r.metrics = reg.snapshot();
+        return r;
+    }
+
+    // --- snapshot serialization --------------------------------------------
+
+    /// The configuration facts a snapshot is only valid against. Loading
+    /// into a simulator whose fingerprint differs is rejected outright —
+    /// resuming "almost the same" run would silently produce garbage.
+    io::Json
+    config_fingerprint() const
+    {
+        io::JsonObject fp;
+        fp["seed"] = io::Json(io::u64_to_hex(options.seed));
+        fp["duration"] = io::Json(io::double_to_hex(options.duration));
+        fp["warmup_fraction"] =
+            io::Json(io::double_to_hex(options.warmup_fraction));
+        fp["exponential_service"] = io::Json(options.exponential_service);
+        fp["poisson_arrivals"] = io::Json(options.poisson_arrivals);
+        fp["burst"] = io::Json(options.burst.enabled);
+        fp["vertices"] = io::Json(static_cast<double>(graph.vertex_count()));
+        fp["edges"] = io::Json(static_cast<double>(graph.edge_count()));
+        fp["classes"] =
+            io::Json(static_cast<double>(traffic.classes().size()));
+        fp["faults"] =
+            io::Json(static_cast<double>(scheduled_faults.size()));
+        return io::Json(std::move(fp));
+    }
+
+    io::Json
+    packet_to_json(const Packet& p) const
+    {
+        io::JsonObject o;
+        o["id"] = io::Json(io::u64_to_hex(p.id));
+        o["class"] = io::Json(static_cast<double>(p.class_index));
+        o["size"] = io::Json(io::double_to_hex(p.app_size.bytes()));
+        o["created"] = io::Json(io::double_to_hex(p.created));
+        o["enqueued"] = io::Json(io::double_to_hex(p.enqueued));
+        o["pending_kind"] = io::Json(static_cast<double>(p.pending_kind));
+        o["pending_stage"] = io::Json(static_cast<double>(p.pending_stage));
+        o["pending_edge"] = io::Json(static_cast<double>(p.pending_edge));
+        o["pending_vertex"] =
+            io::Json(static_cast<double>(p.pending_vertex));
+        o["pending_slot"] = io::Json(static_cast<double>(p.pending_slot));
+        o["pending_when"] = io::Json(io::double_to_hex(p.pending_when));
+        o["pending_seq"] = io::Json(io::u64_to_hex(p.pending_seq));
+        o["service_start"] = io::Json(io::double_to_hex(p.service_start));
+        o["service_time"] = io::Json(io::double_to_hex(p.service_time));
+        o["serial"] = io::Json(io::u64_to_hex(p.serial));
+        return io::Json(std::move(o));
+    }
+
+    static io::Json
+    link_to_json(const LinkServer& l)
+    {
+        io::JsonObject o;
+        o["free_at"] = io::Json(io::double_to_hex(l.free_at));
+        o["factor"] = io::Json(io::double_to_hex(l.factor));
+        return io::Json(std::move(o));
+    }
+
+    io::Json
+    save_json() const
+    {
+        if (!started)
+            throw std::logic_error(
+                "NicSimulator::save_state: begin() not called");
+        if (finalized)
+            throw std::logic_error(
+                "NicSimulator::save_state: already finalized");
+        io::JsonObject o;
+        o["config"] = config_fingerprint();
+        o["now"] = io::Json(io::double_to_hex(events.now()));
+        o["next_seq"] = io::Json(io::u64_to_hex(events.next_seq()));
+        o["executed"] = io::Json(io::u64_to_hex(events.executed()));
+        o["rng"] = io::Json(rng.save_state());
+        o["generated"] = io::Json(io::u64_to_hex(generated));
+        o["completed_total"] = io::Json(io::u64_to_hex(completed_total));
+        {
+            io::JsonArray dc;
+            for (int i = 0; i < 3; ++i)
+                dc.push_back(io::Json(io::u64_to_hex(dropped_cause[i])));
+            o["dropped_cause"] = io::Json(std::move(dc));
+        }
+        o["in_transit"] = io::Json(io::u64_to_hex(in_transit));
+        o["next_serial"] = io::Json(io::u64_to_hex(next_serial));
+        o["fault_events_applied"] =
+            io::Json(io::u64_to_hex(fault_events_applied));
+        {
+            std::vector<std::uint64_t> ks(killed.begin(), killed.end());
+            std::sort(ks.begin(), ks.end());
+            io::JsonArray arr;
+            for (std::uint64_t k : ks)
+                arr.push_back(io::Json(io::u64_to_hex(k)));
+            o["killed"] = io::Json(std::move(arr));
+        }
+        {
+            io::JsonArray arr;
+            for (std::uint64_t s : fault_seqs)
+                arr.push_back(io::Json(io::u64_to_hex(s)));
+            o["fault_seqs"] = io::Json(std::move(arr));
+        }
+        {
+            std::vector<StaleEvent> stale = stale_events;
+            std::sort(stale.begin(), stale.end(),
+                      [](const StaleEvent& a, const StaleEvent& b) {
+                          return a.seq < b.seq;
+                      });
+            io::JsonArray arr;
+            for (const StaleEvent& ev : stale) {
+                io::JsonObject so;
+                so["when"] = io::Json(io::double_to_hex(ev.when));
+                so["seq"] = io::Json(io::u64_to_hex(ev.seq));
+                so["serial"] = io::Json(io::u64_to_hex(ev.serial));
+                arr.push_back(io::Json(std::move(so)));
+            }
+            o["stale"] = io::Json(std::move(arr));
+        }
+        {
+            io::JsonObject a;
+            a["pending"] = io::Json(arrival_pending);
+            a["peak"] = io::Json(io::double_to_hex(arrival_peak));
+            a["when"] = io::Json(io::double_to_hex(arrival_when));
+            a["seq"] = io::Json(io::u64_to_hex(arrival_seq));
+            o["arrival"] = io::Json(std::move(a));
+        }
+        {
+            io::JsonArray arr;
+            for (const auto& [id, pkt] : live_packets)
+                arr.push_back(packet_to_json(*pkt));
+            o["packets"] = io::Json(std::move(arr));
+        }
+        o["interface_link"] = link_to_json(interface_link);
+        o["memory_link"] = link_to_json(memory_link);
+        {
+            io::JsonArray arr;
+            for (const LinkServer& l : dedicated_links)
+                arr.push_back(link_to_json(l));
+            o["dedicated_links"] = io::Json(std::move(arr));
+        }
+        {
+            io::JsonArray arr;
+            for (const VertexState& st : vertices) {
+                io::JsonObject vo;
+                vo["busy"] = io::Json(static_cast<double>(st.busy));
+                vo["engines_offline"] =
+                    io::Json(static_cast<double>(st.engines_offline));
+                vo["slow_factor"] =
+                    io::Json(io::double_to_hex(st.slow_factor));
+                vo["drop_prob"] = io::Json(io::double_to_hex(st.drop_prob));
+                vo["capacity_override"] =
+                    io::Json(static_cast<double>(st.capacity_override));
+                vo["rr_cursor"] =
+                    io::Json(static_cast<double>(st.rr_cursor));
+                {
+                    io::JsonArray queues;
+                    for (const auto& q : st.queues) {
+                        io::JsonArray ids;
+                        for (const Packet* p : q)
+                            ids.push_back(io::Json(io::u64_to_hex(p->id)));
+                        queues.push_back(io::Json(std::move(ids)));
                     }
+                    vo["queues"] = io::Json(std::move(queues));
                 }
-                VertexState& s2 = vertices[v];
-                touch(s2);
-                --s2.busy;
-                ++s2.served;
-                if (pkt->traced) {
-                    trace_opts.sink->span(tracks[v].engines[slot], "serve",
-                                          Seconds{start},
-                                          Seconds{service});
-                    tracks[v].slot_busy[slot] = 0;
+                {
+                    io::JsonArray isv;
+                    for (const VertexState::InService& e : st.in_service) {
+                        io::JsonObject eo;
+                        eo["serial"] = io::Json(io::u64_to_hex(e.serial));
+                        eo["id"] = io::Json(io::u64_to_hex(e.pkt->id));
+                        eo["qi"] = io::Json(static_cast<double>(e.qi));
+                        eo["slot"] = io::Json(static_cast<double>(e.slot));
+                        isv.push_back(io::Json(std::move(eo)));
+                    }
+                    vo["in_service"] = io::Json(std::move(isv));
                 }
-                trace_counters(v, s2);
-                try_dispatch(v);
-                depart(pkt, v);
+                vo["area_busy"] = io::Json(io::double_to_hex(st.area_busy));
+                vo["area_occupancy"] =
+                    io::Json(io::double_to_hex(st.area_occupancy));
+                vo["last_change"] =
+                    io::Json(io::double_to_hex(st.last_change));
+                vo["served"] = io::Json(io::u64_to_hex(st.served));
+                vo["dropped"] =
+                    io::Json(io::u64_to_hex(st.vertex_dropped));
+                arr.push_back(io::Json(std::move(vo)));
+            }
+            o["vertices"] = io::Json(std::move(arr));
+        }
+        {
+            io::JsonObject r;
+            {
+                io::JsonArray ls;
+                for (double v : latencies.samples())
+                    ls.push_back(io::Json(io::double_to_hex(v)));
+                r["latency_samples"] = io::Json(std::move(ls));
+            }
+            r["latency_sealed"] = io::Json(latencies.sealed());
+            r["delivered_bytes"] =
+                io::Json(io::double_to_hex(delivered.total().bytes()));
+            r["delivered_requests"] =
+                io::Json(io::u64_to_hex(delivered.requests()));
+            r["offered"] =
+                io::Json(io::u64_to_hex(offered_in_window.count()));
+            r["drops"] = io::Json(io::u64_to_hex(drops_in_window.count()));
+            {
+                io::JsonObject h;
+                io::JsonArray hc;
+                for (std::uint64_t c : latency_hist.counts())
+                    hc.push_back(io::Json(io::u64_to_hex(c)));
+                h["counts"] = io::Json(std::move(hc));
+                h["total"] = io::Json(io::u64_to_hex(latency_hist.total()));
+                h["sum"] = io::Json(io::double_to_hex(latency_hist.sum()));
+                r["latency_hist"] = io::Json(std::move(h));
+            }
+            o["recorders"] = io::Json(std::move(r));
+        }
+        return io::Json(std::move(o));
+    }
+
+    void
+    load_json(const io::Json& snap)
+    {
+        if (started)
+            throw std::logic_error(
+                "NicSimulator::load_state: simulator already started "
+                "(load into a fresh instance)");
+        check_segmentable();
+        const std::string want = config_fingerprint().dump(-1);
+        const std::string have = snap.at("config").dump(-1);
+        if (want != have)
+            throw std::runtime_error(
+                "NicSimulator::load_state: snapshot configuration "
+                "fingerprint mismatch:\n  simulator " + want
+                + "\n  snapshot  " + have);
+
+        auto hexd = [](const io::Json& v, const char* ctx) {
+            return io::double_from_hex(v.as_string(), ctx);
+        };
+        auto hexu = [](const io::Json& v, const char* ctx) {
+            return io::parse_u64(v.as_string(), ctx);
+        };
+
+        ckpt_track = true;
+        started = true;
+
+        rng.restore_state(snap.at("rng").as_string());
+        generated = hexu(snap.at("generated"), "snapshot generated");
+        completed_total =
+            hexu(snap.at("completed_total"), "snapshot completed_total");
+        {
+            const io::JsonArray& dc = snap.at("dropped_cause").as_array();
+            if (dc.size() != 3)
+                throw std::runtime_error(
+                    "NicSimulator::load_state: malformed dropped_cause");
+            for (int i = 0; i < 3; ++i)
+                dropped_cause[i] = hexu(dc[i], "snapshot dropped_cause");
+        }
+        in_transit = hexu(snap.at("in_transit"), "snapshot in_transit");
+        next_serial = hexu(snap.at("next_serial"), "snapshot next_serial");
+        fault_events_applied = hexu(snap.at("fault_events_applied"),
+                                    "snapshot fault_events_applied");
+        killed.clear();
+        for (const io::Json& k : snap.at("killed").as_array())
+            killed.insert(hexu(k, "snapshot killed serial"));
+        fault_seqs.clear();
+        for (const io::Json& s : snap.at("fault_seqs").as_array())
+            fault_seqs.push_back(hexu(s, "snapshot fault seq"));
+        if (faults_active && fault_seqs.size() != scheduled_faults.size())
+            throw std::runtime_error(
+                "NicSimulator::load_state: snapshot fault_seqs count does "
+                "not match the resolved fault schedule");
+        stale_events.clear();
+        for (const io::Json& ev : snap.at("stale").as_array()) {
+            StaleEvent se;
+            se.when = hexd(ev.at("when"), "snapshot stale when");
+            se.seq = hexu(ev.at("seq"), "snapshot stale seq");
+            se.serial = hexu(ev.at("serial"), "snapshot stale serial");
+            stale_events.push_back(se);
+        }
+        {
+            const io::Json& a = snap.at("arrival");
+            arrival_pending = a.at("pending").as_bool();
+            arrival_peak = hexd(a.at("peak"), "snapshot arrival peak");
+            arrival_when = hexd(a.at("when"), "snapshot arrival when");
+            arrival_seq = hexu(a.at("seq"), "snapshot arrival seq");
+        }
+
+        // Packets: acquire slab slots in saved (id) order. Slab slot
+        // assignment is invisible to results (nothing keys on pointer
+        // values), so the restored run does not need the original slots.
+        live_packets.clear();
+        for (const io::Json& pj : snap.at("packets").as_array()) {
+            Packet* p = packet_slab.acquire();
+            p->id = hexu(pj.at("id"), "snapshot packet id");
+            p->class_index = static_cast<std::size_t>(
+                pj.at("class").as_number());
+            if (p->class_index >= traffic.classes().size())
+                throw std::runtime_error(
+                    "NicSimulator::load_state: packet class out of range");
+            p->app_size = Bytes{hexd(pj.at("size"), "snapshot packet size")};
+            p->created = hexd(pj.at("created"), "snapshot packet created");
+            p->enqueued =
+                hexd(pj.at("enqueued"), "snapshot packet enqueued");
+            p->traced = false;
+            p->pending_kind = static_cast<std::uint8_t>(
+                pj.at("pending_kind").as_number());
+            p->pending_stage = static_cast<std::uint8_t>(
+                pj.at("pending_stage").as_number());
+            p->pending_edge = static_cast<EdgeId>(
+                pj.at("pending_edge").as_number());
+            p->pending_vertex = static_cast<VertexId>(
+                pj.at("pending_vertex").as_number());
+            p->pending_slot = static_cast<std::size_t>(
+                pj.at("pending_slot").as_number());
+            p->pending_when =
+                hexd(pj.at("pending_when"), "snapshot packet when");
+            p->pending_seq =
+                hexu(pj.at("pending_seq"), "snapshot packet seq");
+            p->service_start =
+                hexd(pj.at("service_start"), "snapshot service start");
+            p->service_time =
+                hexd(pj.at("service_time"), "snapshot service time");
+            p->serial = hexu(pj.at("serial"), "snapshot packet serial");
+            if (p->pending_kind == 1 && p->pending_edge >= graph.edge_count())
+                throw std::runtime_error(
+                    "NicSimulator::load_state: packet edge out of range");
+            if (p->pending_kind == 2
+                && p->pending_vertex >= graph.vertex_count())
+                throw std::runtime_error(
+                    "NicSimulator::load_state: packet vertex out of range");
+            if (!live_packets.emplace(p->id, p).second)
+                throw std::runtime_error(
+                    "NicSimulator::load_state: duplicate packet id");
+        }
+        auto find_packet = [this](std::uint64_t id) -> Packet* {
+            const auto it = live_packets.find(id);
+            if (it == live_packets.end())
+                throw std::runtime_error(
+                    "NicSimulator::load_state: queue references an "
+                    "unknown packet id");
+            return it->second;
+        };
+
+        auto load_link = [&hexd](LinkServer& l, const io::Json& j) {
+            l.free_at = hexd(j.at("free_at"), "snapshot link free_at");
+            l.factor = hexd(j.at("factor"), "snapshot link factor");
+        };
+        load_link(interface_link, snap.at("interface_link"));
+        load_link(memory_link, snap.at("memory_link"));
+        {
+            const io::JsonArray& arr = snap.at("dedicated_links").as_array();
+            if (arr.size() != dedicated_links.size())
+                throw std::runtime_error(
+                    "NicSimulator::load_state: dedicated link count "
+                    "mismatch");
+            for (std::size_t i = 0; i < arr.size(); ++i)
+                load_link(dedicated_links[i], arr[i]);
+        }
+
+        {
+            const io::JsonArray& arr = snap.at("vertices").as_array();
+            if (arr.size() != vertices.size())
+                throw std::runtime_error(
+                    "NicSimulator::load_state: vertex count mismatch");
+            for (std::size_t v = 0; v < arr.size(); ++v) {
+                VertexState& st = vertices[v];
+                const io::Json& vo = arr[v];
+                st.busy = static_cast<std::uint32_t>(
+                    vo.at("busy").as_number());
+                st.engines_offline = static_cast<std::uint32_t>(
+                    vo.at("engines_offline").as_number());
+                st.slow_factor =
+                    hexd(vo.at("slow_factor"), "snapshot slow_factor");
+                st.drop_prob =
+                    hexd(vo.at("drop_prob"), "snapshot drop_prob");
+                st.capacity_override = static_cast<std::uint32_t>(
+                    vo.at("capacity_override").as_number());
+                st.rr_cursor = static_cast<std::size_t>(
+                    vo.at("rr_cursor").as_number());
+                const io::JsonArray& queues = vo.at("queues").as_array();
+                if (queues.size() != st.queues.size())
+                    throw std::runtime_error(
+                        "NicSimulator::load_state: queue count mismatch");
+                for (std::size_t q = 0; q < queues.size(); ++q) {
+                    st.queues[q].clear();
+                    for (const io::Json& id : queues[q].as_array())
+                        st.queues[q].push_back(find_packet(
+                            hexu(id, "snapshot queued packet id")));
+                }
+                st.in_service.clear();
+                for (const io::Json& eo : vo.at("in_service").as_array()) {
+                    VertexState::InService e;
+                    e.serial =
+                        hexu(eo.at("serial"), "snapshot in-service serial");
+                    e.pkt = find_packet(
+                        hexu(eo.at("id"), "snapshot in-service id"));
+                    e.qi = static_cast<std::size_t>(
+                        eo.at("qi").as_number());
+                    e.slot = static_cast<std::size_t>(
+                        eo.at("slot").as_number());
+                    st.in_service.push_back(e);
+                }
+                st.area_busy =
+                    hexd(vo.at("area_busy"), "snapshot area_busy");
+                st.area_occupancy = hexd(vo.at("area_occupancy"),
+                                         "snapshot area_occupancy");
+                st.last_change =
+                    hexd(vo.at("last_change"), "snapshot last_change");
+                st.served = hexu(vo.at("served"), "snapshot served");
+                st.vertex_dropped =
+                    hexu(vo.at("dropped"), "snapshot vertex dropped");
+            }
+        }
+
+        {
+            const io::Json& r = snap.at("recorders");
+            std::vector<double> samples;
+            for (const io::Json& v : r.at("latency_samples").as_array())
+                samples.push_back(hexd(v, "snapshot latency sample"));
+            latencies.restore(std::move(samples),
+                              r.at("latency_sealed").as_bool());
+            delivered.restore(
+                hexd(r.at("delivered_bytes"), "snapshot delivered bytes"),
+                hexu(r.at("delivered_requests"),
+                     "snapshot delivered requests"));
+            offered_in_window.restore(
+                hexu(r.at("offered"), "snapshot offered count"));
+            drops_in_window.restore(
+                hexu(r.at("drops"), "snapshot drop count"));
+            const io::Json& h = r.at("latency_hist");
+            std::vector<std::uint64_t> counts;
+            for (const io::Json& c : h.at("counts").as_array())
+                counts.push_back(hexu(c, "snapshot histogram count"));
+            latency_hist.restore(
+                std::move(counts),
+                hexu(h.at("total"), "snapshot histogram total"),
+                hexd(h.at("sum"), "snapshot histogram sum"));
+        }
+
+        // Rebuild the calendar: clock first, then one restore_event per
+        // pending event with its original (when, seq). Dispatch order
+        // depends only on (when, seq), so heap layout differences between
+        // the original and restored calendars are unobservable.
+        events.restore_clock(hexd(snap.at("now"), "snapshot now"),
+                             hexu(snap.at("next_seq"), "snapshot next_seq"),
+                             hexu(snap.at("executed"), "snapshot executed"));
+        if (arrival_pending) {
+            const double peak = arrival_peak;
+            events.restore_event(arrival_when, arrival_seq,
+                                 [this, peak] { arrival_event(peak); });
+        }
+        for (std::size_t i = static_cast<std::size_t>(fault_events_applied);
+             i < scheduled_faults.size(); ++i) {
+            events.restore_event(scheduled_faults[i].at, fault_seqs[i],
+                                 [this, i] {
+                                     apply_fault(scheduled_faults[i]);
+                                 });
+        }
+        for (const auto& [id, pkt] : live_packets) {
+            if (pkt->pending_kind == 1) {
+                Packet* p = pkt;
+                const EdgeId eid = p->pending_edge;
+                const int stage = p->pending_stage;
+                events.restore_event(p->pending_when, p->pending_seq,
+                                     [this, p, eid, stage] {
+                                         transfer_stage(p, eid, stage);
+                                     });
+            } else if (pkt->pending_kind == 2) {
+                Packet* p = pkt;
+                const VertexId v = p->pending_vertex;
+                const std::size_t slot = p->pending_slot;
+                const SimTime start = p->service_start;
+                const SimTime service = p->service_time;
+                const std::uint64_t serial = p->serial;
+                events.restore_event(
+                    p->pending_when, p->pending_seq,
+                    [this, p, v, slot, start, service, serial] {
+                        complete_service(p, v, slot, start, service,
+                                         serial);
+                    });
+            }
+        }
+        for (const StaleEvent& ev : stale_events) {
+            const std::uint64_t serial = ev.serial;
+            // The killed request's packet may be long gone (requeued,
+            // delivered, even recycled); the stale no-op must only burn
+            // its executed-count slot and clear the bookkeeping.
+            events.restore_event(ev.when, ev.seq, [this, serial] {
+                killed.erase(serial);
+                erase_stale(serial);
             });
         }
     }
@@ -901,6 +1679,10 @@ SimResult
 NicSimulator::run()
 {
     Impl& s = *impl_;
+    if (s.started)
+        throw std::logic_error(
+            "NicSimulator::run: run()/begin()/load_state() already called");
+    s.started = true;
     if (s.faults_active)
         s.schedule_faults();
     s.schedule_next_arrival();
@@ -917,114 +1699,74 @@ NicSimulator::run()
         };
     }
     const RunOutcome outcome = s.events.run_until(s.options.duration, limits);
-    // When truncated, the clock stopped short of the horizon; every rate
-    // below normalizes to the time actually simulated.
-    const SimTime end = s.events.now();
+    s.finalized = true;
+    return s.finalize_result(outcome);
+}
 
-    SimResult r;
-    r.truncated = outcome == RunOutcome::kEventBudget
-        || outcome == RunOutcome::kAborted;
-    if (outcome == RunOutcome::kEventBudget)
-        r.truncation_reason = "event_budget";
-    else if (outcome == RunOutcome::kAborted)
-        r.truncation_reason = "wall_clock";
-    r.sim_time_reached = end;
-    r.events_executed = s.events.executed();
-    r.delivered = s.delivered.bandwidth(end);
-    r.delivered_ops = s.delivered.rate(end);
-    // The single-writer phase is over: seal the recorder (one sort), after
-    // which quantile reads are const and thread-safe.
-    s.latencies.seal();
-    // Empty-set sentinel: a run that completed nothing after warmup keeps
-    // 0.0 latencies; consumers must gate on `completed` (the runner's
-    // Replicator counts such runs as degenerate and excludes them).
-    r.mean_latency = s.latencies.mean().value_or(Seconds{0.0});
-    r.p50_latency = s.latencies.p50().value_or(Seconds{0.0});
-    r.p99_latency = s.latencies.p99().value_or(Seconds{0.0});
-    r.generated = s.generated;
-    r.completed = s.delivered.requests();
-    // Drop accounting follows the (warmup_end, horizon] measurement
-    // window, the same convention completions use: the rate is windowed
-    // drops over windowed arrivals, an unbiased blocking-probability
-    // estimate even at short horizons.
-    const std::uint64_t offered = s.offered_in_window.count();
-    r.dropped = s.drops_in_window.count();
-    r.drop_rate = offered > 0
-        ? static_cast<double>(r.dropped) / static_cast<double>(offered)
-        : 0.0;
-
-    // Close out the per-vertex accounting at the (possibly truncated) end.
-    const double window = end - s.warmup_end;
-    std::uint64_t queued_or_busy = 0;
-    for (core::VertexId v = 0; v < s.graph.vertex_count(); ++v) {
-        auto& st = s.vertices[v];
-        if (st.passthrough)
-            continue;
-        s.touch(st);
-        queued_or_busy += Impl::queued_total(st) + st.busy;
-        VertexStats vs;
-        vs.name = s.graph.vertex(v).name;
-        if (window > 0.0) {
-            vs.utilization = st.area_busy
-                / (window * static_cast<double>(st.engines));
-            vs.mean_occupancy = st.area_occupancy / window;
-        }
-        vs.served = st.served;
-        vs.dropped = st.vertex_dropped;
-        r.vertex_stats.push_back(std::move(vs));
-    }
-
-    // Packet conservation: every generated packet must be delivered,
-    // dropped, or still inside the device. A violation is a simulator bug
-    // (double-count or leak), never a property of the scenario — fail loud.
-    r.completed_total = s.completed_total;
-    r.dropped_total = s.dropped_cause[kDropOverflow]
-        + s.dropped_cause[kDropBurstLoss] + s.dropped_cause[kDropEngineFail];
-    r.in_flight = s.in_transit + queued_or_busy;
-    if (r.generated != r.completed_total + r.dropped_total + r.in_flight)
+void
+NicSimulator::begin()
+{
+    Impl& s = *impl_;
+    if (s.started)
         throw std::logic_error(
-            "NicSimulator: packet conservation violated: generated="
-            + std::to_string(r.generated) + " != completed="
-            + std::to_string(r.completed_total) + " + dropped="
-            + std::to_string(r.dropped_total) + " + in_flight="
-            + std::to_string(r.in_flight));
+            "NicSimulator::begin: run()/begin()/load_state() already "
+            "called");
+    s.check_segmentable();
+    s.ckpt_track = true;
+    s.started = true;
+    if (s.faults_active)
+        s.schedule_faults();
+    s.schedule_next_arrival();
+}
 
-    // Publish the structured snapshot mirroring (and extending) the
-    // scalar fields; this is what the runner aggregates.
-    obs::MetricsRegistry reg;
-    reg.counter("sim.generated").add(r.generated);
-    reg.counter("sim.offered").add(offered);
-    reg.counter("sim.completed").add(r.completed);
-    reg.counter("sim.dropped").add(r.dropped);
-    reg.counter("sim.completed_total").add(r.completed_total);
-    reg.counter("sim.dropped_total").add(r.dropped_total);
-    reg.counter("sim.dropped_by_cause.overflow")
-        .add(s.dropped_cause[kDropOverflow]);
-    reg.counter("sim.dropped_by_cause.burst")
-        .add(s.dropped_cause[kDropBurstLoss]);
-    reg.counter("sim.dropped_by_cause.engine_fail")
-        .add(s.dropped_cause[kDropEngineFail]);
-    reg.counter("sim.in_flight").add(r.in_flight);
-    reg.counter("sim.fault_events").add(s.fault_events_applied);
-    reg.counter("sim.events_executed").add(r.events_executed);
-    reg.gauge("sim.truncated").set(r.truncated ? 1.0 : 0.0);
-    reg.gauge("sim.delivered_gbps").set(r.delivered.gbps());
-    reg.gauge("sim.delivered_mops").set(r.delivered_ops.mops());
-    reg.gauge("sim.drop_rate").set(r.drop_rate);
-    reg.gauge("sim.mean_latency_us").set(r.mean_latency.micros());
-    reg.gauge("sim.p50_latency_us").set(r.p50_latency.micros());
-    reg.gauge("sim.p99_latency_us").set(r.p99_latency.micros());
-    reg.histogram("sim.latency_us", latency_bounds_us()) = s.latency_hist;
-    for (const VertexStats& vs : r.vertex_stats) {
-        reg.counter("vertex." + vs.name + ".served").add(vs.served);
-        reg.counter("vertex." + vs.name + ".dropped").add(vs.dropped);
-        reg.gauge("vertex." + vs.name + ".utilization")
-            .set(vs.utilization);
-        reg.gauge("vertex." + vs.name + ".occupancy")
-            .set(vs.mean_occupancy);
-    }
-    r.metrics = reg.snapshot();
-    return r;
+bool
+NicSimulator::advance(std::uint64_t max_events)
+{
+    Impl& s = *impl_;
+    if (!s.started)
+        throw std::logic_error(
+            "NicSimulator::advance: begin()/load_state() not called");
+    if (s.finalized)
+        throw std::logic_error("NicSimulator::advance: already finalized");
+    if (max_events == 0)
+        throw std::invalid_argument(
+            "NicSimulator::advance: max_events must be > 0");
+    // The budget is per-call, so driving the run in segments executes the
+    // exact event sequence one unlimited run_until would: the outcome of
+    // the final segment is kDrained/kHorizon, exactly as run() sees.
+    RunLimits limits;
+    limits.max_events = max_events;
+    s.last_outcome = s.events.run_until(s.options.duration, limits);
+    return s.last_outcome != RunOutcome::kEventBudget;
+}
+
+io::Json
+NicSimulator::save_state() const
+{
+    return impl_->save_json();
+}
+
+void
+NicSimulator::load_state(const io::Json& snapshot)
+{
+    impl_->load_json(snapshot);
+}
+
+SimResult
+NicSimulator::finalize()
+{
+    Impl& s = *impl_;
+    if (!s.started)
+        throw std::logic_error(
+            "NicSimulator::finalize: begin()/load_state() not called");
+    if (s.finalized)
+        throw std::logic_error("NicSimulator::finalize: already finalized");
+    if (s.last_outcome == RunOutcome::kEventBudget)
+        throw std::logic_error(
+            "NicSimulator::finalize: run not finished (advance() has not "
+            "returned true)");
+    s.finalized = true;
+    return s.finalize_result(s.last_outcome);
 }
 
 std::vector<obs::VertexObservation>

@@ -44,7 +44,22 @@
  *                                       corpus replay; emits a JSON
  *                                       violation report, exit 1 on any
  *                                       violation
+ *   lognic run <scenario.json> --checkpoint <dir> [--seconds s] [--seed n]
+ *              [--segment-events n] [--every n] [--no-resume]
+ *              [--retention n]
+ *                                       kill-tolerant simulation: run the
+ *                                       DES in event-budget segments with
+ *                                       crash-safe state snapshots; an
+ *                                       interrupted run resumes from the
+ *                                       newest valid snapshot and produces
+ *                                       bit-identical results
  *   lognic dot <scenario.json>          Graphviz export of the graph
+ *
+ * `sweep` (spec form), `check`, and `calibrate` accept the same
+ * checkpoint flags: --checkpoint <dir> enables supervision, --no-resume
+ * starts fresh, --every n sets the completions-per-checkpoint cadence,
+ * --retention n the generations kept; `sweep` adds --retries n for
+ * failed-point retry rounds with exponential backoff.
  */
 #include <algorithm>
 #include <cstdio>
@@ -58,6 +73,7 @@
 #include "lognic/apps/nf_chain.hpp"
 #include "lognic/calib/spec.hpp"
 #include "lognic/check/harness.hpp"
+#include "lognic/ckpt/supervisor.hpp"
 #include "lognic/core/model.hpp"
 #include "lognic/fault/degradation.hpp"
 #include "lognic/fault/fault_plan.hpp"
@@ -108,7 +124,21 @@ usage()
                  "a dataset; emits a\n"
                  "                                CalibrationReport JSON "
                  "(see `lognic example calib`)\n"
-                 "  dot      <scenario.json>      Graphviz export\n");
+                 "  run      <scenario.json> --checkpoint <dir> "
+                 "[--seconds s] [--seed n]\n"
+                 "           [--segment-events n] [--every n] [--no-resume] "
+                 "[--retention n]\n"
+                 "                                kill-tolerant simulation "
+                 "with crash-safe\n"
+                 "                                snapshots; resumes from "
+                 "the newest valid one\n"
+                 "  dot      <scenario.json>      Graphviz export\n"
+                 "\n"
+                 "sweep (spec form), check, and calibrate also accept\n"
+                 "  --checkpoint <dir> [--no-resume] [--every n] "
+                 "[--retention n]\n"
+                 "(and sweep: --retries n) for kill-tolerant supervised "
+                 "runs\n");
     return 2;
 }
 
@@ -120,7 +150,86 @@ read_file(const std::string& path)
         throw std::runtime_error("cannot open '" + path + "'");
     std::ostringstream buf;
     buf << in.rdbuf();
+    if (in.bad() || buf.fail())
+        throw std::runtime_error("cannot read '" + path + "'");
     return buf.str();
+}
+
+/**
+ * Write @p contents (plus a trailing newline) to @p path. Prints the
+ * offending path and returns false on any open or write failure — a full
+ * disk or revoked permission fails the final flush, not the open, so the
+ * stream is checked after flushing.
+ */
+bool
+write_file(const std::string& path, const std::string& contents)
+{
+    std::ofstream out(path);
+    if (out) {
+        out << contents << "\n";
+        out.flush();
+    }
+    if (!out) {
+        std::fprintf(stderr, "lognic: cannot write '%s'\n", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+/// Shared checkpoint-flag state for sweep/check/calibrate/run.
+struct CkptArgs {
+    bool enabled{false};
+    ckpt::SupervisorOptions sup;
+};
+
+/**
+ * Try to consume one checkpoint flag at argv[i] (advancing i over its
+ * value). Returns true when consumed. @p allow_retries gates the
+ * sweep-only --retries flag.
+ */
+bool
+parse_ckpt_arg(CkptArgs& ck, int argc, char** argv, int& i,
+               bool allow_retries)
+{
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--checkpoint" && has_value) {
+        ck.enabled = true;
+        ck.sup.dir = argv[++i];
+        return true;
+    }
+    if (arg == "--resume") {
+        ck.sup.resume = true; // the default; accepted for explicitness
+        return true;
+    }
+    if (arg == "--no-resume") {
+        ck.sup.resume = false;
+        return true;
+    }
+    if (arg == "--every" && has_value) {
+        ck.sup.checkpoint_every =
+            static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        return true;
+    }
+    if (arg == "--retention" && has_value) {
+        ck.sup.retention = static_cast<std::size_t>(std::atoll(argv[++i]));
+        return true;
+    }
+    if (allow_retries && arg == "--retries" && has_value) {
+        ck.sup.retry_rounds =
+            static_cast<std::size_t>(std::atoll(argv[++i]));
+        return true;
+    }
+    return false;
+}
+
+/// Stderr diagnostics sink for supervised runs.
+void
+attach_logger(ckpt::SupervisorOptions& sup)
+{
+    sup.log = [](const std::string& m) {
+        std::fprintf(stderr, "lognic: %s\n", m.c_str());
+    };
 }
 
 io::Scenario
@@ -202,15 +311,9 @@ cmd_estimate(const io::Scenario& sc)
     return 0;
 }
 
-int
-cmd_simulate(const io::Scenario& sc, double seconds, std::uint64_t seed)
+void
+print_sim_result(const sim::SimResult& res)
 {
-    sim::SimOptions opts;
-    opts.duration = seconds;
-    opts.seed = seed;
-    const auto res = sim::simulate(sc.hw, sc.graph, sc.traffic, opts);
-    std::printf("simulated %.3fs (seed %llu)\n", seconds,
-                static_cast<unsigned long long>(seed));
     std::printf("  delivered    : %.3f Gbps (%.3f Mops)\n",
                 res.delivered.gbps(), res.delivered_ops.mops());
     std::printf("  latency      : mean %.3f us, p50 %.3f, p99 %.3f\n",
@@ -227,6 +330,74 @@ cmd_simulate(const io::Scenario& sc, double seconds, std::uint64_t seed)
                     static_cast<unsigned long long>(vs.served),
                     static_cast<unsigned long long>(vs.dropped));
     }
+}
+
+int
+cmd_simulate(const io::Scenario& sc, double seconds, std::uint64_t seed)
+{
+    sim::SimOptions opts;
+    opts.duration = seconds;
+    opts.seed = seed;
+    const auto res = sim::simulate(sc.hw, sc.graph, sc.traffic, opts);
+    std::printf("simulated %.3fs (seed %llu)\n", seconds,
+                static_cast<unsigned long long>(seed));
+    print_sim_result(res);
+    return 0;
+}
+
+/**
+ * Kill-tolerant simulation: the same run `simulate` does, cut into
+ * event-budget segments with a crash-safe snapshot published every
+ * --every segments. Killing the process at any point loses at most one
+ * checkpoint interval; rerunning the identical command resumes from the
+ * newest valid snapshot and finishes with results bit-identical to an
+ * uninterrupted run.
+ */
+int
+cmd_run(const io::Scenario& sc, int argc, char** argv)
+{
+    sim::SimOptions opts;
+    std::uint64_t segment_events = 100000;
+    CkptArgs ck;
+    ck.sup.checkpoint_every = 1; // snapshots are cheap at this granularity
+    for (int i = 0; i < argc; ++i) {
+        if (parse_ckpt_arg(ck, argc, argv, i, /*allow_retries=*/false))
+            continue;
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--seconds" && has_value) {
+            opts.duration = std::atof(argv[++i]);
+        } else if (arg == "--seed" && has_value) {
+            opts.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--segment-events" && has_value) {
+            segment_events =
+                static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else {
+            std::fprintf(stderr, "run: bad argument '%s'\n", arg.c_str());
+            return 2;
+        }
+    }
+    if (!ck.enabled) {
+        std::fprintf(stderr, "run: --checkpoint <dir> is required\n");
+        return 2;
+    }
+    if (opts.duration <= 0.0 || segment_events == 0) {
+        std::fprintf(stderr, "bad duration or segment size\n");
+        return 2;
+    }
+
+    attach_logger(ck.sup);
+    sim::NicSimulator simulator(sc.hw, sc.graph, sc.traffic, opts);
+    const auto supervised =
+        ckpt::supervise_simulation(simulator, segment_events, ck.sup);
+    std::printf("simulated %.3fs (seed %llu) in %llu segment(s), "
+                "%llu checkpoint(s)%s\n",
+                opts.duration,
+                static_cast<unsigned long long>(opts.seed),
+                static_cast<unsigned long long>(supervised.segments),
+                static_cast<unsigned long long>(supervised.checkpoints),
+                supervised.resume.resumed ? " [resumed]" : "");
+    print_sim_result(supervised.result);
     return 0;
 }
 
@@ -275,11 +446,15 @@ cmd_trace(const io::Scenario& sc, int argc, char** argv)
         std::printf("\n");
     } else {
         std::ofstream out(out_path);
+        if (out) {
+            writer.write(out);
+            out.flush();
+        }
         if (!out) {
-            std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+            std::fprintf(stderr, "lognic: cannot write '%s'\n",
+                         out_path.c_str());
             return 1;
         }
-        writer.write(out);
         std::fprintf(stderr,
                      "wrote %zu trace events on %zu tracks to %s "
                      "(open in https://ui.perfetto.dev)\n",
@@ -304,9 +479,12 @@ int
 cmd_check(int argc, char** argv)
 {
     check::CheckOptions copts;
+    CkptArgs ck;
     std::string corpus_dir;
     std::string out_path;
     for (int i = 0; i < argc; ++i) {
+        if (parse_ckpt_arg(ck, argc, argv, i, /*allow_retries=*/false))
+            continue;
         const std::string arg = argv[i];
         const bool has_value = i + 1 < argc;
         if (arg == "--trials" && has_value) {
@@ -336,7 +514,7 @@ cmd_check(int argc, char** argv)
         return 2;
     }
 
-    check::CheckReport report;
+    std::vector<check::CorpusEntry> entries;
     if (!corpus_dir.empty()) {
         std::vector<std::filesystem::path> files;
         for (const auto& e :
@@ -346,28 +524,32 @@ cmd_check(int argc, char** argv)
         // Directory iteration order is unspecified; sort for a
         // deterministic report.
         std::sort(files.begin(), files.end());
-        std::vector<check::CorpusEntry> entries;
         entries.reserve(files.size());
         for (const auto& f : files)
             entries.push_back(check::corpus_entry_from_json(
                 io::Json::parse(read_file(f.string()))));
-        report = check::replay_corpus(entries, copts);
     }
-    if (copts.trials > 0)
-        report = check::merge(std::move(report),
-                              check::run_trials(copts));
+
+    check::CheckReport report;
+    if (ck.enabled) {
+        attach_logger(ck.sup);
+        auto supervised =
+            ckpt::supervise_check(copts, entries, ck.sup);
+        report = std::move(supervised.report);
+    } else {
+        if (!entries.empty())
+            report = check::replay_corpus(entries, copts);
+        if (copts.trials > 0)
+            report = check::merge(std::move(report),
+                                  check::run_trials(copts));
+    }
 
     const std::string doc = check::to_json(report).dump(2);
     if (out_path.empty()) {
         std::fputs(doc.c_str(), stdout);
         std::printf("\n");
-    } else {
-        std::ofstream out(out_path);
-        if (!out) {
-            std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
-            return 1;
-        }
-        out << doc << "\n";
+    } else if (!write_file(out_path, doc)) {
+        return 1;
     }
     std::fprintf(stderr,
                  "check: %llu trials + %llu corpus entries, %llu sims, "
@@ -385,11 +567,30 @@ cmd_check(int argc, char** argv)
 /// the "failed"/"truncated" arrays instead of killing the campaign (exit
 /// status 1 flags an incomplete sweep).
 int
-cmd_sweep_spec(const io::Json& doc)
+cmd_sweep_spec(const io::Json& doc, int argc, char** argv)
 {
+    CkptArgs ck;
+    for (int i = 0; i < argc; ++i) {
+        if (parse_ckpt_arg(ck, argc, argv, i, /*allow_retries=*/true))
+            continue;
+        std::fprintf(stderr, "sweep: bad argument '%s'\n", argv[i]);
+        return 2;
+    }
+
     const auto spec = runner::sweep_spec_from_json(doc);
     const auto sweep = runner::build_sweep(spec);
-    const auto report = sweep.run_guarded(spec.options);
+    runner::SweepReport report;
+    if (ck.enabled) {
+        attach_logger(ck.sup);
+        auto supervised =
+            ckpt::supervise_sweep(sweep, spec.options, ck.sup);
+        report = std::move(supervised.report);
+        if (supervised.retry_rounds_used > 0)
+            std::fprintf(stderr, "lognic: %zu retry round(s) used\n",
+                         supervised.retry_rounds_used);
+    } else {
+        report = sweep.run_guarded(spec.options);
+    }
     std::fputs(runner::to_json(report).dump().c_str(), stdout);
     std::printf("\n");
     for (const auto& f : report.failed)
@@ -499,7 +700,10 @@ cmd_calibrate(const io::Json& doc, int argc, char** argv)
 {
     std::string out_path;
     std::size_t threads_override = 0;
+    CkptArgs ck;
     for (int i = 0; i < argc; ++i) {
+        if (parse_ckpt_arg(ck, argc, argv, i, /*allow_retries=*/false))
+            continue;
         const std::string arg = argv[i];
         const bool has_value = i + 1 < argc;
         if (arg == "--out" && has_value) {
@@ -518,10 +722,19 @@ cmd_calibrate(const io::Json& doc, int argc, char** argv)
     if (threads_override > 0)
         spec.options.fit.threads = threads_override;
 
-    const calib::Calibrator calibrator(std::move(spec.space),
-                                       std::move(spec.data),
-                                       spec.options);
-    const auto report = calibrator.fit();
+    calib::CalibrationReport report;
+    if (ck.enabled) {
+        attach_logger(ck.sup);
+        auto supervised = ckpt::supervise_calibration(
+            std::move(spec.space), std::move(spec.data), spec.options,
+            ck.sup);
+        report = std::move(supervised.report);
+    } else {
+        const calib::Calibrator calibrator(std::move(spec.space),
+                                           std::move(spec.data),
+                                           spec.options);
+        report = calibrator.fit();
+    }
     std::fputs(calib::render(report).c_str(), stderr);
 
     const std::string json = calib::to_json(report).dump();
@@ -529,12 +742,8 @@ cmd_calibrate(const io::Json& doc, int argc, char** argv)
         std::fputs(json.c_str(), stdout);
         std::printf("\n");
     } else {
-        std::ofstream out(out_path);
-        if (!out) {
-            std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+        if (!write_file(out_path, json))
             return 1;
-        }
-        out << json << "\n";
         std::fprintf(stderr, "wrote calibration report to %s\n",
                      out_path.c_str());
     }
@@ -605,7 +814,7 @@ main(int argc, char** argv)
             // rate sweep.
             const io::Json doc = io::Json::parse(read_file(argv[2]));
             if (doc.is_object() && doc.contains("sweep"))
-                return cmd_sweep_spec(doc);
+                return cmd_sweep_spec(doc, argc - 3, argv + 3);
             if (argc < 4)
                 return usage();
             return cmd_sweep(io::scenario_from_json(doc), argc - 3,
@@ -623,6 +832,8 @@ main(int argc, char** argv)
         const io::Scenario sc = load(argv[2]);
         if (command == "estimate")
             return cmd_estimate(sc);
+        if (command == "run")
+            return cmd_run(sc, argc - 3, argv + 3);
         if (command == "trace")
             return cmd_trace(sc, argc - 3, argv + 3);
         if (command == "simulate") {
