@@ -1,0 +1,86 @@
+/**
+ * @file
+ * google-benchmark microbenchmark of the design-space explorer's hot
+ * loop: model-oracle evaluation with and without the sharded memo cache,
+ * and a full mutation-strategy search over the NF-placement space.
+ *
+ * Local-mutation search re-proposes the neighbors of a stable frontier
+ * round after round, so the memo hit rate — not the model solve — decides
+ * campaign wall-clock. CI runs this binary with
+ * --benchmark_out=BENCH_dse.json and archives the result, so cache or
+ * evaluator regressions show up in the artifacts.
+ */
+#include <benchmark/benchmark.h>
+
+#include "lognic/apps/nf_chain.hpp"
+#include "lognic/dse/explorer.hpp"
+#include "lognic/dse/spec.hpp"
+#include "lognic/io/json.hpp"
+
+using namespace lognic;
+
+namespace {
+
+dse::ExploreSpec
+make_spec()
+{
+    return dse::explore_spec_from_json(
+        io::Json::parse(dse::sample_explore_spec()));
+}
+
+/// Raw model-oracle solves: the cost a memo hit avoids.
+void
+BM_evaluate_config(benchmark::State& state)
+{
+    const dse::ExploreSpec spec = make_spec();
+    dse::Config c{0};
+    std::uint32_t level = 0;
+    for (auto _ : state) {
+        c[0] = level;
+        level = (level + 1) % 16;
+        benchmark::DoNotOptimize(dse::evaluate_config(
+            spec.space, c, spec.objectives, spec.constraints));
+    }
+}
+BENCHMARK(BM_evaluate_config);
+
+/// Exhaustive search over all 16 placements, DES validation off: the
+/// pure search + frontier-extraction path.
+void
+BM_explore_exhaustive(benchmark::State& state)
+{
+    dse::ExploreSpec spec = make_spec();
+    spec.options.des.enabled = false;
+    spec.options.threads = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dse::explore(
+            spec.space, spec.objectives, spec.constraints, spec.options));
+    }
+}
+BENCHMARK(BM_explore_exhaustive)->Arg(1)->Arg(4);
+
+/// Mutation search: the memo-heavy strategy (stable-frontier neighbor
+/// revisits hit the cache every round).
+void
+BM_explore_mutation(benchmark::State& state)
+{
+    dse::ExploreSpec spec = make_spec();
+    spec.options.strategy = dse::Strategy::kMutation;
+    spec.options.des.enabled = false;
+    spec.options.budget = 128;
+    spec.options.population = 8;
+    std::uint64_t hits = 0;
+    for (auto _ : state) {
+        const auto report = dse::explore(
+            spec.space, spec.objectives, spec.constraints, spec.options);
+        hits += report.cache.hits;
+        benchmark::DoNotOptimize(report);
+    }
+    state.counters["cache_hits_per_run"] = benchmark::Counter(
+        static_cast<double>(hits), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_explore_mutation);
+
+} // namespace
+
+BENCHMARK_MAIN();

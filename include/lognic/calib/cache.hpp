@@ -8,6 +8,9 @@
  * for reporting, and finite-difference probes repeat across backtracking.
  * An EvalCache memoizes residual vectors keyed on the *bit pattern* of
  * the parameter vector — exact, no tolerance games — with LRU eviction.
+ * The eviction/counter machinery itself lives in the shared
+ * io::LruCache backend (also used by the dse memo cache); EvalCache is
+ * the parameter-vector-keyed adapter with unchanged semantics.
  *
  * Caches are deliberately not thread-safe: the calibrator gives each
  * multi-start worker its own cache so hit/miss counts (and therefore
@@ -17,11 +20,10 @@
 #define LOGNIC_CALIB_CACHE_HPP_
 
 #include <cstdint>
-#include <list>
 #include <optional>
 #include <string>
-#include <unordered_map>
 
+#include "lognic/io/lru_cache.hpp"
 #include "lognic/solver/objective.hpp"
 
 namespace lognic::calib {
@@ -31,14 +33,10 @@ std::string cache_key(const solver::Vector& x);
 
 class EvalCache {
   public:
+    using Stats = io::LruCacheStats;
+
     /// @throws std::invalid_argument when capacity is zero.
     explicit EvalCache(std::size_t capacity);
-
-    struct Stats {
-        std::uint64_t hits{0};
-        std::uint64_t misses{0};
-        std::uint64_t evictions{0};
-    };
 
     /// Cached value for @p x, refreshing its recency; nullopt on a miss.
     std::optional<solver::Vector> lookup(const solver::Vector& x);
@@ -46,20 +44,12 @@ class EvalCache {
     /// capacity.
     void insert(const solver::Vector& x, solver::Vector value);
 
-    const Stats& stats() const { return stats_; }
-    std::size_t size() const { return entries_.size(); }
-    std::size_t capacity() const { return capacity_; }
+    const Stats& stats() const { return cache_.stats(); }
+    std::size_t size() const { return cache_.size(); }
+    std::size_t capacity() const { return cache_.capacity(); }
 
   private:
-    struct Entry {
-        std::string key;
-        solver::Vector value;
-    };
-
-    std::size_t capacity_;
-    std::list<Entry> entries_; ///< front = most recent
-    std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-    Stats stats_;
+    io::LruCache<solver::Vector> cache_;
 };
 
 /**

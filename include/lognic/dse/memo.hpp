@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Sharded memoized evaluation cache for the design-space explorer.
+ *
+ * Keys are canonical config strings (DesignSpace::canonical_key), values
+ * are model-oracle Evaluations. Sharding by FNV-1a of the key bounds
+ * per-shard LRU bookkeeping on big campaigns; each shard is the shared
+ * io::LruCache backend also used by calib's per-start loss caches.
+ *
+ * The cache is NOT thread-safe and is only touched from the explorer's
+ * serial batch coordinator — that is what makes hit/miss/eviction
+ * counters (which appear in the FrontierReport) a pure function of the
+ * candidate stream, identical at any thread count and across
+ * kill/resume.
+ */
+#ifndef LOGNIC_DSE_MEMO_HPP_
+#define LOGNIC_DSE_MEMO_HPP_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lognic/io/lru_cache.hpp"
+
+namespace lognic::dse {
+
+/// Model-oracle outcome for one config (see explorer.hpp for semantics).
+struct Evaluation {
+    std::vector<double> objectives; ///< aligned with the objective specs
+    bool feasible{true};
+    bool finite{true};
+    std::string why; ///< violated constraint or evaluation failure
+};
+
+class MemoCache {
+  public:
+    /// @throws std::invalid_argument when capacity or shards is zero.
+    MemoCache(std::size_t capacity, std::size_t shards);
+
+    std::optional<Evaluation> lookup(const std::string& key);
+    void insert(const std::string& key, Evaluation value);
+
+    /// Counters summed across shards.
+    io::LruCacheStats stats() const;
+    std::size_t size() const;
+    std::size_t shard_count() const { return shards_.size(); }
+
+  private:
+    std::size_t shard_of(const std::string& key) const;
+
+    std::vector<io::LruCache<Evaluation>> shards_;
+};
+
+} // namespace lognic::dse
+
+#endif // LOGNIC_DSE_MEMO_HPP_

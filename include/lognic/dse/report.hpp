@@ -1,0 +1,33 @@
+/**
+ * @file
+ * FrontierReport serialization (schema "lognic-dse-frontier/1") and the
+ * human-readable rendering behind `lognic explore`.
+ *
+ * The JSON document is deterministic byte-for-byte for a given
+ * exploration outcome: objects are key-ordered maps, u64 identities
+ * (seed, config fingerprints) travel as hex strings, and metric values
+ * are plain JSON numbers written with the writer's fixed %.17g rule.
+ * Thread count is deliberately absent from the document — reports from
+ * --threads 1 and --threads 8 must compare byte-identical.
+ */
+#ifndef LOGNIC_DSE_REPORT_HPP_
+#define LOGNIC_DSE_REPORT_HPP_
+
+#include <string>
+
+#include "lognic/dse/explorer.hpp"
+#include "lognic/io/json.hpp"
+
+namespace lognic::dse {
+
+/// Schema tag of the emitted document.
+inline constexpr const char* kFrontierReportSchema = "lognic-dse-frontier/1";
+
+io::Json frontier_report_to_json(const FrontierReport& report);
+
+/// Human-readable frontier table + search statistics.
+std::string render(const FrontierReport& report);
+
+} // namespace lognic::dse
+
+#endif // LOGNIC_DSE_REPORT_HPP_

@@ -16,38 +16,18 @@ cache_key(const solver::Vector& x)
     return key;
 }
 
-EvalCache::EvalCache(std::size_t capacity) : capacity_(capacity)
-{
-    if (capacity_ == 0)
-        throw std::invalid_argument("EvalCache: capacity must be > 0");
-}
+EvalCache::EvalCache(std::size_t capacity) : cache_(capacity) {}
 
 std::optional<solver::Vector>
 EvalCache::lookup(const solver::Vector& x)
 {
-    const auto it = index_.find(cache_key(x));
-    if (it == index_.end()) {
-        ++stats_.misses;
-        return std::nullopt;
-    }
-    ++stats_.hits;
-    entries_.splice(entries_.begin(), entries_, it->second);
-    return it->second->value;
+    return cache_.lookup(cache_key(x));
 }
 
 void
 EvalCache::insert(const solver::Vector& x, solver::Vector value)
 {
-    std::string key = cache_key(x);
-    if (index_.count(key) != 0)
-        return;
-    entries_.push_front(Entry{key, std::move(value)});
-    index_.emplace(std::move(key), entries_.begin());
-    if (entries_.size() > capacity_) {
-        index_.erase(entries_.back().key);
-        entries_.pop_back();
-        ++stats_.evictions;
-    }
+    cache_.insert(cache_key(x), std::move(value));
 }
 
 CachedResiduals::CachedResiduals(solver::VectorFn fn, std::size_t capacity)

@@ -47,7 +47,14 @@ std::vector<std::uint64_t> CheckpointStore::generations() const {
         if (name.compare(name.size() - 5, 5, ".lnck") != 0) continue;
         const std::string digits = name.substr(prefix.size(), 8);
         if (digits.find_first_not_of("0123456789") != std::string::npos) continue;
-        out.push_back(std::stoull(digits));
+        // parse_u64 names the file on failure; a directory scan must skip
+        // (not throw on) entries somebody else dropped next to ours.
+        try {
+            out.push_back(
+                io::parse_u64(digits, "checkpoint generation in '" + name + "'"));
+        } catch (const std::exception&) {
+            continue;
+        }
     }
     std::sort(out.begin(), out.end());
     return out;

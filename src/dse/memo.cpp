@@ -1,0 +1,62 @@
+#include "lognic/dse/memo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "lognic/io/checkpoint.hpp"
+
+namespace lognic::dse {
+
+MemoCache::MemoCache(std::size_t capacity, std::size_t shards)
+{
+    if (capacity == 0)
+        throw std::invalid_argument("MemoCache: capacity must be > 0");
+    if (shards == 0)
+        throw std::invalid_argument("MemoCache: shards must be > 0");
+    const std::size_t per_shard = std::max<std::size_t>(1, capacity / shards);
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i)
+        shards_.emplace_back(per_shard);
+}
+
+std::size_t
+MemoCache::shard_of(const std::string& key) const
+{
+    return static_cast<std::size_t>(io::fnv1a64(key) % shards_.size());
+}
+
+std::optional<Evaluation>
+MemoCache::lookup(const std::string& key)
+{
+    return shards_[shard_of(key)].lookup(key);
+}
+
+void
+MemoCache::insert(const std::string& key, Evaluation value)
+{
+    shards_[shard_of(key)].insert(key, std::move(value));
+}
+
+io::LruCacheStats
+MemoCache::stats() const
+{
+    io::LruCacheStats total;
+    for (const auto& shard : shards_) {
+        total.hits += shard.stats().hits;
+        total.misses += shard.stats().misses;
+        total.evictions += shard.stats().evictions;
+    }
+    return total;
+}
+
+std::size_t
+MemoCache::size() const
+{
+    std::size_t n = 0;
+    for (const auto& shard : shards_)
+        n += shard.size();
+    return n;
+}
+
+} // namespace lognic::dse

@@ -1,0 +1,184 @@
+#include "lognic/dse/pareto.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace lognic::dse {
+
+bool
+all_finite(const std::vector<double>& objectives)
+{
+    for (double v : objectives)
+        if (!std::isfinite(v))
+            return false;
+    return true;
+}
+
+bool
+dominates(const std::vector<double>& a, const std::vector<double>& b,
+          const std::vector<Sense>& senses)
+{
+    if (a.size() != senses.size() || b.size() != senses.size())
+        throw std::invalid_argument(
+            "dominates: objective vector size mismatch");
+    bool strictly_better = false;
+    for (std::size_t i = 0; i < senses.size(); ++i) {
+        // Normalize to "larger is better" so one comparison serves both
+        // senses.
+        const double x = senses[i] == Sense::kMaximize ? a[i] : -a[i];
+        const double y = senses[i] == Sense::kMaximize ? b[i] : -b[i];
+        if (x < y)
+            return false;
+        if (x > y)
+            strictly_better = true;
+    }
+    return strictly_better;
+}
+
+bool
+dominates(const ScoredConfig& a, const ScoredConfig& b,
+          const std::vector<Sense>& senses)
+{
+    if (!eligible(a) || !eligible(b))
+        return false;
+    return dominates(a.objectives, b.objectives, senses);
+}
+
+namespace {
+
+/// Canonical candidate order: by id, ties broken by the exact key.
+bool
+canonical_less(const ScoredConfig& a, const ScoredConfig& b)
+{
+    if (a.id != b.id)
+        return a.id < b.id;
+    return a.key < b.key;
+}
+
+} // namespace
+
+std::vector<std::size_t>
+pareto_frontier(const std::vector<ScoredConfig>& all,
+                const std::vector<Sense>& senses)
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        if (!eligible(all[i]))
+            continue;
+        bool dominated = false;
+        for (std::size_t j = 0; j < all.size() && !dominated; ++j) {
+            if (j == i || !eligible(all[j]))
+                continue;
+            dominated =
+                dominates(all[j].objectives, all[i].objectives, senses);
+        }
+        if (!dominated)
+            out.push_back(i);
+    }
+    std::sort(out.begin(), out.end(), [&](std::size_t a, std::size_t b) {
+        return canonical_less(all[a], all[b]);
+    });
+    return out;
+}
+
+std::uint64_t
+dominated_count(const ScoredConfig& who, const std::vector<ScoredConfig>& all,
+                const std::vector<Sense>& senses)
+{
+    if (!eligible(who))
+        return 0;
+    std::uint64_t n = 0;
+    for (const auto& other : all) {
+        if (!eligible(other))
+            continue;
+        if (dominates(who.objectives, other.objectives, senses))
+            ++n;
+    }
+    return n;
+}
+
+std::vector<std::vector<std::size_t>>
+non_dominated_sort(const std::vector<ScoredConfig>& all,
+                   const std::vector<Sense>& senses)
+{
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < all.size(); ++i)
+        if (eligible(all[i]))
+            members.push_back(i);
+
+    // dominated_by[i]: how many members dominate i; domins[i]: who i
+    // dominates.
+    std::vector<std::size_t> dominated_by(all.size(), 0);
+    std::vector<std::vector<std::size_t>> domins(all.size());
+    for (std::size_t a : members)
+        for (std::size_t b : members) {
+            if (a == b)
+                continue;
+            if (dominates(all[a].objectives, all[b].objectives, senses)) {
+                domins[a].push_back(b);
+                ++dominated_by[b];
+            }
+        }
+
+    std::vector<std::vector<std::size_t>> fronts;
+    std::vector<std::size_t> current;
+    for (std::size_t i : members)
+        if (dominated_by[i] == 0)
+            current.push_back(i);
+    while (!current.empty()) {
+        fronts.push_back(current);
+        std::vector<std::size_t> next;
+        for (std::size_t i : current)
+            for (std::size_t j : domins[i])
+                if (--dominated_by[j] == 0)
+                    next.push_back(j);
+        std::sort(next.begin(), next.end());
+        current = std::move(next);
+    }
+    return fronts;
+}
+
+std::vector<double>
+crowding_distance(const std::vector<std::size_t>& front,
+                  const std::vector<ScoredConfig>& all,
+                  const std::vector<Sense>& senses)
+{
+    const double kInf = std::numeric_limits<double>::infinity();
+    std::vector<double> dist(front.size(), 0.0);
+    if (front.size() <= 2) {
+        std::fill(dist.begin(), dist.end(), kInf);
+        return dist;
+    }
+    for (std::size_t m = 0; m < senses.size(); ++m) {
+        // Positions into `front`, ordered by objective m (ties by index so
+        // the sort — and therefore the distances — are deterministic).
+        std::vector<std::size_t> order(front.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      const double x = all[front[a]].objectives[m];
+                      const double y = all[front[b]].objectives[m];
+                      if (x != y)
+                          return x < y;
+                      return front[a] < front[b];
+                  });
+        const double lo = all[front[order.front()]].objectives[m];
+        const double hi = all[front[order.back()]].objectives[m];
+        dist[order.front()] = kInf;
+        dist[order.back()] = kInf;
+        const double range = hi - lo;
+        if (range <= 0.0)
+            continue;
+        for (std::size_t i = 1; i + 1 < order.size(); ++i) {
+            const double below = all[front[order[i - 1]]].objectives[m];
+            const double above = all[front[order[i + 1]]].objectives[m];
+            dist[order[i]] += (above - below) / range;
+        }
+    }
+    return dist;
+}
+
+} // namespace lognic::dse

@@ -203,16 +203,34 @@ std::uint64_t parse_u64(const std::string& text, const std::string& context) {
     if (begin == end) throw bad("empty");
     const std::string body = text.substr(begin, end - begin);
     if (body[0] == '-') throw bad("negative");
-    std::size_t consumed = 0;
-    std::uint64_t value = 0;
-    try {
-        value = std::stoull(body, &consumed, 0);
-    } catch (const std::invalid_argument&) {
-        throw bad("not a number");
-    } catch (const std::out_of_range&) {
-        throw bad("out of range");
+    // Hand-rolled hex/decimal accumulation: unlike stoull(base 0) this
+    // rejects '+' signs and never reinterprets leading zeros as octal, and
+    // every failure is rejected by name through @p context.
+    std::size_t pos = 0;
+    std::uint64_t base = 10;
+    if (body.size() > 2 && body[0] == '0' &&
+        (body[1] == 'x' || body[1] == 'X')) {
+        base = 16;
+        pos = 2;
     }
-    if (consumed != body.size()) throw bad("trailing garbage");
+    if (pos == body.size()) throw bad("not a number");
+    std::uint64_t value = 0;
+    for (; pos < body.size(); ++pos) {
+        const char c = body[pos];
+        std::uint64_t digit = 0;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<std::uint64_t>(c - '0');
+        else if (base == 16 && c >= 'a' && c <= 'f')
+            digit = static_cast<std::uint64_t>(c - 'a') + 10;
+        else if (base == 16 && c >= 'A' && c <= 'F')
+            digit = static_cast<std::uint64_t>(c - 'A') + 10;
+        else if (pos == 0 || (base == 16 && pos == 2))
+            throw bad("not a number");
+        else
+            throw bad("trailing garbage");
+        if (value > (UINT64_MAX - digit) / base) throw bad("out of range");
+        value = value * base + digit;
+    }
     return value;
 }
 

@@ -199,5 +199,29 @@ TEST(CalibCache, CachedResidualsCountsModelSolvesOnce)
         EXPECT_LE(cached.convergence()[i], cached.convergence()[i - 1]);
 }
 
+TEST(CalibCache, SharedLruBackendPreservesHitCounts)
+{
+    // EvalCache now delegates to the shared io::LruCache (also the dse
+    // memo backend). Replaying the same access pattern against both must
+    // yield identical hit/miss/eviction counts — the extraction
+    // guarantee that calibration reports are unchanged.
+    EvalCache adapted(2);
+    io::LruCache<solver::Vector> raw(2);
+    const std::vector<solver::Vector> pattern{
+        {1.0}, {2.0}, {1.0}, {3.0}, {2.0}, {3.0}, {1.0}, {1.0}, {3.0}};
+    for (const auto& x : pattern) {
+        if (!adapted.lookup(x).has_value())
+            adapted.insert(x, x);
+        if (!raw.lookup(cache_key(x)).has_value())
+            raw.insert(cache_key(x), x);
+    }
+    EXPECT_EQ(adapted.stats().hits, raw.stats().hits);
+    EXPECT_EQ(adapted.stats().misses, raw.stats().misses);
+    EXPECT_EQ(adapted.stats().evictions, raw.stats().evictions);
+    EXPECT_GT(adapted.stats().hits, 0u);
+    EXPECT_GT(adapted.stats().evictions, 0u);
+    EXPECT_EQ(adapted.size(), raw.size());
+}
+
 } // namespace
 } // namespace lognic::calib

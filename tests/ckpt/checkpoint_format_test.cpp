@@ -15,6 +15,7 @@
 #include <fstream>
 #include <limits>
 #include <string>
+#include <vector>
 
 #include "lognic/ckpt/store.hpp"
 #include "lognic/io/checkpoint.hpp"
@@ -128,6 +129,25 @@ TEST(HexCodec, U64RoundTripsAndParsesStrictly)
     }
 }
 
+TEST(HexCodec, ParseU64RejectsSignsOctalPrefixAndHexGarbage)
+{
+    // The hand-rolled parser (replacing raw std::stoull) must reject
+    // everything stoull silently tolerated or misread.
+    EXPECT_THROW(io::parse_u64("+5", "t"), std::runtime_error); // sign
+    EXPECT_THROW(io::parse_u64("0x", "t"), std::runtime_error); // no digits
+    EXPECT_THROW(io::parse_u64("0xg1", "t"), std::runtime_error);
+    EXPECT_THROW(io::parse_u64("0x1g", "t"), std::runtime_error);
+    EXPECT_THROW(io::parse_u64("1 2", "t"), std::runtime_error);
+    EXPECT_THROW(io::parse_u64("0x10000000000000000", "t"),
+                 std::runtime_error); // hex overflow
+    // Leading zeros are decimal, never octal.
+    EXPECT_EQ(io::parse_u64("0777", "t"), 777u);
+    // Hex is case-insensitive and whitespace-trimmed.
+    EXPECT_EQ(io::parse_u64(" 0X1a ", "t"), 26u);
+    EXPECT_EQ(io::parse_u64("0xffffffffffffffff", "t"),
+              std::numeric_limits<std::uint64_t>::max());
+}
+
 // --- frame encode/decode ------------------------------------------------------
 
 TEST(Frame, RoundTripsBinaryPayloads)
@@ -184,6 +204,50 @@ TEST(Frame, NamesEveryDefect)
     EXPECT_NE(reason.find("version skew"), std::string::npos) << reason;
     // Empty file.
     EXPECT_FALSE(io::decode_frame("", &reason));
+}
+
+TEST(Frame, GarbageHeaderNumbersRejectedByNameNotCrash)
+{
+    io::CheckpointFrame frame;
+    frame.kind = "check";
+    frame.payload = "payload";
+    const std::string good = io::encode_frame(frame);
+    const std::size_t nl = good.find('\n');
+    ASSERT_NE(nl, std::string::npos);
+
+    // Header layout: magic version kind size checksum. Swap the numeric
+    // fields for garbage a raw stoull would crash on (out_of_range) or
+    // silently misparse, and check each is rejected with its field named.
+    const auto with_field = [&](std::size_t index, const std::string& val) {
+        std::vector<std::string> tok;
+        std::size_t pos = 0;
+        const std::string header = good.substr(0, nl);
+        while (pos <= header.size()) {
+            const std::size_t sp = header.find(' ', pos);
+            tok.push_back(header.substr(pos, sp - pos));
+            if (sp == std::string::npos)
+                break;
+            pos = sp + 1;
+        }
+        tok[index] = val;
+        std::string out;
+        for (std::size_t i = 0; i < tok.size(); ++i)
+            out += (i != 0 ? " " : "") + tok[i];
+        return out + good.substr(nl);
+    };
+
+    std::string reason;
+    // Payload size overflowing u64: the pre-fix crash case.
+    EXPECT_FALSE(io::decode_frame(
+        with_field(3, "99999999999999999999999"), &reason));
+    EXPECT_NE(reason.find("payload size"), std::string::npos) << reason;
+    EXPECT_NE(reason.find("out of range"), std::string::npos) << reason;
+    // Non-numeric checksum.
+    EXPECT_FALSE(io::decode_frame(with_field(4, "0xnope"), &reason));
+    EXPECT_NE(reason.find("checksum"), std::string::npos) << reason;
+    // Signed version.
+    EXPECT_FALSE(io::decode_frame(with_field(1, "-1"), &reason));
+    EXPECT_NE(reason.find("version"), std::string::npos) << reason;
 }
 
 // --- atomic_write_file --------------------------------------------------------
@@ -316,6 +380,35 @@ TEST(Store, IgnoresTmpLeftoversAndForeignKinds)
     EXPECT_EQ(loaded->payload, "real");
     ASSERT_EQ(rejected.size(), 1u);
     EXPECT_NE(rejected[0].reason.find("kind mismatch"), std::string::npos);
+}
+
+TEST(Store, ScanSurvivesGarbageNeighborFilenames)
+{
+    TempDir dir("garbage");
+    ckpt::CheckpointStore store(dir.path(), "sweep");
+    store.save("real");
+
+    // Files somebody else dropped next to ours: wrong digit-run length
+    // (including one long enough to overflow a raw stoull), non-digit
+    // characters in the generation slot, and a missing generation
+    // entirely. The scan must skip every one without throwing.
+    write_raw(dir.path() + "/sweep-99999999999999999999999.lnck", "junk");
+    write_raw(dir.path() + "/sweep-0000001x.lnck", "junk");
+    write_raw(dir.path() + "/sweep-1.lnck", "junk");
+    write_raw(dir.path() + "/sweep-.lnck", "junk");
+    write_raw(dir.path() + "/sweep-деадбиф.lnck", "junk");
+
+    const auto gens = store.generations();
+    ASSERT_EQ(gens.size(), 1u);
+    EXPECT_EQ(gens[0], 1u);
+    const auto loaded = store.load_latest();
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->payload, "real");
+
+    // A reopened store resumes numbering from the real generation, not
+    // from any of the garbage.
+    ckpt::CheckpointStore reopened(dir.path(), "sweep");
+    EXPECT_EQ(reopened.save("next"), 2u);
 }
 
 TEST(Store, RejectsInvalidConstruction)

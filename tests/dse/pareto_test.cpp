@@ -1,0 +1,172 @@
+// Pareto machinery edge cases: dominance with mixed senses, ties on one
+// objective, NaN/inf quarantine, single-objective degeneration, and
+// frontier stability under input permutation.
+#include "lognic/dse/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+using namespace lognic::dse;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+ScoredConfig
+make(std::uint64_t id, std::vector<double> objectives, bool feasible = true)
+{
+    ScoredConfig s;
+    s.id = id;
+    s.key = "cfg-" + std::to_string(id);
+    s.objectives = std::move(objectives);
+    s.feasible = feasible;
+    s.finite = all_finite(s.objectives);
+    return s;
+}
+
+const std::vector<Sense> kMaxMin{Sense::kMaximize, Sense::kMinimize};
+
+} // namespace
+
+TEST(ParetoDominance, MixedSenses)
+{
+    const auto a = make(1, {10.0, 5.0}); // higher tput, lower latency
+    const auto b = make(2, {8.0, 7.0});
+    EXPECT_TRUE(dominates(a, b, kMaxMin));
+    EXPECT_FALSE(dominates(b, a, kMaxMin));
+}
+
+TEST(ParetoDominance, EqualOnAllObjectivesDominatesNeither)
+{
+    const auto a = make(1, {10.0, 5.0});
+    const auto b = make(2, {10.0, 5.0});
+    EXPECT_FALSE(dominates(a, b, kMaxMin));
+    EXPECT_FALSE(dominates(b, a, kMaxMin));
+}
+
+TEST(ParetoDominance, TieOnOneObjective)
+{
+    // Same throughput, strictly better latency: still dominates (weak
+    // dominance with at least one strict improvement).
+    const auto a = make(1, {10.0, 5.0});
+    const auto b = make(2, {10.0, 6.0});
+    EXPECT_TRUE(dominates(a, b, kMaxMin));
+    EXPECT_FALSE(dominates(b, a, kMaxMin));
+}
+
+TEST(ParetoDominance, SizeMismatchThrows)
+{
+    const auto a = make(1, {10.0});
+    const auto b = make(2, {10.0, 5.0});
+    EXPECT_THROW(static_cast<void>(dominates(a, b, kMaxMin)),
+                 std::invalid_argument);
+}
+
+TEST(ParetoDominance, IneligibleNeverDominatesOrIsDominated)
+{
+    const auto good = make(1, {10.0, 5.0});
+    const auto nan = make(2, {kNan, 1.0});
+    const auto inf = make(3, {kInf, 0.0}); // "infinitely good" — quarantined
+    const auto infeasible = make(4, {100.0, 0.1}, /*feasible=*/false);
+    for (const auto& bad : {nan, inf, infeasible}) {
+        EXPECT_FALSE(dominates(bad, good, kMaxMin));
+        EXPECT_FALSE(dominates(good, bad, kMaxMin));
+    }
+}
+
+TEST(ParetoFrontier, QuarantinedNeverEnterFrontier)
+{
+    const std::vector<ScoredConfig> all{
+        make(1, {10.0, 5.0}),
+        make(2, {kNan, kNan}),
+        make(3, {kInf, 0.0}),
+        make(4, {100.0, 0.0}, /*feasible=*/false),
+    };
+    const auto frontier = pareto_frontier(all, kMaxMin);
+    ASSERT_EQ(frontier.size(), 1u);
+    EXPECT_EQ(all[frontier[0]].id, 1u);
+}
+
+TEST(ParetoFrontier, SingleObjectiveDegeneratesToArgmin)
+{
+    const std::vector<Sense> min{Sense::kMinimize};
+    const std::vector<ScoredConfig> all{
+        make(1, {3.0}), make(2, {1.0}), make(3, {2.0}), make(4, {1.0})};
+    const auto frontier = pareto_frontier(all, min);
+    // Both argmin ties survive (neither strictly dominates the other).
+    ASSERT_EQ(frontier.size(), 2u);
+    EXPECT_EQ(all[frontier[0]].id, 2u);
+    EXPECT_EQ(all[frontier[1]].id, 4u);
+}
+
+TEST(ParetoFrontier, StableUnderPermutation)
+{
+    std::vector<ScoredConfig> all{
+        make(5, {10.0, 9.0}), make(1, {9.0, 2.0}),  make(9, {7.0, 1.0}),
+        make(3, {8.0, 1.5}),  make(7, {10.0, 9.5}), make(2, {1.0, 50.0}),
+    };
+    const auto ids_of = [&](const std::vector<ScoredConfig>& v) {
+        std::vector<std::uint64_t> ids;
+        for (std::size_t idx : pareto_frontier(v, kMaxMin))
+            ids.push_back(v[idx].id);
+        return ids;
+    };
+    const auto baseline = ids_of(all);
+    ASSERT_FALSE(baseline.empty());
+    std::vector<ScoredConfig> permuted = all;
+    std::sort(permuted.begin(), permuted.end(),
+              [](const ScoredConfig& a, const ScoredConfig& b) {
+                  return a.id > b.id;
+              });
+    EXPECT_EQ(ids_of(permuted), baseline);
+    std::reverse(permuted.begin(), permuted.end());
+    EXPECT_EQ(ids_of(permuted), baseline);
+}
+
+TEST(ParetoFrontier, DominatedCountMatchesDefinition)
+{
+    const std::vector<ScoredConfig> all{
+        make(1, {10.0, 1.0}), // dominates 2 and 3
+        make(2, {9.0, 2.0}),
+        make(3, {8.0, 3.0}),
+        make(4, {11.0, 9.0}), // frontier too, dominates nobody
+    };
+    EXPECT_EQ(dominated_count(all[0], all, kMaxMin), 2u);
+    EXPECT_EQ(dominated_count(all[3], all, kMaxMin), 0u);
+}
+
+TEST(NonDominatedSort, LayersAndQuarantine)
+{
+    const std::vector<ScoredConfig> all{
+        make(1, {10.0, 1.0}), // front 0
+        make(2, {9.0, 2.0}),  // front 1
+        make(3, {8.0, 3.0}),  // front 2
+        make(4, {kNan, 1.0}), // in no front
+    };
+    const auto fronts = non_dominated_sort(all, kMaxMin);
+    ASSERT_EQ(fronts.size(), 3u);
+    EXPECT_EQ(fronts[0], (std::vector<std::size_t>{0}));
+    EXPECT_EQ(fronts[1], (std::vector<std::size_t>{1}));
+    EXPECT_EQ(fronts[2], (std::vector<std::size_t>{2}));
+}
+
+TEST(CrowdingDistance, BoundariesInfiniteMiddleFinite)
+{
+    const std::vector<ScoredConfig> all{
+        make(1, {1.0, 9.0}),
+        make(2, {5.0, 5.0}),
+        make(3, {9.0, 1.0}),
+    };
+    const std::vector<std::size_t> front{0, 1, 2};
+    const auto dist = crowding_distance(front, all, kMaxMin);
+    ASSERT_EQ(dist.size(), 3u);
+    EXPECT_EQ(dist[0], kInf);
+    EXPECT_EQ(dist[2], kInf);
+    EXPECT_TRUE(std::isfinite(dist[1]));
+    EXPECT_GT(dist[1], 0.0);
+}
+

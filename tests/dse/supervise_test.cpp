@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Kill-tolerant exploration supervision: ExploreJournal round-trips
+ * bit-exactly, and an exploration killed after any checkpoint and
+ * resumed produces a FrontierReport byte-identical to the uninterrupted
+ * run — including the memo-cache counters in the report, which journal
+ * replay must not perturb. The kill is simulated at the storage layer
+ * exactly like tests/ckpt/resume_test.cpp: checkpoint after every
+ * completion, clone the directory, delete generations newer than g.
+ */
+#include "lognic/dse/supervise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <unistd.h>
+
+#include "lognic/apps/nf_chain.hpp"
+#include "lognic/ckpt/store.hpp"
+#include "lognic/dse/report.hpp"
+#include "lognic/io/checkpoint.hpp"
+
+using namespace lognic;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+  public:
+    explicit TempDir(const std::string& tag)
+        : path_((fs::temp_directory_path()
+                 / ("lognic_dse_" + tag + "_" + std::to_string(::getpid())))
+                    .string())
+    {
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~TempDir() { fs::remove_all(path_); }
+    const std::string& path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+std::string
+clone_killed_at(const std::string& src, const std::string& dst,
+                std::uint64_t keep)
+{
+    fs::remove_all(dst);
+    fs::create_directories(dst);
+    for (const auto& entry : fs::directory_iterator(src))
+        fs::copy(entry.path(), dst / entry.path().filename());
+    ckpt::CheckpointStore probe(dst, dse::kExploreCheckpointKind,
+                                ckpt::StoreOptions{1000});
+    for (std::uint64_t g : probe.generations())
+        if (g > keep)
+            fs::remove(probe.path_for(g));
+    return dst;
+}
+
+io::Scenario
+nf_base()
+{
+    auto built = apps::make_nf_chain(apps::arm_only_placement());
+    return io::Scenario{std::move(built.hw), std::move(built.graph),
+                        core::TrafficProfile::fixed(
+                            Bytes{1500.0}, Bandwidth::from_gbps(50.0))};
+}
+
+dse::DesignSpace
+placement_space()
+{
+    dse::DesignSpace space(nf_base());
+    space.add("placement.nf_chain", {});
+    return space;
+}
+
+std::vector<dse::ObjectiveSpec>
+tput_p99()
+{
+    return {dse::objective_from_name("throughput_gbps"),
+            dse::objective_from_name("p99_latency_us")};
+}
+
+dse::ExploreOptions
+fast_opts()
+{
+    dse::ExploreOptions opts;
+    opts.des.replications = 1;
+    opts.des.duration = 0.002;
+    return opts;
+}
+
+} // namespace
+
+TEST(ExploreJournal, BitExactThroughDumpAndParse)
+{
+    dse::ExploreJournal journal;
+
+    dse::Evaluation good;
+    good.objectives = {21.677419354838712, 4708.091500455128};
+    journal.record_eval("cfg-a", good);
+
+    dse::Evaluation bad;
+    bad.objectives = {std::numeric_limits<double>::quiet_NaN(),
+                      std::numeric_limits<double>::infinity()};
+    bad.feasible = false;
+    bad.finite = false;
+    bad.why = "evaluation failed: \"quoted\" and\nnewline";
+    journal.record_eval("cfg-b", bad);
+
+    dse::DesValidation v;
+    v.ok = true;
+    v.seed = 0xbb40e38410af771aull;
+    v.replications = 3;
+    v.delivered_gbps = 21.558;
+    v.mean_latency_us = 160.66507720949431;
+    v.p99_latency_us = 184.7013804764558;
+    v.drop_rate = 0.56529433642501503;
+    v.throughput_disagreement = 0.0055394449781385989;
+    v.p99_disagreement = -24.490288639479211;
+    journal.record_des("cfg-a", v);
+
+    const io::Json j = journal.to_json();
+    dse::ExploreJournal back;
+    back.load_json(io::Json::parse(j.dump(-1)));
+    EXPECT_EQ(back.eval_count(), 2u);
+    EXPECT_EQ(back.des_count(), 1u);
+    // Re-serialization equality: every hex double/u64 survives untouched.
+    EXPECT_EQ(back.to_json().dump(-1), j.dump(-1));
+
+    dse::Evaluation eval_back;
+    ASSERT_TRUE(back.lookup_eval("cfg-b", eval_back));
+    EXPECT_TRUE(std::isnan(eval_back.objectives[0]));
+    EXPECT_TRUE(std::isinf(eval_back.objectives[1]));
+    dse::DesValidation des_back;
+    ASSERT_TRUE(back.lookup_des("cfg-a", des_back));
+    EXPECT_EQ(des_back.seed, v.seed);
+    EXPECT_EQ(des_back.delivered_gbps, v.delivered_gbps);
+
+    EXPECT_THROW(back.load_json(io::Json::parse("{\"evals\": 3}")),
+                 std::runtime_error);
+}
+
+TEST(SuperviseExploration, SeamsMustBeUnset)
+{
+    TempDir dir("seams");
+    ckpt::SupervisorOptions sup;
+    sup.dir = dir.path();
+    dse::ExploreOptions opts = fast_opts();
+    opts.on_eval = [](const std::string&, const dse::Evaluation&) {};
+    EXPECT_THROW(dse::supervise_exploration(placement_space(), tput_p99(),
+                                            {}, opts, sup),
+                 std::invalid_argument);
+    EXPECT_THROW(dse::supervise_exploration(placement_space(), tput_p99(),
+                                            {}, fast_opts(),
+                                            ckpt::SupervisorOptions{}),
+                 std::invalid_argument); // empty dir
+}
+
+TEST(SuperviseExploration, UninterruptedMatchesUnsupervised)
+{
+    TempDir dir("plain");
+    ckpt::SupervisorOptions sup;
+    sup.dir = dir.path();
+    const auto space = placement_space();
+    const auto supervised = dse::supervise_exploration(
+        space, tput_p99(), {}, fast_opts(), sup);
+    EXPECT_FALSE(supervised.resume.resumed);
+    EXPECT_GE(supervised.checkpoints, 1u); // at least the final flush
+
+    const auto plain = dse::explore(space, tput_p99(), {}, fast_opts());
+    EXPECT_EQ(dse::frontier_report_to_json(supervised.report).dump(-1),
+              dse::frontier_report_to_json(plain).dump(-1));
+}
+
+TEST(SuperviseExploration, ResumeAfterKillIsByteIdentical)
+{
+    const auto space = placement_space();
+    const auto objectives = tput_p99();
+
+    // Uninterrupted supervised run, checkpointing after every completion
+    // so every kill point exists on disk.
+    TempDir full_dir("full");
+    ckpt::SupervisorOptions sup;
+    sup.dir = full_dir.path();
+    sup.checkpoint_every = 1;
+    sup.retention = 1000;
+    const auto full = dse::supervise_exploration(space, objectives, {},
+                                                 fast_opts(), sup);
+    const std::string want =
+        dse::frontier_report_to_json(full.report).dump(-1);
+    ASSERT_GE(full.checkpoints, 3u);
+
+    // Resume from the state a SIGKILL would leave after generation g, for
+    // an early, a middle, and a late kill.
+    const std::uint64_t kills[] = {1, full.checkpoints / 2,
+                                   full.checkpoints - 1};
+    for (std::uint64_t keep : kills) {
+        TempDir kill_dir("kill_" + std::to_string(keep));
+        clone_killed_at(full_dir.path(), kill_dir.path(), keep);
+        ckpt::SupervisorOptions resume_sup;
+        resume_sup.dir = kill_dir.path();
+        const auto resumed = dse::supervise_exploration(
+            space, objectives, {}, fast_opts(), resume_sup);
+        EXPECT_TRUE(resumed.resume.resumed);
+        EXPECT_EQ(resumed.resume.generation, keep);
+        EXPECT_EQ(dse::frontier_report_to_json(resumed.report).dump(-1),
+                  want)
+            << "kill after generation " << keep;
+    }
+
+    // And at a different thread count, still byte-identical.
+    TempDir kill_dir("kill_threads");
+    clone_killed_at(full_dir.path(), kill_dir.path(), 2);
+    ckpt::SupervisorOptions resume_sup;
+    resume_sup.dir = kill_dir.path();
+    auto opts8 = fast_opts();
+    opts8.threads = 8;
+    const auto resumed = dse::supervise_exploration(space, objectives, {},
+                                                    opts8, resume_sup);
+    EXPECT_EQ(dse::frontier_report_to_json(resumed.report).dump(-1), want);
+}
+
+TEST(SuperviseExploration, ForeignCampaignRefused)
+{
+    TempDir dir("foreign");
+    ckpt::SupervisorOptions sup;
+    sup.dir = dir.path();
+    const auto space = placement_space();
+    (void)dse::supervise_exploration(space, tput_p99(), {}, fast_opts(),
+                                     sup);
+
+    // Same directory, different seed: a different campaign.
+    auto other = fast_opts();
+    other.seed = 1234;
+    EXPECT_THROW(dse::supervise_exploration(space, tput_p99(), {}, other,
+                                            sup),
+                 std::runtime_error);
+
+    // --no-resume starts fresh instead of throwing.
+    ckpt::SupervisorOptions fresh = sup;
+    fresh.resume = false;
+    EXPECT_NO_THROW(dse::supervise_exploration(space, tput_p99(), {},
+                                               other, fresh));
+}
+
+TEST(SuperviseExploration, CorruptNewestGenerationIsSkipped)
+{
+    TempDir dir("corrupt");
+    ckpt::SupervisorOptions sup;
+    sup.dir = dir.path();
+    sup.checkpoint_every = 1;
+    sup.retention = 1000;
+    const auto space = placement_space();
+    const auto full = dse::supervise_exploration(space, tput_p99(), {},
+                                                 fast_opts(), sup);
+    const std::string want =
+        dse::frontier_report_to_json(full.report).dump(-1);
+
+    // Truncate the newest generation mid-payload: a torn write.
+    ckpt::CheckpointStore probe(dir.path(), dse::kExploreCheckpointKind,
+                                ckpt::StoreOptions{1000});
+    const auto gens = probe.generations();
+    ASSERT_FALSE(gens.empty());
+    const std::string newest = probe.path_for(gens.back());
+    const auto contents = io::read_file_if_exists(newest);
+    ASSERT_TRUE(contents.has_value());
+    io::atomic_write_file(newest,
+                          contents->substr(0, contents->size() / 2));
+
+    const auto resumed = dse::supervise_exploration(space, tput_p99(), {},
+                                                    fast_opts(), sup);
+    EXPECT_TRUE(resumed.resume.resumed);
+    ASSERT_FALSE(resumed.resume.rejected.empty());
+    EXPECT_EQ(resumed.resume.rejected.front().path, newest);
+    EXPECT_EQ(dse::frontier_report_to_json(resumed.report).dump(-1), want);
+}

@@ -1,0 +1,80 @@
+// The shared string-keyed LRU memo backend (extracted from calib's
+// EvalCache, reused by the dse memo cache): counter semantics, recency
+// refresh on lookup, no-op insert on present keys, and eviction order.
+#include "lognic/io/lru_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+using lognic::io::LruCache;
+
+TEST(LruCache, RejectsZeroCapacity)
+{
+    EXPECT_THROW(LruCache<int>(0), std::invalid_argument);
+}
+
+TEST(LruCache, CountsHitsAndMisses)
+{
+    LruCache<int> cache(4);
+    EXPECT_FALSE(cache.lookup("a").has_value());
+    cache.insert("a", 1);
+    const auto hit = cache.lookup("a");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, 1);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.capacity(), 4u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed)
+{
+    LruCache<int> cache(2);
+    cache.insert("a", 1);
+    cache.insert("b", 2);
+    // Touch "a" so "b" becomes the eviction victim.
+    ASSERT_TRUE(cache.lookup("a").has_value());
+    cache.insert("c", 3);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_TRUE(cache.lookup("a").has_value());
+    EXPECT_FALSE(cache.lookup("b").has_value());
+    EXPECT_TRUE(cache.lookup("c").has_value());
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCache, InsertIsNoOpWhenPresent)
+{
+    LruCache<int> cache(2);
+    cache.insert("a", 1);
+    cache.insert("a", 99); // ignored: first value wins
+    const auto v = cache.lookup("a");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 1);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCache, LookupRefreshesRecencyWithoutInsert)
+{
+    LruCache<int> cache(2);
+    cache.insert("a", 1);
+    cache.insert("b", 2);
+    ASSERT_TRUE(cache.lookup("a").has_value());
+    ASSERT_TRUE(cache.lookup("b").has_value());
+    // "a" is now the LRU entry again.
+    cache.insert("c", 3);
+    EXPECT_FALSE(cache.lookup("a").has_value());
+    EXPECT_TRUE(cache.lookup("b").has_value());
+}
+
+TEST(LruCache, MissesOnEvictedKeysCountAsMisses)
+{
+    LruCache<int> cache(1);
+    cache.insert("a", 1);
+    cache.insert("b", 2); // evicts "a"
+    EXPECT_FALSE(cache.lookup("a").has_value());
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}

@@ -8,6 +8,8 @@
  *   lognic example sweep                print a sample sweep-spec JSON
  *   lognic example faults               print a sample fault-plan JSON
  *   lognic example calib                print a sample calibration-spec JSON
+ *   lognic example explore              print a sample exploration-spec JSON
+ *                                       (the fig13/14 placement study)
  *   lognic example placement            print the fig13/14 NF-placement
  *                                       scenario (LogNIC-opt at MTU)
  *   lognic estimate <scenario.json>     model throughput/latency report
@@ -44,6 +46,13 @@
  *                                       corpus replay; emits a JSON
  *                                       violation report, exit 1 on any
  *                                       violation
+ *   lognic explore <spec.json> [--out report.json] [--threads n]
+ *                                       design-space exploration: Pareto
+ *                                       search over placements/provisioning
+ *                                       knobs with DES validation of the
+ *                                       frontier; emits a FrontierReport
+ *                                       JSON, byte-identical at any
+ *                                       --threads value
  *   lognic run <scenario.json> --checkpoint <dir> [--seconds s] [--seed n]
  *              [--segment-events n] [--every n] [--no-resume]
  *              [--retention n]
@@ -55,7 +64,7 @@
  *                                       bit-identical results
  *   lognic dot <scenario.json>          Graphviz export of the graph
  *
- * `sweep` (spec form), `check`, and `calibrate` accept the same
+ * `sweep` (spec form), `check`, `calibrate`, and `explore` accept the same
  * checkpoint flags: --checkpoint <dir> enables supervision, --no-resume
  * starts fresh, --every n sets the completions-per-checkpoint cadence,
  * --retention n the generations kept; `sweep` adds --retries n for
@@ -75,6 +84,9 @@
 #include "lognic/check/harness.hpp"
 #include "lognic/ckpt/supervisor.hpp"
 #include "lognic/core/model.hpp"
+#include "lognic/dse/report.hpp"
+#include "lognic/dse/spec.hpp"
+#include "lognic/dse/supervise.hpp"
 #include "lognic/fault/degradation.hpp"
 #include "lognic/fault/fault_plan.hpp"
 #include "lognic/core/reporting.hpp"
@@ -124,6 +136,12 @@ usage()
                  "a dataset; emits a\n"
                  "                                CalibrationReport JSON "
                  "(see `lognic example calib`)\n"
+                 "  explore  <spec.json> [--out report.json] [--threads n]\n"
+                 "                                Pareto design-space "
+                 "exploration with DES\n"
+                 "                                validation of the frontier "
+                 "(see `lognic example\n"
+                 "                                explore`)\n"
                  "  run      <scenario.json> --checkpoint <dir> "
                  "[--seconds s] [--seed n]\n"
                  "           [--segment-events n] [--every n] [--no-resume] "
@@ -138,7 +156,7 @@ usage()
                  "  --checkpoint <dir> [--no-resume] [--every n] "
                  "[--retention n]\n"
                  "(and sweep: --retries n) for kill-tolerant supervised "
-                 "runs\n");
+                 "runs; explore too\n");
     return 2;
 }
 
@@ -750,6 +768,65 @@ cmd_calibrate(const io::Json& doc, int argc, char** argv)
     return 0;
 }
 
+/**
+ * Spec-driven design-space exploration: parse the document, search, print
+ * the human-readable frontier to stderr, and emit the FrontierReport JSON
+ * (the artifact CI schema-checks and byte-compares across --threads) to
+ * --out or stdout. --threads only changes wall-clock, never the report.
+ */
+int
+cmd_explore(const io::Json& doc, int argc, char** argv)
+{
+    std::string out_path;
+    std::size_t threads_override = 0;
+    CkptArgs ck;
+    for (int i = 0; i < argc; ++i) {
+        if (parse_ckpt_arg(ck, argc, argv, i, /*allow_retries=*/false))
+            continue;
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--out" && has_value) {
+            out_path = argv[++i];
+        } else if (arg == "--threads" && has_value) {
+            threads_override =
+                static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else {
+            std::fprintf(stderr, "explore: bad argument '%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    dse::ExploreSpec spec = dse::explore_spec_from_json(doc);
+    if (threads_override > 0)
+        spec.options.threads = threads_override;
+
+    dse::FrontierReport report;
+    if (ck.enabled) {
+        attach_logger(ck.sup);
+        auto supervised = dse::supervise_exploration(
+            spec.space, spec.objectives, spec.constraints, spec.options,
+            ck.sup);
+        report = std::move(supervised.report);
+    } else {
+        report = dse::explore(spec.space, spec.objectives, spec.constraints,
+                              spec.options);
+    }
+    std::fputs(dse::render(report).c_str(), stderr);
+
+    const std::string json = dse::frontier_report_to_json(report).dump();
+    if (out_path.empty()) {
+        std::fputs(json.c_str(), stdout);
+        std::printf("\n");
+    } else {
+        if (!write_file(out_path, json))
+            return 1;
+        std::fprintf(stderr, "wrote frontier report to %s\n",
+                     out_path.c_str());
+    }
+    return 0;
+}
+
 int
 cmd_sweep(const io::Scenario& sc, int argc, char** argv)
 {
@@ -794,6 +871,8 @@ main(int argc, char** argv)
                 std::fputs(
                     calib::sample_calib_spec(sample_scenario()).c_str(),
                     stdout);
+            } else if (argc > 2 && std::string(argv[2]) == "explore") {
+                std::fputs(dse::sample_explore_spec().c_str(), stdout);
             } else if (argc > 2 && std::string(argv[2]) == "placement") {
                 std::fputs(io::save_scenario(placement_scenario()).c_str(),
                            stdout);
@@ -828,6 +907,10 @@ main(int argc, char** argv)
         if (command == "calibrate") {
             return cmd_calibrate(io::Json::parse(read_file(argv[2])),
                                  argc - 3, argv + 3);
+        }
+        if (command == "explore") {
+            return cmd_explore(io::Json::parse(read_file(argv[2])),
+                               argc - 3, argv + 3);
         }
         const io::Scenario sc = load(argv[2]);
         if (command == "estimate")
