@@ -21,6 +21,8 @@
 
 namespace lognic::core {
 
+class SolveScratch;
+
 /// Latency contribution of one hop (one edge plus its source vertex).
 struct HopLatency {
     std::string vertex;       ///< source vertex name
@@ -71,11 +73,15 @@ struct LatencyEstimate {
  * Estimate latency for one packet class of @p traffic.
  *
  * Validates the graph; throws std::invalid_argument on malformed input.
+ * An optional @p scratch reuses cached topology artifacts and per-vertex
+ * analyses across solves over small deltas (bit-identical results; see
+ * solve_scratch.hpp for the invalidation contract).
  */
 LatencyEstimate estimate_latency(const ExecutionGraph& graph,
                                  const HardwareModel& hw,
                                  const TrafficProfile& traffic,
-                                 std::size_t class_index = 0);
+                                 std::size_t class_index = 0,
+                                 SolveScratch* scratch = nullptr);
 
 } // namespace lognic::core
 

@@ -45,6 +45,8 @@ struct Report {
     LatencyReport latency;
 };
 
+class SolveScratch;
+
 /// The estimator. Cheap to copy; holds the hardware model by value.
 class Model {
   public:
@@ -52,12 +54,22 @@ class Model {
 
     const HardwareModel& hardware() const { return hw_; }
 
+    /**
+     * The optional @p scratch caches topology artifacts and per-vertex
+     * analyses across repeated solves over small scenario deltas
+     * (bit-identical results; single-class profiles only — mixed
+     * profiles partition queues per class and ignore the scratch). The
+     * caller owns invalidation; see solve_scratch.hpp.
+     */
     ThroughputReport throughput(const ExecutionGraph& graph,
-                                const TrafficProfile& traffic) const;
+                                const TrafficProfile& traffic,
+                                SolveScratch* scratch = nullptr) const;
     LatencyReport latency(const ExecutionGraph& graph,
-                          const TrafficProfile& traffic) const;
+                          const TrafficProfile& traffic,
+                          SolveScratch* scratch = nullptr) const;
     Report estimate(const ExecutionGraph& graph,
-                    const TrafficProfile& traffic) const;
+                    const TrafficProfile& traffic,
+                    SolveScratch* scratch = nullptr) const;
 
   private:
     HardwareModel hw_;

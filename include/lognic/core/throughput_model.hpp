@@ -24,6 +24,8 @@
 
 namespace lognic::core {
 
+class SolveScratch;
+
 /// What kind of hardware entity a throughput term corresponds to.
 enum class TermKind {
     kIpCompute,  ///< an IP vertex's compute capacity (Eq. 1)
@@ -58,12 +60,15 @@ struct ThroughputEstimate {
  * Estimate throughput for one packet class of @p traffic.
  *
  * Validates the graph first; throws std::invalid_argument on a malformed
- * graph or out-of-range class index.
+ * graph or out-of-range class index. An optional @p scratch reuses cached
+ * topology artifacts and per-vertex analyses across solves over small
+ * deltas (bit-identical results; see solve_scratch.hpp).
  */
 ThroughputEstimate estimate_throughput(const ExecutionGraph& graph,
                                        const HardwareModel& hw,
                                        const TrafficProfile& traffic,
-                                       std::size_t class_index = 0);
+                                       std::size_t class_index = 0,
+                                       SolveScratch* scratch = nullptr);
 
 } // namespace lognic::core
 

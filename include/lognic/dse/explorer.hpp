@@ -30,12 +30,14 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "lognic/dse/design_space.hpp"
 #include "lognic/dse/memo.hpp"
 #include "lognic/dse/pareto.hpp"
+#include "lognic/dse/prune.hpp"
 #include "lognic/io/json.hpp"
 #include "lognic/obs/metrics.hpp"
 
@@ -65,14 +67,8 @@ struct ObjectiveSpec {
 /// @throws std::invalid_argument on unknown metric names.
 ObjectiveSpec objective_from_name(const std::string& name);
 
-/// Box feasibility constraint on any built-in metric (it need not also be
-/// an objective). A candidate violating any constraint never enters the
-/// frontier.
-struct Constraint {
-    std::string metric;
-    double lower{-std::numeric_limits<double>::infinity()};
-    double upper{std::numeric_limits<double>::infinity()};
-};
+// Constraint lives in prune.hpp (the pruner narrows domains against it);
+// it is re-exported here for source compatibility.
 
 /// DES validation outcome for one frontier candidate.
 struct DesValidation {
@@ -119,6 +115,18 @@ struct ExploreOptions {
     std::uint64_t exhaustive_limit{1u << 16};
     std::size_t cache_capacity{1u << 16};
     std::size_t cache_shards{8};
+    /**
+     * Feasibility pruning (prune.hpp). kOn skips the model solve for
+     * configs a Pruner proves infeasible; such configs still flow through
+     * the serial batch coordinator as recorded misses with a synthesized
+     * infeasible Evaluation, so requests/evaluated/infeasible/cache
+     * counters — and the whole FrontierReport JSON — are byte-identical
+     * to a kOff run. kExplain additionally narrates the derived domains
+     * through prune_log.
+     */
+    PruneMode prune{PruneMode::kOn};
+    /// Sink for --prune=explain narration (one multi-line message).
+    std::function<void(const std::string&)> prune_log{};
     DesOptions des{};
     EvalLookup resume_eval{};
     EvalHook on_eval{};
@@ -147,6 +155,14 @@ struct FrontierReport {
     std::uint64_t quarantined{0}; ///< NaN/inf or failed evaluations
     std::uint64_t infeasible{0};  ///< constraint violations
     io::LruCacheStats cache;
+    /**
+     * Pruning/solve accounting — deliberately NOT serialized into the
+     * report JSON, which stays byte-identical across prune modes. They
+     * surface through the dse.pruned.* metrics channels instead.
+     */
+    std::uint64_t pruned{0};        ///< infeasible proven without a solve
+    std::uint64_t pruned_levels{0}; ///< knob levels dead after narrowing
+    std::uint64_t solves{0};        ///< model solves actually performed
     std::vector<FrontierEntry> frontier;
     /// {"knob name": level value} per frontier entry, same order.
     std::vector<io::Json> frontier_configs;
@@ -171,6 +187,51 @@ FrontierReport explore(const DesignSpace& space,
 Evaluation evaluate_config(const DesignSpace& space, const Config& c,
                            const std::vector<ObjectiveSpec>& objectives,
                            const std::vector<Constraint>& constraints);
+
+/**
+ * The serial batch coordinator the strategies feed. Memo lookups,
+ * journal replay decisions, prune rejections, and cache inserts all
+ * happen on the caller thread in batch order, so hit/miss/eviction
+ * counters are a pure function of the candidate stream; only the model
+ * solves for first-seen configs fan out to the thread pool, in
+ * contiguous chunks that each reuse one incremental Materializer (bit-
+ * identical to fresh evaluation per config, so chunking cannot perturb
+ * results). Public so tests and the benchmark can drive batches — and
+ * count solves — directly; explore() remains the normal entry point.
+ */
+class BatchEvaluator {
+  public:
+    /// @p pruner may be null (no pruning); it must outlive the evaluator.
+    BatchEvaluator(const DesignSpace& space,
+                   const std::vector<ObjectiveSpec>& objectives,
+                   const std::vector<Constraint>& constraints,
+                   const ExploreOptions& opts, Pruner* pruner = nullptr);
+
+    /// Scores per batch index; duplicates within the batch cost one solve.
+    std::vector<ScoredConfig> run_batch(const std::vector<Config>& batch);
+
+    /// Every unique scored config, in canonical key order.
+    std::vector<ScoredConfig> archive_vector() const;
+
+    std::uint64_t requests() const; ///< cache hits + misses
+    io::LruCacheStats cache_stats() const;
+    std::size_t archive_size() const;
+    /// Model solves actually performed (misses minus replays and prunes).
+    std::uint64_t solves() const { return solves_; }
+    /// Misses resolved by the pruner without a solve.
+    std::uint64_t pruned() const { return pruned_; }
+
+  private:
+    const DesignSpace& space_;
+    const std::vector<ObjectiveSpec>& objectives_;
+    const std::vector<Constraint>& constraints_;
+    const ExploreOptions& opts_;
+    Pruner* pruner_;
+    MemoCache cache_;
+    std::map<std::string, ScoredConfig> archive_; ///< canonical key order
+    std::uint64_t solves_{0};
+    std::uint64_t pruned_{0};
+};
 
 } // namespace lognic::dse
 

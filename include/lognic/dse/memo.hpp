@@ -29,6 +29,15 @@ struct Evaluation {
     std::vector<double> objectives; ///< aligned with the objective specs
     bool feasible{true};
     bool finite{true};
+    /**
+     * True when the feasibility pruner proved a constraint violation
+     * without a model solve. Pruned evaluations are infeasible-but-finite
+     * (never quarantined) and carry NaN objectives; both are safe because
+     * an infeasible candidate's objectives are never compared or
+     * reported. The flag survives journal round-trips so resumed runs
+     * count pruned work identically.
+     */
+    bool pruned{false};
     std::string why; ///< violated constraint or evaluation failure
 };
 

@@ -41,6 +41,7 @@ struct ScoredConfig {
     std::vector<double> objectives; ///< aligned with the objective specs
     bool feasible{true};          ///< all constraints satisfied
     bool finite{true};            ///< no NaN/inf objective (else quarantined)
+    bool pruned{false};           ///< rejected without a solve (see memo.hpp)
     std::string why;              ///< violated constraint / failure reason
 };
 
@@ -81,6 +82,24 @@ std::vector<std::size_t> pareto_frontier(const std::vector<ScoredConfig>& all,
 std::uint64_t dominated_count(const ScoredConfig& who,
                               const std::vector<ScoredConfig>& all,
                               const std::vector<Sense>& senses);
+
+/**
+ * Frontier membership and per-candidate dominated counts from ONE
+ * O(N^2) pass over unordered candidate pairs (dominance is asymmetric,
+ * so each pair needs at most two vector comparisons). Equivalent to
+ * pareto_frontier() plus dominated_count() per member — which the
+ * explorer used to recompute per frontier entry, at O(N) a call — and
+ * pinned equal to that brute force by a regression test.
+ */
+struct DominanceSummary {
+    /// == pareto_frontier(all, senses).
+    std::vector<std::size_t> frontier;
+    /// dominated[i] == dominated_count(all[i], all, senses).
+    std::vector<std::uint64_t> dominated;
+};
+
+DominanceSummary dominance_summary(const std::vector<ScoredConfig>& all,
+                                   const std::vector<Sense>& senses);
 
 /**
  * NSGA-II fast non-dominated sort over the eligible members of @p all:

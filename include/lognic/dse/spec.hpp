@@ -15,6 +15,7 @@
  *       "objectives": ["throughput_gbps", "p99_latency_us"],
  *       "constraints": [{"metric": "drop_rate", "upper": 0.01}],
  *       "strategy": "exhaustive",      // mutation | nsga2
+ *       "prune": "on",                 // off | explain (default on)
  *       "seed": 42, "budget": 256, "population": 16, "generations": 8,
  *       "exhaustive_limit": 65536,
  *       "cache_capacity": 65536, "cache_shards": 8,

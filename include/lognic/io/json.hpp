@@ -22,6 +22,15 @@ using JsonArray = std::vector<Json>;
 /// std::map keeps key order deterministic for stable round-trips.
 using JsonObject = std::map<std::string, Json>;
 
+/**
+ * Round-trip double formatting, shared with the JSON writer's number rule:
+ * integral values below 1e15 print without a fraction ("12"), everything
+ * else uses %.17g so the exact bit pattern survives a parse. Non-finite
+ * values — which the JSON writer encodes as null — print as "nan", "inf",
+ * or "-inf" for use in human-readable strings.
+ */
+std::string format_double(double value);
+
 class Json {
   public:
     enum class Type {

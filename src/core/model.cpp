@@ -1,5 +1,7 @@
 #include "lognic/core/model.hpp"
 
+#include "lognic/core/solve_scratch.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -95,8 +97,8 @@ ThroughputReport::bottleneck() const
 }
 
 ThroughputReport
-Model::throughput(const ExecutionGraph& graph,
-                  const TrafficProfile& traffic) const
+Model::throughput(const ExecutionGraph& graph, const TrafficProfile& traffic,
+                  SolveScratch* scratch) const
 {
     ThroughputReport report;
     const auto& classes = traffic.classes();
@@ -105,11 +107,13 @@ Model::throughput(const ExecutionGraph& graph,
         const TrafficProfile cp = mixed
             ? class_operating_profile(traffic, i)
             : traffic;
+        // The scratch is keyed to the caller's graph; the per-class
+        // queue-partitioned copies of a mixed profile must not use it.
         const ThroughputEstimate est = mixed
             ? estimate_throughput(
                   queue_partitioned_copy(graph, hw_, classes[i].weight), hw_,
                   cp)
-            : estimate_throughput(graph, hw_, cp);
+            : estimate_throughput(graph, hw_, cp, 0, scratch);
         report.achieved += mixed
             ? est.achieved // per-class achieved already uses the BW share
             : est.achieved * classes[i].weight;
@@ -128,8 +132,8 @@ Model::throughput(const ExecutionGraph& graph,
 }
 
 LatencyReport
-Model::latency(const ExecutionGraph& graph,
-               const TrafficProfile& traffic) const
+Model::latency(const ExecutionGraph& graph, const TrafficProfile& traffic,
+               SolveScratch* scratch) const
 {
     LatencyReport report;
     const auto& classes = traffic.classes();
@@ -143,7 +147,7 @@ Model::latency(const ExecutionGraph& graph,
             ? estimate_latency(
                   queue_partitioned_copy(graph, hw_, classes[i].weight), hw_,
                   cp)
-            : estimate_latency(graph, hw_, cp);
+            : estimate_latency(graph, hw_, cp, 0, scratch);
         mean += classes[i].weight * est.mean.seconds();
         report.max_drop_probability =
             std::max(report.max_drop_probability, est.max_drop_probability);
@@ -154,10 +158,11 @@ Model::latency(const ExecutionGraph& graph,
 }
 
 Report
-Model::estimate(const ExecutionGraph& graph,
-                const TrafficProfile& traffic) const
+Model::estimate(const ExecutionGraph& graph, const TrafficProfile& traffic,
+                SolveScratch* scratch) const
 {
-    return Report{throughput(graph, traffic), latency(graph, traffic)};
+    return Report{throughput(graph, traffic, scratch),
+                  latency(graph, traffic, scratch)};
 }
 
 } // namespace lognic::core

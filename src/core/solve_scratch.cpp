@@ -1,0 +1,70 @@
+#include "lognic/core/solve_scratch.hpp"
+
+#include <algorithm>
+
+namespace lognic::core {
+
+void
+SolveScratch::invalidate()
+{
+    topo_valid_ = false;
+    analysis_valid_.clear();
+    analyses_.clear();
+}
+
+void
+SolveScratch::invalidate_analyses()
+{
+    std::fill(analysis_valid_.begin(), analysis_valid_.end(), 0);
+}
+
+void
+SolveScratch::invalidate_vertex(VertexId v)
+{
+    if (v < analysis_valid_.size())
+        analysis_valid_[v] = 0;
+}
+
+void
+SolveScratch::ensure_topology(const ExecutionGraph& graph)
+{
+    if (topo_valid_ && in_delta_sums_.size() == graph.vertex_count())
+        return;
+    ++topology_builds_;
+    const std::size_t n = graph.vertex_count();
+    topo_order_ = graph.topological_order();
+    paths_ = graph.enumerate_paths();
+    out_edges_.assign(n, {});
+    in_delta_sums_.assign(n, 0.0);
+    for (VertexId v = 0; v < n; ++v) {
+        out_edges_[v] = graph.out_edges(v);
+        in_delta_sums_[v] = graph.in_delta_sum(v);
+    }
+    ingresses_ = graph.ingress_vertices();
+    egresses_ = graph.egress_vertices();
+    analysis_valid_.assign(n, 0);
+    analyses_.assign(n, VertexAnalysis{});
+    topo_valid_ = true;
+}
+
+const VertexAnalysis&
+SolveScratch::vertex_analysis(const ExecutionGraph& graph,
+                              const HardwareModel& hw, VertexId v,
+                              const TrafficProfile& traffic,
+                              std::size_t class_index)
+{
+    if (v < analysis_valid_.size() && analysis_valid_[v]) {
+        ++analysis_hits_;
+        return analyses_[v];
+    }
+    ++analysis_misses_;
+    if (analyses_.size() != graph.vertex_count()) {
+        analysis_valid_.assign(graph.vertex_count(), 0);
+        analyses_.assign(graph.vertex_count(), VertexAnalysis{});
+    }
+    analyses_[v] = analyze_vertex(graph, hw, v, traffic, class_index);
+    analysis_valid_[v] = 1;
+    return analyses_[v];
+}
+
+} // namespace lognic::core

@@ -134,6 +134,8 @@ DesignSpace::add(const std::string& path, std::vector<double> values,
             bad_knob(path, "level out of range");
         k.values = std::move(values);
         k.base_bound = true;
+        k.patch = PatchScope::kVertexParams;
+        k.patch_vertex = vertex_name;
         const bool is_parallelism = parts[2] == "parallelism";
         if (!is_parallelism && parts[2] != "queue_capacity")
             bad_knob(path, "unknown vertex field '" + parts[2]
@@ -157,6 +159,7 @@ DesignSpace::add(const std::string& path, std::vector<double> values,
         if (values.front() <= 0.0)
             bad_knob(path, "levels must be > 0");
         k.values = std::move(values);
+        k.patch = PatchScope::kTraffic;
         k.apply = [](io::Scenario& sc, double v) {
             sc.traffic.set_ingress_bandwidth(Bandwidth::from_gbps(v));
         };
@@ -168,6 +171,7 @@ DesignSpace::add(const std::string& path, std::vector<double> values,
     auto set = resolve_catalog_setter(base_, path, values);
     k.values = std::move(values);
     k.base_bound = parts[0] == "ip" || parts[0] == "graph";
+    k.patch = PatchScope::kCatalog;
     k.apply = [set = std::move(set)](io::Scenario& sc, double v) {
         calib::Candidate c{std::move(sc.hw), {}};
         c.graphs.push_back(std::move(sc.graph));

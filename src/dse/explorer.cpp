@@ -10,10 +10,12 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "lognic/core/model.hpp"
+#include "lognic/dse/materialize.hpp"
 #include "lognic/io/checkpoint.hpp"
 #include "lognic/runner/replicator.hpp"
 #include "lognic/runner/seed.hpp"
@@ -71,6 +73,70 @@ metric_value(const std::string& name, const core::Report& rep, double cost)
           "p99_latency_us, drop_rate, cost)");
 }
 
+/**
+ * Shared scoring tail of both the fresh and the incremental oracle:
+ * objective extraction, quarantine, constraint checks. One body so the
+ * two paths cannot drift (the "constraint violated" why string is pinned
+ * by tests to the round-trip double formatter).
+ */
+void
+score_report(Evaluation& eval, const DesignSpace& space, const Config& c,
+             const core::Report& rep,
+             const std::vector<ObjectiveSpec>& objectives,
+             const std::vector<Constraint>& constraints)
+{
+    const double cost = space.cost(c);
+    for (const ObjectiveSpec& o : objectives)
+        eval.objectives.push_back(metric_value(o.name, rep, cost));
+    eval.finite = all_finite(eval.objectives);
+    if (!eval.finite) {
+        eval.feasible = false;
+        eval.why = "non-finite objective value (quarantined)";
+        return;
+    }
+    for (const Constraint& con : constraints) {
+        const double v = metric_value(con.metric, rep, cost);
+        if (std::isfinite(v) && v >= con.lower && v <= con.upper)
+            continue;
+        eval.feasible = false;
+        eval.why = "constraint violated: " + con.metric + " = "
+                   + io::format_double(v);
+        break;
+    }
+}
+
+/**
+ * Incremental oracle: patch the worker's cached scenario to @p c, rebuild
+ * the core::Model only when the hardware epoch moved, and solve with the
+ * worker's SolveScratch. Bit-identical to evaluate_config for every
+ * config regardless of what the Materializer saw before (see
+ * materialize.hpp for why).
+ */
+Evaluation
+evaluate_with(const DesignSpace& space, Materializer& mat,
+              std::optional<core::Model>& model, std::uint64_t& model_epoch,
+              const Config& c, const std::vector<ObjectiveSpec>& objectives,
+              const std::vector<Constraint>& constraints)
+{
+    Evaluation eval;
+    try {
+        const io::Scenario& sc = mat.scenario(c);
+        if (!model || model_epoch != mat.hw_epoch()) {
+            model.emplace(sc.hw);
+            model_epoch = mat.hw_epoch();
+        }
+        const core::Report rep =
+            model->estimate(sc.graph, sc.traffic, &mat.scratch());
+        score_report(eval, space, c, rep, objectives, constraints);
+    } catch (const std::exception& e) {
+        eval.objectives.assign(objectives.size(), kNan);
+        eval.finite = false;
+        eval.feasible = false;
+        eval.why = std::string("evaluation failed: ") + e.what();
+    }
+    return eval;
+}
+
 void
 validate_inputs(const DesignSpace& space,
                 const std::vector<ObjectiveSpec>& objectives,
@@ -98,118 +164,6 @@ validate_inputs(const DesignSpace& space,
         throw std::invalid_argument("dse: budget must be >= 1");
 }
 
-/**
- * Serial batch coordinator. Memo lookups, journal replay decisions, and
- * cache inserts all happen on the caller thread in batch order, so the
- * hit/miss/eviction counters are a pure function of the candidate
- * stream; only the model solves for first-seen configs fan out to the
- * thread pool, keyed by their slot index.
- */
-class Evaluator {
-  public:
-    Evaluator(const DesignSpace& space,
-              const std::vector<ObjectiveSpec>& objectives,
-              const std::vector<Constraint>& constraints,
-              const ExploreOptions& opts)
-        : space_(space), objectives_(objectives), constraints_(constraints),
-          opts_(opts), cache_(opts.cache_capacity, opts.cache_shards)
-    {
-    }
-
-    std::vector<ScoredConfig> run_batch(const std::vector<Config>& batch)
-    {
-        struct Pending {
-            std::string key;
-            Config config;
-            Evaluation eval;
-            bool replayed{false};
-        };
-        std::vector<std::string> keys(batch.size());
-        std::map<std::string, Evaluation> hits;
-        std::vector<Pending> pending;
-        std::map<std::string, std::size_t> pending_index;
-
-        for (std::size_t i = 0; i < batch.size(); ++i) {
-            keys[i] = space_.canonical_key(batch[i]);
-            if (auto hit = cache_.lookup(keys[i])) {
-                hits.emplace(keys[i], *std::move(hit));
-                continue;
-            }
-            if (pending_index.count(keys[i]) != 0)
-                continue; // duplicate within the batch: one solve
-            Pending p;
-            p.key = keys[i];
-            p.config = batch[i];
-            // A journaled outcome replaces the *work*, never the counters:
-            // the lookup above already recorded the miss, exactly as the
-            // uninterrupted run would have.
-            p.replayed =
-                opts_.resume_eval && opts_.resume_eval(p.key, p.eval);
-            pending_index.emplace(p.key, pending.size());
-            pending.push_back(std::move(p));
-        }
-
-        std::vector<std::size_t> to_compute;
-        for (std::size_t i = 0; i < pending.size(); ++i)
-            if (!pending[i].replayed)
-                to_compute.push_back(i);
-        runner::parallel_for(
-            to_compute.size(), opts_.threads, [&](std::size_t u) {
-                Pending& p = pending[to_compute[u]];
-                p.eval = evaluate_config(space_, p.config, objectives_,
-                                         constraints_);
-                if (opts_.on_eval)
-                    opts_.on_eval(p.key, p.eval);
-            });
-        for (const Pending& p : pending)
-            cache_.insert(p.key, p.eval);
-
-        std::vector<ScoredConfig> out(batch.size());
-        for (std::size_t i = 0; i < batch.size(); ++i) {
-            const auto pit = pending_index.find(keys[i]);
-            const Evaluation& eval = pit != pending_index.end()
-                                         ? pending[pit->second].eval
-                                         : hits.at(keys[i]);
-            ScoredConfig s;
-            s.id = io::fnv1a64(keys[i]);
-            s.key = keys[i];
-            s.config = batch[i];
-            s.objectives = eval.objectives;
-            s.feasible = eval.feasible;
-            s.finite = eval.finite;
-            s.why = eval.why;
-            archive_.emplace(s.key, s);
-            out[i] = std::move(s);
-        }
-        return out;
-    }
-
-    std::vector<ScoredConfig> archive_vector() const
-    {
-        std::vector<ScoredConfig> out;
-        out.reserve(archive_.size());
-        for (const auto& [key, scored] : archive_)
-            out.push_back(scored);
-        return out;
-    }
-
-    std::uint64_t requests() const
-    {
-        const auto s = cache_.stats();
-        return s.hits + s.misses;
-    }
-    io::LruCacheStats cache_stats() const { return cache_.stats(); }
-    std::size_t archive_size() const { return archive_.size(); }
-
-  private:
-    const DesignSpace& space_;
-    const std::vector<ObjectiveSpec>& objectives_;
-    const std::vector<Constraint>& constraints_;
-    const ExploreOptions& opts_;
-    MemoCache cache_;
-    std::map<std::string, ScoredConfig> archive_; ///< canonical key order
-};
-
 Config
 random_config(const DesignSpace& space, Rng& rng)
 {
@@ -222,7 +176,7 @@ random_config(const DesignSpace& space, Rng& rng)
 
 void
 run_exhaustive(const DesignSpace& space, const ExploreOptions& opts,
-               Evaluator& ev)
+               BatchEvaluator& ev)
 {
     const std::uint64_t total = space.combinations();
     if (total > opts.exhaustive_limit)
@@ -258,7 +212,7 @@ frontier_ids(const std::vector<ScoredConfig>& archive,
 
 void
 run_mutation(const DesignSpace& space, const ExploreOptions& opts,
-             const std::vector<Sense>& senses, Evaluator& ev)
+             const std::vector<Sense>& senses, BatchEvaluator& ev)
 {
     Rng rng(opts.seed);
     std::vector<Config> batch;
@@ -311,7 +265,7 @@ run_mutation(const DesignSpace& space, const ExploreOptions& opts,
 
 void
 run_nsga2(const DesignSpace& space, const ExploreOptions& opts,
-          const std::vector<Sense>& senses, Evaluator& ev)
+          const std::vector<Sense>& senses, BatchEvaluator& ev)
 {
     Rng rng(opts.seed);
     std::vector<Config> seed_batch;
@@ -504,24 +458,7 @@ evaluate_config(const DesignSpace& space, const Config& c,
         const io::Scenario sc = space.materialize(c);
         const core::Report rep =
             core::Model(sc.hw).estimate(sc.graph, sc.traffic);
-        const double cost = space.cost(c);
-        for (const ObjectiveSpec& o : objectives)
-            eval.objectives.push_back(metric_value(o.name, rep, cost));
-        eval.finite = all_finite(eval.objectives);
-        if (!eval.finite) {
-            eval.feasible = false;
-            eval.why = "non-finite objective value (quarantined)";
-            return eval;
-        }
-        for (const Constraint& con : constraints) {
-            const double v = metric_value(con.metric, rep, cost);
-            if (std::isfinite(v) && v >= con.lower && v <= con.upper)
-                continue;
-            eval.feasible = false;
-            eval.why = "constraint violated: " + con.metric + " = "
-                       + std::to_string(v);
-            break;
-        }
+        score_report(eval, space, c, rep, objectives, constraints);
     } catch (const std::exception& e) {
         // A config the model rejects outright is quarantined like a
         // non-finite one: it carries no comparable objectives.
@@ -531,6 +468,150 @@ evaluate_config(const DesignSpace& space, const Config& c,
         eval.why = std::string("evaluation failed: ") + e.what();
     }
     return eval;
+}
+
+// --- BatchEvaluator -----------------------------------------------------------
+
+BatchEvaluator::BatchEvaluator(const DesignSpace& space,
+                               const std::vector<ObjectiveSpec>& objectives,
+                               const std::vector<Constraint>& constraints,
+                               const ExploreOptions& opts, Pruner* pruner)
+    : space_(space), objectives_(objectives), constraints_(constraints),
+      opts_(opts), pruner_(pruner),
+      cache_(opts.cache_capacity, opts.cache_shards)
+{
+}
+
+std::vector<ScoredConfig>
+BatchEvaluator::run_batch(const std::vector<Config>& batch)
+{
+    struct Pending {
+        std::string key;
+        Config config;
+        Evaluation eval;
+        bool resolved{false}; ///< replayed or pruned: no solve needed
+    };
+    std::vector<std::string> keys(batch.size());
+    std::map<std::string, Evaluation> hits;
+    std::vector<Pending> pending;
+    std::map<std::string, std::size_t> pending_index;
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        keys[i] = space_.canonical_key(batch[i]);
+        if (auto hit = cache_.lookup(keys[i])) {
+            hits.emplace(keys[i], *std::move(hit));
+            continue;
+        }
+        if (pending_index.count(keys[i]) != 0)
+            continue; // duplicate within the batch: one solve
+        Pending p;
+        p.key = keys[i];
+        p.config = batch[i];
+        // A journaled outcome replaces the *work*, never the counters:
+        // the lookup above already recorded the miss, exactly as the
+        // uninterrupted run would have. Replays also bypass the pruner,
+        // which keeps journals portable across prune modes.
+        p.resolved = opts_.resume_eval && opts_.resume_eval(p.key, p.eval);
+        if (!p.resolved && pruner_ != nullptr) {
+            if (auto r = pruner_->reject(p.config)) {
+                // Provably infeasible: synthesize the Evaluation the
+                // frontier machinery needs without spending a solve.
+                // Infeasible-but-finite with NaN objectives is safe —
+                // ineligible candidates' objectives are never compared
+                // or reported — and keeps the quarantined/infeasible
+                // report counters identical to an unpruned run.
+                p.eval.objectives.assign(objectives_.size(), kNan);
+                p.eval.feasible = false;
+                p.eval.finite = true;
+                p.eval.pruned = true;
+                p.eval.why = std::move(r->why);
+                p.resolved = true;
+                ++pruned_;
+                if (opts_.on_eval)
+                    opts_.on_eval(p.key, p.eval);
+            }
+        }
+        pending_index.emplace(p.key, pending.size());
+        pending.push_back(std::move(p));
+    }
+
+    std::vector<std::size_t> to_compute;
+    for (std::size_t i = 0; i < pending.size(); ++i)
+        if (!pending[i].resolved)
+            to_compute.push_back(i);
+    solves_ += to_compute.size();
+
+    // Contiguous chunks, one incremental Materializer (and epoch-keyed
+    // core::Model) per chunk. Per-config results are bit-identical to
+    // fresh evaluation whatever the chunk boundaries, so the split only
+    // affects wall-clock, never bytes.
+    const std::size_t workers = std::max<std::size_t>(1, opts_.threads);
+    const std::size_t chunks = std::min(to_compute.size(), workers);
+    runner::parallel_for(chunks, opts_.threads, [&](std::size_t chunk) {
+        Materializer mat(space_);
+        std::optional<core::Model> model;
+        std::uint64_t model_epoch = 0;
+        const std::size_t lo = chunk * to_compute.size() / chunks;
+        const std::size_t hi = (chunk + 1) * to_compute.size() / chunks;
+        for (std::size_t u = lo; u < hi; ++u) {
+            Pending& p = pending[to_compute[u]];
+            p.eval = evaluate_with(space_, mat, model, model_epoch, p.config,
+                                   objectives_, constraints_);
+            if (opts_.on_eval)
+                opts_.on_eval(p.key, p.eval);
+        }
+    });
+    for (const Pending& p : pending)
+        cache_.insert(p.key, p.eval);
+
+    std::vector<ScoredConfig> out(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const auto pit = pending_index.find(keys[i]);
+        const Evaluation& eval = pit != pending_index.end()
+                                     ? pending[pit->second].eval
+                                     : hits.at(keys[i]);
+        ScoredConfig s;
+        s.id = io::fnv1a64(keys[i]);
+        s.key = keys[i];
+        s.config = batch[i];
+        s.objectives = eval.objectives;
+        s.feasible = eval.feasible;
+        s.finite = eval.finite;
+        s.pruned = eval.pruned;
+        s.why = eval.why;
+        archive_.emplace(s.key, s);
+        out[i] = std::move(s);
+    }
+    return out;
+}
+
+std::vector<ScoredConfig>
+BatchEvaluator::archive_vector() const
+{
+    std::vector<ScoredConfig> out;
+    out.reserve(archive_.size());
+    for (const auto& [key, scored] : archive_)
+        out.push_back(scored);
+    return out;
+}
+
+std::uint64_t
+BatchEvaluator::requests() const
+{
+    const auto s = cache_.stats();
+    return s.hits + s.misses;
+}
+
+io::LruCacheStats
+BatchEvaluator::cache_stats() const
+{
+    return cache_.stats();
+}
+
+std::size_t
+BatchEvaluator::archive_size() const
+{
+    return archive_.size();
 }
 
 FrontierReport
@@ -544,7 +625,15 @@ explore(const DesignSpace& space,
     for (const ObjectiveSpec& o : objectives)
         senses.push_back(o.sense);
 
-    Evaluator ev(space, objectives, constraints, opts);
+    std::optional<Pruner> pruner;
+    if (opts.prune != PruneMode::kOff) {
+        pruner.emplace(space, constraints);
+        if (opts.prune == PruneMode::kExplain && opts.prune_log)
+            opts.prune_log(pruner->explain());
+    }
+
+    BatchEvaluator ev(space, objectives, constraints, opts,
+                      pruner ? &*pruner : nullptr);
     switch (opts.strategy) {
     case Strategy::kExhaustive:
         run_exhaustive(space, opts, ev);
@@ -558,8 +647,10 @@ explore(const DesignSpace& space,
     }
 
     const std::vector<ScoredConfig> archive = ev.archive_vector();
-    const std::vector<std::size_t> frontier =
-        pareto_frontier(archive, senses);
+    // One O(N^2) dominance pass yields both the frontier and every
+    // member's dominated count (previously recomputed at O(N) per entry).
+    const DominanceSummary dom = dominance_summary(archive, senses);
+    const std::vector<std::size_t>& frontier = dom.frontier;
 
     FrontierReport report;
     report.strategy = opts.strategy;
@@ -573,7 +664,13 @@ explore(const DesignSpace& space,
             ++report.quarantined;
         else if (!s.feasible)
             ++report.infeasible;
+        // Archive flags, not live Pruner counters: journal replay
+        // preserves them, so the count is resume-deterministic.
+        if (s.pruned)
+            ++report.pruned;
     }
+    report.pruned_levels = pruner ? pruner->stats().levels_removed : 0;
+    report.solves = ev.solves();
     report.frontier.resize(frontier.size());
     runner::parallel_for(
         frontier.size(), opts.threads, [&](std::size_t i) {
@@ -583,7 +680,7 @@ explore(const DesignSpace& space,
             entry.key = who.key;
             entry.config = who.config;
             entry.objectives = who.objectives;
-            entry.dominated = dominated_count(who, archive, senses);
+            entry.dominated = dom.dominated[frontier[i]];
             if (opts.des.enabled && opts.des.replications > 0) {
                 entry.des_validated = true;
                 if (!opts.resume_des
@@ -606,6 +703,11 @@ explore(const DesignSpace& space,
         metrics->counter("dse.cache.evictions").add(report.cache.evictions);
         metrics->counter("dse.quarantined").add(report.quarantined);
         metrics->counter("dse.infeasible").add(report.infeasible);
+        // Separate channels: the report JSON counters above are prune-
+        // mode invariant; pruning accounting lives here.
+        metrics->counter("dse.pruned.evals").add(report.pruned);
+        metrics->counter("dse.pruned.levels").add(report.pruned_levels);
+        metrics->counter("dse.solves").add(report.solves);
         metrics->counter("dse.frontier.size").add(report.frontier.size());
         std::uint64_t validated = 0;
         for (const FrontierEntry& entry : report.frontier)

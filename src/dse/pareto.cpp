@@ -99,6 +99,39 @@ dominated_count(const ScoredConfig& who, const std::vector<ScoredConfig>& all,
     return n;
 }
 
+DominanceSummary
+dominance_summary(const std::vector<ScoredConfig>& all,
+                  const std::vector<Sense>& senses)
+{
+    DominanceSummary out;
+    out.dominated.assign(all.size(), 0);
+    std::vector<char> is_dominated(all.size(), 0);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        if (!eligible(all[i]))
+            continue;
+        for (std::size_t j = i + 1; j < all.size(); ++j) {
+            if (!eligible(all[j]))
+                continue;
+            // Strict dominance holds in at most one direction per pair.
+            if (dominates(all[i].objectives, all[j].objectives, senses)) {
+                ++out.dominated[i];
+                is_dominated[j] = 1;
+            } else if (dominates(all[j].objectives, all[i].objectives,
+                                 senses)) {
+                ++out.dominated[j];
+                is_dominated[i] = 1;
+            }
+        }
+        if (!is_dominated[i])
+            out.frontier.push_back(i);
+    }
+    std::sort(out.frontier.begin(), out.frontier.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return canonical_less(all[a], all[b]);
+              });
+    return out;
+}
+
 std::vector<std::vector<std::size_t>>
 non_dominated_sort(const std::vector<ScoredConfig>& all,
                    const std::vector<Sense>& senses)

@@ -116,6 +116,8 @@ explore_spec_from_json(const io::Json& doc)
     ExploreOptions& opts = spec.options;
     if (dse.contains("strategy"))
         opts.strategy = strategy_from_name(dse.at("strategy").as_string());
+    if (dse.contains("prune"))
+        opts.prune = prune_mode_from_name(dse.at("prune").as_string());
     opts.seed = u64_field(dse, "seed", opts.seed);
     opts.budget = size_field(dse, "budget", opts.budget);
     opts.population = size_field(dse, "population", opts.population);

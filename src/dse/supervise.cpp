@@ -133,7 +133,10 @@ class Publisher {
  * Everything that shapes the result stream, hashed or listed verbatim:
  * base scenario, knob grid, objectives, constraints, strategy, seed, and
  * search/DES options. Thread count is excluded on purpose — it may never
- * influence results, so checkpoints are portable across --threads.
+ * influence results, so checkpoints are portable across --threads. The
+ * prune mode is excluded for the same reason: pruning may never change
+ * the result stream, so a journal written under --prune=on resumes
+ * cleanly under --prune=off and vice versa.
  */
 io::Json
 campaign_fingerprint(const DesignSpace& space,
@@ -194,6 +197,7 @@ evaluation_to_json(const Evaluation& e)
     j.set("objectives", std::move(objectives));
     j.set("feasible", io::Json(e.feasible));
     j.set("finite", io::Json(e.finite));
+    j.set("pruned", io::Json(e.pruned));
     j.set("why", io::Json(e.why));
     return j;
 }
@@ -207,6 +211,9 @@ evaluation_from_json(const io::Json& j)
             io::double_from_hex(v.as_string(), "evaluation objective"));
     e.feasible = j.at("feasible").as_bool();
     e.finite = j.at("finite").as_bool();
+    // Absent in journals written before pruning existed; those entries
+    // were all real solves.
+    e.pruned = j.contains("pruned") && j.at("pruned").as_bool();
     e.why = j.at("why").as_string();
     return e;
 }

@@ -8,6 +8,22 @@
 
 namespace lognic::io {
 
+std::string
+format_double(double value)
+{
+    if (std::isnan(value))
+        return "nan";
+    if (std::isinf(value))
+        return value > 0 ? "inf" : "-inf";
+    char buf[32];
+    if (value == std::floor(value) && std::abs(value) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", value);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+    }
+    return buf;
+}
+
 namespace {
 
 [[noreturn]] void
@@ -403,14 +419,7 @@ Json::dump_to(std::string& out, int indent, int depth) const
             out += "null";
             break;
         }
-        char buf[32];
-        if (number_ == std::floor(number_)
-            && std::abs(number_) < 1e15) {
-            std::snprintf(buf, sizeof(buf), "%.0f", number_);
-        } else {
-            std::snprintf(buf, sizeof(buf), "%.17g", number_);
-        }
-        out += buf;
+        out += format_double(number_);
         break;
       }
       case Type::kString:

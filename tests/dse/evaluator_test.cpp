@@ -1,0 +1,135 @@
+/**
+ * @file
+ * BatchEvaluator accounting: within-batch duplicates cost exactly one
+ * model solve (with identical counters at any thread count), and
+ * constraint-violation messages carry the round-trip double formatter's
+ * rendering of the violating value, not a truncated std::to_string.
+ */
+#include "lognic/dse/explorer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "lognic/apps/nf_chain.hpp"
+#include "lognic/io/serialize.hpp"
+
+using namespace lognic;
+using dse::Config;
+using dse::Constraint;
+using dse::DesignSpace;
+using dse::ExploreOptions;
+
+namespace {
+
+io::Scenario
+nf_base(double rate_gbps = 50.0)
+{
+    auto built = apps::make_nf_chain(apps::arm_only_placement());
+    return io::Scenario{
+        std::move(built.hw), std::move(built.graph),
+        core::TrafficProfile::fixed(Bytes{1500.0},
+                                    Bandwidth::from_gbps(rate_gbps))};
+}
+
+std::vector<dse::ObjectiveSpec>
+tput_p99()
+{
+    return {dse::objective_from_name("throughput_gbps"),
+            dse::objective_from_name("p99_latency_us")};
+}
+
+} // namespace
+
+TEST(BatchEvaluator, WithinBatchDuplicatesCostOneSolve)
+{
+    DesignSpace space(nf_base());
+    space.add("placement.nf_chain", {});
+    // BatchEvaluator holds references: objectives and constraints must
+    // outlive it.
+    const auto objectives = tput_p99();
+    const std::vector<Constraint> constraints;
+
+    // Two distinct configs, each submitted multiple times in one batch.
+    const std::vector<Config> batch{{3}, {3}, {7}, {3}, {7}};
+
+    for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+        ExploreOptions opts;
+        opts.des.enabled = false;
+        opts.threads = threads;
+        std::atomic<std::uint64_t> journaled{0};
+        opts.on_eval = [&](const std::string&, const dse::Evaluation&) {
+            ++journaled;
+        };
+        dse::BatchEvaluator ev(space, objectives, constraints, opts);
+        const auto scored = ev.run_batch(batch);
+        ASSERT_EQ(scored.size(), batch.size());
+
+        // 5 requests, 2 unique configs, 2 solves, 2 journal records —
+        // identical at 1 and 8 threads. Within-batch duplicates are
+        // recorded as cache misses (the insert happens after the batch);
+        // the dedup map still collapses them onto one solve.
+        EXPECT_EQ(ev.requests(), 5u) << "threads " << threads;
+        EXPECT_EQ(ev.solves(), 2u) << "threads " << threads;
+        EXPECT_EQ(ev.archive_size(), 2u) << "threads " << threads;
+        EXPECT_EQ(journaled.load(), 2u) << "threads " << threads;
+        const auto stats = ev.cache_stats();
+        EXPECT_EQ(stats.misses, 5u) << "threads " << threads;
+        EXPECT_EQ(stats.hits, 0u) << "threads " << threads;
+
+        // Duplicates resolve to bitwise-identical scores.
+        for (std::size_t o = 0; o < scored[0].objectives.size(); ++o) {
+            EXPECT_EQ(scored[0].objectives[o], scored[1].objectives[o]);
+            EXPECT_EQ(scored[0].objectives[o], scored[3].objectives[o]);
+            EXPECT_EQ(scored[2].objectives[o], scored[4].objectives[o]);
+        }
+        EXPECT_EQ(scored[0].key, scored[1].key);
+        EXPECT_EQ(scored[2].key, scored[4].key);
+    }
+}
+
+TEST(BatchEvaluator, DuplicatesAcrossBatchesHitTheCache)
+{
+    DesignSpace space(nf_base());
+    space.add("placement.nf_chain", {});
+    const auto objectives = tput_p99();
+    const std::vector<Constraint> constraints;
+    ExploreOptions opts;
+    opts.des.enabled = false;
+    dse::BatchEvaluator ev(space, objectives, constraints, opts);
+
+    (void)ev.run_batch({{5}});
+    (void)ev.run_batch({{5}, {6}});
+    EXPECT_EQ(ev.requests(), 3u);
+    EXPECT_EQ(ev.solves(), 2u);
+    EXPECT_EQ(ev.cache_stats().hits, 1u);
+}
+
+TEST(EvaluateConfig, ViolationMessageUsesRoundTripDoubleFormat)
+{
+    // A near-boundary violation: offered 10.1 Gb/s against a 10.2 floor.
+    // The violating value is not exactly representable, so the message
+    // must round-trip the full double — "%.17g", not std::to_string's
+    // fixed six decimals.
+    DesignSpace space(nf_base());
+    space.add("traffic.rate_gbps", {10.1});
+    Constraint floor;
+    floor.metric = "throughput_gbps";
+    floor.lower = 10.2;
+
+    const auto eval =
+        dse::evaluate_config(space, {0}, tput_p99(), {floor});
+    ASSERT_FALSE(eval.feasible);
+    const double v = eval.objectives[0];
+    EXPECT_EQ(eval.why, "constraint violated: throughput_gbps = "
+                            + io::format_double(v));
+
+    // The rendered value parses back to the exact violating double.
+    const std::string rendered = io::format_double(v);
+    EXPECT_EQ(std::strtod(rendered.c_str(), nullptr), v);
+    // And it is not the six-decimal truncation.
+    EXPECT_NE(eval.why, "constraint violated: throughput_gbps = "
+                            + std::to_string(v));
+}

@@ -139,6 +139,50 @@ TEST(ParetoFrontier, DominatedCountMatchesDefinition)
     EXPECT_EQ(dominated_count(all[3], all, kMaxMin), 0u);
 }
 
+TEST(DominanceSummary, MatchesBruteForceFrontierAndCounts)
+{
+    // The single-pass summary must equal the brute-force composition it
+    // replaced: pareto_frontier() plus dominated_count() per member.
+    // Deterministic pseudo-random population, quarantine and
+    // infeasibility mixed in.
+    std::vector<ScoredConfig> all;
+    std::uint64_t state = 0x9e3779b97f4a7c15ull;
+    const auto next = [&] {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    };
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        const double tput = static_cast<double>(next() % 32);
+        const double lat = static_cast<double>(next() % 32);
+        auto s = make(i + 1, {tput, lat}, /*feasible=*/next() % 8 != 0);
+        if (next() % 16 == 0)
+            s.objectives[0] = kNan;
+        s.finite = all_finite(s.objectives);
+        all.push_back(std::move(s));
+    }
+
+    const DominanceSummary summary = dominance_summary(all, kMaxMin);
+    EXPECT_EQ(summary.frontier, pareto_frontier(all, kMaxMin));
+    ASSERT_EQ(summary.dominated.size(), all.size());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(summary.dominated[i], dominated_count(all[i], all, kMaxMin))
+            << "candidate " << i;
+}
+
+TEST(DominanceSummary, EmptyAndAllIneligible)
+{
+    EXPECT_TRUE(dominance_summary({}, kMaxMin).frontier.empty());
+    const std::vector<ScoredConfig> all{
+        make(1, {kNan, 1.0}),
+        make(2, {5.0, 2.0}, /*feasible=*/false),
+    };
+    const auto summary = dominance_summary(all, kMaxMin);
+    EXPECT_TRUE(summary.frontier.empty());
+    EXPECT_EQ(summary.dominated, (std::vector<std::uint64_t>{0, 0}));
+}
+
 TEST(NonDominatedSort, LayersAndQuarantine)
 {
     const std::vector<ScoredConfig> all{

@@ -146,6 +146,105 @@ TEST(ExploreJournal, BitExactThroughDumpAndParse)
                  std::runtime_error);
 }
 
+TEST(ExploreJournal, PrunedFlagRoundTripsAndDefaultsFalse)
+{
+    dse::ExploreJournal journal;
+    dse::Evaluation pruned;
+    pruned.objectives = {std::numeric_limits<double>::quiet_NaN(),
+                         std::numeric_limits<double>::quiet_NaN()};
+    pruned.feasible = false;
+    pruned.pruned = true;
+    pruned.why = "pruned: constraint violated: throughput_gbps = 5";
+    journal.record_eval("cfg-pruned", pruned);
+    dse::Evaluation solved;
+    solved.objectives = {21.0, 4700.0};
+    journal.record_eval("cfg-solved", solved);
+
+    dse::ExploreJournal back;
+    back.load_json(io::Json::parse(journal.to_json().dump(-1)));
+    dse::Evaluation e;
+    ASSERT_TRUE(back.lookup_eval("cfg-pruned", e));
+    EXPECT_TRUE(e.pruned);
+    EXPECT_FALSE(e.feasible);
+    EXPECT_EQ(e.why, pruned.why);
+    ASSERT_TRUE(back.lookup_eval("cfg-solved", e));
+    EXPECT_FALSE(e.pruned);
+
+    // A pre-pruning journal has no "pruned" field: every entry was a
+    // real solve, and the parser must default accordingly.
+    std::string legacy = journal.to_json().dump(-1);
+    for (const std::string& needle :
+         {std::string("\"pruned\":true,"), std::string("\"pruned\":false,")})
+        for (std::size_t pos; (pos = legacy.find(needle))
+                              != std::string::npos;)
+            legacy.erase(pos, needle.size());
+    ASSERT_EQ(legacy.find("\"pruned\":"), std::string::npos);
+    dse::ExploreJournal old;
+    old.load_json(io::Json::parse(legacy));
+    ASSERT_TRUE(old.lookup_eval("cfg-pruned", e));
+    EXPECT_FALSE(e.pruned);
+}
+
+TEST(SuperviseExploration, PrunedResumeMatchesUnprunedBaseline)
+{
+    // The cross-mode contract, through a kill: an uninterrupted
+    // --prune=off run must byte-match a --prune=on supervised campaign
+    // killed after an early checkpoint and resumed. Prune mode is
+    // excluded from the campaign fingerprint, so the journal replays.
+    auto space = placement_space();
+    space.add("traffic.rate_gbps", {5.0, 10.0, 25.0, 50.0});
+    const auto objectives = tput_p99();
+    dse::Constraint floor;
+    floor.metric = "throughput_gbps";
+    floor.lower = 15.0;
+    const std::vector<dse::Constraint> constraints{floor};
+
+    auto off = fast_opts();
+    off.des.enabled = false;
+    off.prune = dse::PruneMode::kOff;
+    const auto baseline = dse::explore(space, objectives, constraints, off);
+    const std::string want =
+        dse::frontier_report_to_json(baseline).dump(-1);
+
+    auto on = off;
+    on.prune = dse::PruneMode::kOn;
+    TempDir full_dir("prune_full");
+    ckpt::SupervisorOptions sup;
+    sup.dir = full_dir.path();
+    sup.checkpoint_every = 1;
+    sup.retention = 1000;
+    const auto full =
+        dse::supervise_exploration(space, objectives, constraints, on, sup);
+    EXPECT_EQ(dse::frontier_report_to_json(full.report).dump(-1), want);
+    EXPECT_GT(full.report.pruned, 0u);
+    ASSERT_GE(full.checkpoints, 2u);
+
+    TempDir kill_dir("prune_kill");
+    clone_killed_at(full_dir.path(), kill_dir.path(), 1);
+    ckpt::SupervisorOptions resume_sup;
+    resume_sup.dir = kill_dir.path();
+    auto on8 = on;
+    on8.threads = 8;
+    const auto resumed = dse::supervise_exploration(
+        space, objectives, constraints, on8, resume_sup);
+    EXPECT_TRUE(resumed.resume.resumed);
+    EXPECT_EQ(dse::frontier_report_to_json(resumed.report).dump(-1), want);
+    // Journal replay preserves the pruned flags, so the report's pruned
+    // count is resume-deterministic too.
+    EXPECT_EQ(resumed.report.pruned, full.report.pruned);
+
+    // And the off-mode resumes a journal written with pruning on.
+    TempDir kill_dir2("prune_kill_off");
+    clone_killed_at(full_dir.path(), kill_dir2.path(), 1);
+    ckpt::SupervisorOptions resume_sup2;
+    resume_sup2.dir = kill_dir2.path();
+    const auto resumed_off = dse::supervise_exploration(
+        space, objectives, constraints, off, resume_sup2);
+    EXPECT_TRUE(resumed_off.resume.resumed);
+    EXPECT_EQ(dse::frontier_report_to_json(resumed_off.report).dump(-1),
+              want);
+}
+
 TEST(SuperviseExploration, SeamsMustBeUnset)
 {
     TempDir dir("seams");

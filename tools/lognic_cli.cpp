@@ -47,12 +47,14 @@
  *                                       violation report, exit 1 on any
  *                                       violation
  *   lognic explore <spec.json> [--out report.json] [--threads n]
+ *                  [--prune=on|off|explain]
  *                                       design-space exploration: Pareto
  *                                       search over placements/provisioning
  *                                       knobs with DES validation of the
  *                                       frontier; emits a FrontierReport
  *                                       JSON, byte-identical at any
- *                                       --threads value
+ *                                       --threads value and any --prune
+ *                                       mode (pruning only skips solves)
  *   lognic run <scenario.json> --checkpoint <dir> [--seconds s] [--seed n]
  *              [--segment-events n] [--every n] [--no-resume]
  *              [--retention n]
@@ -136,7 +138,8 @@ usage()
                  "a dataset; emits a\n"
                  "                                CalibrationReport JSON "
                  "(see `lognic example calib`)\n"
-                 "  explore  <spec.json> [--out report.json] [--threads n]\n"
+                 "  explore  <spec.json> [--out report.json] [--threads n] "
+                 "[--prune=on|off|explain]\n"
                  "                                Pareto design-space "
                  "exploration with DES\n"
                  "                                validation of the frontier "
@@ -779,6 +782,7 @@ cmd_explore(const io::Json& doc, int argc, char** argv)
 {
     std::string out_path;
     std::size_t threads_override = 0;
+    std::string prune_override;
     CkptArgs ck;
     for (int i = 0; i < argc; ++i) {
         if (parse_ckpt_arg(ck, argc, argv, i, /*allow_retries=*/false))
@@ -790,6 +794,10 @@ cmd_explore(const io::Json& doc, int argc, char** argv)
         } else if (arg == "--threads" && has_value) {
             threads_override =
                 static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else if (arg.rfind("--prune=", 0) == 0) {
+            prune_override = arg.substr(8);
+        } else if (arg == "--prune" && has_value) {
+            prune_override = argv[++i];
         } else {
             std::fprintf(stderr, "explore: bad argument '%s'\n",
                          arg.c_str());
@@ -800,6 +808,13 @@ cmd_explore(const io::Json& doc, int argc, char** argv)
     dse::ExploreSpec spec = dse::explore_spec_from_json(doc);
     if (threads_override > 0)
         spec.options.threads = threads_override;
+    if (!prune_override.empty())
+        spec.options.prune = dse::prune_mode_from_name(prune_override);
+    // Explain narration goes to stderr: the report JSON on stdout stays
+    // byte-identical across prune modes.
+    spec.options.prune_log = [](const std::string& message) {
+        std::fputs(message.c_str(), stderr);
+    };
 
     dse::FrontierReport report;
     if (ck.enabled) {
